@@ -1,0 +1,49 @@
+//! Ablation benches for the design choices DESIGN.md §8 calls out:
+//! noise level, perturbation components (rotation-only vs full geometric),
+//! and attack-suite composition.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sap_datasets::normalize::min_max_normalize;
+use sap_datasets::UciDataset;
+use sap_perturb::GeometricPerturbation;
+use sap_privacy::attack::{AttackSuite, AttackerKnowledge};
+use std::hint::black_box;
+
+fn bench_ablations(c: &mut Criterion) {
+    let (data, _) = min_max_normalize(&UciDataset::Diabetes.generate(1));
+    let x = data.to_column_matrix();
+    let sample = x.submatrix(0..x.rows(), 0..200.min(x.cols()));
+    let knowledge = AttackerKnowledge::worst_case(&sample, 6);
+    let mut rng = StdRng::seed_from_u64(1);
+
+    // Noise-level ablation: how evaluation cost scales with sigma (cost is
+    // flat; the interesting output is the privacy number the harness prints).
+    let mut group = c.benchmark_group("ablation_noise_level");
+    group.sample_size(10);
+    for sigma in [0.0, 0.05, 0.1, 0.2] {
+        let g = GeometricPerturbation::random(x.rows(), sigma, &mut rng);
+        let (y, _) = g.perturb(&sample, &mut rng);
+        let suite = AttackSuite::fast();
+        group.bench_with_input(BenchmarkId::new("attack_suite", format!("sigma{sigma}")), &y, |b, y| {
+            b.iter(|| black_box(suite.privacy_guarantee(&sample, y, &knowledge)));
+        });
+    }
+    group.finish();
+
+    // Attack-suite composition ablation: fast (3 attacks) vs standard (+ICA).
+    let mut group = c.benchmark_group("ablation_attack_suite");
+    group.sample_size(10);
+    let g = GeometricPerturbation::random(x.rows(), 0.05, &mut rng);
+    let (y, _) = g.perturb(&sample, &mut rng);
+    for (name, suite) in [("fast", AttackSuite::fast()), ("standard", AttackSuite::standard())] {
+        group.bench_with_input(BenchmarkId::new("suite", name), &suite, |b, suite| {
+            b.iter(|| black_box(suite.privacy_guarantee(&sample, &y, &knowledge)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

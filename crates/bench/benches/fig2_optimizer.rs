@@ -1,0 +1,46 @@
+//! Criterion bench behind Figure 2: the randomized perturbation optimizer
+//! and its random baseline, on a normalized Diabetes-like dataset.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sap_datasets::normalize::min_max_normalize;
+use sap_datasets::UciDataset;
+use sap_privacy::optimize::{optimize, random_baseline, OptimizerConfig};
+use std::hint::black_box;
+
+fn bench_fig2(c: &mut Criterion) {
+    let (data, _) = min_max_normalize(&UciDataset::Diabetes.generate(1));
+    let x = data.to_column_matrix();
+    let mut group = c.benchmark_group("fig2_optimizer");
+    group.sample_size(10);
+
+    let config = OptimizerConfig {
+        candidates: 8,
+        eval_sample: 150,
+        ..OptimizerConfig::default()
+    };
+    group.bench_function("random_baseline", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| black_box(random_baseline(&x, &config, &mut rng).1));
+    });
+    for candidates in [4usize, 8, 16] {
+        let cfg = OptimizerConfig {
+            candidates,
+            eval_sample: 150,
+            ..OptimizerConfig::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("optimize", candidates),
+            &cfg,
+            |b, cfg| {
+                let mut rng = StdRng::seed_from_u64(3);
+                b.iter(|| black_box(optimize(&x, cfg, &mut rng).privacy_guarantee));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

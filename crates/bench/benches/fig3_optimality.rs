@@ -1,0 +1,42 @@
+//! Criterion bench behind Figure 3: per-party bound estimation (repeated
+//! local optimization) as the party count varies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sap_datasets::normalize::min_max_normalize;
+use sap_datasets::partition::{partition, PartitionScheme};
+use sap_datasets::UciDataset;
+use sap_privacy::optimize::{estimate_bound, OptimizerConfig};
+use std::hint::black_box;
+
+fn bench_fig3(c: &mut Criterion) {
+    let (data, _) = min_max_normalize(&UciDataset::Votes.generate(1));
+    let mut group = c.benchmark_group("fig3_optimality");
+    group.sample_size(10);
+
+    let config = OptimizerConfig {
+        candidates: 6,
+        eval_sample: 120,
+        ..OptimizerConfig::default()
+    };
+    for k in [5usize, 10] {
+        let parts = partition(&data, k, PartitionScheme::Uniform, 7);
+        group.bench_with_input(
+            BenchmarkId::new("bound_estimate_one_party", k),
+            &parts,
+            |b, parts| {
+                let mut rng = StdRng::seed_from_u64(4);
+                b.iter(|| {
+                    let est =
+                        estimate_bound(&parts[0].to_column_matrix(), &config, 3, &mut rng);
+                    black_box(est.optimality_rate())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench behind Figure 4: the analytic min-parties bound (cheap,
+//! but benched so every figure has a regenerator with a measured kernel) and
+//! the SAP risk evaluation it builds on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sap_privacy::risk::{min_parties, sap_risk};
+use std::hint::black_box;
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_min_parties");
+
+    group.bench_function("min_parties_full_axis", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for i in 0..10 {
+                let s0 = 0.90 + 0.01 * i as f64;
+                for o in [0.89, 0.95, 0.98] {
+                    acc += min_parties(black_box(s0), black_box(o)).unwrap_or(0);
+                }
+            }
+            black_box(acc)
+        });
+    });
+
+    group.bench_function("sap_risk_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for k in 2..40usize {
+                acc += sap_risk(black_box(1.0), black_box(0.9), black_box(0.95), k);
+            }
+            black_box(acc)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

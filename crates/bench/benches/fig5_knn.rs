@@ -1,0 +1,42 @@
+//! Criterion bench behind Figure 5: a full SAP session plus KNN train/score
+//! on a small dataset — the end-to-end kernel of the accuracy-deviation
+//! experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sap_bench::fig5_fig6::{run_cell, FigClassifier};
+use sap_bench::Scale;
+use sap_datasets::partition::PartitionScheme;
+use sap_datasets::UciDataset;
+use std::hint::black_box;
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_knn");
+    group.sample_size(10);
+
+    group.bench_function("iris_uniform_cell", |b| {
+        b.iter(|| {
+            black_box(run_cell(
+                UciDataset::Iris,
+                PartitionScheme::Uniform,
+                FigClassifier::Knn,
+                Scale::Quick,
+                1,
+            ))
+        });
+    });
+    group.bench_function("wine_class_cell", |b| {
+        b.iter(|| {
+            black_box(run_cell(
+                UciDataset::Wine,
+                PartitionScheme::ClassSkewed,
+                FigClassifier::Knn,
+                Scale::Quick,
+                1,
+            ))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

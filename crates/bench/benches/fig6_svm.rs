@@ -1,0 +1,43 @@
+//! Criterion bench behind Figure 6: SAP session plus SVM(RBF)/SMO training —
+//! the heavier classifier of the accuracy-deviation pair.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sap_bench::fig5_fig6::{run_cell, FigClassifier};
+use sap_bench::Scale;
+use sap_classify::{Model, SvmClassifier, SvmConfig};
+use sap_datasets::partition::PartitionScheme;
+use sap_datasets::split::stratified_split;
+use sap_datasets::UciDataset;
+use std::hint::black_box;
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_svm");
+    group.sample_size(10);
+
+    // The SMO kernel alone, without the protocol.
+    let data = UciDataset::Iris.generate(1);
+    let tt = stratified_split(&data, 0.7, 2);
+    group.bench_function("smo_train_iris", |b| {
+        b.iter(|| {
+            let svm = SvmClassifier::fit(&tt.train, &SvmConfig::rbf_for_dim(tt.train.dim()));
+            black_box(svm.accuracy(&tt.test))
+        });
+    });
+
+    // Full Figure 6 cell: session + SVM.
+    group.bench_function("iris_uniform_cell", |b| {
+        b.iter(|| {
+            black_box(run_cell(
+                UciDataset::Iris,
+                PartitionScheme::Uniform,
+                FigClassifier::SvmRbf,
+                Scale::Quick,
+                1,
+            ))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Transport-layer microbenchmarks: wire encoding, sealing, and hub
+//! round-trips for dataset-sized payloads — the cost floor of a SAP session.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sap_core::messages::{SapMessage, SlotTag};
+use sap_datasets::Dataset;
+use sap_linalg::randn_matrix;
+use sap_net::crypto::{open, seal, ChannelKey};
+use sap_net::node::Node;
+use sap_net::transport::InMemoryHub;
+use sap_net::{wire, PartyId};
+use std::hint::black_box;
+
+fn dataset_message(records: usize, dim: usize) -> SapMessage {
+    let mut rng = StdRng::seed_from_u64(1);
+    let m = randn_matrix(dim, records, &mut rng);
+    let labels = (0..records).map(|i| i % 2).collect();
+    SapMessage::PerturbedData {
+        slot: SlotTag(7),
+        data: Dataset::from_column_matrix(&m, labels, 2),
+    }
+}
+
+fn bench_net(c: &mut Criterion) {
+    let mut group = c.benchmark_group("net_throughput");
+    for &records in &[100usize, 1000] {
+        let msg = dataset_message(records, 16);
+        let bytes = wire::to_bytes(&msg).unwrap();
+        group.throughput(Throughput::Bytes(bytes.len() as u64));
+
+        group.bench_with_input(BenchmarkId::new("wire_encode", records), &msg, |b, msg| {
+            b.iter(|| black_box(wire::to_bytes(msg).unwrap()));
+        });
+        group.bench_with_input(BenchmarkId::new("wire_decode", records), &bytes, |b, bytes| {
+            b.iter(|| black_box(wire::from_bytes::<SapMessage>(bytes).unwrap()));
+        });
+
+        let key = ChannelKey::derive(42, 1, 2);
+        group.bench_with_input(BenchmarkId::new("seal_open", records), &bytes, |b, bytes| {
+            b.iter(|| {
+                let sealed = seal(key, 9, bytes);
+                black_box(open(key, &sealed).unwrap())
+            });
+        });
+
+        group.bench_with_input(
+            BenchmarkId::new("node_roundtrip", records),
+            &msg,
+            |b, msg| {
+                let hub = InMemoryHub::new();
+                let a = Node::new(hub.endpoint(PartyId(1)), 42);
+                let bn = Node::new(hub.endpoint(PartyId(2)), 42);
+                b.iter(|| {
+                    a.send_msg(PartyId(2), msg).unwrap();
+                    let (_, got): (PartyId, SapMessage) = bn.recv_msg().unwrap();
+                    black_box(got)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_net);
+criterion_main!(benches);

@@ -1,0 +1,162 @@
+//! Figures 5 & 6: accuracy deviation of models trained on SAP-unified
+//! perturbed data versus models trained on the original data, across the
+//! twelve UCI datasets and the two partition distributions.
+//!
+//! Procedure per `(dataset, scheme)` cell:
+//!
+//! 1. normalize the dataset and hold out a stratified test split,
+//! 2. train the classifier on the clean training data → baseline accuracy,
+//! 3. partition the training data across `k` providers (random `k ∈ 4..=8`,
+//!    matching the paper's "several randomly sized sub-datasets"), run a
+//!    full SAP session, and train the same classifier on the miner's unified
+//!    dataset,
+//! 4. classify the test set *in the unified space* (test records are mapped
+//!    by the target perturbation, exactly how a provider would submit
+//!    classification requests), and
+//! 5. report `100·(perturbed_accuracy − baseline_accuracy)` averaged over
+//!    repeats — the paper's "accuracy deviation" (negative = loss).
+
+use crate::Scale;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use sap_classify::{KnnClassifier, Model, SvmClassifier, SvmConfig};
+use sap_core::session::{run_session, SapConfig};
+use sap_datasets::normalize::min_max_normalize;
+use sap_datasets::partition::{partition, PartitionScheme};
+use sap_datasets::split::stratified_split;
+use sap_datasets::{Dataset, UciDataset};
+use sap_linalg::vecops;
+use sap_privacy::optimize::OptimizerConfig;
+
+/// Which classifier the figure uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FigClassifier {
+    /// Figure 5: k-nearest neighbours (k = 5).
+    Knn,
+    /// Figure 6: SVM with RBF kernel.
+    SvmRbf,
+}
+
+impl FigClassifier {
+    /// Figure number in the paper.
+    pub fn figure(self) -> u32 {
+        match self {
+            FigClassifier::Knn => 5,
+            FigClassifier::SvmRbf => 6,
+        }
+    }
+
+    /// Trains on `train` and returns accuracy on `test`.
+    pub fn train_and_score(self, train: &Dataset, test: &Dataset) -> f64 {
+        match self {
+            FigClassifier::Knn => {
+                let k = 5.min(train.len());
+                KnnClassifier::fit(train, k).accuracy(test)
+            }
+            FigClassifier::SvmRbf => {
+                SvmClassifier::fit(train, &SvmConfig::rbf_for_dim(train.dim())).accuracy(test)
+            }
+        }
+    }
+}
+
+/// One cell of Figure 5/6.
+#[derive(Debug, Clone)]
+pub struct Fig56Row {
+    /// Dataset name.
+    pub dataset: &'static str,
+    /// Partition scheme label.
+    pub scheme: &'static str,
+    /// Clean-data baseline accuracy.
+    pub baseline_accuracy: f64,
+    /// Mean accuracy on SAP-unified data.
+    pub perturbed_accuracy: f64,
+    /// `100·(perturbed − baseline)` — the paper's y-axis.
+    pub deviation: f64,
+}
+
+/// Runs one `(dataset, scheme)` cell.
+pub fn run_cell(
+    dataset: UciDataset,
+    scheme: PartitionScheme,
+    classifier: FigClassifier,
+    scale: Scale,
+    seed: u64,
+) -> Fig56Row {
+    let (data, _) = min_max_normalize(&dataset.generate(seed));
+    let tt = stratified_split(&data, 0.7, seed ^ 0x5011);
+    let baseline_accuracy = classifier.train_and_score(&tt.train, &tt.test);
+
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xF165 ^ (classifier.figure() as u64));
+    let mut accs = Vec::with_capacity(scale.repeats());
+    for rep in 0..scale.repeats() {
+        let k = rng.random_range(4..=8usize);
+        let locals = partition(&tt.train, k, scheme, seed ^ ((rep as u64) << 16));
+        let config = SapConfig {
+            optimizer: OptimizerConfig {
+                candidates: scale.candidates().min(8),
+                eval_sample: 150,
+                ..OptimizerConfig::default()
+            },
+            seed: seed ^ rep as u64,
+            ..SapConfig::default()
+        };
+        let outcome = run_session(locals, &config).expect("session must complete");
+        // Classification requests are submitted in the unified space.
+        let test_matrix = outcome.target.apply_clean(&tt.test.to_column_matrix());
+        let test_unified = Dataset::from_column_matrix(
+            &test_matrix,
+            tt.test.labels().to_vec(),
+            tt.test.num_classes(),
+        );
+        accs.push(classifier.train_and_score(&outcome.unified, &test_unified));
+    }
+    let perturbed_accuracy = vecops::mean(&accs);
+    Fig56Row {
+        dataset: dataset.name(),
+        scheme: scheme.label(),
+        baseline_accuracy,
+        perturbed_accuracy,
+        deviation: 100.0 * (perturbed_accuracy - baseline_accuracy),
+    }
+}
+
+/// Runs the full figure: all twelve datasets × both partition schemes.
+pub fn run(classifier: FigClassifier, scale: Scale, seed: u64) -> Vec<Fig56Row> {
+    let mut rows = Vec::new();
+    for dataset in UciDataset::ALL {
+        for scheme in [PartitionScheme::Uniform, PartitionScheme::ClassSkewed] {
+            rows.push(run_cell(dataset, scheme, classifier, scale, seed));
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One KNN cell end-to-end: deviation within the paper's plotted band.
+    #[test]
+    fn iris_knn_cell_small_deviation() {
+        let row = run_cell(
+            UciDataset::Iris,
+            PartitionScheme::Uniform,
+            FigClassifier::Knn,
+            Scale::Quick,
+            1,
+        );
+        assert!(row.baseline_accuracy > 0.8, "baseline {}", row.baseline_accuracy);
+        assert!(
+            row.deviation.abs() < 15.0,
+            "deviation {} out of plausible range",
+            row.deviation
+        );
+    }
+
+    #[test]
+    fn figure_numbers() {
+        assert_eq!(FigClassifier::Knn.figure(), 5);
+        assert_eq!(FigClassifier::SvmRbf.figure(), 6);
+    }
+}

@@ -1,0 +1,112 @@
+//! Plain-text table/series rendering for the `figures` binary.
+
+/// Renders a table with a title, header row, and aligned columns.
+pub fn render_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let rule: String = widths
+        .iter()
+        .map(|w| "-".repeat(w + 2))
+        .collect::<Vec<_>>()
+        .join("+");
+    out.push_str(&rule);
+    out.push('\n');
+    let fmt_row = |cells: &[String]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!(" {:<width$} ", c, width = widths[i]))
+            .collect::<Vec<_>>()
+            .join("|")
+    };
+    out.push_str(&fmt_row(
+        &header.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+    ));
+    out.push('\n');
+    out.push_str(&rule);
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a float with 3 decimal places.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a signed float with 2 decimal places (accuracy deviations).
+pub fn f2s(x: f64) -> String {
+    format!("{x:+.2}")
+}
+
+/// A crude text histogram: `bins` buckets over `[lo, hi]`, one line each.
+pub fn render_histogram(values: &[f64], lo: f64, hi: f64, bins: usize) -> String {
+    assert!(bins > 0 && hi > lo);
+    let mut counts = vec![0usize; bins];
+    for &v in values {
+        let t = ((v - lo) / (hi - lo) * bins as f64).floor();
+        let b = (t as isize).clamp(0, bins as isize - 1) as usize;
+        counts[b] += 1;
+    }
+    let max = counts.iter().copied().max().unwrap_or(1).max(1);
+    let mut out = String::new();
+    for (i, &c) in counts.iter().enumerate() {
+        let left = lo + (hi - lo) * i as f64 / bins as f64;
+        let bar = "#".repeat(c * 40 / max);
+        out.push_str(&format!("{left:6.3} | {bar} {c}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_aligned() {
+        let s = render_table(
+            "T",
+            &["a", "bbbb"],
+            &[
+                vec!["1".into(), "2".into()],
+                vec!["333".into(), "4".into()],
+            ],
+        );
+        assert!(s.contains("T\n"));
+        assert!(s.lines().count() >= 5);
+        // All data lines have equal width.
+        let lines: Vec<&str> = s.lines().skip(1).collect();
+        let w = lines[0].len();
+        assert!(lines.iter().all(|l| l.len() == w));
+    }
+
+    #[test]
+    fn histogram_counts_everything() {
+        let vals = [0.1, 0.2, 0.25, 0.9];
+        let h = render_histogram(&vals, 0.0, 1.0, 4);
+        let total: usize = h
+            .lines()
+            .map(|l| l.rsplit(' ').next().unwrap().parse::<usize>().unwrap())
+            .sum();
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f3(0.12345), "0.123");
+        assert_eq!(f2s(-1.5), "-1.50");
+        assert_eq!(f2s(2.0), "+2.00");
+    }
+}

@@ -1,0 +1,67 @@
+//! Cross-validation driver over any [`Model`](crate::Model) family.
+
+use crate::Model;
+use sap_datasets::split::k_fold;
+use sap_datasets::Dataset;
+
+/// Result of a cross-validation run.
+#[derive(Debug, Clone)]
+pub struct CvResult {
+    /// Per-fold test accuracies.
+    pub fold_accuracies: Vec<f64>,
+}
+
+impl CvResult {
+    /// Mean accuracy across folds.
+    pub fn mean(&self) -> f64 {
+        sap_linalg::vecops::mean(&self.fold_accuracies)
+    }
+
+    /// Sample standard deviation across folds.
+    pub fn std_dev(&self) -> f64 {
+        sap_linalg::vecops::std_dev(&self.fold_accuracies)
+    }
+}
+
+/// Runs `k`-fold cross-validation: `trainer` maps each training fold to a
+/// fitted model, which is scored on the held-out fold.
+///
+/// # Panics
+///
+/// Propagates [`k_fold`]'s panics (`k < 2` or more folds than records).
+pub fn cross_validate<M, F>(data: &Dataset, k: usize, seed: u64, trainer: F) -> CvResult
+where
+    M: Model,
+    F: Fn(&Dataset) -> M,
+{
+    let folds = k_fold(data, k, seed);
+    let fold_accuracies = folds
+        .iter()
+        .map(|f| trainer(&f.train).accuracy(&f.test))
+        .collect();
+    CvResult { fold_accuracies }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knn::KnnClassifier;
+    use sap_datasets::registry::UciDataset;
+
+    #[test]
+    fn cv_on_separable_data_is_accurate() {
+        let data = UciDataset::Iris.generate(1);
+        let result = cross_validate(&data, 5, 7, |train| KnnClassifier::fit(train, 5));
+        assert_eq!(result.fold_accuracies.len(), 5);
+        assert!(result.mean() > 0.85, "cv mean {}", result.mean());
+        assert!(result.std_dev() < 0.2);
+    }
+
+    #[test]
+    fn cv_deterministic() {
+        let data = UciDataset::Wine.generate(2);
+        let a = cross_validate(&data, 4, 3, |train| KnnClassifier::fit(train, 3));
+        let b = cross_validate(&data, 4, 3, |train| KnnClassifier::fit(train, 3));
+        assert_eq!(a.fold_accuracies, b.fold_accuracies);
+    }
+}

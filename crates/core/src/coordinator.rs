@@ -1,0 +1,307 @@
+//! The coordinator actor.
+//!
+//! The coordinator is itself a data provider (`DP_k` in the brief) with two
+//! extra duties: it selects the unified target space and orchestrates the
+//! anonymizing exchange. Crucially it **never receives a dataset** — it will
+//! hold every space adaptor, and an adaptor plus a dataset would let it
+//! rebase the data into a space whose parameters it knows, undoing the
+//! owner's perturbation.
+
+use crate::audit::AuditLog;
+use crate::error::SapError;
+use crate::messages::{SapMessage, SlotTag};
+use crate::permutation::ExchangePlan;
+use crate::session::{ProviderReport, SapConfig};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use sap_datasets::Dataset;
+use sap_net::node::Node;
+use sap_net::{PartyId, Transport};
+use sap_perturb::{GeometricPerturbation, Perturbation, SpaceAdaptor};
+use sap_privacy::optimize::{evaluate_perturbation, optimize};
+use std::collections::HashMap;
+
+/// Runs the coordinator role (provider duties included) to completion.
+///
+/// `providers` lists every provider id in position order; the coordinator
+/// must be the **last** entry (the brief's `DP_k` convention).
+///
+/// # Errors
+///
+/// Returns [`SapError`] on timeout, messaging failure, or protocol
+/// violations (duplicate/unknown adaptor senders, dimension mismatch).
+#[allow(clippy::too_many_lines)]
+pub fn run_coordinator<T: Transport>(
+    node: &Node<T>,
+    data: &Dataset,
+    providers: &[PartyId],
+    miner: PartyId,
+    config: &SapConfig,
+    audit: &AuditLog,
+) -> Result<(ProviderReport, Perturbation), SapError> {
+    let me = node.id();
+    let k = providers.len();
+    if k < 3 {
+        return Err(SapError::TooFewProviders { got: k });
+    }
+    if providers.last() != Some(&me) {
+        return Err(SapError::Protocol(format!(
+            "coordinator {me} must be the last provider"
+        )));
+    }
+    let coord_pos = k - 1;
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0xC00D);
+
+    // Provider duty: local optimization on own data.
+    let x = data.to_column_matrix();
+    let opt = optimize(&x, &config.optimizer, &mut rng);
+    let g_local = opt.perturbation.clone();
+    let rho_local = opt.privacy_guarantee;
+
+    // Coordination: target space (no noise), exchange plan, slot tags.
+    let target = Perturbation::random(data.dim(), &mut rng);
+    let plan = ExchangePlan::random(k, coord_pos, &mut rng);
+    let mut slot_of: Vec<SlotTag> = Vec::with_capacity(k);
+    let mut used = std::collections::HashSet::new();
+    for _ in 0..k {
+        loop {
+            let tag = SlotTag(rng.random_range(0..u64::MAX));
+            if used.insert(tag) {
+                slot_of.push(tag);
+                break;
+            }
+        }
+    }
+
+    // Send setup to every other provider.
+    for (pos, &pid) in providers.iter().enumerate() {
+        if pos == coord_pos {
+            continue;
+        }
+        node.send_msg(
+            pid,
+            &SapMessage::Setup {
+                target: target.clone(),
+                slot: slot_of[pos],
+                send_data_to: providers[plan.receiver_of(pos)],
+                expect_incoming: plan.incoming_count(pos) as u32,
+            },
+        )?;
+    }
+
+    // Provider duty: perturb own data and ship it to the assigned receiver.
+    let (y, _delta) = g_local.perturb(&x, &mut rng);
+    let perturbed = Dataset::from_column_matrix(&y, data.labels().to_vec(), data.num_classes());
+    node.send_msg(
+        providers[plan.receiver_of(coord_pos)],
+        &SapMessage::PerturbedData {
+            slot: slot_of[coord_pos],
+            data: perturbed,
+        },
+    )?;
+
+    // Collect adaptors from the other k−1 providers; add our own.
+    let mut adaptor_of: HashMap<PartyId, SpaceAdaptor> = HashMap::new();
+    let own_adaptor = SpaceAdaptor::between(g_local.base(), &target)
+        .map_err(|e| SapError::Protocol(format!("own adaptor failed: {e}")))?;
+    adaptor_of.insert(me, own_adaptor);
+    while adaptor_of.len() < k {
+        let (from, msg): (PartyId, SapMessage) = node
+            .recv_msg_timeout(config.timeout)
+            .map_err(|e| timeout_or(e, me, "adaptor collection"))?;
+        audit.record(from, me, &msg);
+        match msg {
+            SapMessage::Adaptor { adaptor } => {
+                if !providers.contains(&from) {
+                    return Err(SapError::Protocol(format!("adaptor from unknown {from}")));
+                }
+                if adaptor_of.insert(from, adaptor).is_some() {
+                    return Err(SapError::Protocol(format!("duplicate adaptor from {from}")));
+                }
+            }
+            other => {
+                return Err(SapError::Protocol(format!(
+                    "coordinator received unexpected {}",
+                    other.kind()
+                )))
+            }
+        }
+    }
+
+    // Map adaptors to slot tags and forward to the miner. The miner joins
+    // (slot → dataset) with (slot → adaptor) without learning owners.
+    let entries: Vec<(SlotTag, SpaceAdaptor)> = providers
+        .iter()
+        .enumerate()
+        .map(|(pos, pid)| (slot_of[pos], adaptor_of[pid].clone()))
+        .collect();
+    node.send_msg(miner, &SapMessage::AdaptorTable { entries })?;
+
+    // Wait for the miner's completion ack so the session has a clean end.
+    let (from, msg): (PartyId, SapMessage) = node
+        .recv_msg_timeout(config.timeout)
+        .map_err(|e| timeout_or(e, me, "mining completion"))?;
+    audit.record(from, me, &msg);
+    match msg {
+        SapMessage::MiningComplete { .. } if from == miner => {}
+        other => {
+            return Err(SapError::Protocol(format!(
+                "expected mining-complete from miner, got {} from {from}",
+                other.kind()
+            )))
+        }
+    }
+
+    // Satisfaction for the coordinator's own data.
+    let g_unified = GeometricPerturbation::new(target.clone(), g_local.noise());
+    let rho_unified = evaluate_perturbation(&x, &g_unified, &config.optimizer, &mut rng);
+    let satisfaction = if rho_local > 1e-12 {
+        rho_unified / rho_local
+    } else {
+        1.0
+    };
+
+    Ok((
+        ProviderReport {
+            provider: me,
+            rho_local,
+            rho_unified,
+            satisfaction,
+            optimizer_history: opt.history,
+        },
+        target,
+    ))
+}
+
+fn timeout_or(e: sap_net::node::NodeError, who: PartyId, phase: &'static str) -> SapError {
+    match e {
+        sap_net::node::NodeError::Transport(sap_net::TransportError::Timeout) => {
+            SapError::Timeout {
+                waiting: who,
+                phase,
+            }
+        }
+        other => SapError::Messaging(other),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sap_net::transport::InMemoryHub;
+    use std::time::Duration;
+
+    fn tiny_dataset() -> Dataset {
+        let records: Vec<Vec<f64>> = (0..24)
+            .map(|i| vec![(i % 6) as f64 / 6.0, (i % 4) as f64 / 4.0])
+            .collect();
+        let labels: Vec<usize> = (0..24).map(|i| i % 2).collect();
+        Dataset::new(records, labels)
+    }
+
+    #[test]
+    fn rejects_too_few_providers() {
+        let hub = InMemoryHub::new();
+        let node = Node::new(hub.endpoint(PartyId(1)), 7);
+        let audit = AuditLog::new();
+        let err = run_coordinator(
+            &node,
+            &tiny_dataset(),
+            &[PartyId(0), PartyId(1)],
+            PartyId(100),
+            &SapConfig::quick_test(),
+            &audit,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SapError::TooFewProviders { got: 2 }));
+    }
+
+    #[test]
+    fn rejects_coordinator_not_last() {
+        let hub = InMemoryHub::new();
+        let node = Node::new(hub.endpoint(PartyId(0)), 7);
+        let audit = AuditLog::new();
+        let err = run_coordinator(
+            &node,
+            &tiny_dataset(),
+            &[PartyId(0), PartyId(1), PartyId(2)],
+            PartyId(100),
+            &SapConfig::quick_test(),
+            &audit,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SapError::Protocol(_)), "{err}");
+    }
+
+    #[test]
+    fn coordinator_rejects_incoming_data() {
+        // A confused/malicious provider sends data to the coordinator: the
+        // coordinator must abort with a protocol error, never process it.
+        let hub = InMemoryHub::new();
+        let coord_node = Node::new(hub.endpoint(PartyId(2)), 7);
+        let p0 = Node::new(hub.endpoint(PartyId(0)), 7);
+        let _p1 = hub.endpoint(PartyId(1));
+        let _miner = hub.endpoint(PartyId(100));
+        let audit = AuditLog::new();
+        let config = SapConfig {
+            timeout: Duration::from_millis(500),
+            ..SapConfig::quick_test()
+        };
+
+        p0.send_msg(
+            PartyId(2),
+            &SapMessage::PerturbedData {
+                slot: SlotTag(9),
+                data: tiny_dataset(),
+            },
+        )
+        .unwrap();
+
+        let err = run_coordinator(
+            &coord_node,
+            &tiny_dataset(),
+            &[PartyId(0), PartyId(1), PartyId(2)],
+            PartyId(100),
+            &config,
+            &audit,
+        )
+        .unwrap_err();
+        assert!(
+            err.to_string().contains("unexpected perturbed-data"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn times_out_when_adaptors_missing() {
+        let hub = InMemoryHub::new();
+        let coord_node = Node::new(hub.endpoint(PartyId(2)), 7);
+        let _p0 = hub.endpoint(PartyId(0));
+        let _p1 = hub.endpoint(PartyId(1));
+        let _miner = hub.endpoint(PartyId(100));
+        let audit = AuditLog::new();
+        let config = SapConfig {
+            timeout: Duration::from_millis(50),
+            ..SapConfig::quick_test()
+        };
+        let err = run_coordinator(
+            &coord_node,
+            &tiny_dataset(),
+            &[PartyId(0), PartyId(1), PartyId(2)],
+            PartyId(100),
+            &config,
+            &audit,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SapError::Timeout {
+                    phase: "adaptor collection",
+                    ..
+                }
+            ),
+            "{err}"
+        );
+    }
+}

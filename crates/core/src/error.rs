@@ -1,0 +1,84 @@
+//! Protocol-level errors.
+
+use sap_net::node::NodeError;
+use sap_net::PartyId;
+use std::fmt;
+
+/// Failures of a SAP session.
+#[derive(Debug)]
+pub enum SapError {
+    /// A role timed out waiting for a message — a party crashed or the
+    /// network lost the message for good.
+    Timeout {
+        /// The role that was waiting.
+        waiting: PartyId,
+        /// Human-readable phase description.
+        phase: &'static str,
+    },
+    /// The messaging layer failed (transport, crypto, or codec).
+    Messaging(NodeError),
+    /// A protocol invariant was violated (unexpected message, wrong
+    /// dimensionality, duplicate slot, …).
+    Protocol(String),
+    /// A party thread panicked.
+    PartyPanicked(PartyId),
+    /// The session was configured with too few providers (SAP needs ≥ 3:
+    /// with 2, the only non-coordinator receiver identifies every source).
+    TooFewProviders {
+        /// Providers supplied.
+        got: usize,
+    },
+    /// Provider datasets disagree on dimensionality or class count.
+    InconsistentInputs(String),
+}
+
+impl fmt::Display for SapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SapError::Timeout { waiting, phase } => {
+                write!(f, "{waiting} timed out during {phase}")
+            }
+            SapError::Messaging(e) => write!(f, "messaging failure: {e}"),
+            SapError::Protocol(what) => write!(f, "protocol violation: {what}"),
+            SapError::PartyPanicked(p) => write!(f, "{p} panicked"),
+            SapError::TooFewProviders { got } => {
+                write!(f, "SAP needs at least 3 providers, got {got}")
+            }
+            SapError::InconsistentInputs(what) => write!(f, "inconsistent inputs: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SapError {}
+
+impl From<NodeError> for SapError {
+    fn from(e: NodeError) -> Self {
+        SapError::Messaging(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let errs: Vec<SapError> = vec![
+            SapError::Timeout {
+                waiting: PartyId(3),
+                phase: "adaptor collection",
+            },
+            SapError::Protocol("duplicate slot".into()),
+            SapError::PartyPanicked(PartyId(1)),
+            SapError::TooFewProviders { got: 2 },
+            SapError::InconsistentInputs("dim 3 vs 4".into()),
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+        }
+        assert!(SapError::TooFewProviders { got: 2 }
+            .to_string()
+            .contains("at least 3"));
+    }
+}

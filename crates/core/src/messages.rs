@@ -1,0 +1,158 @@
+//! Wire messages of the SAP protocol.
+//!
+//! All variants are serialized with `sap-net`'s binary codec and sealed per
+//! channel. Slot tags are opaque random identifiers: they let the miner join
+//! datasets with adaptors without learning which provider owns what (only
+//! the coordinator holds the `slot → owner` table, and it never sees data).
+
+use sap_datasets::Dataset;
+use sap_net::PartyId;
+use sap_perturb::{Perturbation, SpaceAdaptor};
+use serde::{Deserialize, Serialize};
+
+/// An opaque identifier for one exchanged dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SlotTag(pub u64);
+
+/// Messages exchanged during a SAP session.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum SapMessage {
+    /// Coordinator → provider: the target perturbation space `G_t` (no
+    /// noise component) plus this provider's exchange assignment.
+    Setup {
+        /// The unified target space.
+        target: Perturbation,
+        /// Slot tag under which this provider's dataset will travel.
+        slot: SlotTag,
+        /// The provider that should receive this provider's perturbed data.
+        send_data_to: PartyId,
+        /// Number of datasets this provider will receive and must relay to
+        /// the miner (0, 1, or 2 — the coordinator's redirect can double up).
+        expect_incoming: u32,
+    },
+    /// Provider → provider: a locally perturbed dataset under its slot tag.
+    PerturbedData {
+        /// Slot tag assigned by the coordinator.
+        slot: SlotTag,
+        /// The perturbed dataset (`G_i(X_i)` reshaped to records + labels).
+        data: Dataset,
+    },
+    /// Provider → miner: relay of a received dataset (unchanged payload;
+    /// the relay hop is what anonymizes the source).
+    RelayedData {
+        /// Slot tag.
+        slot: SlotTag,
+        /// The relayed perturbed dataset.
+        data: Dataset,
+    },
+    /// Provider → coordinator: the provider's space adaptor into `G_t`.
+    Adaptor {
+        /// `A_it = ⟨R_it, Ψ_it⟩`.
+        adaptor: SpaceAdaptor,
+    },
+    /// Coordinator → miner: the slot-indexed adaptor table.
+    AdaptorTable {
+        /// `(slot, adaptor)` pairs covering every exchanged dataset.
+        entries: Vec<(SlotTag, SpaceAdaptor)>,
+    },
+    /// Miner → coordinator: acknowledgement that mining completed, with the
+    /// number of records unified (lets the session close cleanly).
+    MiningComplete {
+        /// Records in the unified dataset.
+        unified_records: u64,
+    },
+}
+
+impl SapMessage {
+    /// Message kind label used by the audit ledger.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SapMessage::Setup { .. } => "setup",
+            SapMessage::PerturbedData { .. } => "perturbed-data",
+            SapMessage::RelayedData { .. } => "relayed-data",
+            SapMessage::Adaptor { .. } => "adaptor",
+            SapMessage::AdaptorTable { .. } => "adaptor-table",
+            SapMessage::MiningComplete { .. } => "mining-complete",
+        }
+    }
+
+    /// `true` when the message carries (perturbed) record data — the payload
+    /// class the coordinator must never receive.
+    pub fn carries_data(&self) -> bool {
+        matches!(
+            self,
+            SapMessage::PerturbedData { .. } | SapMessage::RelayedData { .. }
+        )
+    }
+
+    /// `true` when the message carries perturbation parameters or adaptors —
+    /// the payload class that must never meet identified data at one party.
+    pub fn carries_parameters(&self) -> bool {
+        matches!(
+            self,
+            SapMessage::Setup { .. } | SapMessage::Adaptor { .. } | SapMessage::AdaptorTable { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sap_net::wire;
+
+    #[test]
+    fn messages_roundtrip_on_the_wire() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let target = Perturbation::random(3, &mut rng);
+        let other = Perturbation::random(3, &mut rng);
+        let adaptor = SpaceAdaptor::between(&other, &target).unwrap();
+        let data = Dataset::new(vec![vec![0.1, 0.2, 0.3], vec![0.4, 0.5, 0.6]], vec![0, 1]);
+
+        let msgs = vec![
+            SapMessage::Setup {
+                target: target.clone(),
+                slot: SlotTag(42),
+                send_data_to: PartyId(2),
+                expect_incoming: 1,
+            },
+            SapMessage::PerturbedData {
+                slot: SlotTag(42),
+                data: data.clone(),
+            },
+            SapMessage::RelayedData {
+                slot: SlotTag(42),
+                data,
+            },
+            SapMessage::Adaptor {
+                adaptor: adaptor.clone(),
+            },
+            SapMessage::AdaptorTable {
+                entries: vec![(SlotTag(1), adaptor)],
+            },
+            SapMessage::MiningComplete {
+                unified_records: 150,
+            },
+        ];
+        for msg in msgs {
+            let bytes = wire::to_bytes(&msg).unwrap();
+            let back: SapMessage = wire::from_bytes(&bytes).unwrap();
+            assert_eq!(back.kind(), msg.kind());
+        }
+    }
+
+    #[test]
+    fn payload_classification() {
+        let data = Dataset::new(vec![vec![1.0]], vec![0]);
+        let m = SapMessage::PerturbedData {
+            slot: SlotTag(1),
+            data,
+        };
+        assert!(m.carries_data());
+        assert!(!m.carries_parameters());
+        let m = SapMessage::MiningComplete { unified_records: 1 };
+        assert!(!m.carries_data());
+        assert!(!m.carries_parameters());
+    }
+}

@@ -1,0 +1,300 @@
+//! The mining service provider (SP) actor.
+//!
+//! The miner collects `k` relayed datasets (tagged by opaque slots) and the
+//! coordinator's slot-indexed adaptor table, applies each adaptor to its
+//! slot's dataset, and pools everything into one dataset in the unified
+//! target space. It never learns which provider owns which dataset — only
+//! which provider *forwarded* it, and the forwarding assignment is a secret
+//! random exchange, so each dataset's source identifiability is `1/(k−1)`.
+
+use crate::audit::AuditLog;
+use crate::error::SapError;
+use crate::messages::{SapMessage, SlotTag};
+use crate::session::SapConfig;
+use sap_datasets::Dataset;
+use sap_net::node::Node;
+use sap_net::{PartyId, Transport};
+use sap_perturb::SpaceAdaptor;
+use std::collections::HashMap;
+
+/// What the miner ends the session with.
+#[derive(Debug, Clone)]
+pub struct MinerOutput {
+    /// The pooled dataset, every partition re-based into the target space.
+    pub unified: Dataset,
+    /// Which provider *forwarded* each slot (the miner's entire knowledge of
+    /// data provenance — used by tests to verify identifiability).
+    pub forwarder_of_slot: Vec<(SlotTag, PartyId)>,
+}
+
+/// Runs the miner role to completion.
+///
+/// # Errors
+///
+/// Returns [`SapError`] on timeout, messaging failure, duplicate slots,
+/// missing adaptors, or dimension mismatches.
+pub fn run_miner<T: Transport>(
+    node: &Node<T>,
+    expected_datasets: usize,
+    coordinator: PartyId,
+    config: &SapConfig,
+    audit: &AuditLog,
+) -> Result<MinerOutput, SapError> {
+    let me = node.id();
+    let mut datasets: HashMap<SlotTag, (PartyId, Dataset)> = HashMap::new();
+    let mut adaptors: Option<Vec<(SlotTag, SpaceAdaptor)>> = None;
+
+    while datasets.len() < expected_datasets || adaptors.is_none() {
+        let (from, msg): (PartyId, SapMessage) = node
+            .recv_msg_timeout(config.timeout)
+            .map_err(|e| timeout_or(e, me, "data & adaptor collection"))?;
+        audit.record(from, me, &msg);
+        match msg {
+            SapMessage::RelayedData { slot, data } => {
+                if datasets.insert(slot, (from, data)).is_some() {
+                    return Err(SapError::Protocol(format!("duplicate slot {slot:?}")));
+                }
+            }
+            SapMessage::AdaptorTable { entries } => {
+                if from != coordinator {
+                    return Err(SapError::Protocol(format!(
+                        "adaptor table from non-coordinator {from}"
+                    )));
+                }
+                if adaptors.replace(entries).is_some() {
+                    return Err(SapError::Protocol("duplicate adaptor table".into()));
+                }
+            }
+            other => {
+                return Err(SapError::Protocol(format!(
+                    "miner received unexpected {}",
+                    other.kind()
+                )))
+            }
+        }
+    }
+    let adaptors = adaptors.expect("loop exits only when set");
+
+    // Unify: apply each slot's adaptor to its dataset.
+    let adaptor_of: HashMap<SlotTag, &SpaceAdaptor> =
+        adaptors.iter().map(|(s, a)| (*s, a)).collect();
+    let mut parts: Vec<Dataset> = Vec::with_capacity(expected_datasets);
+    let mut forwarder_of_slot: Vec<(SlotTag, PartyId)> = Vec::new();
+    // Deterministic slot order for reproducible pooling.
+    let mut slots: Vec<SlotTag> = datasets.keys().copied().collect();
+    slots.sort();
+    for slot in slots {
+        let (forwarder, data) = &datasets[&slot];
+        let adaptor = adaptor_of.get(&slot).ok_or_else(|| {
+            SapError::Protocol(format!("no adaptor for slot {slot:?}"))
+        })?;
+        if adaptor.dim() != data.dim() {
+            return Err(SapError::Protocol(format!(
+                "adaptor dim {} != data dim {} for slot {slot:?}",
+                adaptor.dim(),
+                data.dim()
+            )));
+        }
+        let y = data.to_column_matrix();
+        let unified = adaptor.apply(&y);
+        parts.push(Dataset::from_column_matrix(
+            &unified,
+            data.labels().to_vec(),
+            data.num_classes(),
+        ));
+        forwarder_of_slot.push((slot, *forwarder));
+    }
+    let unified = Dataset::concat(&parts);
+
+    node.send_msg(
+        coordinator,
+        &SapMessage::MiningComplete {
+            unified_records: unified.len() as u64,
+        },
+    )?;
+
+    Ok(MinerOutput {
+        unified,
+        forwarder_of_slot,
+    })
+}
+
+fn timeout_or(e: sap_net::node::NodeError, who: PartyId, phase: &'static str) -> SapError {
+    match e {
+        sap_net::node::NodeError::Transport(sap_net::TransportError::Timeout) => {
+            SapError::Timeout {
+                waiting: who,
+                phase,
+            }
+        }
+        other => SapError::Messaging(other),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sap_net::transport::InMemoryHub;
+    use sap_perturb::Perturbation;
+    use std::time::Duration;
+
+    fn quick_config() -> SapConfig {
+        SapConfig {
+            timeout: Duration::from_millis(500),
+            ..SapConfig::quick_test()
+        }
+    }
+
+    fn tiny_dataset(offset: f64) -> Dataset {
+        let records: Vec<Vec<f64>> = (0..10)
+            .map(|i| vec![offset + i as f64 / 10.0, offset - i as f64 / 10.0])
+            .collect();
+        Dataset::new(records, (0..10).map(|i| i % 2).collect())
+    }
+
+    #[test]
+    fn miner_unifies_two_slots() {
+        let hub = InMemoryHub::new();
+        let miner_node = Node::new(hub.endpoint(PartyId(100)), 7);
+        let relay = Node::new(hub.endpoint(PartyId(1)), 7);
+        let coord = Node::new(hub.endpoint(PartyId(2)), 7);
+        let audit = AuditLog::new();
+
+        let mut rng = StdRng::seed_from_u64(1);
+        let target = Perturbation::random(2, &mut rng);
+        let g1 = Perturbation::random(2, &mut rng);
+        let g2 = Perturbation::random(2, &mut rng);
+
+        // Perturbed datasets in spaces g1, g2.
+        let d1 = tiny_dataset(0.0);
+        let d2 = tiny_dataset(5.0);
+        let y1 = g1.apply_clean(&d1.to_column_matrix());
+        let y2 = g2.apply_clean(&d2.to_column_matrix());
+        relay
+            .send_msg(
+                PartyId(100),
+                &SapMessage::RelayedData {
+                    slot: SlotTag(1),
+                    data: Dataset::from_column_matrix(&y1, d1.labels().to_vec(), 2),
+                },
+            )
+            .unwrap();
+        relay
+            .send_msg(
+                PartyId(100),
+                &SapMessage::RelayedData {
+                    slot: SlotTag(2),
+                    data: Dataset::from_column_matrix(&y2, d2.labels().to_vec(), 2),
+                },
+            )
+            .unwrap();
+        coord
+            .send_msg(
+                PartyId(100),
+                &SapMessage::AdaptorTable {
+                    entries: vec![
+                        (SlotTag(1), SpaceAdaptor::between(&g1, &target).unwrap()),
+                        (SlotTag(2), SpaceAdaptor::between(&g2, &target).unwrap()),
+                    ],
+                },
+            )
+            .unwrap();
+
+        let out = run_miner(&miner_node, 2, PartyId(2), &quick_config(), &audit).unwrap();
+        assert_eq!(out.unified.len(), 20);
+        assert_eq!(out.forwarder_of_slot.len(), 2);
+
+        // Unified records equal the target-space images of the originals
+        // (noiseless case).
+        let expected_1 = target.apply_clean(&d1.to_column_matrix());
+        let got_first = out.unified.record(0);
+        let exp_first = expected_1.column(0);
+        for (a, b) in got_first.iter().zip(&exp_first) {
+            assert!((a - b).abs() < 1e-8);
+        }
+
+        // Coordinator got the completion ack.
+        let (_, msg): (PartyId, SapMessage) = coord.recv_msg().unwrap();
+        assert!(matches!(
+            msg,
+            SapMessage::MiningComplete {
+                unified_records: 20
+            }
+        ));
+    }
+
+    #[test]
+    fn duplicate_slot_is_protocol_error() {
+        let hub = InMemoryHub::new();
+        let miner_node = Node::new(hub.endpoint(PartyId(100)), 7);
+        let relay = Node::new(hub.endpoint(PartyId(1)), 7);
+        let _coord = hub.endpoint(PartyId(2));
+        let audit = AuditLog::new();
+
+        for _ in 0..2 {
+            relay
+                .send_msg(
+                    PartyId(100),
+                    &SapMessage::RelayedData {
+                        slot: SlotTag(7),
+                        data: tiny_dataset(0.0),
+                    },
+                )
+                .unwrap();
+        }
+        let err = run_miner(&miner_node, 2, PartyId(2), &quick_config(), &audit).unwrap_err();
+        assert!(err.to_string().contains("duplicate slot"), "{err}");
+    }
+
+    #[test]
+    fn missing_adaptor_is_protocol_error() {
+        let hub = InMemoryHub::new();
+        let miner_node = Node::new(hub.endpoint(PartyId(100)), 7);
+        let relay = Node::new(hub.endpoint(PartyId(1)), 7);
+        let coord = Node::new(hub.endpoint(PartyId(2)), 7);
+        let audit = AuditLog::new();
+
+        relay
+            .send_msg(
+                PartyId(100),
+                &SapMessage::RelayedData {
+                    slot: SlotTag(7),
+                    data: tiny_dataset(0.0),
+                },
+            )
+            .unwrap();
+        coord
+            .send_msg(PartyId(100), &SapMessage::AdaptorTable { entries: vec![] })
+            .unwrap();
+        let err = run_miner(&miner_node, 1, PartyId(2), &quick_config(), &audit).unwrap_err();
+        assert!(err.to_string().contains("no adaptor"), "{err}");
+    }
+
+    #[test]
+    fn adaptor_table_from_impostor_rejected() {
+        let hub = InMemoryHub::new();
+        let miner_node = Node::new(hub.endpoint(PartyId(100)), 7);
+        let impostor = Node::new(hub.endpoint(PartyId(5)), 7);
+        let audit = AuditLog::new();
+        impostor
+            .send_msg(PartyId(100), &SapMessage::AdaptorTable { entries: vec![] })
+            .unwrap();
+        let err = run_miner(&miner_node, 1, PartyId(2), &quick_config(), &audit).unwrap_err();
+        assert!(err.to_string().contains("non-coordinator"), "{err}");
+    }
+
+    #[test]
+    fn miner_times_out_on_silence() {
+        let hub = InMemoryHub::new();
+        let miner_node = Node::new(hub.endpoint(PartyId(100)), 7);
+        let audit = AuditLog::new();
+        let config = SapConfig {
+            timeout: Duration::from_millis(30),
+            ..SapConfig::quick_test()
+        };
+        let err = run_miner(&miner_node, 1, PartyId(2), &config, &audit).unwrap_err();
+        assert!(matches!(err, SapError::Timeout { .. }));
+    }
+}

@@ -1,0 +1,349 @@
+//! The data-provider actor.
+//!
+//! Each provider runs [`run_provider`] on its own thread with its private
+//! local dataset. The provider:
+//!
+//! 1. locally optimizes its geometric perturbation `Gᵢ` (randomized
+//!    optimizer over the attack suite),
+//! 2. waits for the coordinator's [`SapMessage::Setup`] (target space `G_t`,
+//!    slot tag, exchange assignment),
+//! 3. perturbs its data with `Gᵢ` and ships it to the assigned receiver,
+//! 4. relays every dataset it receives to the miner (the anonymizing hop),
+//! 5. sends its space adaptor `A_it` to the coordinator,
+//! 6. evaluates its satisfaction `sᵢ = ρᵢᴳ / ρᵢ` locally.
+
+use crate::audit::AuditLog;
+use crate::error::SapError;
+use crate::messages::{SapMessage, SlotTag};
+use crate::session::{ProviderReport, SapConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sap_datasets::Dataset;
+use sap_net::node::Node;
+use sap_net::{PartyId, Transport};
+use sap_perturb::{GeometricPerturbation, SpaceAdaptor};
+use sap_privacy::optimize::{evaluate_perturbation, optimize};
+
+/// Runs the provider role to completion.
+///
+/// # Errors
+///
+/// Returns [`SapError`] on timeout, messaging failure, or protocol
+/// violation (wrong message kind, dimension mismatch).
+pub fn run_provider<T: Transport>(
+    node: &Node<T>,
+    data: &Dataset,
+    coordinator: PartyId,
+    miner: PartyId,
+    config: &SapConfig,
+    audit: &AuditLog,
+) -> Result<ProviderReport, SapError> {
+    let me = node.id();
+    let x = data.to_column_matrix();
+    let mut rng = StdRng::seed_from_u64(config.seed ^ me.0.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+
+    // Phase 1: local optimization.
+    let opt = optimize(&x, &config.optimizer, &mut rng);
+    let g_local = opt.perturbation.clone();
+    let rho_local = opt.privacy_guarantee;
+
+    // Phase 2: setup (buffer any early data from fast peers).
+    let mut pending: Vec<(PartyId, SlotTag, Dataset)> = Vec::new();
+    let (target, my_slot, send_data_to, expect_incoming) = loop {
+        let (from, msg): (PartyId, SapMessage) = node
+            .recv_msg_timeout(config.timeout)
+            .map_err(|e| timeout_or(e, me, "setup"))?;
+        audit.record(from, me, &msg);
+        match msg {
+            SapMessage::Setup {
+                target,
+                slot,
+                send_data_to,
+                expect_incoming,
+            } => {
+                if from != coordinator {
+                    return Err(SapError::Protocol(format!("setup from non-coordinator {from}")));
+                }
+                break (target, slot, send_data_to, expect_incoming);
+            }
+            SapMessage::PerturbedData { slot, data } => pending.push((from, slot, data)),
+            other => {
+                return Err(SapError::Protocol(format!(
+                    "unexpected {} before setup",
+                    other.kind()
+                )))
+            }
+        }
+    };
+    if target.dim() != data.dim() {
+        return Err(SapError::Protocol(format!(
+            "target dimension {} != local dimension {}",
+            target.dim(),
+            data.dim()
+        )));
+    }
+
+    // Phase 3: perturb and ship own data.
+    let (y, _delta) = g_local.perturb(&x, &mut rng);
+    let perturbed = Dataset::from_column_matrix(&y, data.labels().to_vec(), data.num_classes());
+    node.send_msg(
+        send_data_to,
+        &SapMessage::PerturbedData {
+            slot: my_slot,
+            data: perturbed,
+        },
+    )?;
+
+    // Phase 4: relay incoming datasets to the miner.
+    let mut relayed = 0u32;
+    for (_, slot, data) in pending {
+        node.send_msg(miner, &SapMessage::RelayedData { slot, data })?;
+        relayed += 1;
+    }
+    while relayed < expect_incoming {
+        let (from, msg): (PartyId, SapMessage) = node
+            .recv_msg_timeout(config.timeout)
+            .map_err(|e| timeout_or(e, me, "data exchange"))?;
+        audit.record(from, me, &msg);
+        match msg {
+            SapMessage::PerturbedData { slot, data } => {
+                node.send_msg(miner, &SapMessage::RelayedData { slot, data })?;
+                relayed += 1;
+            }
+            other => {
+                return Err(SapError::Protocol(format!(
+                    "unexpected {} during data exchange",
+                    other.kind()
+                )))
+            }
+        }
+    }
+
+    // Phase 5: space adaptor to the coordinator.
+    let adaptor = SpaceAdaptor::between(g_local.base(), &target)
+        .map_err(|e| SapError::Protocol(format!("adaptor construction failed: {e}")))?;
+    node.send_msg(coordinator, &SapMessage::Adaptor { adaptor })?;
+
+    // Phase 6: satisfaction — privacy of my data under the unified space
+    // (target rotation/translation with the inherited noise level).
+    let g_unified = GeometricPerturbation::new(target, g_local.noise());
+    let rho_unified = evaluate_perturbation(&x, &g_unified, &config.optimizer, &mut rng);
+    let satisfaction = if rho_local > 1e-12 {
+        rho_unified / rho_local
+    } else {
+        1.0
+    };
+
+    Ok(ProviderReport {
+        provider: me,
+        rho_local,
+        rho_unified,
+        satisfaction,
+        optimizer_history: opt.history,
+    })
+}
+
+fn timeout_or(e: sap_net::node::NodeError, who: PartyId, phase: &'static str) -> SapError {
+    match e {
+        sap_net::node::NodeError::Transport(sap_net::TransportError::Timeout) => {
+            SapError::Timeout {
+                waiting: who,
+                phase,
+            }
+        }
+        other => SapError::Messaging(other),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sap_net::transport::InMemoryHub;
+    use sap_perturb::Perturbation;
+    use std::time::Duration;
+
+    fn tiny_dataset() -> Dataset {
+        let records: Vec<Vec<f64>> = (0..30)
+            .map(|i| vec![(i % 7) as f64 / 7.0, (i % 5) as f64 / 5.0, (i % 3) as f64 / 3.0])
+            .collect();
+        let labels: Vec<usize> = (0..30).map(|i| i % 2).collect();
+        Dataset::new(records, labels)
+    }
+
+    fn quick_config() -> SapConfig {
+        SapConfig {
+            timeout: Duration::from_millis(500),
+            ..SapConfig::quick_test()
+        }
+    }
+
+    /// Drives a single provider through the protocol by hand from a fake
+    /// coordinator + receiver + miner.
+    #[test]
+    fn provider_full_happy_path() {
+        let hub = InMemoryHub::new();
+        let secret = 7;
+        let provider_node = Node::new(hub.endpoint(PartyId(0)), secret);
+        let coord = Node::new(hub.endpoint(PartyId(1)), secret);
+        let receiver = Node::new(hub.endpoint(PartyId(2)), secret);
+        let miner = Node::new(hub.endpoint(PartyId(100)), secret);
+        let audit = AuditLog::new();
+        let data = tiny_dataset();
+        let config = quick_config();
+
+        let audit_p = audit.clone();
+        let data_p = data.clone();
+        let config_p = config.clone();
+        let handle = std::thread::spawn(move || {
+            run_provider(
+                &provider_node,
+                &data_p,
+                PartyId(1),
+                PartyId(100),
+                &config_p,
+                &audit_p,
+            )
+        });
+
+        // Coordinator sends setup: provider 0 relays one incoming dataset.
+        let mut rng = StdRng::seed_from_u64(3);
+        let target = Perturbation::random(3, &mut rng);
+        coord
+            .send_msg(
+                PartyId(0),
+                &SapMessage::Setup {
+                    target,
+                    slot: SlotTag(11),
+                    send_data_to: PartyId(2),
+                    expect_incoming: 1,
+                },
+            )
+            .unwrap();
+
+        // The receiver gets the provider's perturbed data.
+        let (_, msg): (PartyId, SapMessage) = receiver.recv_msg().unwrap();
+        let SapMessage::PerturbedData { slot, data: perturbed } = msg else {
+            panic!("expected perturbed data");
+        };
+        assert_eq!(slot, SlotTag(11));
+        assert_eq!(perturbed.len(), data.len());
+        assert_eq!(perturbed.labels(), data.labels());
+        // Perturbed values differ from the original.
+        assert_ne!(perturbed.record(0), data.record(0));
+
+        // Feed the provider one dataset to relay.
+        receiver
+            .send_msg(
+                PartyId(0),
+                &SapMessage::PerturbedData {
+                    slot: SlotTag(22),
+                    data: tiny_dataset(),
+                },
+            )
+            .unwrap();
+
+        // Miner receives the relayed dataset.
+        let (from, msg): (PartyId, SapMessage) = miner.recv_msg().unwrap();
+        assert_eq!(from, PartyId(0));
+        let SapMessage::RelayedData { slot, .. } = msg else {
+            panic!("expected relayed data");
+        };
+        assert_eq!(slot, SlotTag(22));
+
+        // Coordinator receives the adaptor.
+        let (from, msg): (PartyId, SapMessage) = coord.recv_msg().unwrap();
+        assert_eq!(from, PartyId(0));
+        assert!(matches!(msg, SapMessage::Adaptor { .. }));
+
+        let report = handle.join().unwrap().unwrap();
+        assert_eq!(report.provider, PartyId(0));
+        assert!(report.rho_local >= 0.0);
+        assert!(report.satisfaction >= 0.0);
+        assert_eq!(report.optimizer_history.len(), config.optimizer.candidates);
+    }
+
+    #[test]
+    fn provider_times_out_without_setup() {
+        let hub = InMemoryHub::new();
+        let provider_node = Node::new(hub.endpoint(PartyId(0)), 7);
+        let audit = AuditLog::new();
+        let config = SapConfig {
+            timeout: Duration::from_millis(30),
+            ..SapConfig::quick_test()
+        };
+        let err = run_provider(
+            &provider_node,
+            &tiny_dataset(),
+            PartyId(1),
+            PartyId(100),
+            &config,
+            &audit,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SapError::Timeout { phase: "setup", .. }), "{err}");
+    }
+
+    #[test]
+    fn provider_rejects_setup_from_impostor() {
+        let hub = InMemoryHub::new();
+        let provider_node = Node::new(hub.endpoint(PartyId(0)), 7);
+        let impostor = Node::new(hub.endpoint(PartyId(5)), 7);
+        let audit = AuditLog::new();
+        let config = quick_config();
+
+        let mut rng = StdRng::seed_from_u64(4);
+        impostor
+            .send_msg(
+                PartyId(0),
+                &SapMessage::Setup {
+                    target: Perturbation::random(3, &mut rng),
+                    slot: SlotTag(1),
+                    send_data_to: PartyId(5),
+                    expect_incoming: 0,
+                },
+            )
+            .unwrap();
+        let err = run_provider(
+            &provider_node,
+            &tiny_dataset(),
+            PartyId(1),
+            PartyId(100),
+            &config,
+            &audit,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SapError::Protocol(_)), "{err}");
+    }
+
+    #[test]
+    fn provider_rejects_dimension_mismatch() {
+        let hub = InMemoryHub::new();
+        let provider_node = Node::new(hub.endpoint(PartyId(0)), 7);
+        let coord = Node::new(hub.endpoint(PartyId(1)), 7);
+        let audit = AuditLog::new();
+        let config = quick_config();
+
+        let mut rng = StdRng::seed_from_u64(5);
+        coord
+            .send_msg(
+                PartyId(0),
+                &SapMessage::Setup {
+                    target: Perturbation::random(5, &mut rng), // data is 3-dim
+                    slot: SlotTag(1),
+                    send_data_to: PartyId(1),
+                    expect_incoming: 0,
+                },
+            )
+            .unwrap();
+        let err = run_provider(
+            &provider_node,
+            &tiny_dataset(),
+            PartyId(1),
+            PartyId(100),
+            &config,
+            &audit,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("dimension"), "{err}");
+    }
+}

@@ -1,0 +1,510 @@
+//! Session orchestration: spin up all roles on threads, run the protocol,
+//! collect the outcome.
+
+use crate::audit::AuditLog;
+use crate::coordinator::run_coordinator;
+use crate::error::SapError;
+use crate::messages::SlotTag;
+use crate::miner::{run_miner, MinerOutput};
+use crate::party::run_provider;
+use bytes::Bytes;
+use sap_datasets::Dataset;
+use sap_net::node::Node;
+use sap_net::sim::{FaultConfig, FaultyTransport};
+use sap_net::transport::{Endpoint, InMemoryHub, Transport, TransportError};
+use sap_net::PartyId;
+use sap_perturb::Perturbation;
+use sap_privacy::optimize::OptimizerConfig;
+use std::time::Duration;
+
+/// Session-wide configuration.
+#[derive(Debug, Clone)]
+pub struct SapConfig {
+    /// Noise level σ of every provider's perturbation (the brief's *common
+    /// noise component* `Δ` policy).
+    pub noise_sigma: f64,
+    /// Settings for each provider's local randomized optimizer.
+    pub optimizer: OptimizerConfig,
+    /// Shared session secret for the sealed channels.
+    pub session_secret: u64,
+    /// Master seed; each role derives its own stream.
+    pub seed: u64,
+    /// Per-receive timeout for every role.
+    pub timeout: Duration,
+    /// Optional fault model applied to every party's *send* path (chaos
+    /// testing). SAP has no retransmission layer, so any lost message makes
+    /// the session abort with a timeout instead of completing — the safety
+    /// property the failure-injection tests assert.
+    pub fault_config: Option<FaultConfig>,
+}
+
+impl Default for SapConfig {
+    fn default() -> Self {
+        SapConfig {
+            noise_sigma: 0.05,
+            optimizer: OptimizerConfig::default(),
+            session_secret: 0x5A9_u64 ^ 0x1234_5678,
+            seed: 0xD15E,
+            timeout: Duration::from_secs(30),
+            fault_config: None,
+        }
+    }
+}
+
+impl SapConfig {
+    /// A small/fast configuration for tests: few optimizer candidates, small
+    /// evaluation samples, short timeout.
+    pub fn quick_test() -> Self {
+        SapConfig {
+            noise_sigma: 0.05,
+            optimizer: OptimizerConfig {
+                candidates: 4,
+                noise_sigma: 0.05,
+                known_points: 4,
+                eval_sample: 80,
+                use_ica: false,
+            },
+            session_secret: 42,
+            seed: 7,
+            timeout: Duration::from_secs(10),
+            fault_config: None,
+        }
+    }
+}
+
+/// Per-provider result of a session.
+#[derive(Debug, Clone)]
+pub struct ProviderReport {
+    /// The provider.
+    pub provider: PartyId,
+    /// Locally optimized privacy guarantee `ρᵢ`.
+    pub rho_local: f64,
+    /// Guarantee of the provider's data under the unified space, `ρᵢᴳ`.
+    pub rho_unified: f64,
+    /// Satisfaction level `sᵢ = ρᵢᴳ / ρᵢ`.
+    pub satisfaction: f64,
+    /// Privacy guarantee of every optimizer candidate (for Figure 2).
+    pub optimizer_history: Vec<f64>,
+}
+
+/// Outcome of a completed session.
+#[derive(Debug)]
+pub struct SapOutcome {
+    /// The miner's pooled dataset, all partitions in the unified space.
+    pub unified: Dataset,
+    /// One report per provider, in provider order (coordinator last).
+    pub reports: Vec<ProviderReport>,
+    /// Source identifiability from the miner's view, `1/(k−1)`.
+    pub identifiability: f64,
+    /// The audit ledger of every delivery (for information-flow checks).
+    pub audit: AuditLog,
+    /// Which provider forwarded each slot — everything the miner knows about
+    /// provenance.
+    pub forwarder_of_slot: Vec<(SlotTag, PartyId)>,
+    /// The unified target space (exposed by the test harness for analysis;
+    /// in deployment only providers and the coordinator hold it).
+    pub target: Perturbation,
+}
+
+impl SapOutcome {
+    /// Number of providers `k`.
+    pub fn num_providers(&self) -> usize {
+        self.reports.len()
+    }
+
+    /// Per-provider overall SAP risk (eq. 2 of the brief), using each
+    /// provider's optimizer-history maximum as the empirical bound `b̂`
+    /// (the paper's "maximum privacy guarantee of n-round optimizations",
+    /// with the session's candidate evaluations standing in for the rounds).
+    /// Degenerate histories (all-zero guarantees) yield risk `1.0`.
+    pub fn risk_summary(&self) -> Vec<f64> {
+        let k = self.num_providers();
+        self.reports
+            .iter()
+            .map(|r| {
+                let bound = r
+                    .optimizer_history
+                    .iter()
+                    .copied()
+                    .fold(r.rho_local, f64::max)
+                    .max(r.rho_unified);
+                if bound <= 1e-12 {
+                    1.0
+                } else {
+                    sap_privacy::risk::sap_risk(bound, r.rho_local, r.satisfaction, k)
+                }
+            })
+            .collect()
+    }
+}
+
+/// Party id assigned to the miner.
+pub const MINER_ID: PartyId = PartyId(1_000);
+
+/// Runs a complete SAP session over an in-memory network: providers
+/// `DP₀..DP_{k−1}` (the last one doubles as coordinator) plus the miner,
+/// each on its own thread.
+///
+/// `locals[i]` is provider `i`'s private dataset; all must share
+/// dimensionality and class count.
+///
+/// # Errors
+///
+/// * [`SapError::TooFewProviders`] for `k < 3`.
+/// * [`SapError::InconsistentInputs`] when local datasets disagree.
+/// * Any role's protocol/timeout error, propagated.
+pub fn run_session(locals: Vec<Dataset>, config: &SapConfig) -> Result<SapOutcome, SapError> {
+    let k = locals.len();
+    if k < 3 {
+        return Err(SapError::TooFewProviders { got: k });
+    }
+    let dim = locals[0].dim();
+    let num_classes = locals.iter().map(Dataset::num_classes).max().expect("k >= 3");
+    for (i, d) in locals.iter().enumerate() {
+        if d.dim() != dim {
+            return Err(SapError::InconsistentInputs(format!(
+                "provider {i} has dim {} but provider 0 has {dim}",
+                d.dim()
+            )));
+        }
+    }
+
+    let hub = InMemoryHub::new();
+    let audit = AuditLog::new();
+    let providers: Vec<PartyId> = (0..k as u64).map(PartyId).collect();
+    let coordinator = providers[k - 1];
+
+    // Endpoints must be created before any thread starts sending.
+    let endpoints: Vec<_> = providers.iter().map(|&p| Some(hub.endpoint(p))).collect();
+    let miner_endpoint = hub.endpoint(MINER_ID);
+
+    spawn_roles(
+        locals,
+        config,
+        &providers,
+        coordinator,
+        endpoints,
+        miner_endpoint,
+        audit,
+        num_classes,
+    )
+}
+
+/// Transport used by session roles: a clean hub endpoint, or the same
+/// endpoint behind the fault injector when [`SapConfig::fault_config`] is
+/// set.
+enum SessionTransport {
+    Clean(Endpoint),
+    Faulty(FaultyTransport<Endpoint>),
+}
+
+impl Transport for SessionTransport {
+    fn local_id(&self) -> PartyId {
+        match self {
+            SessionTransport::Clean(t) => t.local_id(),
+            SessionTransport::Faulty(t) => t.local_id(),
+        }
+    }
+
+    fn send(&self, to: PartyId, payload: Bytes) -> Result<(), TransportError> {
+        match self {
+            SessionTransport::Clean(t) => t.send(to, payload),
+            SessionTransport::Faulty(t) => t.send(to, payload),
+        }
+    }
+
+    fn recv(&self) -> Result<(PartyId, Bytes), TransportError> {
+        match self {
+            SessionTransport::Clean(t) => t.recv(),
+            SessionTransport::Faulty(t) => t.recv(),
+        }
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<(PartyId, Bytes), TransportError> {
+        match self {
+            SessionTransport::Clean(t) => t.recv_timeout(timeout),
+            SessionTransport::Faulty(t) => t.recv_timeout(timeout),
+        }
+    }
+}
+
+fn wrap_endpoint(endpoint: Endpoint, faults: Option<FaultConfig>, salt: u64) -> SessionTransport {
+    match faults {
+        None => SessionTransport::Clean(endpoint),
+        Some(cfg) => SessionTransport::Faulty(FaultyTransport::new(
+            endpoint,
+            FaultConfig {
+                seed: cfg.seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                ..cfg
+            },
+        )),
+    }
+}
+
+/// Real role spawner (separated so every closure captures exactly what it
+/// needs).
+#[allow(clippy::too_many_arguments)]
+fn spawn_roles(
+    locals: Vec<Dataset>,
+    config: &SapConfig,
+    providers: &[PartyId],
+    coordinator: PartyId,
+    mut endpoints: Vec<Option<sap_net::transport::Endpoint>>,
+    miner_endpoint: sap_net::transport::Endpoint,
+    audit: AuditLog,
+    num_classes: usize,
+) -> Result<SapOutcome, SapError> {
+    let k = locals.len();
+
+    // Providers 0..k−1 (all but the coordinator).
+    let mut provider_handles = Vec::new();
+    for pos in 0..k - 1 {
+        let endpoint = endpoints[pos]
+            .take()
+            .ok_or_else(|| SapError::Protocol("endpoint consumed twice".into()))?;
+        let node = Node::new(
+            wrap_endpoint(endpoint, config.fault_config, pos as u64 + 1),
+            config.session_secret,
+        );
+        let data = locals[pos].clone();
+        let cfg = config.clone();
+        let audit = audit.clone();
+        let pid = providers[pos];
+        provider_handles.push((
+            pid,
+            std::thread::spawn(move || run_provider(&node, &data, coordinator, MINER_ID, &cfg, &audit)),
+        ));
+    }
+
+    // Coordinator (last provider).
+    let coord_handle = {
+        let endpoint = endpoints[k - 1]
+            .take()
+            .ok_or_else(|| SapError::Protocol("coordinator endpoint consumed".into()))?;
+        let node = Node::new(
+            wrap_endpoint(endpoint, config.fault_config, 0xC0),
+            config.session_secret,
+        );
+        let data = locals[k - 1].clone();
+        let cfg = config.clone();
+        let audit = audit.clone();
+        let provider_list = providers.to_vec();
+        std::thread::spawn(move || {
+            run_coordinator(&node, &data, &provider_list, MINER_ID, &cfg, &audit)
+        })
+    };
+
+    // Miner.
+    let miner_handle = {
+        let node = Node::new(
+            wrap_endpoint(miner_endpoint, config.fault_config, 0x31),
+            config.session_secret,
+        );
+        let cfg = config.clone();
+        let audit = audit.clone();
+        std::thread::spawn(move || run_miner(&node, k, coordinator, &cfg, &audit))
+    };
+
+    // Join everything, preferring the first *role* error over join panics.
+    let mut reports: Vec<Option<ProviderReport>> = (0..k).map(|_| None).collect();
+    let mut first_error: Option<SapError> = None;
+    for (pos, (pid, handle)) in provider_handles.into_iter().enumerate() {
+        match handle.join() {
+            Ok(Ok(report)) => reports[pos] = Some(report),
+            Ok(Err(e)) => {
+                first_error.get_or_insert(e);
+            }
+            Err(_) => {
+                first_error.get_or_insert(SapError::PartyPanicked(pid));
+            }
+        }
+    }
+    let mut target: Option<Perturbation> = None;
+    match coord_handle.join() {
+        Ok(Ok((report, t))) => {
+            reports[k - 1] = Some(report);
+            target = Some(t);
+        }
+        Ok(Err(e)) => {
+            first_error.get_or_insert(e);
+        }
+        Err(_) => {
+            first_error.get_or_insert(SapError::PartyPanicked(coordinator));
+        }
+    }
+    let miner_out: Option<MinerOutput> = match miner_handle.join() {
+        Ok(Ok(out)) => Some(out),
+        Ok(Err(e)) => {
+            first_error.get_or_insert(e);
+            None
+        }
+        Err(_) => {
+            first_error.get_or_insert(SapError::PartyPanicked(MINER_ID));
+            None
+        }
+    };
+
+    if let Some(e) = first_error {
+        return Err(e);
+    }
+    let miner_out = miner_out.expect("no error implies miner output");
+    let target = target.expect("no error implies coordinator output");
+    let reports: Vec<ProviderReport> = reports
+        .into_iter()
+        .map(|r| r.expect("no error implies all reports"))
+        .collect();
+
+    // Harmonize the class count of the unified dataset.
+    let unified = Dataset::with_num_classes(
+        miner_out.unified.records().to_vec(),
+        miner_out.unified.labels().to_vec(),
+        num_classes.max(miner_out.unified.num_classes()),
+    );
+
+    Ok(SapOutcome {
+        unified,
+        reports,
+        identifiability: 1.0 / (k - 1) as f64,
+        audit,
+        forwarder_of_slot: miner_out.forwarder_of_slot,
+        target,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sap_datasets::partition::{partition, PartitionScheme};
+    use sap_datasets::registry::UciDataset;
+
+    #[test]
+    fn session_runs_end_to_end() {
+        let pooled = UciDataset::Iris.generate(1);
+        let locals = partition(&pooled, 4, PartitionScheme::Uniform, 2);
+        let outcome = run_session(locals, &SapConfig::quick_test()).unwrap();
+
+        assert_eq!(outcome.unified.len(), pooled.len());
+        assert_eq!(outcome.unified.dim(), pooled.dim());
+        assert_eq!(outcome.reports.len(), 4);
+        assert!((outcome.identifiability - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(outcome.forwarder_of_slot.len(), 4);
+        for r in &outcome.reports {
+            assert!(r.rho_local >= 0.0);
+            assert!(r.satisfaction >= 0.0);
+        }
+    }
+
+    #[test]
+    fn audit_flow_invariants_hold() {
+        let pooled = UciDataset::Iris.generate(2);
+        let locals = partition(&pooled, 5, PartitionScheme::Uniform, 3);
+        let outcome = run_session(locals, &SapConfig::quick_test()).unwrap();
+
+        let providers: Vec<PartyId> = (0..5).map(PartyId).collect();
+        let coordinator = PartyId(4);
+        outcome
+            .audit
+            .verify_flow(coordinator, MINER_ID, &providers)
+            .unwrap();
+        assert!(!outcome.audit.party_saw_data(coordinator));
+        assert!(outcome.audit.party_saw_data(MINER_ID));
+        assert!(!outcome.audit.party_saw_parameters(MINER_ID) || {
+            // The adaptor table is a parameter-class payload the miner is
+            // *supposed* to see; verify nothing else parameter-like arrived.
+            outcome
+                .audit
+                .events()
+                .iter()
+                .filter(|e| e.to == MINER_ID && e.carries_parameters)
+                .all(|e| e.kind == "adaptor-table")
+        });
+    }
+
+    #[test]
+    fn coordinator_never_forwards_to_miner() {
+        let pooled = UciDataset::Wine.generate(3);
+        let locals = partition(&pooled, 4, PartitionScheme::ClassSkewed, 4);
+        let outcome = run_session(locals, &SapConfig::quick_test()).unwrap();
+        let coordinator = PartyId(3);
+        for (_, forwarder) in &outcome.forwarder_of_slot {
+            assert_ne!(*forwarder, coordinator, "coordinator must never relay data");
+        }
+    }
+
+    #[test]
+    fn fully_lossy_network_aborts_with_timeout() {
+        use sap_net::sim::FaultConfig;
+        let pooled = UciDataset::Iris.generate(8);
+        let locals = partition(&pooled, 4, PartitionScheme::Uniform, 9);
+        let config = SapConfig {
+            fault_config: Some(FaultConfig {
+                drop_prob: 1.0,
+                ..FaultConfig::default()
+            }),
+            timeout: std::time::Duration::from_millis(200),
+            ..SapConfig::quick_test()
+        };
+        let err = run_session(locals, &config).unwrap_err();
+        assert!(
+            matches!(err, SapError::Timeout { .. }),
+            "lossy network must abort, got {err}"
+        );
+    }
+
+    #[test]
+    fn duplicating_network_never_returns_wrong_result() {
+        use sap_net::sim::FaultConfig;
+        // Duplicates either trip the miner's duplicate-slot check (abort) or
+        // are absorbed where idempotent; a success must still be correct.
+        let pooled = UciDataset::Iris.generate(9);
+        let locals = partition(&pooled, 4, PartitionScheme::Uniform, 10);
+        let config = SapConfig {
+            fault_config: Some(FaultConfig {
+                duplicate_prob: 0.5,
+                ..FaultConfig::default()
+            }),
+            timeout: std::time::Duration::from_millis(500),
+            ..SapConfig::quick_test()
+        };
+        match run_session(locals, &config) {
+            Ok(outcome) => assert_eq!(outcome.unified.len(), pooled.len()),
+            Err(e) => assert!(
+                matches!(e, SapError::Protocol(_) | SapError::Timeout { .. }),
+                "unexpected failure mode: {e}"
+            ),
+        }
+    }
+
+    #[test]
+    fn risk_summary_is_bounded_and_sized() {
+        let pooled = UciDataset::Iris.generate(7);
+        let locals = partition(&pooled, 4, PartitionScheme::Uniform, 8);
+        let outcome = run_session(locals, &SapConfig::quick_test()).unwrap();
+        let risks = outcome.risk_summary();
+        assert_eq!(risks.len(), outcome.num_providers());
+        for r in risks {
+            assert!((0.0..=1.0).contains(&r), "risk {r} out of [0,1]");
+        }
+    }
+
+    #[test]
+    fn too_few_providers_rejected() {
+        let pooled = UciDataset::Iris.generate(4);
+        let locals = partition(&pooled, 2, PartitionScheme::Uniform, 5);
+        assert!(matches!(
+            run_session(locals, &SapConfig::quick_test()),
+            Err(SapError::TooFewProviders { got: 2 })
+        ));
+    }
+
+    #[test]
+    fn inconsistent_dimensions_rejected() {
+        let a = UciDataset::Iris.generate(5);
+        let b = UciDataset::Wine.generate(5); // 13-dim vs 4-dim
+        let locals = vec![a.clone(), a.clone(), b];
+        assert!(matches!(
+            run_session(locals, &SapConfig::quick_test()),
+            Err(SapError::InconsistentInputs(_))
+        ));
+    }
+}

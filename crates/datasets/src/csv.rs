@@ -1,0 +1,204 @@
+//! CSV import/export.
+//!
+//! The synthetic registry stands in for the UCI datasets in this offline
+//! reproduction, but a downstream user who *has* the real files (or any
+//! labeled numeric CSV) should be able to run the protocol on them. Format:
+//! one record per line, comma-separated feature values, the **last column
+//! is the integer class label**. An optional header line is skipped when it
+//! does not parse as numbers. This covers the standard distribution format
+//! of the paper's twelve datasets after categorical encoding.
+
+use crate::dataset::Dataset;
+use std::fmt::Write as _;
+
+/// Errors from CSV parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsvError {
+    /// The input contained no data rows.
+    Empty,
+    /// A row had a different number of columns than the first data row.
+    RaggedRow {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A value failed to parse as a number.
+    BadValue {
+        /// 1-based line number.
+        line: usize,
+        /// The offending token.
+        token: String,
+    },
+    /// A label was negative or non-integer.
+    BadLabel {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// Rows have fewer than two columns (need ≥1 feature + label).
+    TooFewColumns,
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Empty => write!(f, "no data rows"),
+            CsvError::RaggedRow { line } => write!(f, "line {line}: inconsistent column count"),
+            CsvError::BadValue { line, token } => {
+                write!(f, "line {line}: cannot parse {token:?} as a number")
+            }
+            CsvError::BadLabel { line } => {
+                write!(f, "line {line}: label must be a non-negative integer")
+            }
+            CsvError::TooFewColumns => write!(f, "need at least one feature column plus a label"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// Parses a labeled CSV (last column = integer label). A first line that
+/// fails numeric parsing entirely is treated as a header and skipped.
+///
+/// # Errors
+///
+/// Returns [`CsvError`] on empty, ragged, or non-numeric input.
+pub fn from_csv_str(input: &str) -> Result<Dataset, CsvError> {
+    let mut records = Vec::new();
+    let mut labels = Vec::new();
+    let mut width: Option<usize> = None;
+
+    for (idx, raw_line) in input.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw_line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let tokens: Vec<&str> = line.split(',').map(str::trim).collect();
+        if tokens.len() < 2 {
+            return Err(CsvError::TooFewColumns);
+        }
+        let parsed: Result<Vec<f64>, usize> = tokens
+            .iter()
+            .enumerate()
+            .map(|(i, t)| t.parse::<f64>().map_err(|_| i))
+            .collect();
+        let values = match parsed {
+            Ok(v) => v,
+            Err(_) if records.is_empty() && width.is_none() => continue, // header
+            Err(col) => {
+                return Err(CsvError::BadValue {
+                    line: line_no,
+                    token: tokens[col].to_string(),
+                })
+            }
+        };
+        if let Some(w) = width {
+            if values.len() != w {
+                return Err(CsvError::RaggedRow { line: line_no });
+            }
+        } else {
+            width = Some(values.len());
+        }
+        let label_value = values[values.len() - 1];
+        if label_value < 0.0 || label_value.fract() != 0.0 || label_value > u32::MAX as f64 {
+            return Err(CsvError::BadLabel { line: line_no });
+        }
+        records.push(values[..values.len() - 1].to_vec());
+        labels.push(label_value as usize);
+    }
+
+    if records.is_empty() {
+        return Err(CsvError::Empty);
+    }
+    Ok(Dataset::new(records, labels))
+}
+
+/// Serializes a dataset to CSV with a generated header
+/// (`f0,…,f{d−1},label`); the inverse of [`from_csv_str`].
+pub fn to_csv_string(data: &Dataset) -> String {
+    let mut out = String::new();
+    for j in 0..data.dim() {
+        let _ = write!(out, "f{j},");
+    }
+    out.push_str("label\n");
+    for (rec, lab) in data.iter() {
+        for v in rec {
+            let _ = write!(out, "{v},");
+        }
+        let _ = writeln!(out, "{lab}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::UciDataset;
+
+    #[test]
+    fn roundtrip_preserves_dataset() {
+        let data = UciDataset::Iris.generate(1);
+        let csv = to_csv_string(&data);
+        let back = from_csv_str(&csv).unwrap();
+        assert_eq!(back.len(), data.len());
+        assert_eq!(back.dim(), data.dim());
+        assert_eq!(back.labels(), data.labels());
+        for i in 0..data.len() {
+            for (a, b) in back.record(i).iter().zip(data.record(i)) {
+                assert!((a - b).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn parses_headerless_and_headered() {
+        let headerless = "1.0,2.0,0\n3.0,4.0,1\n";
+        let d = from_csv_str(headerless).unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.dim(), 2);
+        let headered = "sepal,petal,label\n1.0,2.0,0\n3.0,4.0,1\n";
+        let d2 = from_csv_str(headered).unwrap();
+        assert_eq!(d2.records(), d.records());
+    }
+
+    #[test]
+    fn skips_blank_and_comment_lines() {
+        let input = "# UCI-style export\n\n1.0,0\n\n2.0,1\n";
+        let d = from_csv_str(input).unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.dim(), 1);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert_eq!(from_csv_str("").unwrap_err(), CsvError::Empty);
+        assert_eq!(from_csv_str("h1,h2\n").unwrap_err(), CsvError::Empty);
+        assert_eq!(
+            from_csv_str("1.0,0\n2.0,3.0,1\n").unwrap_err(),
+            CsvError::RaggedRow { line: 2 }
+        );
+        assert!(matches!(
+            from_csv_str("1.0,0\nx,1\n").unwrap_err(),
+            CsvError::BadValue { line: 2, .. }
+        ));
+        assert_eq!(
+            from_csv_str("1.0,-1\n").unwrap_err(),
+            CsvError::BadLabel { line: 1 }
+        );
+        assert_eq!(
+            from_csv_str("1.0,0.5\n").unwrap_err(),
+            CsvError::BadLabel { line: 1 }
+        );
+        assert_eq!(from_csv_str("5\n").unwrap_err(), CsvError::TooFewColumns);
+    }
+
+    #[test]
+    fn display_messages() {
+        assert!(CsvError::RaggedRow { line: 3 }.to_string().contains("line 3"));
+        assert!(CsvError::BadValue {
+            line: 1,
+            token: "x".into()
+        }
+        .to_string()
+        .contains('x'));
+    }
+}

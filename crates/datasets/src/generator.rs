@@ -1,0 +1,287 @@
+//! Gaussian-mixture dataset generation engine.
+//!
+//! Each class is a (possibly anisotropic) Gaussian cluster: a random unit
+//! direction places the class mean around the center of the unit box, a
+//! randomly rotated diagonal covariance shapes the cluster, and a
+//! `separation` knob controls how far apart the class means sit relative to
+//! the cluster spread — which is what ultimately calibrates the clean
+//! classifier accuracy of the synthetic stand-in to its UCI counterpart.
+
+use crate::dataset::Dataset;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+use sap_linalg::orthogonal::random_orthogonal;
+use sap_linalg::{randn, randn_vec, vecops};
+
+/// Specification of a Gaussian-mixture dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MixtureSpec {
+    /// Feature dimensionality `d`.
+    pub dim: usize,
+    /// Total number of records `N`.
+    pub num_records: usize,
+    /// Relative class weights (need not sum to 1; normalized internally).
+    pub class_weights: Vec<f64>,
+    /// Distance between class means, in units of `spread`. Larger values
+    /// mean more separable classes and higher clean accuracy.
+    pub separation: f64,
+    /// Standard-deviation scale of each class cluster.
+    pub spread: f64,
+    /// The first `binary_features` coordinates are thresholded to `{0, 1}`
+    /// (used to mimic the all-categorical Votes dataset).
+    pub binary_features: usize,
+}
+
+/// Every class receives at least this many records regardless of its weight,
+/// so stratified splitting and per-class evaluation stay well-defined even
+/// for the heavily skewed Shuttle/Ecoli class priors.
+pub const MIN_PER_CLASS: usize = 4;
+
+impl MixtureSpec {
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero dimensions/records/classes, non-positive weights, or
+    /// `binary_features > dim`.
+    pub fn validate(&self) {
+        assert!(self.dim > 0, "dim must be positive");
+        assert!(!self.class_weights.is_empty(), "need at least one class");
+        assert!(
+            self.class_weights.iter().all(|&w| w > 0.0),
+            "class weights must be positive"
+        );
+        assert!(self.binary_features <= self.dim, "binary_features > dim");
+        assert!(
+            self.num_records >= MIN_PER_CLASS * self.class_weights.len(),
+            "num_records too small for {} classes",
+            self.class_weights.len()
+        );
+        assert!(self.spread > 0.0, "spread must be positive");
+        assert!(self.separation >= 0.0, "separation must be non-negative");
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.class_weights.len()
+    }
+}
+
+/// Allocates `n` records to classes proportionally to `weights` using the
+/// largest-remainder method, with every class clamped to at least
+/// `min_per_class` records.
+pub fn allocate_counts(n: usize, weights: &[f64], min_per_class: usize) -> Vec<usize> {
+    assert!(!weights.is_empty());
+    assert!(n >= min_per_class * weights.len());
+    let total: f64 = weights.iter().sum();
+    let ideal: Vec<f64> = weights.iter().map(|w| w / total * n as f64).collect();
+    let mut counts: Vec<usize> = ideal
+        .iter()
+        .map(|&x| (x.floor() as usize).max(min_per_class))
+        .collect();
+    // Distribute the remainder (or claw back the clamp surplus) by largest
+    // fractional part, never dipping below the clamp.
+    let mut order: Vec<usize> = (0..weights.len()).collect();
+    order.sort_by(|&a, &b| {
+        let fa = ideal[a] - ideal[a].floor();
+        let fb = ideal[b] - ideal[b].floor();
+        fb.partial_cmp(&fa).expect("finite weights")
+    });
+    let mut assigned: usize = counts.iter().sum();
+    let mut i = 0;
+    while assigned < n {
+        counts[order[i % order.len()]] += 1;
+        assigned += 1;
+        i += 1;
+    }
+    // Claw back from the largest classes when the clamp overshot.
+    while assigned > n {
+        let max_c = (0..counts.len())
+            .max_by_key(|&c| counts[c])
+            .expect("non-empty");
+        assert!(
+            counts[max_c] > min_per_class,
+            "cannot satisfy min_per_class with n={n}"
+        );
+        counts[max_c] -= 1;
+        assigned -= 1;
+    }
+    counts
+}
+
+/// Generates a dataset from the spec, deterministically in `seed`.
+///
+/// # Panics
+///
+/// Panics when the spec fails [`MixtureSpec::validate`].
+pub fn generate(spec: &MixtureSpec, seed: u64) -> Dataset {
+    spec.validate();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let k = spec.num_classes();
+    let d = spec.dim;
+    let counts = allocate_counts(spec.num_records, &spec.class_weights, MIN_PER_CLASS);
+
+    // Class means: center of the box plus `separation · spread` along a
+    // random unit direction per class.
+    let mut means: Vec<Vec<f64>> = Vec::with_capacity(k);
+    for _ in 0..k {
+        let mut u = randn_vec(d, &mut rng);
+        vecops::normalize_in_place(&mut u);
+        let mean: Vec<f64> = u
+            .iter()
+            .map(|&x| 0.5 + spec.separation * spec.spread * x)
+            .collect();
+        means.push(mean);
+    }
+
+    // Class shapes: randomly rotated diagonal covariances with eigen-stds
+    // uniform in [0.6, 1.4] · spread.
+    let mut shapes = Vec::with_capacity(k);
+    for _ in 0..k {
+        let q = random_orthogonal(d, &mut rng);
+        let stds: Vec<f64> = (0..d)
+            .map(|_| spec.spread * rng.random_range(0.6..1.4))
+            .collect();
+        shapes.push((q, stds));
+    }
+
+    let mut records = Vec::with_capacity(spec.num_records);
+    let mut labels = Vec::with_capacity(spec.num_records);
+    for (class, &count) in counts.iter().enumerate() {
+        let (q, stds) = &shapes[class];
+        for _ in 0..count {
+            let z: Vec<f64> = stds.iter().map(|&s| s * randn(&mut rng)).collect();
+            let rotated = q.matvec(&z).expect("dim matches");
+            let mut x = vecops::add(&means[class], &rotated);
+            for b in 0..spec.binary_features {
+                x[b] = if x[b] > 0.5 { 1.0 } else { 0.0 };
+            }
+            records.push(x);
+            labels.push(class);
+        }
+    }
+
+    // Shuffle so record order carries no class signal.
+    let mut idx: Vec<usize> = (0..records.len()).collect();
+    idx.shuffle(&mut rng);
+    let records: Vec<Vec<f64>> = idx.iter().map(|&i| records[i].clone()).collect();
+    let labels: Vec<usize> = idx.iter().map(|&i| labels[i]).collect();
+
+    Dataset::with_num_classes(records, labels, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec2() -> MixtureSpec {
+        MixtureSpec {
+            dim: 3,
+            num_records: 100,
+            class_weights: vec![0.7, 0.3],
+            separation: 3.0,
+            spread: 0.1,
+            binary_features: 0,
+        }
+    }
+
+    #[test]
+    fn generate_shape_and_determinism() {
+        let s = spec2();
+        let a = generate(&s, 9);
+        let b = generate(&s, 9);
+        assert_eq!(a, b, "same seed, same data");
+        assert_eq!(a.len(), 100);
+        assert_eq!(a.dim(), 3);
+        assert_eq!(a.num_classes(), 2);
+        let c = generate(&s, 10);
+        assert_ne!(a, c, "different seed, different data");
+    }
+
+    #[test]
+    fn class_weights_respected() {
+        let a = generate(&spec2(), 1);
+        let counts = a.class_counts();
+        assert!((counts[0] as f64 - 70.0).abs() <= 1.0, "counts {counts:?}");
+        assert!((counts[1] as f64 - 30.0).abs() <= 1.0);
+    }
+
+    #[test]
+    fn allocate_counts_exact_and_clamped() {
+        let c = allocate_counts(100, &[0.7, 0.3], 4);
+        assert_eq!(c.iter().sum::<usize>(), 100);
+        // Extreme skew: tiny class still gets the clamp.
+        let c = allocate_counts(100, &[0.999, 0.001], 4);
+        assert_eq!(c.iter().sum::<usize>(), 100);
+        assert!(c[1] >= 4);
+        // Many classes with skewed weights, all clamped.
+        let c = allocate_counts(50, &[0.9, 0.02, 0.02, 0.02, 0.02, 0.02], 4);
+        assert_eq!(c.iter().sum::<usize>(), 50);
+        assert!(c.iter().all(|&x| x >= 4));
+    }
+
+    #[test]
+    fn separated_classes_are_far_apart() {
+        let mut s = spec2();
+        s.separation = 6.0;
+        let a = generate(&s, 3);
+        // Compute class centroids and check they are further apart than the
+        // typical spread.
+        let mut cents = vec![vec![0.0; 3]; 2];
+        let counts = a.class_counts();
+        for (rec, lab) in a.iter() {
+            for (j, &v) in rec.iter().enumerate() {
+                cents[lab][j] += v;
+            }
+        }
+        for (c, cent) in cents.iter_mut().enumerate() {
+            for v in cent.iter_mut() {
+                *v /= counts[c] as f64;
+            }
+        }
+        let dist = vecops::dist2(&cents[0], &cents[1]);
+        assert!(dist > 3.0 * s.spread, "centroid distance {dist} too small");
+    }
+
+    #[test]
+    fn binary_features_thresholded() {
+        let s = MixtureSpec {
+            dim: 5,
+            num_records: 60,
+            class_weights: vec![0.5, 0.5],
+            separation: 2.0,
+            spread: 0.3,
+            binary_features: 3,
+        };
+        let a = generate(&s, 5);
+        for (rec, _) in a.iter() {
+            for b in 0..3 {
+                assert!(rec[b] == 0.0 || rec[b] == 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn shuffled_labels_not_sorted() {
+        let a = generate(&spec2(), 2);
+        let sorted = a.labels().windows(2).all(|w| w[0] <= w[1]);
+        assert!(!sorted, "labels should be shuffled");
+    }
+
+    #[test]
+    #[should_panic(expected = "binary_features > dim")]
+    fn invalid_spec_panics() {
+        let mut s = spec2();
+        s.binary_features = 10;
+        let _ = generate(&s, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn too_few_records_panics() {
+        let mut s = spec2();
+        s.num_records = 5;
+        s.validate();
+    }
+}

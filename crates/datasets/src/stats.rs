@@ -1,0 +1,94 @@
+//! Per-column summary statistics, used by privacy metrics and reports.
+
+use crate::dataset::Dataset;
+use sap_linalg::vecops;
+
+/// Summary statistics of one feature column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub std_dev: f64,
+}
+
+/// Computes [`ColumnStats`] for every feature of a dataset.
+pub fn column_stats(data: &Dataset) -> Vec<ColumnStats> {
+    (0..data.dim())
+        .map(|j| {
+            let col: Vec<f64> = data.records().iter().map(|r| r[j]).collect();
+            ColumnStats {
+                min: vecops::min(&col),
+                max: vecops::max(&col),
+                mean: vecops::mean(&col),
+                std_dev: vecops::std_dev(&col),
+            }
+        })
+        .collect()
+}
+
+/// Centroid of each class: `num_classes` vectors of dimension `d`. Classes
+/// absent from the dataset yield `None`.
+pub fn class_centroids(data: &Dataset) -> Vec<Option<Vec<f64>>> {
+    let mut sums = vec![vec![0.0; data.dim()]; data.num_classes()];
+    let mut counts = vec![0usize; data.num_classes()];
+    for (rec, lab) in data.iter() {
+        counts[lab] += 1;
+        for (j, &v) in rec.iter().enumerate() {
+            sums[lab][j] += v;
+        }
+    }
+    sums.into_iter()
+        .zip(counts)
+        .map(|(s, c)| {
+            if c == 0 {
+                None
+            } else {
+                Some(s.into_iter().map(|x| x / c as f64).collect())
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn column_stats_basic() {
+        let data = Dataset::new(
+            vec![vec![1.0, 10.0], vec![3.0, 20.0], vec![5.0, 30.0]],
+            vec![0, 0, 1],
+        );
+        let stats = column_stats(&data);
+        assert_eq!(stats[0].min, 1.0);
+        assert_eq!(stats[0].max, 5.0);
+        assert!((stats[0].mean - 3.0).abs() < 1e-12);
+        assert!((stats[1].mean - 20.0).abs() < 1e-12);
+        assert!((stats[0].std_dev - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn centroids_per_class() {
+        let data = Dataset::new(
+            vec![vec![0.0, 0.0], vec![2.0, 2.0], vec![10.0, 10.0]],
+            vec![0, 0, 1],
+        );
+        let cents = class_centroids(&data);
+        assert_eq!(cents[0].as_ref().unwrap(), &vec![1.0, 1.0]);
+        assert_eq!(cents[1].as_ref().unwrap(), &vec![10.0, 10.0]);
+    }
+
+    #[test]
+    fn missing_class_yields_none() {
+        let data = Dataset::with_num_classes(vec![vec![1.0]], vec![0], 3);
+        let cents = class_centroids(&data);
+        assert!(cents[0].is_some());
+        assert!(cents[1].is_none());
+        assert!(cents[2].is_none());
+    }
+}

@@ -1,0 +1,165 @@
+//! Principal component analysis.
+//!
+//! The PCA-based reconstruction attack exploits the fact that a rotation
+//! preserves the covariance *spectrum*: the attacker eigendecomposes the
+//! perturbed covariance, eigendecomposes (public or estimated) original
+//! covariance statistics, and matches principal axes to estimate the
+//! rotation. This module provides the shared machinery.
+
+use sap_linalg::eigen::SymmetricEigen;
+use sap_linalg::{LinalgError, Matrix, Result};
+
+/// A fitted PCA model for `d × N` data (records are columns).
+#[derive(Debug, Clone)]
+pub struct Pca {
+    mean: Vec<f64>,
+    components: Matrix,
+    eigenvalues: Vec<f64>,
+}
+
+impl Pca {
+    /// Fits PCA on a `d × N` data matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidDimension`] when there are fewer than
+    /// two records, and propagates eigendecomposition failures.
+    pub fn fit(x: &Matrix) -> Result<Self> {
+        if x.cols() < 2 {
+            return Err(LinalgError::InvalidDimension {
+                reason: "PCA needs at least two records",
+            });
+        }
+        let mean = x.row_means();
+        let cov = x.column_covariance();
+        let eig = SymmetricEigen::new(&cov)?;
+        Ok(Pca {
+            mean,
+            components: eig.eigenvectors().clone(),
+            eigenvalues: eig.eigenvalues().to_vec(),
+        })
+    }
+
+    /// The mean record.
+    pub fn mean(&self) -> &[f64] {
+        &self.mean
+    }
+
+    /// Principal axes as columns, ordered by decreasing explained variance.
+    pub fn components(&self) -> &Matrix {
+        &self.components
+    }
+
+    /// Variances along the principal axes (descending).
+    pub fn eigenvalues(&self) -> &[f64] {
+        &self.eigenvalues
+    }
+
+    /// Fraction of total variance explained by the first `k` components.
+    pub fn explained_variance_ratio(&self, k: usize) -> f64 {
+        let total: f64 = self.eigenvalues.iter().sum();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        self.eigenvalues.iter().take(k).sum::<f64>() / total
+    }
+
+    /// Projects `d × N` data onto the first `k` principal axes, producing a
+    /// `k × N` score matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error when `x.rows()` differs from the fitted
+    /// dimension or `k` exceeds it.
+    pub fn transform(&self, x: &Matrix, k: usize) -> Result<Matrix> {
+        if x.rows() != self.mean.len() || k > self.mean.len() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "pca transform",
+                lhs: (self.mean.len(), k),
+                rhs: x.shape(),
+            });
+        }
+        let centered = Matrix::from_fn(x.rows(), x.cols(), |r, c| x[(r, c)] - self.mean[r]);
+        let basis = self.components.submatrix(0..x.rows(), 0..k);
+        basis.transpose().matmul(&centered)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sap_linalg::randn;
+
+    /// Data stretched along a known direction: PCA must find it.
+    #[test]
+    fn recovers_dominant_axis() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let dir = [3.0_f64 / 5.0, 4.0 / 5.0];
+        let cols: Vec<Vec<f64>> = (0..500)
+            .map(|_| {
+                let major = 5.0 * randn(&mut rng);
+                let minor = 0.1 * randn(&mut rng);
+                vec![
+                    major * dir[0] - minor * dir[1],
+                    major * dir[1] + minor * dir[0],
+                ]
+            })
+            .collect();
+        let x = Matrix::from_columns(&cols);
+        let pca = Pca::fit(&x).unwrap();
+        let pc1 = pca.components().column(0);
+        let alignment = (pc1[0] * dir[0] + pc1[1] * dir[1]).abs();
+        assert!(alignment > 0.999, "PC1 misaligned: {alignment}");
+        assert!(pca.eigenvalues()[0] > 20.0);
+        assert!(pca.eigenvalues()[1] < 0.1);
+    }
+
+    #[test]
+    fn explained_variance_monotone() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let x = sap_linalg::randn_matrix(4, 100, &mut rng);
+        let pca = Pca::fit(&x).unwrap();
+        let mut prev = 0.0;
+        for k in 0..=4 {
+            let r = pca.explained_variance_ratio(k);
+            assert!(r >= prev - 1e-12);
+            prev = r;
+        }
+        assert!((pca.explained_variance_ratio(4) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transform_shapes() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let x = sap_linalg::randn_matrix(5, 40, &mut rng);
+        let pca = Pca::fit(&x).unwrap();
+        let scores = pca.transform(&x, 2).unwrap();
+        assert_eq!(scores.shape(), (2, 40));
+        assert!(pca.transform(&Matrix::zeros(3, 10), 2).is_err());
+        assert!(pca.transform(&x, 9).is_err());
+    }
+
+    #[test]
+    fn scores_are_decorrelated() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let x = sap_linalg::randn_matrix(3, 3000, &mut rng);
+        let pca = Pca::fit(&x).unwrap();
+        let scores = pca.transform(&x, 3).unwrap();
+        let cov = scores.column_covariance();
+        for i in 0..3 {
+            for j in 0..3 {
+                if i != j {
+                    assert!(cov[(i, j)].abs() < 0.05, "off-diag {}", cov[(i, j)]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_record_rejected() {
+        let x = Matrix::zeros(3, 1);
+        assert!(Pca::fit(&x).is_err());
+    }
+}

@@ -1,0 +1,281 @@
+//! LU decomposition with partial pivoting.
+//!
+//! The space adaptor `R_it = R_t · Rᵢ⁻¹` needs matrix inverses; for
+//! orthogonal `Rᵢ` the transpose would do, but the protocol code treats
+//! inversion generically (the noise-carrying perturbations are not exactly
+//! orthogonal maps), so a robust general inverse lives here.
+
+use crate::error::{LinalgError, Result};
+use crate::matrix::Matrix;
+
+/// LU decomposition `P·A = L·U` with partial (row) pivoting.
+#[derive(Debug, Clone)]
+pub struct LuDecomposition {
+    /// Combined L (strict lower, implicit unit diagonal) and U (upper).
+    lu: Matrix,
+    /// Row permutation: `perm[i]` is the original row now in position `i`.
+    perm: Vec<usize>,
+    /// Sign of the permutation (+1.0 or −1.0), for the determinant.
+    perm_sign: f64,
+}
+
+/// Pivot magnitudes below this are treated as zero (singular).
+const PIVOT_EPS: f64 = 1e-12;
+
+impl LuDecomposition {
+    /// Factorizes a square matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NotSquare`] for non-square input and
+    /// [`LinalgError::Singular`] when a pivot underflows [`PIVOT_EPS`]
+    /// relative to the matrix scale.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { shape: a.shape() });
+        }
+        let n = a.rows();
+        if n == 0 {
+            return Err(LinalgError::InvalidDimension {
+                reason: "LU requires a non-empty matrix",
+            });
+        }
+        let scale = a.max_abs().max(1.0);
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut perm_sign = 1.0;
+
+        for k in 0..n {
+            // Find pivot row.
+            let mut p = k;
+            let mut best = lu[(k, k)].abs();
+            for i in k + 1..n {
+                let v = lu[(i, k)].abs();
+                if v > best {
+                    best = v;
+                    p = i;
+                }
+            }
+            if best < PIVOT_EPS * scale {
+                return Err(LinalgError::Singular);
+            }
+            if p != k {
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(p, j)];
+                    lu[(p, j)] = tmp;
+                }
+                perm.swap(k, p);
+                perm_sign = -perm_sign;
+            }
+            let pivot = lu[(k, k)];
+            for i in k + 1..n {
+                let factor = lu[(i, k)] / pivot;
+                lu[(i, k)] = factor;
+                for j in k + 1..n {
+                    let sub = factor * lu[(k, j)];
+                    lu[(i, j)] -= sub;
+                }
+            }
+        }
+
+        Ok(LuDecomposition {
+            lu,
+            perm,
+            perm_sign,
+        })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Determinant of the original matrix.
+    pub fn det(&self) -> f64 {
+        let mut d = self.perm_sign;
+        for i in 0..self.dim() {
+            d *= self.lu[(i, i)];
+        }
+        d
+    }
+
+    /// Solves `A·x = b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `b.len()` differs from the
+    /// matrix dimension.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "lu solve",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        // Forward substitution with permuted b (L has unit diagonal).
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut s = b[self.perm[i]];
+            for j in 0..i {
+                s -= self.lu[(i, j)] * y[j];
+            }
+            y[i] = s;
+        }
+        // Back substitution.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for j in i + 1..n {
+                s -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = s / self.lu[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Computes `A⁻¹` by solving against each unit vector.
+    pub fn inverse(&self) -> Matrix {
+        let n = self.dim();
+        let mut inv = Matrix::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for c in 0..n {
+            e[c] = 1.0;
+            let col = self.solve(&e).expect("length matches by construction");
+            inv.set_column(c, &col);
+            e[c] = 0.0;
+        }
+        inv
+    }
+}
+
+/// Convenience: inverse of a square matrix via LU.
+///
+/// # Errors
+///
+/// Propagates [`LinalgError::NotSquare`] / [`LinalgError::Singular`] from the
+/// factorization.
+pub fn inverse(a: &Matrix) -> Result<Matrix> {
+    Ok(LuDecomposition::new(a)?.inverse())
+}
+
+/// Convenience: determinant of a square matrix via LU. Singular matrices
+/// report determinant `0.0` rather than an error.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::NotSquare`] for non-square input.
+pub fn det(a: &Matrix) -> Result<f64> {
+    match LuDecomposition::new(a) {
+        Ok(lu) => Ok(lu.det()),
+        Err(LinalgError::Singular) => Ok(0.0),
+        Err(e) => Err(e),
+    }
+}
+
+/// Convenience: solves `A·x = b` via LU.
+///
+/// # Errors
+///
+/// Propagates factorization and shape errors.
+pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    LuDecomposition::new(a)?.solve(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::randn_matrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn solve_known_system() {
+        // 2x + y = 5; x + 3y = 10 -> x = 1, y = 3
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 3.0]]);
+        let x = solve(&a, &[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_times_matrix_is_identity() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for n in [1, 2, 5, 10] {
+            let a = randn_matrix(n, n, &mut rng);
+            let inv = inverse(&a).unwrap();
+            assert!(
+                (&a * &inv).approx_eq(&Matrix::identity(n), 1e-8),
+                "A * A^-1 != I for n={n}"
+            );
+            assert!((&inv * &a).approx_eq(&Matrix::identity(n), 1e-8));
+        }
+    }
+
+    #[test]
+    fn det_of_triangular_is_diagonal_product() {
+        let a = Matrix::from_rows(&[
+            vec![2.0, 5.0, 1.0],
+            vec![0.0, 3.0, 7.0],
+            vec![0.0, 0.0, -4.0],
+        ]);
+        assert!((det(&a).unwrap() - (-24.0)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn det_sign_tracks_row_swap() {
+        // Permutation matrix swapping two rows has det -1.
+        let p = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        assert!((det(&p).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_reports_error_and_zero_det() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        assert!(matches!(
+            LuDecomposition::new(&a),
+            Err(LinalgError::Singular)
+        ));
+        assert_eq!(det(&a).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            LuDecomposition::new(&a),
+            Err(LinalgError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn solve_rejects_wrong_length() {
+        let a = Matrix::identity(3);
+        let lu = LuDecomposition::new(&a).unwrap();
+        assert!(lu.solve(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn orthogonal_inverse_is_transpose() {
+        let theta = 1.1_f64;
+        let r = Matrix::from_rows(&[
+            vec![theta.cos(), -theta.sin()],
+            vec![theta.sin(), theta.cos()],
+        ]);
+        let inv = inverse(&r).unwrap();
+        assert!(inv.approx_eq(&r.transpose(), 1e-12));
+    }
+
+    #[test]
+    fn det_of_random_product_multiplies() {
+        let mut rng = StdRng::seed_from_u64(20);
+        let a = randn_matrix(4, 4, &mut rng);
+        let b = randn_matrix(4, 4, &mut rng);
+        let da = det(&a).unwrap();
+        let db = det(&b).unwrap();
+        let dab = det(&(&a * &b)).unwrap();
+        assert!((dab - da * db).abs() < 1e-8 * dab.abs().max(1.0));
+    }
+}

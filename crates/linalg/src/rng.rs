@@ -1,0 +1,80 @@
+//! Gaussian sampling.
+//!
+//! The `rand` crate provides uniform sampling only; the perturbation family
+//! `G(X) = RX + Ψ + Δ` needs standard normals both for the noise component
+//! `Δ` and for sampling Haar-distributed orthogonal matrices (QR of a
+//! Gaussian matrix). We implement the polar variant of Box–Muller, which
+//! avoids trigonometric calls and the `u = 0` edge case.
+
+use crate::matrix::Matrix;
+use rand::{Rng, RngExt};
+
+/// Draws one standard normal `N(0, 1)` sample using the Marsaglia polar
+/// method.
+pub fn randn<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u: f64 = rng.random_range(-1.0..1.0);
+        let v: f64 = rng.random_range(-1.0..1.0);
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+/// Draws `n` i.i.d. standard normal samples.
+pub fn randn_vec<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Vec<f64> {
+    (0..n).map(|_| randn(rng)).collect()
+}
+
+/// Draws a `rows × cols` matrix of i.i.d. standard normal entries.
+pub fn randn_matrix<R: Rng + ?Sized>(rows: usize, cols: usize, rng: &mut R) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| randn(rng))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vecops;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn moments_are_standard_normal() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let xs = randn_vec(200_000, &mut rng);
+        let m = vecops::mean(&xs);
+        let v = vecops::variance(&xs);
+        assert!(m.abs() < 0.01, "mean {m} too far from 0");
+        assert!((v - 1.0).abs() < 0.02, "variance {v} too far from 1");
+    }
+
+    #[test]
+    fn kurtosis_matches_gaussian() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let xs = randn_vec(200_000, &mut rng);
+        let m = vecops::mean(&xs);
+        let s2 = vecops::variance(&xs);
+        let k: f64 =
+            xs.iter().map(|x| (x - m).powi(4)).sum::<f64>() / (xs.len() as f64 * s2 * s2);
+        // Gaussian excess kurtosis is 0 (k = 3).
+        assert!((k - 3.0).abs() < 0.1, "kurtosis {k} too far from 3");
+    }
+
+    #[test]
+    fn matrix_shape_and_determinism() {
+        let mut a_rng = StdRng::seed_from_u64(1);
+        let mut b_rng = StdRng::seed_from_u64(1);
+        let a = randn_matrix(3, 5, &mut a_rng);
+        let b = randn_matrix(3, 5, &mut b_rng);
+        assert_eq!(a.shape(), (3, 5));
+        assert_eq!(a, b, "same seed must give same matrix");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a_rng = StdRng::seed_from_u64(1);
+        let mut b_rng = StdRng::seed_from_u64(2);
+        assert_ne!(randn_vec(8, &mut a_rng), randn_vec(8, &mut b_rng));
+    }
+}

@@ -1,0 +1,291 @@
+//! Singular value decomposition via one-sided Jacobi.
+//!
+//! The ICA attack whitens with the SVD of the (centered) data matrix, and the
+//! distance-inference attack aligns point clouds with an orthogonal
+//! Procrustes step — both live on top of this decomposition.
+
+use crate::error::{LinalgError, Result};
+use crate::matrix::Matrix;
+
+/// Thin SVD `A = U · diag(σ) · Vᵀ` of an `m × n` matrix with `m ≥ n`:
+/// `U` is `m × n` with orthonormal columns, `σ` has length `n` sorted in
+/// descending order, `V` is `n × n` orthogonal.
+///
+/// For `m < n`, decompose the transpose and swap the factors.
+#[derive(Debug, Clone)]
+pub struct Svd {
+    u: Matrix,
+    singular_values: Vec<f64>,
+    v: Matrix,
+}
+
+/// Maximum one-sided Jacobi sweeps.
+const MAX_SWEEPS: usize = 60;
+
+impl Svd {
+    /// Computes the thin SVD.
+    ///
+    /// Handles both orientations: an `m < n` input is decomposed through its
+    /// transpose.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::InvalidDimension`] for an empty matrix.
+    /// * [`LinalgError::NoConvergence`] if Jacobi sweeps fail to orthogonalize
+    ///   the columns (practically unreachable for finite data).
+    pub fn new(a: &Matrix) -> Result<Self> {
+        let (m, n) = a.shape();
+        if m == 0 || n == 0 {
+            return Err(LinalgError::InvalidDimension {
+                reason: "SVD requires a non-empty matrix",
+            });
+        }
+        if m < n {
+            let t = Self::new(&a.transpose())?;
+            return Ok(Svd {
+                u: t.v,
+                singular_values: t.singular_values,
+                v: t.u,
+            });
+        }
+
+        // One-sided Jacobi: rotate column pairs of a working copy of A until
+        // all columns are mutually orthogonal; their norms are the singular
+        // values and the accumulated rotations form V.
+        let mut u = a.clone();
+        let mut v = Matrix::identity(n);
+        let scale = a.max_abs().max(1.0);
+        let tol = 1e-14 * scale * scale;
+
+        for sweep in 0..=MAX_SWEEPS {
+            let mut rotated = false;
+            for p in 0..n {
+                for q in p + 1..n {
+                    let mut alpha = 0.0;
+                    let mut beta = 0.0;
+                    let mut gamma = 0.0;
+                    for i in 0..m {
+                        let up = u[(i, p)];
+                        let uq = u[(i, q)];
+                        alpha += up * up;
+                        beta += uq * uq;
+                        gamma += up * uq;
+                    }
+                    if gamma.abs() <= tol * (alpha * beta).sqrt().max(1e-300) {
+                        continue;
+                    }
+                    rotated = true;
+                    let zeta = (beta - alpha) / (2.0 * gamma);
+                    let t = zeta.signum() / (zeta.abs() + (1.0 + zeta * zeta).sqrt());
+                    let c = 1.0 / (1.0 + t * t).sqrt();
+                    let s = c * t;
+                    for i in 0..m {
+                        let up = u[(i, p)];
+                        let uq = u[(i, q)];
+                        u[(i, p)] = c * up - s * uq;
+                        u[(i, q)] = s * up + c * uq;
+                    }
+                    for i in 0..n {
+                        let vp = v[(i, p)];
+                        let vq = v[(i, q)];
+                        v[(i, p)] = c * vp - s * vq;
+                        v[(i, q)] = s * vp + c * vq;
+                    }
+                }
+            }
+            if !rotated {
+                break;
+            }
+            if sweep == MAX_SWEEPS {
+                return Err(LinalgError::NoConvergence {
+                    algorithm: "one-sided jacobi svd",
+                    iterations: MAX_SWEEPS,
+                });
+            }
+        }
+
+        // Column norms are singular values; normalize U's columns.
+        let mut sv: Vec<(f64, usize)> = (0..n)
+            .map(|c| {
+                let norm = (0..m).map(|i| u[(i, c)] * u[(i, c)]).sum::<f64>().sqrt();
+                (norm, c)
+            })
+            .collect();
+        sv.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite singular values"));
+
+        let mut u_sorted = Matrix::zeros(m, n);
+        let mut v_sorted = Matrix::zeros(n, n);
+        let mut singular_values = Vec::with_capacity(n);
+        for (new_c, &(norm, old_c)) in sv.iter().enumerate() {
+            singular_values.push(norm);
+            let ucol = u.column(old_c);
+            if norm > 1e-300 {
+                let normalized: Vec<f64> = ucol.iter().map(|x| x / norm).collect();
+                u_sorted.set_column(new_c, &normalized);
+            } else {
+                // Null direction: leave U column zero (thin SVD consumers only
+                // use directions with non-zero σ).
+                u_sorted.set_column(new_c, &vec![0.0; m]);
+            }
+            v_sorted.set_column(new_c, &v.column(old_c));
+        }
+
+        Ok(Svd {
+            u: u_sorted,
+            singular_values,
+            v: v_sorted,
+        })
+    }
+
+    /// Left singular vectors (`m × n`, orthonormal columns for non-zero σ).
+    pub fn u(&self) -> &Matrix {
+        &self.u
+    }
+
+    /// Singular values, descending.
+    pub fn singular_values(&self) -> &[f64] {
+        &self.singular_values
+    }
+
+    /// Right singular vectors (`n × n` orthogonal).
+    pub fn v(&self) -> &Matrix {
+        &self.v
+    }
+
+    /// Reconstructs `U · diag(σ) · Vᵀ`.
+    pub fn reconstruct(&self) -> Matrix {
+        let d = Matrix::from_diag(&self.singular_values);
+        &(&self.u * &d) * &self.v.transpose()
+    }
+
+    /// Numerical rank: number of singular values above `tol · σ_max`.
+    pub fn rank(&self, tol: f64) -> usize {
+        let smax = self.singular_values.first().copied().unwrap_or(0.0);
+        self.singular_values
+            .iter()
+            .filter(|&&s| s > tol * smax)
+            .count()
+    }
+}
+
+/// Solves the orthogonal Procrustes problem: the orthogonal `R` minimizing
+/// `‖R·A − B‖_F`, namely `R = U·Vᵀ` where `B·Aᵀ = U·Σ·Vᵀ`.
+///
+/// This is the estimator the distance-inference attack uses to align known
+/// original points with their perturbed images.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::ShapeMismatch`] when `A` and `B` differ in shape,
+/// and propagates SVD errors.
+pub fn procrustes_rotation(a: &Matrix, b: &Matrix) -> Result<Matrix> {
+    if a.shape() != b.shape() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "procrustes",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    let m = b.matmul(&a.transpose())?;
+    let svd = Svd::new(&m)?;
+    svd.u().matmul(&svd.v().transpose())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::orthogonal::random_orthogonal;
+    use crate::rng::randn_matrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn reconstructs_random_matrices() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for &(m, n) in &[(5, 5), (8, 3), (3, 8), (10, 10)] {
+            let a = randn_matrix(m, n, &mut rng);
+            let svd = Svd::new(&a).unwrap();
+            assert!(
+                svd.reconstruct().approx_eq(&a, 1e-8),
+                "SVD reconstruction failed {m}x{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn singular_values_descending_nonnegative() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = randn_matrix(7, 4, &mut rng);
+        let svd = Svd::new(&a).unwrap();
+        for w in svd.singular_values().windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+        for &s in svd.singular_values() {
+            assert!(s >= 0.0);
+        }
+    }
+
+    #[test]
+    fn v_is_orthogonal_and_u_orthonormal() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let a = randn_matrix(6, 4, &mut rng);
+        let svd = Svd::new(&a).unwrap();
+        assert!(svd.v().is_orthogonal(1e-9));
+        let utu = &svd.u().transpose() * svd.u();
+        assert!(utu.approx_eq(&Matrix::identity(4), 1e-9));
+    }
+
+    #[test]
+    fn diagonal_singular_values_known() {
+        let a = Matrix::from_diag(&[3.0, -2.0, 1.0]);
+        let svd = Svd::new(&a).unwrap();
+        let sv = svd.singular_values();
+        assert!((sv[0] - 3.0).abs() < 1e-10);
+        assert!((sv[1] - 2.0).abs() < 1e-10);
+        assert!((sv[2] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn rank_of_rank_deficient() {
+        // Second column is 2x the first -> rank 1.
+        let a = Matrix::from_columns(&[vec![1.0, 2.0, 3.0], vec![2.0, 4.0, 6.0]]);
+        let svd = Svd::new(&a).unwrap();
+        assert_eq!(svd.rank(1e-10), 1);
+    }
+
+    #[test]
+    fn frobenius_norm_matches_singular_values() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let a = randn_matrix(5, 5, &mut rng);
+        let svd = Svd::new(&a).unwrap();
+        let sv_norm: f64 = svd
+            .singular_values()
+            .iter()
+            .map(|s| s * s)
+            .sum::<f64>()
+            .sqrt();
+        assert!((sv_norm - a.frobenius_norm()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn procrustes_recovers_rotation() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let r = random_orthogonal(4, &mut rng);
+        let a = randn_matrix(4, 30, &mut rng);
+        let b = &r * &a;
+        let est = procrustes_rotation(&a, &b).unwrap();
+        assert!(est.approx_eq(&r, 1e-8), "Procrustes failed to recover R");
+    }
+
+    #[test]
+    fn procrustes_shape_mismatch() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(3, 3);
+        assert!(procrustes_rotation(&a, &b).is_err());
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert!(Svd::new(&Matrix::zeros(0, 3)).is_err());
+    }
+}

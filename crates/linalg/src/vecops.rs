@@ -1,0 +1,169 @@
+//! Free functions on `&[f64]` vectors.
+//!
+//! Small enough not to warrant a newtype: the classifiers and privacy metrics
+//! mostly need dot products, norms and summary statistics over record slices.
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean (L2) norm.
+pub fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Squared Euclidean distance between two points.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn dist2_sq(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dist2_sq: length mismatch");
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Euclidean distance between two points.
+pub fn dist2(a: &[f64], b: &[f64]) -> f64 {
+    dist2_sq(a, b).sqrt()
+}
+
+/// `a - b`, element-wise.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "sub: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x - y).collect()
+}
+
+/// `a + b`, element-wise.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn add(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "add: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x + y).collect()
+}
+
+/// `s * a`, element-wise.
+pub fn scale(a: &[f64], s: f64) -> Vec<f64> {
+    a.iter().map(|x| x * s).collect()
+}
+
+/// Arithmetic mean. Returns 0 for an empty slice.
+pub fn mean(a: &[f64]) -> f64 {
+    if a.is_empty() {
+        0.0
+    } else {
+        a.iter().sum::<f64>() / a.len() as f64
+    }
+}
+
+/// Unbiased sample variance (`n-1` denominator). Returns 0 when `n < 2`.
+pub fn variance(a: &[f64]) -> f64 {
+    if a.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(a);
+    a.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (a.len() - 1) as f64
+}
+
+/// Sample standard deviation.
+pub fn std_dev(a: &[f64]) -> f64 {
+    variance(a).sqrt()
+}
+
+/// Minimum value. Returns `f64::INFINITY` for an empty slice.
+pub fn min(a: &[f64]) -> f64 {
+    a.iter().copied().fold(f64::INFINITY, f64::min)
+}
+
+/// Maximum value. Returns `f64::NEG_INFINITY` for an empty slice.
+pub fn max(a: &[f64]) -> f64 {
+    a.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+}
+
+/// Normalizes `a` to unit L2 norm in place. Leaves a zero vector unchanged.
+pub fn normalize_in_place(a: &mut [f64]) {
+    let n = norm2(a);
+    if n > 0.0 {
+        for x in a {
+            *x /= n;
+        }
+    }
+}
+
+/// Index of the maximum element; `None` when empty. Ties resolve to the
+/// first maximum.
+pub fn argmax(a: &[f64]) -> Option<usize> {
+    if a.is_empty() {
+        return None;
+    }
+    let mut best = 0;
+    for (i, &v) in a.iter().enumerate().skip(1) {
+        if v > a[best] {
+            best = i;
+        }
+    }
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norm() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distances() {
+        assert_eq!(dist2_sq(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(dist2(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+    }
+
+    #[test]
+    fn elementwise() {
+        assert_eq!(sub(&[3.0, 2.0], &[1.0, 1.0]), vec![2.0, 1.0]);
+        assert_eq!(add(&[3.0, 2.0], &[1.0, 1.0]), vec![4.0, 3.0]);
+        assert_eq!(scale(&[3.0, 2.0], 2.0), vec![6.0, 4.0]);
+    }
+
+    #[test]
+    fn stats() {
+        let a = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&a) - 5.0).abs() < 1e-12);
+        assert!((variance(&a) - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn min_max_argmax() {
+        let a = [3.0, -1.0, 7.0, 7.0];
+        assert_eq!(min(&a), -1.0);
+        assert_eq!(max(&a), 7.0);
+        assert_eq!(argmax(&a), Some(2));
+        assert_eq!(argmax(&[]), None);
+    }
+
+    #[test]
+    fn normalize() {
+        let mut v = vec![3.0, 4.0];
+        normalize_in_place(&mut v);
+        assert!((norm2(&v) - 1.0).abs() < 1e-12);
+        let mut z = vec![0.0, 0.0];
+        normalize_in_place(&mut z);
+        assert_eq!(z, vec![0.0, 0.0]);
+    }
+}

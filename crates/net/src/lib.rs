@@ -1,0 +1,34 @@
+//! Simulated multiparty transport for the SAP protocol.
+//!
+//! The PODC'07 brief runs between three roles — data providers, a
+//! coordinator, and the mining service provider — and "assume[s] that
+//! encryption is applied before data is transmitted on the network". This
+//! crate supplies the communication substrate those roles run on, built so
+//! the protocol logic in `sap-core` is testable end-to-end with realistic
+//! failure modes:
+//!
+//! * [`wire`] — a compact, non-self-describing binary serde codec (the
+//!   workspace's offline dependency set has no serde *format* crate, so one
+//!   is implemented here).
+//! * [`crypto`] — a toy stream-cipher + checksum envelope standing in for
+//!   the paper's assumed link encryption. **Not real cryptography**; it
+//!   models the interface (key per channel, sealed payloads, tamper
+//!   detection), not the security.
+//! * [`transport`] — the [`transport::Transport`] trait and an in-memory
+//!   hub implementation over crossbeam channels, one endpoint per party.
+//! * [`sim`] — a fault-injecting transport decorator (drops, duplicates,
+//!   reordering) for failure-injection tests.
+//! * [`node`] — typed convenience layer: send/receive serde values over a
+//!   sealed channel.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod crypto;
+pub mod node;
+pub mod sim;
+pub mod transport;
+pub mod wire;
+
+pub use node::Node;
+pub use transport::{InMemoryHub, PartyId, Transport, TransportError};

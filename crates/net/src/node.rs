@@ -1,0 +1,194 @@
+//! Typed, sealed messaging on top of a [`Transport`].
+//!
+//! A [`Node`] owns a transport endpoint plus the session secret; every
+//! outgoing value is wire-encoded and sealed under the per-direction channel
+//! key, and every incoming payload is opened and decoded. This is the layer
+//! the protocol actors in `sap-core` talk to.
+
+use crate::crypto::{self, ChannelKey};
+use crate::transport::{PartyId, Transport, TransportError};
+use crate::wire;
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Errors from typed messaging.
+#[derive(Debug)]
+pub enum NodeError {
+    /// The underlying transport failed.
+    Transport(TransportError),
+    /// The payload failed to open (corruption or wrong key).
+    Crypto(crypto::CryptoError),
+    /// The plaintext failed to decode as the expected type.
+    Codec(wire::WireError),
+}
+
+impl std::fmt::Display for NodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NodeError::Transport(e) => write!(f, "transport: {e}"),
+            NodeError::Crypto(e) => write!(f, "crypto: {e}"),
+            NodeError::Codec(e) => write!(f, "codec: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NodeError {}
+
+impl From<TransportError> for NodeError {
+    fn from(e: TransportError) -> Self {
+        NodeError::Transport(e)
+    }
+}
+
+/// A party's typed messaging endpoint.
+pub struct Node<T: Transport> {
+    transport: T,
+    session_secret: u64,
+    nonce: AtomicU64,
+}
+
+impl<T: Transport> Node<T> {
+    /// Wraps a transport with the shared session secret (all parties of a
+    /// session derive pairwise channel keys from it).
+    pub fn new(transport: T, session_secret: u64) -> Self {
+        Node {
+            transport,
+            session_secret,
+            nonce: AtomicU64::new(1),
+        }
+    }
+
+    /// This node's party id.
+    pub fn id(&self) -> PartyId {
+        self.transport.local_id()
+    }
+
+    /// Borrow the underlying transport (e.g. to flush a fault injector).
+    pub fn transport(&self) -> &T {
+        &self.transport
+    }
+
+    /// Encodes, seals, and sends a value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NodeError::Codec`] on serialization failure or
+    /// [`NodeError::Transport`] on delivery failure.
+    pub fn send_msg<M: Serialize>(&self, to: PartyId, msg: &M) -> Result<(), NodeError> {
+        let plain = wire::to_bytes(msg).map_err(NodeError::Codec)?;
+        let key = ChannelKey::derive(self.session_secret, self.id().0, to.0);
+        let nonce = self.nonce.fetch_add(1, Ordering::Relaxed);
+        let sealed = crypto::seal(key, nonce, &plain);
+        self.transport.send(to, sealed)?;
+        Ok(())
+    }
+
+    /// Receives, opens, and decodes the next message.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport, crypto, or codec errors; a crypto error implies a
+    /// corrupted or mis-keyed payload and should abort the session.
+    pub fn recv_msg<M: DeserializeOwned>(&self) -> Result<(PartyId, M), NodeError> {
+        let (from, sealed) = self.transport.recv()?;
+        self.open(from, &sealed)
+    }
+
+    /// Like [`Node::recv_msg`] with a timeout.
+    ///
+    /// # Errors
+    ///
+    /// As [`Node::recv_msg`], plus [`TransportError::Timeout`].
+    pub fn recv_msg_timeout<M: DeserializeOwned>(
+        &self,
+        timeout: Duration,
+    ) -> Result<(PartyId, M), NodeError> {
+        let (from, sealed) = self.transport.recv_timeout(timeout)?;
+        self.open(from, &sealed)
+    }
+
+    fn open<M: DeserializeOwned>(&self, from: PartyId, sealed: &[u8]) -> Result<(PartyId, M), NodeError> {
+        let key = ChannelKey::derive(self.session_secret, from.0, self.id().0);
+        let plain = crypto::open(key, sealed).map_err(NodeError::Crypto)?;
+        let msg = wire::from_bytes(&plain).map_err(NodeError::Codec)?;
+        Ok((from, msg))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::InMemoryHub;
+    use serde::Deserialize;
+
+    #[derive(Serialize, Deserialize, PartialEq, Debug)]
+    struct Hello {
+        round: u32,
+        body: Vec<f64>,
+    }
+
+    #[test]
+    fn typed_roundtrip() {
+        let hub = InMemoryHub::new();
+        let a = Node::new(hub.endpoint(PartyId(1)), 99);
+        let b = Node::new(hub.endpoint(PartyId(2)), 99);
+        let msg = Hello {
+            round: 3,
+            body: vec![1.0, 2.5],
+        };
+        a.send_msg(PartyId(2), &msg).unwrap();
+        let (from, got): (PartyId, Hello) = b.recv_msg().unwrap();
+        assert_eq!(from, PartyId(1));
+        assert_eq!(got, msg);
+    }
+
+    #[test]
+    fn wrong_session_secret_fails_crypto() {
+        let hub = InMemoryHub::new();
+        let a = Node::new(hub.endpoint(PartyId(1)), 1);
+        let b = Node::new(hub.endpoint(PartyId(2)), 2);
+        a.send_msg(PartyId(2), &7u32).unwrap();
+        let err = b.recv_msg::<u32>().unwrap_err();
+        assert!(matches!(err, NodeError::Crypto(_)), "{err}");
+    }
+
+    #[test]
+    fn type_confusion_fails_codec() {
+        let hub = InMemoryHub::new();
+        let a = Node::new(hub.endpoint(PartyId(1)), 5);
+        let b = Node::new(hub.endpoint(PartyId(2)), 5);
+        a.send_msg(PartyId(2), &vec![1u8, 2, 3]).unwrap();
+        // Expecting a (u64-length) String where a Vec<u8> was sent: lengths
+        // collide but UTF-8 or trailing checks fail... decode as a type with
+        // a longer footprint to force an error.
+        let err = b.recv_msg::<(u64, u64, u64)>().unwrap_err();
+        assert!(matches!(err, NodeError::Codec(_)), "{err}");
+    }
+
+    #[test]
+    fn nonces_advance() {
+        let hub = InMemoryHub::new();
+        let a = Node::new(hub.endpoint(PartyId(1)), 5);
+        let b = Node::new(hub.endpoint(PartyId(2)), 5);
+        a.send_msg(PartyId(2), &1u8).unwrap();
+        a.send_msg(PartyId(2), &1u8).unwrap();
+        let (_, s1) = b.transport.recv().unwrap();
+        let (_, s2) = b.transport.recv().unwrap();
+        assert_ne!(s1, s2, "same plaintext must seal differently");
+    }
+
+    #[test]
+    fn timeout_propagates() {
+        let hub = InMemoryHub::new();
+        let a = Node::new(hub.endpoint(PartyId(1)), 5);
+        let err = a
+            .recv_msg_timeout::<u8>(Duration::from_millis(5))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            NodeError::Transport(TransportError::Timeout)
+        ));
+    }
+}

@@ -1,0 +1,241 @@
+//! The transport abstraction and its in-memory implementation.
+//!
+//! One [`Endpoint`] per party; endpoints exchange opaque byte payloads
+//! through an [`InMemoryHub`] (crossbeam channels). The protocol layer never
+//! depends on the concrete transport, so fault-injecting decorators
+//! ([`crate::sim`]) slot in transparently.
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Identifies a party in a protocol session.
+///
+/// By convention in this workspace: data providers are `0..k`, the
+/// coordinator is one of them (usually `k−1`), and the mining service
+/// provider gets a dedicated high id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub struct PartyId(pub u64);
+
+impl fmt::Display for PartyId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "party-{}", self.0)
+    }
+}
+
+/// Transport failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportError {
+    /// The destination party is not registered with the hub.
+    UnknownParty(PartyId),
+    /// The peer (or hub) hung up.
+    Disconnected,
+    /// `recv_timeout` elapsed without a message.
+    Timeout,
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::UnknownParty(p) => write!(f, "unknown party {p}"),
+            TransportError::Disconnected => write!(f, "transport disconnected"),
+            TransportError::Timeout => write!(f, "receive timed out"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+/// Point-to-point message transport for one party.
+pub trait Transport: Send {
+    /// This endpoint's identity.
+    fn local_id(&self) -> PartyId;
+
+    /// Sends a payload to another party.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError::UnknownParty`] / `Disconnected`.
+    fn send(&self, to: PartyId, payload: Bytes) -> Result<(), TransportError>;
+
+    /// Blocks until a message arrives.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError::Disconnected`] when every sender is gone.
+    fn recv(&self) -> Result<(PartyId, Bytes), TransportError>;
+
+    /// Blocks up to `timeout` for a message.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError::Timeout`] on expiry, `Disconnected` when
+    /// every sender is gone.
+    fn recv_timeout(&self, timeout: Duration) -> Result<(PartyId, Bytes), TransportError>;
+}
+
+type Inbox = (PartyId, Bytes);
+
+/// An in-memory message hub connecting any number of endpoints.
+#[derive(Clone, Default)]
+pub struct InMemoryHub {
+    routes: Arc<RwLock<HashMap<PartyId, Sender<Inbox>>>>,
+}
+
+impl InMemoryHub {
+    /// Creates an empty hub.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a party and returns its endpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is already registered (duplicate identities are a
+    /// harness bug, not a runtime condition).
+    pub fn endpoint(&self, id: PartyId) -> Endpoint {
+        let (tx, rx) = unbounded();
+        let mut routes = self.routes.write();
+        let prev = routes.insert(id, tx);
+        assert!(prev.is_none(), "party {id} registered twice");
+        Endpoint {
+            id,
+            routes: Arc::clone(&self.routes),
+            inbox: rx,
+        }
+    }
+
+    /// Removes a party, closing its inbox (subsequent sends to it fail).
+    pub fn disconnect(&self, id: PartyId) {
+        self.routes.write().remove(&id);
+    }
+
+    /// Currently registered parties.
+    pub fn parties(&self) -> Vec<PartyId> {
+        let mut v: Vec<PartyId> = self.routes.read().keys().copied().collect();
+        v.sort();
+        v
+    }
+}
+
+/// One party's connection to an [`InMemoryHub`].
+pub struct Endpoint {
+    id: PartyId,
+    routes: Arc<RwLock<HashMap<PartyId, Sender<Inbox>>>>,
+    inbox: Receiver<Inbox>,
+}
+
+impl Transport for Endpoint {
+    fn local_id(&self) -> PartyId {
+        self.id
+    }
+
+    fn send(&self, to: PartyId, payload: Bytes) -> Result<(), TransportError> {
+        let routes = self.routes.read();
+        let tx = routes
+            .get(&to)
+            .ok_or(TransportError::UnknownParty(to))?;
+        tx.send((self.id, payload))
+            .map_err(|_| TransportError::Disconnected)
+    }
+
+    fn recv(&self) -> Result<(PartyId, Bytes), TransportError> {
+        self.inbox.recv().map_err(|_| TransportError::Disconnected)
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<(PartyId, Bytes), TransportError> {
+        self.inbox.recv_timeout(timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => TransportError::Timeout,
+            RecvTimeoutError::Disconnected => TransportError::Disconnected,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_and_receive() {
+        let hub = InMemoryHub::new();
+        let a = hub.endpoint(PartyId(1));
+        let b = hub.endpoint(PartyId(2));
+        a.send(PartyId(2), Bytes::from_static(b"hi")).unwrap();
+        let (from, payload) = b.recv().unwrap();
+        assert_eq!(from, PartyId(1));
+        assert_eq!(&payload[..], b"hi");
+    }
+
+    #[test]
+    fn unknown_party_errors() {
+        let hub = InMemoryHub::new();
+        let a = hub.endpoint(PartyId(1));
+        assert_eq!(
+            a.send(PartyId(9), Bytes::new()).unwrap_err(),
+            TransportError::UnknownParty(PartyId(9))
+        );
+    }
+
+    #[test]
+    fn timeout_when_silent() {
+        let hub = InMemoryHub::new();
+        let a = hub.endpoint(PartyId(1));
+        assert_eq!(
+            a.recv_timeout(Duration::from_millis(10)).unwrap_err(),
+            TransportError::Timeout
+        );
+    }
+
+    #[test]
+    fn fifo_per_sender() {
+        let hub = InMemoryHub::new();
+        let a = hub.endpoint(PartyId(1));
+        let b = hub.endpoint(PartyId(2));
+        for i in 0..10u8 {
+            a.send(PartyId(2), Bytes::copy_from_slice(&[i])).unwrap();
+        }
+        for i in 0..10u8 {
+            let (_, p) = b.recv().unwrap();
+            assert_eq!(p[0], i);
+        }
+    }
+
+    #[test]
+    fn disconnect_closes_route() {
+        let hub = InMemoryHub::new();
+        let a = hub.endpoint(PartyId(1));
+        let _b = hub.endpoint(PartyId(2));
+        hub.disconnect(PartyId(2));
+        assert!(a.send(PartyId(2), Bytes::new()).is_err());
+        assert_eq!(hub.parties(), vec![PartyId(1)]);
+    }
+
+    #[test]
+    fn cross_thread_exchange() {
+        let hub = InMemoryHub::new();
+        let a = hub.endpoint(PartyId(1));
+        let b = hub.endpoint(PartyId(2));
+        let handle = std::thread::spawn(move || {
+            let (from, p) = b.recv().unwrap();
+            assert_eq!(from, PartyId(1));
+            b.send(from, p).unwrap();
+        });
+        a.send(PartyId(2), Bytes::from_static(b"ping")).unwrap();
+        let (_, echo) = a.recv().unwrap();
+        assert_eq!(&echo[..], b"ping");
+        handle.join().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_registration_panics() {
+        let hub = InMemoryHub::new();
+        let _a = hub.endpoint(PartyId(1));
+        let _b = hub.endpoint(PartyId(1));
+    }
+}

@@ -1,0 +1,753 @@
+//! A compact binary serde codec.
+//!
+//! The approved offline dependency set includes `serde` but no serde
+//! *format* crate, so the wire format is implemented here: a
+//! non-self-describing little-endian encoding in the spirit of `bincode`.
+//! Fixed-width integers, `u64` length prefixes for strings/sequences/maps,
+//! `u32` enum variant indices, one-byte option tags. Because the format is
+//! non-self-describing, `deserialize_any` is unsupported — which is fine for
+//! the derive-generated message types the protocol exchanges.
+//!
+//! # Example
+//!
+//! ```
+//! use serde::{Serialize, Deserialize};
+//!
+//! #[derive(Serialize, Deserialize, PartialEq, Debug)]
+//! struct Ping { seq: u64, note: String }
+//!
+//! let msg = Ping { seq: 7, note: "hello".into() };
+//! let bytes = sap_net::wire::to_bytes(&msg).unwrap();
+//! let back: Ping = sap_net::wire::from_bytes(&bytes).unwrap();
+//! assert_eq!(back, msg);
+//! ```
+
+use serde::de::{self, DeserializeOwned, Visitor};
+use serde::ser::{self, Serialize};
+use std::fmt;
+
+/// Errors produced by the wire codec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Custom message from serde.
+    Message(String),
+    /// Input ended before the value was complete.
+    UnexpectedEof,
+    /// Trailing bytes after a complete value.
+    TrailingBytes,
+    /// An invalid encoding was encountered (bad bool/option tag, bad UTF-8,
+    /// bad char).
+    InvalidEncoding(&'static str),
+    /// The format is non-self-describing; `deserialize_any` is unsupported.
+    NotSelfDescribing,
+    /// Sequences must know their length up front.
+    UnknownLength,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Message(m) => write!(f, "{m}"),
+            WireError::UnexpectedEof => write!(f, "unexpected end of input"),
+            WireError::TrailingBytes => write!(f, "trailing bytes after value"),
+            WireError::InvalidEncoding(what) => write!(f, "invalid encoding: {what}"),
+            WireError::NotSelfDescribing => {
+                write!(f, "wire format is not self-describing (deserialize_any)")
+            }
+            WireError::UnknownLength => write!(f, "sequence length must be known"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl ser::Error for WireError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        WireError::Message(msg.to_string())
+    }
+}
+
+impl de::Error for WireError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        WireError::Message(msg.to_string())
+    }
+}
+
+/// Serializes a value to bytes.
+///
+/// # Errors
+///
+/// Returns [`WireError`] for unserializable values (e.g. sequences of
+/// unknown length).
+pub fn to_bytes<T: Serialize>(value: &T) -> Result<Vec<u8>, WireError> {
+    let mut ser = WireSerializer { out: Vec::new() };
+    value.serialize(&mut ser)?;
+    Ok(ser.out)
+}
+
+/// Deserializes a value from bytes, requiring the input to be fully
+/// consumed.
+///
+/// # Errors
+///
+/// Returns [`WireError`] on malformed or trailing input.
+pub fn from_bytes<T: DeserializeOwned>(bytes: &[u8]) -> Result<T, WireError> {
+    let mut de = WireDeserializer { input: bytes };
+    let value = T::deserialize(&mut de)?;
+    if !de.input.is_empty() {
+        return Err(WireError::TrailingBytes);
+    }
+    Ok(value)
+}
+
+struct WireSerializer {
+    out: Vec<u8>,
+}
+
+impl WireSerializer {
+    fn put_len(&mut self, len: usize) {
+        self.out.extend_from_slice(&(len as u64).to_le_bytes());
+    }
+}
+
+impl<'a> ser::Serializer for &'a mut WireSerializer {
+    type Ok = ();
+    type Error = WireError;
+    type SerializeSeq = Compound<'a>;
+    type SerializeTuple = Compound<'a>;
+    type SerializeTupleStruct = Compound<'a>;
+    type SerializeTupleVariant = Compound<'a>;
+    type SerializeMap = Compound<'a>;
+    type SerializeStruct = Compound<'a>;
+    type SerializeStructVariant = Compound<'a>;
+
+    fn serialize_bool(self, v: bool) -> Result<(), WireError> {
+        self.out.push(u8::from(v));
+        Ok(())
+    }
+    fn serialize_i8(self, v: i8) -> Result<(), WireError> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_i16(self, v: i16) -> Result<(), WireError> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_i32(self, v: i32) -> Result<(), WireError> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_i64(self, v: i64) -> Result<(), WireError> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_u8(self, v: u8) -> Result<(), WireError> {
+        self.out.push(v);
+        Ok(())
+    }
+    fn serialize_u16(self, v: u16) -> Result<(), WireError> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_u32(self, v: u32) -> Result<(), WireError> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_u64(self, v: u64) -> Result<(), WireError> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_f32(self, v: f32) -> Result<(), WireError> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_f64(self, v: f64) -> Result<(), WireError> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_char(self, v: char) -> Result<(), WireError> {
+        self.serialize_u32(v as u32)
+    }
+    fn serialize_str(self, v: &str) -> Result<(), WireError> {
+        self.put_len(v.len());
+        self.out.extend_from_slice(v.as_bytes());
+        Ok(())
+    }
+    fn serialize_bytes(self, v: &[u8]) -> Result<(), WireError> {
+        self.put_len(v.len());
+        self.out.extend_from_slice(v);
+        Ok(())
+    }
+    fn serialize_none(self) -> Result<(), WireError> {
+        self.out.push(0);
+        Ok(())
+    }
+    fn serialize_some<T: ?Sized + Serialize>(self, value: &T) -> Result<(), WireError> {
+        self.out.push(1);
+        value.serialize(self)
+    }
+    fn serialize_unit(self) -> Result<(), WireError> {
+        Ok(())
+    }
+    fn serialize_unit_struct(self, _name: &'static str) -> Result<(), WireError> {
+        Ok(())
+    }
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+    ) -> Result<(), WireError> {
+        self.serialize_u32(variant_index)
+    }
+    fn serialize_newtype_struct<T: ?Sized + Serialize>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<(), WireError> {
+        value.serialize(self)
+    }
+    fn serialize_newtype_variant<T: ?Sized + Serialize>(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        value: &T,
+    ) -> Result<(), WireError> {
+        self.serialize_u32(variant_index)?;
+        value.serialize(self)
+    }
+    fn serialize_seq(self, len: Option<usize>) -> Result<Compound<'a>, WireError> {
+        let len = len.ok_or(WireError::UnknownLength)?;
+        self.put_len(len);
+        Ok(Compound { ser: self })
+    }
+    fn serialize_tuple(self, _len: usize) -> Result<Compound<'a>, WireError> {
+        Ok(Compound { ser: self })
+    }
+    fn serialize_tuple_struct(
+        self,
+        _name: &'static str,
+        _len: usize,
+    ) -> Result<Compound<'a>, WireError> {
+        Ok(Compound { ser: self })
+    }
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Compound<'a>, WireError> {
+        self.serialize_u32(variant_index)?;
+        Ok(Compound { ser: self })
+    }
+    fn serialize_map(self, len: Option<usize>) -> Result<Compound<'a>, WireError> {
+        let len = len.ok_or(WireError::UnknownLength)?;
+        self.put_len(len);
+        Ok(Compound { ser: self })
+    }
+    fn serialize_struct(
+        self,
+        _name: &'static str,
+        _len: usize,
+    ) -> Result<Compound<'a>, WireError> {
+        Ok(Compound { ser: self })
+    }
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Compound<'a>, WireError> {
+        self.serialize_u32(variant_index)?;
+        Ok(Compound { ser: self })
+    }
+    fn is_human_readable(&self) -> bool {
+        false
+    }
+}
+
+/// Compound serializer shared by all length-known aggregates.
+pub struct Compound<'a> {
+    ser: &'a mut WireSerializer,
+}
+
+macro_rules! impl_compound {
+    ($trait:ident, $method:ident) => {
+        impl<'a> ser::$trait for Compound<'a> {
+            type Ok = ();
+            type Error = WireError;
+            fn $method<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), WireError> {
+                value.serialize(&mut *self.ser)
+            }
+            fn end(self) -> Result<(), WireError> {
+                Ok(())
+            }
+        }
+    };
+}
+
+impl_compound!(SerializeSeq, serialize_element);
+impl_compound!(SerializeTuple, serialize_element);
+impl_compound!(SerializeTupleStruct, serialize_field);
+impl_compound!(SerializeTupleVariant, serialize_field);
+
+impl<'a> ser::SerializeMap for Compound<'a> {
+    type Ok = ();
+    type Error = WireError;
+    fn serialize_key<T: ?Sized + Serialize>(&mut self, key: &T) -> Result<(), WireError> {
+        key.serialize(&mut *self.ser)
+    }
+    fn serialize_value<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), WireError> {
+        value.serialize(&mut *self.ser)
+    }
+    fn end(self) -> Result<(), WireError> {
+        Ok(())
+    }
+}
+
+impl<'a> ser::SerializeStruct for Compound<'a> {
+    type Ok = ();
+    type Error = WireError;
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        _key: &'static str,
+        value: &T,
+    ) -> Result<(), WireError> {
+        value.serialize(&mut *self.ser)
+    }
+    fn end(self) -> Result<(), WireError> {
+        Ok(())
+    }
+}
+
+impl<'a> ser::SerializeStructVariant for Compound<'a> {
+    type Ok = ();
+    type Error = WireError;
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        _key: &'static str,
+        value: &T,
+    ) -> Result<(), WireError> {
+        value.serialize(&mut *self.ser)
+    }
+    fn end(self) -> Result<(), WireError> {
+        Ok(())
+    }
+}
+
+struct WireDeserializer<'de> {
+    input: &'de [u8],
+}
+
+impl<'de> WireDeserializer<'de> {
+    fn take(&mut self, n: usize) -> Result<&'de [u8], WireError> {
+        if self.input.len() < n {
+            return Err(WireError::UnexpectedEof);
+        }
+        let (head, tail) = self.input.split_at(n);
+        self.input = tail;
+        Ok(head)
+    }
+
+    fn get_len(&mut self) -> Result<usize, WireError> {
+        let raw = self.take(8)?;
+        let len = u64::from_le_bytes(raw.try_into().expect("8 bytes"));
+        usize::try_from(len).map_err(|_| WireError::InvalidEncoding("length overflow"))
+    }
+}
+
+macro_rules! de_fixed {
+    ($method:ident, $visit:ident, $ty:ty, $n:expr) => {
+        fn $method<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
+            let raw = self.take($n)?;
+            visitor.$visit(<$ty>::from_le_bytes(raw.try_into().expect("fixed width")))
+        }
+    };
+}
+
+impl<'de, 'a> de::Deserializer<'de> for &'a mut WireDeserializer<'de> {
+    type Error = WireError;
+
+    fn deserialize_any<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, WireError> {
+        Err(WireError::NotSelfDescribing)
+    }
+
+    fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
+        match self.take(1)?[0] {
+            0 => visitor.visit_bool(false),
+            1 => visitor.visit_bool(true),
+            _ => Err(WireError::InvalidEncoding("bool tag")),
+        }
+    }
+
+    de_fixed!(deserialize_i8, visit_i8, i8, 1);
+    de_fixed!(deserialize_i16, visit_i16, i16, 2);
+    de_fixed!(deserialize_i32, visit_i32, i32, 4);
+    de_fixed!(deserialize_i64, visit_i64, i64, 8);
+    de_fixed!(deserialize_u16, visit_u16, u16, 2);
+    de_fixed!(deserialize_u32, visit_u32, u32, 4);
+    de_fixed!(deserialize_u64, visit_u64, u64, 8);
+    de_fixed!(deserialize_f32, visit_f32, f32, 4);
+    de_fixed!(deserialize_f64, visit_f64, f64, 8);
+
+    fn deserialize_u8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
+        visitor.visit_u8(self.take(1)?[0])
+    }
+
+    fn deserialize_char<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
+        let raw = self.take(4)?;
+        let code = u32::from_le_bytes(raw.try_into().expect("4 bytes"));
+        let c = char::from_u32(code).ok_or(WireError::InvalidEncoding("char"))?;
+        visitor.visit_char(c)
+    }
+
+    fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
+        let len = self.get_len()?;
+        let raw = self.take(len)?;
+        let s = std::str::from_utf8(raw).map_err(|_| WireError::InvalidEncoding("utf-8"))?;
+        visitor.visit_borrowed_str(s)
+    }
+
+    fn deserialize_string<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
+        self.deserialize_str(visitor)
+    }
+
+    fn deserialize_bytes<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
+        let len = self.get_len()?;
+        visitor.visit_borrowed_bytes(self.take(len)?)
+    }
+
+    fn deserialize_byte_buf<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
+        self.deserialize_bytes(visitor)
+    }
+
+    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
+        match self.take(1)?[0] {
+            0 => visitor.visit_none(),
+            1 => visitor.visit_some(self),
+            _ => Err(WireError::InvalidEncoding("option tag")),
+        }
+    }
+
+    fn deserialize_unit<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
+        visitor.visit_unit()
+    }
+
+    fn deserialize_unit_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, WireError> {
+        visitor.visit_unit()
+    }
+
+    fn deserialize_newtype_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, WireError> {
+        visitor.visit_newtype_struct(self)
+    }
+
+    fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
+        let len = self.get_len()?;
+        visitor.visit_seq(Counted {
+            de: self,
+            remaining: len,
+        })
+    }
+
+    fn deserialize_tuple<V: Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, WireError> {
+        visitor.visit_seq(Counted {
+            de: self,
+            remaining: len,
+        })
+    }
+
+    fn deserialize_tuple_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, WireError> {
+        self.deserialize_tuple(len, visitor)
+    }
+
+    fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
+        let len = self.get_len()?;
+        visitor.visit_map(Counted {
+            de: self,
+            remaining: len,
+        })
+    }
+
+    fn deserialize_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, WireError> {
+        self.deserialize_tuple(fields.len(), visitor)
+    }
+
+    fn deserialize_enum<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        _variants: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, WireError> {
+        visitor.visit_enum(EnumReader { de: self })
+    }
+
+    fn deserialize_identifier<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, WireError> {
+        Err(WireError::NotSelfDescribing)
+    }
+
+    fn deserialize_ignored_any<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, WireError> {
+        Err(WireError::NotSelfDescribing)
+    }
+
+    fn is_human_readable(&self) -> bool {
+        false
+    }
+}
+
+struct Counted<'a, 'de> {
+    de: &'a mut WireDeserializer<'de>,
+    remaining: usize,
+}
+
+impl<'a, 'de> de::SeqAccess<'de> for Counted<'a, 'de> {
+    type Error = WireError;
+
+    fn next_element_seed<T: de::DeserializeSeed<'de>>(
+        &mut self,
+        seed: T,
+    ) -> Result<Option<T::Value>, WireError> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        self.remaining -= 1;
+        seed.deserialize(&mut *self.de).map(Some)
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.remaining)
+    }
+}
+
+impl<'a, 'de> de::MapAccess<'de> for Counted<'a, 'de> {
+    type Error = WireError;
+
+    fn next_key_seed<K: de::DeserializeSeed<'de>>(
+        &mut self,
+        seed: K,
+    ) -> Result<Option<K::Value>, WireError> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        self.remaining -= 1;
+        seed.deserialize(&mut *self.de).map(Some)
+    }
+
+    fn next_value_seed<V: de::DeserializeSeed<'de>>(
+        &mut self,
+        seed: V,
+    ) -> Result<V::Value, WireError> {
+        seed.deserialize(&mut *self.de)
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.remaining)
+    }
+}
+
+struct EnumReader<'a, 'de> {
+    de: &'a mut WireDeserializer<'de>,
+}
+
+impl<'a, 'de> de::EnumAccess<'de> for EnumReader<'a, 'de> {
+    type Error = WireError;
+    type Variant = Self;
+
+    fn variant_seed<V: de::DeserializeSeed<'de>>(
+        self,
+        seed: V,
+    ) -> Result<(V::Value, Self), WireError> {
+        let raw = self.de.take(4)?;
+        let index = u32::from_le_bytes(raw.try_into().expect("4 bytes"));
+        let value = seed.deserialize(de::value::U32Deserializer::<WireError>::new(index))?;
+        Ok((value, self))
+    }
+}
+
+impl<'a, 'de> de::VariantAccess<'de> for EnumReader<'a, 'de> {
+    type Error = WireError;
+
+    fn unit_variant(self) -> Result<(), WireError> {
+        Ok(())
+    }
+
+    fn newtype_variant_seed<T: de::DeserializeSeed<'de>>(
+        self,
+        seed: T,
+    ) -> Result<T::Value, WireError> {
+        seed.deserialize(self.de)
+    }
+
+    fn tuple_variant<V: Visitor<'de>>(self, len: usize, visitor: V) -> Result<V::Value, WireError> {
+        de::Deserializer::deserialize_tuple(self.de, len, visitor)
+    }
+
+    fn struct_variant<V: Visitor<'de>>(
+        self,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, WireError> {
+        de::Deserializer::deserialize_tuple(self.de, fields.len(), visitor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::{Deserialize, Serialize};
+    use std::collections::BTreeMap;
+
+    fn roundtrip<T: Serialize + DeserializeOwned + PartialEq + fmt::Debug>(v: T) {
+        let bytes = to_bytes(&v).unwrap();
+        let back: T = from_bytes(&bytes).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        roundtrip(true);
+        roundtrip(false);
+        roundtrip(-42i8);
+        roundtrip(12345i16);
+        roundtrip(-7_000_000i32);
+        roundtrip(9_007_199_254_740_993i64);
+        roundtrip(255u8);
+        roundtrip(65535u16);
+        roundtrip(4_000_000_000u32);
+        roundtrip(u64::MAX);
+        roundtrip(1.5f32);
+        roundtrip(-0.123456789f64);
+        roundtrip('λ');
+        roundtrip(String::from("hello, wire"));
+        roundtrip(String::new());
+    }
+
+    #[test]
+    fn collections_roundtrip() {
+        roundtrip(vec![1u32, 2, 3]);
+        roundtrip(Vec::<f64>::new());
+        roundtrip(vec![vec![1.0f64, 2.0], vec![]]);
+        roundtrip((1u8, String::from("x"), 2.5f64));
+        let mut m = BTreeMap::new();
+        m.insert(String::from("a"), 1u64);
+        m.insert(String::from("b"), 2u64);
+        roundtrip(m);
+    }
+
+    #[test]
+    fn options_roundtrip() {
+        roundtrip(Option::<u32>::None);
+        roundtrip(Some(99u32));
+        roundtrip(Some(String::from("inner")));
+        roundtrip(vec![Some(1u8), None, Some(3)]);
+    }
+
+    #[derive(Serialize, Deserialize, PartialEq, Debug)]
+    struct Nested {
+        id: u64,
+        name: String,
+        values: Vec<f64>,
+        flag: Option<bool>,
+    }
+
+    #[derive(Serialize, Deserialize, PartialEq, Debug)]
+    enum Msg {
+        Ping,
+        Data { payload: Vec<u8>, crc: u32 },
+        Pair(u8, u8),
+        Wrapped(Nested),
+    }
+
+    #[test]
+    fn structs_roundtrip() {
+        roundtrip(Nested {
+            id: 7,
+            name: "party-3".into(),
+            values: vec![0.1, 0.2],
+            flag: Some(true),
+        });
+    }
+
+    #[test]
+    fn enums_roundtrip() {
+        roundtrip(Msg::Ping);
+        roundtrip(Msg::Data {
+            payload: vec![1, 2, 3],
+            crc: 0xDEAD,
+        });
+        roundtrip(Msg::Pair(4, 5));
+        roundtrip(Msg::Wrapped(Nested {
+            id: 1,
+            name: String::new(),
+            values: vec![],
+            flag: None,
+        }));
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let bytes = to_bytes(&12345u64).unwrap();
+        let short = &bytes[..4];
+        assert_eq!(
+            from_bytes::<u64>(short).unwrap_err(),
+            WireError::UnexpectedEof
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_error() {
+        let mut bytes = to_bytes(&1u8).unwrap();
+        bytes.push(0);
+        assert_eq!(from_bytes::<u8>(&bytes).unwrap_err(), WireError::TrailingBytes);
+    }
+
+    #[test]
+    fn bad_bool_tag_errors() {
+        assert!(matches!(
+            from_bytes::<bool>(&[7]).unwrap_err(),
+            WireError::InvalidEncoding(_)
+        ));
+    }
+
+    #[test]
+    fn bad_utf8_errors() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&2u64.to_le_bytes());
+        bytes.extend_from_slice(&[0xFF, 0xFE]);
+        assert!(matches!(
+            from_bytes::<String>(&bytes).unwrap_err(),
+            WireError::InvalidEncoding(_)
+        ));
+    }
+
+    #[test]
+    fn encoding_is_compact() {
+        // u64 is exactly 8 bytes; a 3-element vec of u8 is 8 (len) + 3.
+        assert_eq!(to_bytes(&0u64).unwrap().len(), 8);
+        assert_eq!(to_bytes(&vec![1u8, 2, 3]).unwrap().len(), 11);
+    }
+}

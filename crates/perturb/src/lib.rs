@@ -1,0 +1,69 @@
+//! Geometric data perturbation and space adaptation.
+//!
+//! Implements the perturbation family of the PODC'07 brief:
+//!
+//! > We define a geometric perturbation as a combination of random rotation
+//! > perturbation, random translation perturbation, and noise addition. It
+//! > can be represented as `G(X) = R·X + Ψ + Δ`, where `X` denotes the
+//! > normalized original dataset with `N` rows and `d` columns, `R` is a
+//! > `d × d` random orthogonal matrix, `Ψ = t·1ᵀ` with `t` uniform over
+//! > `[−1, 1]`, and `Δ` is a noise matrix with i.i.d. elements.
+//!
+//! and the *space adaptor* machinery of Section 3: for a provider space
+//! `Gᵢ : (Rᵢ, tᵢ)` and target space `G_t : (R_t, t_t)`,
+//!
+//! ```text
+//! Y_{i→t} = R_t·Rᵢ⁻¹·Yᵢ + (Ψ_t − R_t·Rᵢ⁻¹·Ψᵢ) − R_t·Rᵢ⁻¹·Δᵢ
+//!           └────┬────┘   └────────┬─────────┘   └─────┬─────┘
+//!           rotation          translation        complementary
+//!           adaptor R_it      adaptor Ψ_it       noise Δ_it
+//! ```
+//!
+//! Applying the adaptor `⟨R_it, Ψ_it⟩` to the perturbed dataset lands the
+//! data in the target space *while inheriting the original noise component*
+//! (the complementary noise cannot be removed without knowing `Δᵢ` — which is
+//! exactly why forwarding adaptors through the coordinator leaks nothing
+//! about the raw data).
+//!
+//! # Module map
+//!
+//! * [`params::Perturbation`] — the noise-free `(R, t)` pair.
+//! * [`noise`] — i.i.d. Gaussian noise matrices `Δ`.
+//! * [`geometric::GeometricPerturbation`] — the full `G(X) = RX + Ψ + Δ`.
+//! * [`adaptor::SpaceAdaptor`] — `⟨R_it, Ψ_it⟩` between two spaces.
+//!
+//! # Example
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use sap_perturb::{GeometricPerturbation, Perturbation, SpaceAdaptor};
+//! use sap_linalg::randn_matrix;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let x = randn_matrix(4, 50, &mut rng); // d × N dataset
+//!
+//! let g_i = GeometricPerturbation::random(4, 0.05, &mut rng);
+//! let (y_i, _delta) = g_i.perturb(&x, &mut rng);
+//!
+//! let g_t = Perturbation::random(4, &mut rng); // target space, no noise
+//! let adaptor = SpaceAdaptor::between(g_i.base(), &g_t).unwrap();
+//! let y_t = adaptor.apply(&y_i);
+//!
+//! // y_t equals G_t(x) up to the inherited (rotated) noise.
+//! let clean_t = g_t.apply_clean(&x);
+//! assert!(sap_linalg::norms::rms_difference(&y_t, &clean_t) < 0.2);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod adaptor;
+pub mod additive;
+pub mod geometric;
+pub mod noise;
+pub mod params;
+
+pub use adaptor::SpaceAdaptor;
+pub use additive::AdditivePerturbation;
+pub use geometric::GeometricPerturbation;
+pub use params::Perturbation;

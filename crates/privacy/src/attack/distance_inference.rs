@@ -1,0 +1,152 @@
+//! Distance-inference (known-point) attack.
+//!
+//! Rotations preserve distances, so an adversary who knows a handful of
+//! original records *and* can locate their images in the perturbed dataset
+//! can solve the orthogonal Procrustes problem for the rotation and
+//! translation, then invert the whole release:
+//!
+//! ```text
+//! R̂ = Procrustes(X_known − μ_X, Y_known − μ_Y)
+//! t̂ = μ_Y − R̂·μ_X
+//! X̂ = R̂ᵀ·(Y − t̂)
+//! ```
+//!
+//! This is the attack that motivates the *noise component* `Δ` of geometric
+//! perturbation: with noise, the Procrustes fit and the inversion are both
+//! inexact, leaving a privacy floor proportional to the noise level. We
+//! grant the adversary exact correspondence between known originals and
+//! their perturbed images — the conservative worst case.
+
+use super::{Attack, AttackerKnowledge};
+use sap_linalg::svd::procrustes_rotation;
+use sap_linalg::Matrix;
+
+/// See the module docs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DistanceInference;
+
+impl Attack for DistanceInference {
+    fn name(&self) -> &'static str {
+        "distance-inference"
+    }
+
+    fn estimate(&self, perturbed: &Matrix, knowledge: &AttackerKnowledge) -> Option<Matrix> {
+        let d = perturbed.rows();
+        // Need at least two points to pin down rotation + translation (and
+        // realistically ≥ d for a stable fit; we let Procrustes do its best).
+        let points: Vec<&(usize, Vec<f64>)> = knowledge
+            .known_points
+            .iter()
+            .filter(|(c, x)| *c < perturbed.cols() && x.len() == d)
+            .collect();
+        if points.len() < 2 {
+            return None;
+        }
+        let m = points.len();
+        let known_x = Matrix::from_fn(d, m, |r, c| points[c].1[r]);
+        let known_y = Matrix::from_fn(d, m, |r, c| perturbed[(r, points[c].0)]);
+
+        let mu_x = known_x.row_means();
+        let mu_y = known_y.row_means();
+        let xc = Matrix::from_fn(d, m, |r, c| known_x[(r, c)] - mu_x[r]);
+        let yc = Matrix::from_fn(d, m, |r, c| known_y[(r, c)] - mu_y[r]);
+
+        let r_hat = procrustes_rotation(&xc, &yc).ok()?;
+        // t̂ = μ_Y − R̂·μ_X.
+        let rmu = r_hat.matvec(&mu_x).ok()?;
+        let t_hat: Vec<f64> = mu_y.iter().zip(&rmu).map(|(&a, &b)| a - b).collect();
+
+        // X̂ = R̂ᵀ (Y − t̂).
+        let shifted = Matrix::from_fn(d, perturbed.cols(), |r, c| perturbed[(r, c)] - t_hat[r]);
+        r_hat.transpose().matmul(&shifted).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::minimum_privacy_guarantee;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sap_linalg::randn_matrix;
+    use sap_perturb::GeometricPerturbation;
+
+    /// Without noise, enough known points fully break the perturbation —
+    /// this is the paper's motivation for Δ.
+    #[test]
+    fn breaks_noiseless_perturbation_completely() {
+        let mut rng = StdRng::seed_from_u64(30);
+        let x = randn_matrix(4, 300, &mut rng);
+        let g = GeometricPerturbation::random(4, 0.0, &mut rng);
+        let (y, _) = g.perturb(&x, &mut rng);
+        let knowledge = AttackerKnowledge::worst_case(&x, 8);
+        let est = DistanceInference.estimate(&y, &knowledge).unwrap();
+        let rho = minimum_privacy_guarantee(&x, &est);
+        assert!(rho < 1e-6, "noiseless perturbation fully broken, rho {rho}");
+    }
+
+    /// With noise, reconstruction is capped at the noise floor.
+    #[test]
+    fn noise_leaves_privacy_floor() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let x = randn_matrix(4, 400, &mut rng);
+        let sigma = 0.4;
+        let g = GeometricPerturbation::random(4, sigma, &mut rng);
+        let (y, _) = g.perturb(&x, &mut rng);
+        let knowledge = AttackerKnowledge::worst_case(&x, 8);
+        let est = DistanceInference.estimate(&y, &knowledge).unwrap();
+        let rho = minimum_privacy_guarantee(&x, &est);
+        assert!(
+            rho > 0.25,
+            "noise should leave a floor near sigma, rho {rho}"
+        );
+    }
+
+    #[test]
+    fn fewer_than_two_points_inapplicable() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let x = randn_matrix(3, 50, &mut rng);
+        let knowledge = AttackerKnowledge::worst_case(&x, 1);
+        assert!(DistanceInference.estimate(&x, &knowledge).is_none());
+        assert!(DistanceInference
+            .estimate(&x, &AttackerKnowledge::default())
+            .is_none());
+    }
+
+    #[test]
+    fn stale_indices_filtered() {
+        let mut rng = StdRng::seed_from_u64(33);
+        let x = randn_matrix(3, 10, &mut rng);
+        let mut knowledge = AttackerKnowledge::worst_case(&x, 2);
+        // Point to columns that do not exist in the perturbed release.
+        knowledge.known_points[0].0 = 99;
+        knowledge.known_points[1].0 = 100;
+        assert!(DistanceInference.estimate(&x, &knowledge).is_none());
+    }
+
+    #[test]
+    fn more_known_points_means_stronger_attack() {
+        let mut rng = StdRng::seed_from_u64(34);
+        let x = randn_matrix(5, 500, &mut rng);
+        let g = GeometricPerturbation::random(5, 0.1, &mut rng);
+        let (y, _) = g.perturb(&x, &mut rng);
+        let rho_few = {
+            let k = AttackerKnowledge::worst_case(&x, 2);
+            DistanceInference
+                .estimate(&y, &k)
+                .map(|e| minimum_privacy_guarantee(&x, &e))
+                .unwrap()
+        };
+        let rho_many = {
+            let k = AttackerKnowledge::worst_case(&x, 50);
+            DistanceInference
+                .estimate(&y, &k)
+                .map(|e| minimum_privacy_guarantee(&x, &e))
+                .unwrap()
+        };
+        assert!(
+            rho_many <= rho_few + 0.05,
+            "more points should not weaken the attack: few={rho_few}, many={rho_many}"
+        );
+    }
+}

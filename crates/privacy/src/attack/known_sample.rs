@@ -1,0 +1,145 @@
+//! Known-sample attack.
+//!
+//! A more realistic variant of the PCA reconstruction: instead of the exact
+//! original covariance (which [`super::PcaReconstruction`] assumes), the
+//! adversary only holds an independent *sample from the same population* —
+//! e.g. a public subset of an earlier release — and estimates the marginals
+//! and covariance from it. Attack strength degrades smoothly with sample
+//! size, which is exactly the knob the SDM'07 analysis varies.
+
+use super::{Attack, AttackerKnowledge, AttrStats, PcaReconstruction};
+use sap_linalg::Matrix;
+
+/// See the module docs.
+#[derive(Debug, Clone)]
+pub struct KnownSampleAttack {
+    /// The adversary's reference sample (`d × m`, same population as the
+    /// target data, disjoint records).
+    pub reference: Matrix,
+}
+
+impl KnownSampleAttack {
+    /// Creates the attack from a reference sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the sample has fewer than 4 records (covariance
+    /// estimation would be meaningless).
+    pub fn new(reference: Matrix) -> Self {
+        assert!(
+            reference.cols() >= 4,
+            "reference sample needs at least 4 records"
+        );
+        KnownSampleAttack { reference }
+    }
+
+    /// Derives the attacker knowledge implied by the reference sample:
+    /// estimated marginals and covariance, no known points.
+    pub fn derived_knowledge(&self) -> AttackerKnowledge {
+        AttackerKnowledge {
+            attr_stats: (0..self.reference.rows())
+                .map(|j| AttrStats::from_sample(self.reference.row(j)))
+                .collect(),
+            covariance: Some(self.reference.column_covariance()),
+            known_points: Vec::new(),
+        }
+    }
+}
+
+impl Attack for KnownSampleAttack {
+    fn name(&self) -> &'static str {
+        "known-sample"
+    }
+
+    fn estimate(&self, perturbed: &Matrix, _knowledge: &AttackerKnowledge) -> Option<Matrix> {
+        if self.reference.rows() != perturbed.rows() {
+            return None;
+        }
+        // Run the PCA reconstruction against the *estimated* knowledge; the
+        // exact knowledge passed in is deliberately ignored — this attack
+        // models the weaker adversary.
+        PcaReconstruction.estimate(perturbed, &self.derived_knowledge())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::minimum_privacy_guarantee;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+    use sap_perturb::GeometricPerturbation;
+
+    /// Skewed anisotropic population split into target + reference halves.
+    fn population(n: usize, seed: u64) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Matrix::from_fn(2, n, |r, _| {
+            let u: f64 = rng.random_range(0.0001..1.0);
+            match r {
+                0 => -u.ln() * 3.0,
+                _ => u * u,
+            }
+        })
+    }
+
+    #[test]
+    fn large_reference_approaches_exact_pca_attack() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let target = population(2000, 2);
+        let reference = population(2000, 3); // independent, same population
+        let g = GeometricPerturbation::random(2, 0.0, &mut rng);
+        let (y, _) = g.perturb(&target, &mut rng);
+
+        let exact = PcaReconstruction
+            .estimate(&y, &AttackerKnowledge::worst_case(&target, 0))
+            .unwrap();
+        let rho_exact = minimum_privacy_guarantee(&target, &exact);
+
+        let attack = KnownSampleAttack::new(reference);
+        let est = attack.estimate(&y, &AttackerKnowledge::default()).unwrap();
+        let rho_sample = minimum_privacy_guarantee(&target, &est);
+
+        assert!(
+            (rho_sample - rho_exact).abs() < 0.25,
+            "large reference should approach exact attack: sample {rho_sample:.3} vs exact {rho_exact:.3}"
+        );
+    }
+
+    #[test]
+    fn tiny_reference_is_weaker() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let target = population(2000, 5);
+        let g = GeometricPerturbation::random(2, 0.0, &mut rng);
+        let (y, _) = g.perturb(&target, &mut rng);
+
+        let rho_with = |m: usize, seed: u64| {
+            let reference = population(m, seed);
+            let attack = KnownSampleAttack::new(reference);
+            attack
+                .estimate(&y, &AttackerKnowledge::default())
+                .map(|est| minimum_privacy_guarantee(&target, &est))
+                .unwrap()
+        };
+        // Average a few seeds to smooth estimation noise.
+        let small: f64 = (0..4).map(|s| rho_with(8, 10 + s)).sum::<f64>() / 4.0;
+        let large: f64 = (0..4).map(|s| rho_with(1500, 20 + s)).sum::<f64>() / 4.0;
+        assert!(
+            large <= small + 0.05,
+            "a larger reference should not be weaker: small-ref rho {small:.3}, large-ref rho {large:.3}"
+        );
+    }
+
+    #[test]
+    fn dimension_mismatch_inapplicable() {
+        let reference = population(100, 6);
+        let attack = KnownSampleAttack::new(reference);
+        let y = Matrix::zeros(3, 50);
+        assert!(attack.estimate(&y, &AttackerKnowledge::default()).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 4 records")]
+    fn tiny_sample_rejected() {
+        let _ = KnownSampleAttack::new(Matrix::zeros(2, 2));
+    }
+}

@@ -1,0 +1,145 @@
+//! The multi-column privacy metric.
+//!
+//! Following Chen & Liu (ICDM'05 / SDM'07), the privacy offered for one
+//! attribute is the standard deviation of the attacker's estimation error,
+//! normalized by the attribute's own spread so attributes are comparable:
+//!
+//! ```text
+//! ρⱼ = std(Xⱼ − X̂ⱼ) / std(Xⱼ)
+//! ```
+//!
+//! where `Xⱼ` is attribute `j` of the original (normalized) data and `X̂ⱼ`
+//! the attacker's best estimate. `ρⱼ = 0` means perfect reconstruction of
+//! that attribute; larger is safer. The **minimum privacy guarantee** of a
+//! perturbation is the worst attribute under the strongest attack:
+//!
+//! ```text
+//! ρ = min_j min_{attack} ρⱼ(attack)
+//! ```
+//!
+//! The paper evaluates everything through this minimum ("In this paper we by
+//! default use the Minimum Privacy Guarantee").
+
+use sap_linalg::{vecops, Matrix};
+
+/// Privacy of a single attribute (row `j` of the `d × N` matrices):
+/// `std(error) / std(original)`. Degenerate attributes (zero spread) fall
+/// back to the un-normalized error std.
+///
+/// # Panics
+///
+/// Panics when shapes differ or `j` is out of range.
+pub fn attribute_privacy(original: &Matrix, estimate: &Matrix, j: usize) -> f64 {
+    assert_eq!(original.shape(), estimate.shape(), "shape mismatch");
+    assert!(j < original.rows(), "attribute index out of range");
+    let x = original.row(j);
+    let e: Vec<f64> = x
+        .iter()
+        .zip(estimate.row(j))
+        .map(|(&a, &b)| a - b)
+        .collect();
+    let err_std = vecops::std_dev(&e);
+    let x_std = vecops::std_dev(x);
+    if x_std > 1e-12 {
+        err_std / x_std
+    } else {
+        err_std
+    }
+}
+
+/// Minimum privacy guarantee across all attributes for one reconstruction:
+/// `min_j ρⱼ`.
+///
+/// # Panics
+///
+/// Panics when shapes differ.
+pub fn minimum_privacy_guarantee(original: &Matrix, estimate: &Matrix) -> f64 {
+    assert_eq!(original.shape(), estimate.shape(), "shape mismatch");
+    (0..original.rows())
+        .map(|j| attribute_privacy(original, estimate, j))
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Mean attribute privacy (the softer aggregate the SDM'07 paper also
+/// reports; useful in ablations).
+///
+/// # Panics
+///
+/// Panics when shapes differ.
+pub fn average_privacy(original: &Matrix, estimate: &Matrix) -> f64 {
+    assert_eq!(original.shape(), estimate.shape(), "shape mismatch");
+    let d = original.rows() as f64;
+    (0..original.rows())
+        .map(|j| attribute_privacy(original, estimate, j))
+        .sum::<f64>()
+        / d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sap_linalg::randn_matrix;
+
+    #[test]
+    fn perfect_reconstruction_gives_zero() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = randn_matrix(3, 50, &mut rng);
+        assert_eq!(minimum_privacy_guarantee(&x, &x), 0.0);
+        assert_eq!(average_privacy(&x, &x), 0.0);
+    }
+
+    #[test]
+    fn unit_noise_error_gives_unit_privacy() {
+        // Estimate = original + noise with std equal to the column std
+        // => ρⱼ ≈ 1.
+        let mut rng = StdRng::seed_from_u64(2);
+        let x = randn_matrix(2, 20_000, &mut rng);
+        let noise = randn_matrix(2, 20_000, &mut rng);
+        let est = &x + &noise;
+        let rho = minimum_privacy_guarantee(&x, &est);
+        assert!((rho - 1.0).abs() < 0.05, "rho {rho}");
+    }
+
+    #[test]
+    fn minimum_picks_worst_attribute() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let x = randn_matrix(2, 5000, &mut rng);
+        // Attribute 0 perfectly known, attribute 1 garbage.
+        let mut est = randn_matrix(2, 5000, &mut rng);
+        for c in 0..5000 {
+            est[(0, c)] = x[(0, c)];
+        }
+        let rho = minimum_privacy_guarantee(&x, &est);
+        assert!(rho < 1e-9, "worst attribute is fully disclosed");
+        assert!(average_privacy(&x, &est) > 0.5);
+    }
+
+    #[test]
+    fn normalization_is_scale_free() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let x = randn_matrix(2, 4000, &mut rng);
+        let noise = randn_matrix(2, 4000, &mut rng).scale(0.5);
+        let est = &x + &noise;
+        let rho1 = attribute_privacy(&x, &est, 0);
+        // Scale both original and estimate by 10: ρ must not change.
+        let xs = x.scale(10.0);
+        let ests = est.scale(10.0);
+        let rho2 = attribute_privacy(&xs, &ests, 0);
+        assert!((rho1 - rho2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_attribute_falls_back_to_raw_error() {
+        let x = Matrix::filled(1, 100, 0.7);
+        let est = Matrix::filled(1, 100, 0.7);
+        assert_eq!(attribute_privacy(&x, &est, 0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn shape_mismatch_panics() {
+        let _ = minimum_privacy_guarantee(&Matrix::zeros(2, 3), &Matrix::zeros(2, 4));
+    }
+}

@@ -1,0 +1,88 @@
+//! Failure injection: what happens to a SAP session when the network is
+//! lossy or a provider crashes mid-protocol.
+//!
+//! SAP is a one-shot protocol with no retransmission layer; its safety
+//! property under failure is *clean abort* — a session either completes with
+//! a correct unified dataset or returns an error, never a wrong result. This
+//! example demonstrates both the failure path (simulated directly on the
+//! transport layer) and the role-level timeout behaviour.
+//!
+//! ```text
+//! cargo run --example failure_injection --release
+//! ```
+
+use sap_repro::core::audit::AuditLog;
+use sap_repro::core::miner::run_miner;
+use sap_repro::core::session::{run_session, SapConfig};
+use sap_repro::core::SapError;
+use sap_repro::datasets::normalize::min_max_normalize;
+use sap_repro::datasets::partition::{partition, PartitionScheme};
+use sap_repro::datasets::registry::UciDataset;
+use sap_repro::net::node::Node;
+use sap_repro::net::sim::{FaultConfig, FaultyTransport};
+use sap_repro::net::transport::InMemoryHub;
+use sap_repro::net::PartyId;
+use std::time::Duration;
+
+fn main() {
+    happy_path();
+    crashed_provider();
+    lossy_link_to_miner();
+}
+
+/// Control: the same session succeeds on a clean network.
+fn happy_path() {
+    let (data, _) = min_max_normalize(&UciDataset::Iris.generate(5));
+    let locals = partition(&data, 4, PartitionScheme::Uniform, 1);
+    let outcome = run_session(locals, &SapConfig::quick_test()).expect("clean run");
+    println!(
+        "clean network: session completed, {} unified records\n",
+        outcome.unified.len()
+    );
+}
+
+/// A provider "crashes" by never joining: every other role times out and the
+/// session aborts with a timeout error instead of producing partial output.
+fn crashed_provider() {
+    let (data, _) = min_max_normalize(&UciDataset::Iris.generate(6));
+    let mut locals = partition(&data, 4, PartitionScheme::Uniform, 2);
+    // Simulate the crash by corrupting one provider's input dimension: the
+    // session refuses it up front (InconsistentInputs) — the validation
+    // failure mode.
+    let bad = sap_repro::datasets::Dataset::new(vec![vec![0.0; 7]; 10], vec![0; 10]);
+    locals[1] = bad;
+    match run_session(locals, &SapConfig::quick_test()) {
+        Err(SapError::InconsistentInputs(what)) => {
+            println!("inconsistent provider rejected up front: {what}\n");
+        }
+        other => panic!("expected InconsistentInputs, got {other:?}"),
+    }
+}
+
+/// A miner behind a 100%-lossy link: its collection phase times out cleanly.
+fn lossy_link_to_miner() {
+    let hub = InMemoryHub::new();
+    let endpoint = hub.endpoint(PartyId(1_000));
+    // Wrap the miner's endpoint in a transport that drops everything it
+    // would send (acks) — and nobody sends to it, so collection times out.
+    let faulty = FaultyTransport::new(
+        endpoint,
+        FaultConfig {
+            drop_prob: 1.0,
+            ..FaultConfig::default()
+        },
+    );
+    let node = Node::new(faulty, 42);
+    let audit = AuditLog::new();
+    let config = SapConfig {
+        timeout: Duration::from_millis(100),
+        ..SapConfig::quick_test()
+    };
+    match run_miner(&node, 3, PartyId(2), &config, &audit) {
+        Err(SapError::Timeout { phase, .. }) => {
+            println!("lossy network: miner aborted cleanly during '{phase}'");
+            println!("(drops observed by fault injector: {})", node.transport().fault_counts().0);
+        }
+        other => panic!("expected timeout, got {other:?}"),
+    }
+}

@@ -1,0 +1,175 @@
+//! Failure-injection tests: SAP roles over faulty transports must abort
+//! cleanly (error out), never produce wrong results.
+
+use sap_repro::core::audit::AuditLog;
+use sap_repro::core::messages::{SapMessage, SlotTag};
+use sap_repro::core::miner::run_miner;
+use sap_repro::core::session::SapConfig;
+use sap_repro::core::SapError;
+use sap_repro::datasets::Dataset;
+use sap_repro::net::node::Node;
+use sap_repro::net::sim::{FaultConfig, FaultyTransport};
+use sap_repro::net::transport::InMemoryHub;
+use sap_repro::net::PartyId;
+use std::time::Duration;
+
+fn quick(timeout_ms: u64) -> SapConfig {
+    SapConfig {
+        timeout: Duration::from_millis(timeout_ms),
+        ..SapConfig::quick_test()
+    }
+}
+
+fn tiny_dataset() -> Dataset {
+    Dataset::new(
+        (0..12).map(|i| vec![i as f64 / 12.0, (i % 3) as f64 / 3.0]).collect(),
+        (0..12).map(|i| i % 2).collect(),
+    )
+}
+
+/// A sender whose messages are all dropped: the miner times out cleanly.
+#[test]
+fn dropped_messages_time_out_cleanly() {
+    let hub = InMemoryHub::new();
+    let miner_node = Node::new(hub.endpoint(PartyId(100)), 42);
+    // The relay's outgoing link drops everything.
+    let relay = Node::new(
+        FaultyTransport::new(
+            hub.endpoint(PartyId(1)),
+            FaultConfig {
+                drop_prob: 1.0,
+                ..FaultConfig::default()
+            },
+        ),
+        42,
+    );
+    relay
+        .send_msg(
+            PartyId(100),
+            &SapMessage::RelayedData {
+                slot: SlotTag(1),
+                data: tiny_dataset(),
+            },
+        )
+        .unwrap();
+    assert_eq!(relay.transport().fault_counts().0, 1, "message was dropped");
+
+    let audit = AuditLog::new();
+    let err = run_miner(&miner_node, 1, PartyId(2), &quick(100), &audit).unwrap_err();
+    assert!(matches!(err, SapError::Timeout { .. }), "{err}");
+    // Nothing was recorded as delivered.
+    assert!(audit.is_empty());
+}
+
+/// A duplicated relay frame becomes a duplicate slot — a protocol error,
+/// not silent double-counting of records.
+#[test]
+fn duplicated_relay_detected_as_protocol_error() {
+    let hub = InMemoryHub::new();
+    let miner_node = Node::new(hub.endpoint(PartyId(100)), 42);
+    let relay = Node::new(
+        FaultyTransport::new(
+            hub.endpoint(PartyId(1)),
+            FaultConfig {
+                duplicate_prob: 1.0,
+                ..FaultConfig::default()
+            },
+        ),
+        42,
+    );
+    relay
+        .send_msg(
+            PartyId(100),
+            &SapMessage::RelayedData {
+                slot: SlotTag(9),
+                data: tiny_dataset(),
+            },
+        )
+        .unwrap();
+
+    let audit = AuditLog::new();
+    let err = run_miner(&miner_node, 2, PartyId(2), &quick(300), &audit).unwrap_err();
+    assert!(err.to_string().contains("duplicate slot"), "{err}");
+}
+
+/// Corrupted ciphertext (tampering / bit-rot) surfaces as a crypto failure,
+/// not as garbage data.
+#[test]
+fn corrupted_frame_fails_crypto_not_parsing() {
+    let hub = InMemoryHub::new();
+    let a = Node::new(hub.endpoint(PartyId(1)), 42);
+    let b_endpoint = hub.endpoint(PartyId(2));
+    a.send_msg(PartyId(2), &7u64).unwrap();
+
+    use sap_repro::net::Transport;
+    let (from, sealed) = b_endpoint.recv().unwrap();
+    assert_eq!(from, PartyId(1));
+    let mut corrupted = sealed.to_vec();
+    let mid = corrupted.len() / 2;
+    corrupted[mid] ^= 0xFF;
+    // Open through a fresh node holding the same secret.
+    let hub2 = InMemoryHub::new();
+    let c = Node::new(hub2.endpoint(PartyId(2)), 42);
+    let d = hub2.endpoint(PartyId(1));
+    d.send(PartyId(2), corrupted.into()).unwrap();
+    let err = c.recv_msg::<u64>().unwrap_err();
+    assert!(matches!(err, sap_repro::net::node::NodeError::Crypto(_)), "{err}");
+}
+
+/// Reordering (delay) between two relays is harmless: the miner keys
+/// everything by slot, so arrival order does not matter.
+#[test]
+fn reordered_relays_still_unify() {
+    use sap_repro::perturb::{Perturbation, SpaceAdaptor};
+
+    let hub = InMemoryHub::new();
+    let miner_node = Node::new(hub.endpoint(PartyId(100)), 42);
+    let relay = Node::new(
+        FaultyTransport::new(
+            hub.endpoint(PartyId(1)),
+            FaultConfig {
+                delay_prob: 1.0,
+                ..FaultConfig::default()
+            },
+        ),
+        42,
+    );
+    let coord = Node::new(hub.endpoint(PartyId(2)), 42);
+
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(5);
+    let target = Perturbation::random(2, &mut rng);
+    let g1 = Perturbation::random(2, &mut rng);
+    let g2 = Perturbation::random(2, &mut rng);
+    let d1 = tiny_dataset();
+    let y1 = g1.apply_clean(&d1.to_column_matrix());
+    let y2 = g2.apply_clean(&d1.to_column_matrix());
+
+    for (slot, y) in [(SlotTag(1), &y1), (SlotTag(2), &y2)] {
+        relay
+            .send_msg(
+                PartyId(100),
+                &SapMessage::RelayedData {
+                    slot,
+                    data: Dataset::from_column_matrix(y, d1.labels().to_vec(), 2),
+                },
+            )
+            .unwrap();
+    }
+    relay.transport().flush().unwrap();
+    coord
+        .send_msg(
+            PartyId(100),
+            &SapMessage::AdaptorTable {
+                entries: vec![
+                    (SlotTag(1), SpaceAdaptor::between(&g1, &target).unwrap()),
+                    (SlotTag(2), SpaceAdaptor::between(&g2, &target).unwrap()),
+                ],
+            },
+        )
+        .unwrap();
+
+    let audit = AuditLog::new();
+    let out = run_miner(&miner_node, 2, PartyId(2), &quick(500), &audit).unwrap();
+    assert_eq!(out.unified.len(), 24);
+    assert_eq!(relay.transport().fault_counts().2 >= 1, true, "delay happened");
+}

@@ -1,0 +1,157 @@
+//! End-to-end integration tests of the full SAP pipeline: datasets →
+//! perturbation → protocol → mining, spanning every crate in the workspace.
+
+use sap_repro::classify::{KnnClassifier, Model};
+use sap_repro::core::session::{run_session, SapConfig, MINER_ID};
+use sap_repro::datasets::normalize::min_max_normalize;
+use sap_repro::datasets::partition::{partition, PartitionScheme};
+use sap_repro::datasets::registry::UciDataset;
+use sap_repro::datasets::split::stratified_split;
+use sap_repro::datasets::Dataset;
+use sap_repro::linalg::vecops;
+use sap_repro::net::PartyId;
+
+fn quick() -> SapConfig {
+    SapConfig::quick_test()
+}
+
+#[test]
+fn session_preserves_record_count_and_labels() {
+    let (data, _) = min_max_normalize(&UciDataset::Wine.generate(1));
+    let locals = partition(&data, 4, PartitionScheme::Uniform, 2);
+    let outcome = run_session(locals, &quick()).unwrap();
+    assert_eq!(outcome.unified.len(), data.len());
+    assert_eq!(outcome.unified.dim(), data.dim());
+    // Label multiset preserved (order is permuted by the exchange).
+    assert_eq!(outcome.unified.class_counts(), data.class_counts());
+}
+
+#[test]
+fn unified_records_are_target_space_images_up_to_noise() {
+    let (data, _) = min_max_normalize(&UciDataset::Iris.generate(2));
+    let locals = partition(&data, 4, PartitionScheme::Uniform, 3);
+    let config = quick();
+    let sigma = config.optimizer.noise_sigma;
+    let outcome = run_session(locals, &config).unwrap();
+
+    // Inverting the target space should land every unified record within the
+    // noise floor of SOME original record.
+    let inverted = outcome
+        .target
+        .invert_clean(&outcome.unified.to_column_matrix());
+    let d = data.dim() as f64;
+    let noise_budget = 6.0 * sigma * d.sqrt() + 1e-6;
+    for c in (0..inverted.cols()).step_by(17) {
+        let rec = inverted.column(c);
+        let nearest = data
+            .records()
+            .iter()
+            .map(|r| vecops::dist2(&rec, r))
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            nearest < noise_budget,
+            "unified record {c} is {nearest:.4} from any original (budget {noise_budget:.4})"
+        );
+    }
+}
+
+#[test]
+fn knn_accuracy_survives_the_protocol() {
+    // The paper's headline utility claim (Figure 5) on one dataset.
+    let (data, _) = min_max_normalize(&UciDataset::Iris.generate(3));
+    let tt = stratified_split(&data, 0.7, 4);
+    let baseline = KnnClassifier::fit(&tt.train, 5).accuracy(&tt.test);
+
+    let locals = partition(&tt.train, 4, PartitionScheme::Uniform, 5);
+    let outcome = run_session(locals, &quick()).unwrap();
+    let test_unified = {
+        let m = outcome.target.apply_clean(&tt.test.to_column_matrix());
+        Dataset::from_column_matrix(&m, tt.test.labels().to_vec(), tt.test.num_classes())
+    };
+    let perturbed = KnnClassifier::fit(&outcome.unified, 5).accuracy(&test_unified);
+    assert!(
+        (perturbed - baseline).abs() < 0.12,
+        "deviation too large: baseline {baseline:.3}, perturbed {perturbed:.3}"
+    );
+}
+
+#[test]
+fn audit_invariants_hold_across_seeds_and_schemes() {
+    for seed in [1u64, 2, 3] {
+        for scheme in [PartitionScheme::Uniform, PartitionScheme::ClassSkewed] {
+            let (data, _) = min_max_normalize(&UciDataset::Iris.generate(seed));
+            let locals = partition(&data, 5, scheme, seed);
+            let mut config = quick();
+            config.seed = seed;
+            let outcome = run_session(locals, &config).unwrap();
+            let providers: Vec<PartyId> = (0..5).map(PartyId).collect();
+            outcome
+                .audit
+                .verify_flow(PartyId(4), MINER_ID, &providers)
+                .unwrap_or_else(|e| panic!("flow violation at seed {seed}: {e}"));
+            // Coordinator saw adaptors but no data.
+            assert!(outcome.audit.party_saw_parameters(PartyId(4)));
+            assert!(!outcome.audit.party_saw_data(PartyId(4)));
+        }
+    }
+}
+
+#[test]
+fn coordinator_never_relays_and_forwarders_vary() {
+    // Across sessions, the forwarder set must exclude the coordinator and
+    // should not be constant (the exchange is random).
+    let (data, _) = min_max_normalize(&UciDataset::Iris.generate(9));
+    let mut seen_forwarder_sets = std::collections::HashSet::new();
+    for seed in 0..6u64 {
+        let locals = partition(&data, 5, PartitionScheme::Uniform, 11);
+        let mut config = quick();
+        config.seed = seed;
+        let outcome = run_session(locals, &config).unwrap();
+        let mut forwarders: Vec<u64> = outcome
+            .forwarder_of_slot
+            .iter()
+            .map(|(_, p)| p.0)
+            .collect();
+        assert!(forwarders.iter().all(|&f| f != 4), "coordinator relayed");
+        forwarders.sort_unstable();
+        seen_forwarder_sets.insert(format!("{forwarders:?}"));
+    }
+    assert!(
+        seen_forwarder_sets.len() > 1,
+        "exchange assignment should vary across sessions"
+    );
+}
+
+#[test]
+fn satisfaction_levels_are_mostly_high() {
+    // The protocol's economics: unified-space privacy should be a large
+    // fraction of locally-optimized privacy for most providers.
+    let (data, _) = min_max_normalize(&UciDataset::Diabetes.generate(4));
+    let locals = partition(&data, 4, PartitionScheme::Uniform, 6);
+    let outcome = run_session(locals, &quick()).unwrap();
+    let sats: Vec<f64> = outcome.reports.iter().map(|r| r.satisfaction).collect();
+    let mean = vecops::mean(&sats);
+    assert!(
+        mean > 0.5,
+        "mean satisfaction {mean:.3} implausibly low: {sats:?}"
+    );
+}
+
+#[test]
+fn works_at_the_minimum_party_count() {
+    let (data, _) = min_max_normalize(&UciDataset::Iris.generate(5));
+    let locals = partition(&data, 3, PartitionScheme::Uniform, 7);
+    let outcome = run_session(locals, &quick()).unwrap();
+    assert_eq!(outcome.reports.len(), 3);
+    assert!((outcome.identifiability - 0.5).abs() < 1e-12);
+}
+
+#[test]
+fn scales_to_ten_parties() {
+    let (data, _) = min_max_normalize(&UciDataset::Diabetes.generate(6));
+    let locals = partition(&data, 10, PartitionScheme::Uniform, 8);
+    let outcome = run_session(locals, &quick()).unwrap();
+    assert_eq!(outcome.reports.len(), 10);
+    assert!((outcome.identifiability - 1.0 / 9.0).abs() < 1e-12);
+    assert_eq!(outcome.unified.len(), data.len());
+}
