@@ -26,9 +26,13 @@ fn bench_ablations(c: &mut Criterion) {
         let g = GeometricPerturbation::random(x.rows(), sigma, &mut rng);
         let (y, _) = g.perturb(&sample, &mut rng);
         let suite = AttackSuite::fast();
-        group.bench_with_input(BenchmarkId::new("attack_suite", format!("sigma{sigma}")), &y, |b, y| {
-            b.iter(|| black_box(suite.privacy_guarantee(&sample, y, &knowledge)));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("attack_suite", format!("sigma{sigma}")),
+            &y,
+            |b, y| {
+                b.iter(|| black_box(suite.privacy_guarantee(&sample, y, &knowledge)));
+            },
+        );
     }
     group.finish();
 
@@ -37,7 +41,10 @@ fn bench_ablations(c: &mut Criterion) {
     group.sample_size(10);
     let g = GeometricPerturbation::random(x.rows(), 0.05, &mut rng);
     let (y, _) = g.perturb(&sample, &mut rng);
-    for (name, suite) in [("fast", AttackSuite::fast()), ("standard", AttackSuite::standard())] {
+    for (name, suite) in [
+        ("fast", AttackSuite::fast()),
+        ("standard", AttackSuite::standard()),
+    ] {
         group.bench_with_input(BenchmarkId::new("suite", name), &suite, |b, suite| {
             b.iter(|| black_box(suite.privacy_guarantee(&sample, &y, &knowledge)));
         });

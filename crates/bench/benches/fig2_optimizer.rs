@@ -30,14 +30,10 @@ fn bench_fig2(c: &mut Criterion) {
             eval_sample: 150,
             ..OptimizerConfig::default()
         };
-        group.bench_with_input(
-            BenchmarkId::new("optimize", candidates),
-            &cfg,
-            |b, cfg| {
-                let mut rng = StdRng::seed_from_u64(3);
-                b.iter(|| black_box(optimize(&x, cfg, &mut rng).privacy_guarantee));
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("optimize", candidates), &cfg, |b, cfg| {
+            let mut rng = StdRng::seed_from_u64(3);
+            b.iter(|| black_box(optimize(&x, cfg, &mut rng).privacy_guarantee));
+        });
     }
     group.finish();
 }

@@ -1,9 +1,12 @@
-//! Transport-layer microbenchmarks: wire encoding, sealing, and hub
-//! round-trips for dataset-sized payloads — the cost floor of a SAP session.
+//! Transport-layer benchmarks: the legacy monolithic pipeline (whole
+//! message serde-encoded, sealed byte-at-a-time, shipped as one payload)
+//! against the chunked streaming pipeline (row-block frames, word-wise
+//! sealed envelope) — the cost floor of a SAP session's data exchange.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use sap_core::link::{self, Inbound};
 use sap_core::messages::{SapMessage, SlotTag};
 use sap_datasets::Dataset;
 use sap_linalg::randn_matrix;
@@ -12,53 +15,116 @@ use sap_net::node::Node;
 use sap_net::transport::InMemoryHub;
 use sap_net::{wire, PartyId};
 use std::hint::black_box;
+use std::time::Duration;
 
-fn dataset_message(records: usize, dim: usize) -> SapMessage {
+fn dataset(records: usize, dim: usize) -> Dataset {
     let mut rng = StdRng::seed_from_u64(1);
     let m = randn_matrix(dim, records, &mut rng);
     let labels = (0..records).map(|i| i % 2).collect();
+    Dataset::from_column_matrix(&m, labels, 2)
+}
+
+fn dataset_message(records: usize, dim: usize) -> SapMessage {
     SapMessage::PerturbedData {
         slot: SlotTag(7),
-        data: Dataset::from_column_matrix(&m, labels, 2),
+        data: dataset(records, dim),
     }
 }
 
 fn bench_net(c: &mut Criterion) {
     let mut group = c.benchmark_group("net_throughput");
-    for &records in &[100usize, 1000] {
+    for &records in &[100usize, 1000, 10_000] {
         let msg = dataset_message(records, 16);
+        let data = dataset(records, 16);
         let bytes = wire::to_bytes(&msg).unwrap();
         group.throughput(Throughput::Bytes(bytes.len() as u64));
 
         group.bench_with_input(BenchmarkId::new("wire_encode", records), &msg, |b, msg| {
             b.iter(|| black_box(wire::to_bytes(msg).unwrap()));
         });
-        group.bench_with_input(BenchmarkId::new("wire_decode", records), &bytes, |b, bytes| {
-            b.iter(|| black_box(wire::from_bytes::<SapMessage>(bytes).unwrap()));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("wire_decode", records),
+            &bytes,
+            |b, bytes| {
+                b.iter(|| black_box(wire::from_bytes::<SapMessage>(bytes).unwrap()));
+            },
+        );
 
         let key = ChannelKey::derive(42, 1, 2);
-        group.bench_with_input(BenchmarkId::new("seal_open", records), &bytes, |b, bytes| {
-            b.iter(|| {
-                let sealed = seal(key, 9, bytes);
-                black_box(open(key, &sealed).unwrap())
-            });
-        });
-
         group.bench_with_input(
-            BenchmarkId::new("node_roundtrip", records),
-            &msg,
-            |b, msg| {
-                let hub = InMemoryHub::new();
-                let a = Node::new(hub.endpoint(PartyId(1)), 42);
-                let bn = Node::new(hub.endpoint(PartyId(2)), 42);
+            BenchmarkId::new("legacy_seal_open", records),
+            &bytes,
+            |b, bytes| {
                 b.iter(|| {
-                    a.send_msg(PartyId(2), msg).unwrap();
-                    let (_, got): (PartyId, SapMessage) = bn.recv_msg().unwrap();
-                    black_box(got)
+                    let sealed = seal(key, 9, bytes);
+                    black_box(open(key, &sealed).unwrap())
                 });
             },
         );
+
+        // The seed's full pipeline: encode whole message, seal whole
+        // payload byte-at-a-time, one monolithic transport send.
+        group.bench_with_input(
+            BenchmarkId::new("monolithic_roundtrip", records),
+            &msg,
+            |b, msg| {
+                let hub = InMemoryHub::new();
+                let tx = hub.endpoint(PartyId(1));
+                let rx = hub.endpoint(PartyId(2));
+                use sap_net::Transport;
+                b.iter(|| {
+                    let plain = wire::to_bytes(msg).unwrap();
+                    let sealed = seal(key, 9, &plain);
+                    tx.send(PartyId(2), sealed).unwrap();
+                    let (_, got) = rx.recv().unwrap();
+                    let opened = open(key, &got).unwrap();
+                    black_box(wire::from_bytes::<SapMessage>(&opened).unwrap())
+                });
+            },
+        );
+
+        // The refactored pipeline: row-block stream frames, each sealed
+        // with the word-wise envelope, reassembled without a monolithic
+        // buffer.
+        group.bench_with_input(
+            BenchmarkId::new("chunked_roundtrip", records),
+            &data,
+            |b, data| {
+                let hub = InMemoryHub::new();
+                let tx = Node::new(hub.endpoint(PartyId(1)), 42);
+                let rx = Node::new(hub.endpoint(PartyId(2)), 42);
+                b.iter(|| {
+                    link::send_dataset(&tx, PartyId(2), false, SlotTag(7), data, 512).unwrap();
+                    let (_, inbound) = link::recv_message(&rx, Duration::from_secs(5)).unwrap();
+                    let Inbound::Data(stream) = inbound else {
+                        panic!("expected stream");
+                    };
+                    black_box(stream.into_dataset().unwrap())
+                });
+            },
+        );
+
+        // The anonymizing relay hop alone: receive a stream and forward it
+        // without decoding (clone Bytes, never Dataset).
+        group.bench_with_input(BenchmarkId::new("relay_hop", records), &data, |b, data| {
+            let hub = InMemoryHub::new();
+            let tx = Node::new(hub.endpoint(PartyId(1)), 42);
+            let relay = Node::new(hub.endpoint(PartyId(2)), 42);
+            let miner = Node::new(hub.endpoint(PartyId(100)), 42);
+            b.iter(|| {
+                link::send_dataset(&tx, PartyId(2), false, SlotTag(7), data, 512).unwrap();
+                let (_, inbound) = link::recv_message(&relay, Duration::from_secs(5)).unwrap();
+                let Inbound::Data(stream) = inbound else {
+                    panic!("expected stream");
+                };
+                link::relay_stream(&relay, PartyId(100), &stream).unwrap();
+                let (_, relayed) = link::recv_message(&miner, Duration::from_secs(5)).unwrap();
+                let Inbound::Data(relayed) = relayed else {
+                    panic!("expected relayed stream");
+                };
+                black_box(relayed.into_dataset().unwrap())
+            });
+        });
     }
     group.finish();
 }

@@ -18,8 +18,8 @@ use sap_datasets::split::stratified_split;
 use sap_datasets::{Dataset, UciDataset};
 use sap_linalg::Matrix;
 use sap_perturb::{AdditivePerturbation, GeometricPerturbation, Perturbation};
-use sap_privacy::attack::{Attack, AttackSuite, AttackerKnowledge};
 use sap_privacy::attack::distance_inference::DistanceInference;
+use sap_privacy::attack::{Attack, AttackSuite, AttackerKnowledge};
 use sap_privacy::metric::minimum_privacy_guarantee;
 
 /// One row of the noise-level sweep.
@@ -96,7 +96,10 @@ pub fn composition_ablation(dataset: UciDataset, sigma: f64, seed: u64) -> Vec<C
     });
 
     // Rotation only [ICDM'05].
-    let g = GeometricPerturbation::new(Perturbation::rotation_only(d, &mut rng), sap_perturb::noise::NoiseSpec::none());
+    let g = GeometricPerturbation::new(
+        Perturbation::rotation_only(d, &mut rng),
+        sap_perturb::noise::NoiseSpec::none(),
+    );
     let (y, _) = g.perturb(&sample, &mut rng);
     rows.push(CompositionRow {
         variant: "rotation-only",
@@ -104,7 +107,10 @@ pub fn composition_ablation(dataset: UciDataset, sigma: f64, seed: u64) -> Vec<C
     });
 
     // Rotation + translation, no noise.
-    let g = GeometricPerturbation::new(Perturbation::random(d, &mut rng), sap_perturb::noise::NoiseSpec::none());
+    let g = GeometricPerturbation::new(
+        Perturbation::random(d, &mut rng),
+        sap_perturb::noise::NoiseSpec::none(),
+    );
     let (y, _) = g.perturb(&sample, &mut rng);
     rows.push(CompositionRow {
         variant: "rotation+translation",
@@ -192,10 +198,7 @@ mod tests {
         let get = |v: &str| rows.iter().find(|r| r.variant == v).unwrap().privacy;
         // The full geometric perturbation must dominate the additive-noise
         // baseline at the same sigma (the paper's motivating comparison).
-        assert!(
-            get("full-geometric") > get("additive-noise"),
-            "{rows:?}"
-        );
+        assert!(get("full-geometric") > get("additive-noise"), "{rows:?}");
         assert_eq!(rows.len(), 4);
     }
 

@@ -19,7 +19,10 @@ fn main() {
         match args[i].as_str() {
             "--fig" => {
                 i += 1;
-                fig = args.get(i).cloned().unwrap_or_else(|| usage("--fig needs a value"));
+                fig = args
+                    .get(i)
+                    .cloned()
+                    .unwrap_or_else(|| usage("--fig needs a value"));
             }
             "--scale" => {
                 i += 1;
@@ -161,7 +164,12 @@ fn figure2(scale: Scale, seed: u64) {
         "{}",
         render_table(
             "Figure 2 summary",
-            &["dataset", "mean rho (random)", "mean rho (optimized)", "P(opt > rand)"],
+            &[
+                "dataset",
+                "mean rho (random)",
+                "mean rho (optimized)",
+                "P(opt > rand)"
+            ],
             &rows,
         )
     );
@@ -202,9 +210,11 @@ fn figure4() {
         .iter()
         .map(|c| {
             std::iter::once(format!("{}: opt-rate {}", c.dataset, c.opt_rate))
-                .chain(c.points.iter().map(|(_, k)| {
-                    k.map_or_else(|| "∞".to_string(), |k| k.to_string())
-                }))
+                .chain(
+                    c.points
+                        .iter()
+                        .map(|(_, k)| k.map_or_else(|| "∞".to_string(), |k| k.to_string())),
+                )
                 .collect()
         })
         .collect();
@@ -253,7 +263,10 @@ fn figure56(classifier: fig5_fig6::FigClassifier, scale: Scale, seed: u64) {
     println!(
         "{}",
         render_table(
-            &format!("Figure {} ({name}) — deviation in accuracy points", classifier.figure()),
+            &format!(
+                "Figure {} ({name}) — deviation in accuracy points",
+                classifier.figure()
+            ),
             &["dataset", "baseline acc", "SAP - Uniform", "SAP - Class"],
             &table,
         )

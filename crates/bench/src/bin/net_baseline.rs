@@ -1,0 +1,118 @@
+//! Captures a transport-pipeline baseline into `BENCH_net.json`.
+//!
+//! Measures the large-dataset exchange path end to end (encode → seal →
+//! transport → open → decode) twice:
+//!
+//! * **monolithic** — the seed pipeline: whole `SapMessage` serde-encoded,
+//!   sealed byte-at-a-time, shipped as one payload;
+//! * **chunked** — the streaming pipeline: row-block frames, word-wise
+//!   sealed envelope, no monolithic allocation.
+//!
+//! The speedup measures the pipelines as shipped, so it combines two
+//! deliberate changes — chunking *and* the 8-byte-word envelope (the
+//! legacy envelope seals byte-at-a-time). The JSON names both pipelines
+//! so the number is not misread as chunking alone.
+//!
+//! ```text
+//! cargo run -p sap-bench --release --bin net_baseline [-- out.json]
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sap_core::link::{self, Inbound};
+use sap_core::messages::{SapMessage, SlotTag};
+use sap_datasets::Dataset;
+use sap_linalg::randn_matrix;
+use sap_net::crypto::{open, seal, ChannelKey};
+use sap_net::node::Node;
+use sap_net::transport::InMemoryHub;
+use sap_net::{wire, PartyId, Transport};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+const RECORDS: usize = 20_000;
+const DIM: usize = 16;
+const BLOCK_ROWS: usize = 512;
+
+fn dataset() -> Dataset {
+    let mut rng = StdRng::seed_from_u64(1);
+    let m = randn_matrix(DIM, RECORDS, &mut rng);
+    let labels = (0..RECORDS).map(|i| i % 2).collect();
+    Dataset::from_column_matrix(&m, labels, 2)
+}
+
+/// Times `f` over enough repetitions for a stable median, returns seconds
+/// per iteration.
+fn time_it(mut f: impl FnMut()) -> f64 {
+    f(); // warm-up
+    let mut samples = Vec::new();
+    for _ in 0..7 {
+        let start = Instant::now();
+        f();
+        samples.push(start.elapsed().as_secs_f64());
+    }
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_net.json".into());
+    let data = dataset();
+    let msg = SapMessage::PerturbedData {
+        slot: SlotTag(7),
+        data: data.clone(),
+    };
+    let payload_bytes = wire::to_bytes(&msg).expect("encode").len();
+    let key = ChannelKey::derive(42, 1, 2);
+
+    // Monolithic (seed) pipeline.
+    let hub = InMemoryHub::new();
+    let tx = hub.endpoint(PartyId(1));
+    let rx = hub.endpoint(PartyId(2));
+    let monolithic_s = time_it(|| {
+        let plain = wire::to_bytes(&msg).unwrap();
+        let sealed = seal(key, 9, &plain);
+        tx.send(PartyId(2), sealed).unwrap();
+        let (_, got) = rx.recv().unwrap();
+        let opened = open(key, &got).unwrap();
+        black_box(wire::from_bytes::<SapMessage>(&opened).unwrap());
+    });
+
+    // Chunked streaming pipeline.
+    let hub = InMemoryHub::new();
+    let ntx = Node::new(hub.endpoint(PartyId(1)), 42);
+    let nrx = Node::new(hub.endpoint(PartyId(2)), 42);
+    let chunked_s = time_it(|| {
+        link::send_dataset(&ntx, PartyId(2), false, SlotTag(7), &data, BLOCK_ROWS).unwrap();
+        let (_, inbound) = link::recv_message(&nrx, Duration::from_secs(10)).unwrap();
+        let Inbound::Data(stream) = inbound else {
+            panic!("expected stream");
+        };
+        black_box(stream.into_dataset().unwrap());
+    });
+
+    let mib = payload_bytes as f64 / (1024.0 * 1024.0);
+    let monolithic_mibps = mib / monolithic_s;
+    let chunked_mibps = mib / chunked_s;
+    let speedup = chunked_mibps / monolithic_mibps;
+
+    let json = format!(
+        "{{\n  \"workload\": \"dataset exchange {RECORDS} records x {DIM} dims\",\n  \
+         \"monolithic_pipeline\": \"whole-message wire encode + byte-wise legacy seal\",\n  \
+         \"chunked_pipeline\": \"row-block stream frames + word-wise sealed envelope v2\",\n  \
+         \"payload_bytes\": {payload_bytes},\n  \
+         \"block_rows\": {BLOCK_ROWS},\n  \
+         \"monolithic_mibps\": {monolithic_mibps:.1},\n  \
+         \"chunked_mibps\": {chunked_mibps:.1},\n  \
+         \"speedup\": {speedup:.2}\n}}\n"
+    );
+    std::fs::write(&out_path, &json).expect("write baseline json");
+    println!("{json}");
+    println!("wrote {out_path}");
+    assert!(
+        speedup >= 1.5,
+        "chunked pipeline regressed below the 1.5x acceptance bar: {speedup:.2}x"
+    );
+}

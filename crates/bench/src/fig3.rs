@@ -89,7 +89,10 @@ mod tests {
             (0.0..=1.0 + 1e-9).contains(&rate),
             "optimality rate {rate} out of range"
         );
-        assert!(rate > 0.5, "mean/max of repeated optima should be high: {rate}");
+        assert!(
+            rate > 0.5,
+            "mean/max of repeated optima should be high: {rate}"
+        );
     }
 
     #[test]

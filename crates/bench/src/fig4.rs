@@ -19,11 +19,7 @@ pub struct Fig4Curve {
 }
 
 /// The paper's legend: dataset → measured optimality rate.
-pub const OPT_RATES: [(&str, f64); 3] = [
-    ("Diabetes", 0.95),
-    ("Shuttle", 0.89),
-    ("Votes", 0.98),
-];
+pub const OPT_RATES: [(&str, f64); 3] = [("Diabetes", 0.95), ("Shuttle", 0.89), ("Votes", 0.98)];
 
 /// The paper's x-axis: `s0 ∈ {0.90, 0.91, …, 0.99}`.
 pub fn s0_axis() -> Vec<f64> {

@@ -146,7 +146,11 @@ mod tests {
             Scale::Quick,
             1,
         );
-        assert!(row.baseline_accuracy > 0.8, "baseline {}", row.baseline_accuracy);
+        assert!(
+            row.baseline_accuracy > 0.8,
+            "baseline {}",
+            row.baseline_accuracy
+        );
         assert!(
             row.deviation.abs() < 15.0,
             "deviation {} out of plausible range",

@@ -79,10 +79,7 @@ mod tests {
         let s = render_table(
             "T",
             &["a", "bbbb"],
-            &[
-                vec!["1".into(), "2".into()],
-                vec!["333".into(), "4".into()],
-            ],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
         );
         assert!(s.contains("T\n"));
         assert!(s.lines().count() >= 5);

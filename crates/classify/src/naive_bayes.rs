@@ -157,7 +157,12 @@ mod tests {
     #[test]
     fn constant_attribute_handled() {
         let data = Dataset::new(
-            vec![vec![5.0, 0.0], vec![5.0, 0.1], vec![5.0, 1.0], vec![5.0, 1.1]],
+            vec![
+                vec![5.0, 0.0],
+                vec![5.0, 0.1],
+                vec![5.0, 1.0],
+                vec![5.0, 1.1],
+            ],
             vec![0, 0, 1, 1],
         );
         let nb = GaussianNaiveBayes::fit(&data);

@@ -42,12 +42,33 @@ impl AuditLog {
 
     /// Records the delivery of `msg` from `from` to `to`.
     pub fn record(&self, from: PartyId, to: PartyId, msg: &SapMessage) {
+        self.record_kind(
+            from,
+            to,
+            msg.kind(),
+            msg.carries_data(),
+            msg.carries_parameters(),
+        );
+    }
+
+    /// Records a delivery by its classification alone — used for dataset
+    /// streams, whose payloads are never decoded by relays (the ledger
+    /// stores kind and endpoints only, never payloads, so this is the
+    /// same information [`AuditLog::record`] would keep).
+    pub fn record_kind(
+        &self,
+        from: PartyId,
+        to: PartyId,
+        kind: &'static str,
+        carries_data: bool,
+        carries_parameters: bool,
+    ) {
         self.events.lock().push(AuditEvent {
             from,
             to,
-            kind: msg.kind(),
-            carries_data: msg.carries_data(),
-            carries_parameters: msg.carries_parameters(),
+            kind,
+            carries_data,
+            carries_parameters,
         });
     }
 
@@ -155,7 +176,10 @@ mod tests {
         assert_eq!(log.len(), 1);
         assert!(log.party_saw_data(PartyId(2)));
         assert!(!log.party_saw_data(PartyId(1)));
-        assert_eq!(log.senders_of(PartyId(2), "perturbed-data"), vec![PartyId(1)]);
+        assert_eq!(
+            log.senders_of(PartyId(2), "perturbed-data"),
+            vec![PartyId(1)]
+        );
     }
 
     #[test]

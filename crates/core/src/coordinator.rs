@@ -5,10 +5,13 @@
 //! anonymizing exchange. Crucially it **never receives a dataset** — it will
 //! hold every space adaptor, and an adaptor plus a dataset would let it
 //! rebase the data into a space whose parameters it knows, undoing the
-//! owner's perturbation.
+//! owner's perturbation. A dataset stream arriving here is a hard protocol
+//! error, detected from the stream header alone (the payload is never
+//! decoded).
 
 use crate::audit::AuditLog;
 use crate::error::SapError;
+use crate::link::{self, Inbound};
 use crate::messages::{SapMessage, SlotTag};
 use crate::permutation::ExchangePlan;
 use crate::session::{ProviderReport, SapConfig};
@@ -16,7 +19,7 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use sap_datasets::Dataset;
 use sap_net::node::Node;
-use sap_net::{PartyId, Transport};
+use sap_net::{Codec, PartyId, Transport};
 use sap_perturb::{GeometricPerturbation, Perturbation, SpaceAdaptor};
 use sap_privacy::optimize::{evaluate_perturbation, optimize};
 use std::collections::HashMap;
@@ -31,8 +34,8 @@ use std::collections::HashMap;
 /// Returns [`SapError`] on timeout, messaging failure, or protocol
 /// violations (duplicate/unknown adaptor senders, dimension mismatch).
 #[allow(clippy::too_many_lines)]
-pub fn run_coordinator<T: Transport>(
-    node: &Node<T>,
+pub fn run_coordinator<T: Transport, C: Codec>(
+    node: &Node<T, C>,
     data: &Dataset,
     providers: &[PartyId],
     miner: PartyId,
@@ -78,7 +81,8 @@ pub fn run_coordinator<T: Transport>(
         if pos == coord_pos {
             continue;
         }
-        node.send_msg(
+        link::send_message(
+            node,
             pid,
             &SapMessage::Setup {
                 target: target.clone(),
@@ -86,18 +90,21 @@ pub fn run_coordinator<T: Transport>(
                 send_data_to: providers[plan.receiver_of(pos)],
                 expect_incoming: plan.incoming_count(pos) as u32,
             },
+            config.block_rows,
         )?;
     }
 
-    // Provider duty: perturb own data and ship it to the assigned receiver.
+    // Provider duty: perturb own data and stream it to the assigned
+    // receiver.
     let (y, _delta) = g_local.perturb(&x, &mut rng);
     let perturbed = Dataset::from_column_matrix(&y, data.labels().to_vec(), data.num_classes());
-    node.send_msg(
+    link::send_dataset(
+        node,
         providers[plan.receiver_of(coord_pos)],
-        &SapMessage::PerturbedData {
-            slot: slot_of[coord_pos],
-            data: perturbed,
-        },
+        false,
+        slot_of[coord_pos],
+        &perturbed,
+        config.block_rows,
     )?;
 
     // Collect adaptors from the other k−1 providers; add our own.
@@ -106,24 +113,38 @@ pub fn run_coordinator<T: Transport>(
         .map_err(|e| SapError::Protocol(format!("own adaptor failed: {e}")))?;
     adaptor_of.insert(me, own_adaptor);
     while adaptor_of.len() < k {
-        let (from, msg): (PartyId, SapMessage) = node
-            .recv_msg_timeout(config.timeout)
-            .map_err(|e| timeout_or(e, me, "adaptor collection"))?;
-        audit.record(from, me, &msg);
-        match msg {
-            SapMessage::Adaptor { adaptor } => {
-                if !providers.contains(&from) {
-                    return Err(SapError::Protocol(format!("adaptor from unknown {from}")));
-                }
-                if adaptor_of.insert(from, adaptor).is_some() {
-                    return Err(SapError::Protocol(format!("duplicate adaptor from {from}")));
+        let (from, inbound) = link::recv_message(node, config.timeout)
+            .map_err(|e| e.or_timeout(me, "adaptor collection"))?;
+        match inbound {
+            Inbound::Msg(msg) => {
+                audit.record(from, me, &msg);
+                match msg {
+                    SapMessage::Adaptor { adaptor } => {
+                        if !providers.contains(&from) {
+                            return Err(SapError::Protocol(format!("adaptor from unknown {from}")));
+                        }
+                        if adaptor_of.insert(from, adaptor).is_some() {
+                            return Err(SapError::Protocol(format!(
+                                "duplicate adaptor from {from}"
+                            )));
+                        }
+                    }
+                    other => {
+                        return Err(SapError::Protocol(format!(
+                            "coordinator received unexpected {}",
+                            other.kind()
+                        )))
+                    }
                 }
             }
-            other => {
+            // The information-flow invariant: data must never reach the
+            // coordinator. The header is enough to know — and to abort.
+            Inbound::Data(stream) => {
+                audit.record_kind(from, me, stream.kind(), true, false);
                 return Err(SapError::Protocol(format!(
                     "coordinator received unexpected {}",
-                    other.kind()
-                )))
+                    stream.kind()
+                )));
             }
         }
     }
@@ -135,20 +156,35 @@ pub fn run_coordinator<T: Transport>(
         .enumerate()
         .map(|(pos, pid)| (slot_of[pos], adaptor_of[pid].clone()))
         .collect();
-    node.send_msg(miner, &SapMessage::AdaptorTable { entries })?;
+    link::send_message(
+        node,
+        miner,
+        &SapMessage::AdaptorTable { entries },
+        config.block_rows,
+    )?;
 
     // Wait for the miner's completion ack so the session has a clean end.
-    let (from, msg): (PartyId, SapMessage) = node
-        .recv_msg_timeout(config.timeout)
-        .map_err(|e| timeout_or(e, me, "mining completion"))?;
-    audit.record(from, me, &msg);
-    match msg {
-        SapMessage::MiningComplete { .. } if from == miner => {}
-        other => {
+    let (from, inbound) = link::recv_message(node, config.timeout)
+        .map_err(|e| e.or_timeout(me, "mining completion"))?;
+    match inbound {
+        Inbound::Msg(msg) => {
+            audit.record(from, me, &msg);
+            match msg {
+                SapMessage::MiningComplete { .. } if from == miner => {}
+                other => {
+                    return Err(SapError::Protocol(format!(
+                        "expected mining-complete from miner, got {} from {from}",
+                        other.kind()
+                    )))
+                }
+            }
+        }
+        Inbound::Data(stream) => {
+            audit.record_kind(from, me, stream.kind(), true, false);
             return Err(SapError::Protocol(format!(
-                "expected mining-complete from miner, got {} from {from}",
-                other.kind()
-            )))
+                "coordinator received unexpected {}",
+                stream.kind()
+            )));
         }
     }
 
@@ -171,18 +207,6 @@ pub fn run_coordinator<T: Transport>(
         },
         target,
     ))
-}
-
-fn timeout_or(e: sap_net::node::NodeError, who: PartyId, phase: &'static str) -> SapError {
-    match e {
-        sap_net::node::NodeError::Transport(sap_net::TransportError::Timeout) => {
-            SapError::Timeout {
-                waiting: who,
-                phase,
-            }
-        }
-        other => SapError::Messaging(other),
-    }
 }
 
 #[cfg(test)]
@@ -235,8 +259,8 @@ mod tests {
 
     #[test]
     fn coordinator_rejects_incoming_data() {
-        // A confused/malicious provider sends data to the coordinator: the
-        // coordinator must abort with a protocol error, never process it.
+        // A confused/malicious provider streams data to the coordinator:
+        // the coordinator must abort with a protocol error, never decode it.
         let hub = InMemoryHub::new();
         let coord_node = Node::new(hub.endpoint(PartyId(2)), 7);
         let p0 = Node::new(hub.endpoint(PartyId(0)), 7);
@@ -248,14 +272,7 @@ mod tests {
             ..SapConfig::quick_test()
         };
 
-        p0.send_msg(
-            PartyId(2),
-            &SapMessage::PerturbedData {
-                slot: SlotTag(9),
-                data: tiny_dataset(),
-            },
-        )
-        .unwrap();
+        link::send_dataset(&p0, PartyId(2), false, SlotTag(9), &tiny_dataset(), 8).unwrap();
 
         let err = run_coordinator(
             &coord_node,

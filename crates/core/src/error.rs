@@ -53,7 +53,32 @@ impl std::error::Error for SapError {}
 
 impl From<NodeError> for SapError {
     fn from(e: NodeError) -> Self {
-        SapError::Messaging(e)
+        match e {
+            // Framing violations (duplicate/reordered/orphan frames) are
+            // protocol violations: SAP has no retransmission and must
+            // abort loudly rather than guess.
+            NodeError::Frame(frame) => SapError::Protocol(format!("framing violation: {frame}")),
+            other => SapError::Messaging(other),
+        }
+    }
+}
+
+impl SapError {
+    /// Rewrites a receive-path timeout into [`SapError::Timeout`] carrying
+    /// the waiting actor and phase; every other error passes through. The
+    /// actors call this on every blocking receive so timeout reports name
+    /// the protocol phase that starved.
+    #[must_use]
+    pub fn or_timeout(self, who: PartyId, phase: &'static str) -> Self {
+        match self {
+            SapError::Messaging(NodeError::Transport(sap_net::TransportError::Timeout)) => {
+                SapError::Timeout {
+                    waiting: who,
+                    phase,
+                }
+            }
+            other => other,
+        }
     }
 }
 

@@ -59,6 +59,7 @@
 pub mod audit;
 pub mod coordinator;
 pub mod error;
+pub mod link;
 pub mod messages;
 pub mod miner;
 pub mod mining;
@@ -67,4 +68,4 @@ pub mod permutation;
 pub mod session;
 
 pub use error::SapError;
-pub use session::{run_session, ProviderReport, SapConfig, SapOutcome};
+pub use session::{run_session, run_session_over, ProviderReport, SapConfig, SapOutcome};

@@ -15,7 +15,7 @@ use serde::{Deserialize, Serialize};
 pub struct SlotTag(pub u64);
 
 /// Messages exchanged during a SAP session.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum SapMessage {
     /// Coordinator → provider: the target perturbation space `G_t` (no
     /// noise component) plus this provider's exchange assignment.

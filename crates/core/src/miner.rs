@@ -1,19 +1,25 @@
 //! The mining service provider (SP) actor.
 //!
-//! The miner collects `k` relayed datasets (tagged by opaque slots) and the
-//! coordinator's slot-indexed adaptor table, applies each adaptor to its
-//! slot's dataset, and pools everything into one dataset in the unified
-//! target space. It never learns which provider owns which dataset — only
-//! which provider *forwarded* it, and the forwarding assignment is a secret
-//! random exchange, so each dataset's source identifiability is `1/(k−1)`.
+//! The miner collects `k` relayed dataset streams (tagged by opaque slots)
+//! and the coordinator's slot-indexed adaptor table, decodes each stream's
+//! row blocks, applies each adaptor to its slot's dataset, and pools
+//! everything into one dataset in the unified target space. It never
+//! learns which provider owns which dataset — only which provider
+//! *forwarded* it, and the forwarding assignment is a secret random
+//! exchange, so each dataset's source identifiability is `1/(k−1)`.
+//!
+//! Streams are kept as raw blocks until the adaptor table arrives, so the
+//! miner holds sealed-sized chunks, not duplicate monolithic buffers,
+//! while the exchange is still in flight.
 
 use crate::audit::AuditLog;
 use crate::error::SapError;
+use crate::link::{self, DataStream, Inbound};
 use crate::messages::{SapMessage, SlotTag};
 use crate::session::SapConfig;
 use sap_datasets::Dataset;
 use sap_net::node::Node;
-use sap_net::{PartyId, Transport};
+use sap_net::{Codec, PartyId, Transport};
 use sap_perturb::SpaceAdaptor;
 use std::collections::HashMap;
 
@@ -33,61 +39,72 @@ pub struct MinerOutput {
 ///
 /// Returns [`SapError`] on timeout, messaging failure, duplicate slots,
 /// missing adaptors, or dimension mismatches.
-pub fn run_miner<T: Transport>(
-    node: &Node<T>,
+pub fn run_miner<T: Transport, C: Codec>(
+    node: &Node<T, C>,
     expected_datasets: usize,
     coordinator: PartyId,
     config: &SapConfig,
     audit: &AuditLog,
 ) -> Result<MinerOutput, SapError> {
     let me = node.id();
-    let mut datasets: HashMap<SlotTag, (PartyId, Dataset)> = HashMap::new();
+    let mut streams: HashMap<SlotTag, (PartyId, DataStream)> = HashMap::new();
     let mut adaptors: Option<Vec<(SlotTag, SpaceAdaptor)>> = None;
 
-    while datasets.len() < expected_datasets || adaptors.is_none() {
-        let (from, msg): (PartyId, SapMessage) = node
-            .recv_msg_timeout(config.timeout)
-            .map_err(|e| timeout_or(e, me, "data & adaptor collection"))?;
-        audit.record(from, me, &msg);
-        match msg {
-            SapMessage::RelayedData { slot, data } => {
-                if datasets.insert(slot, (from, data)).is_some() {
+    while streams.len() < expected_datasets || adaptors.is_none() {
+        let (from, inbound) = link::recv_message(node, config.timeout)
+            .map_err(|e| e.or_timeout(me, "data & adaptor collection"))?;
+        match inbound {
+            Inbound::Data(stream) => {
+                audit.record_kind(from, me, stream.kind(), true, false);
+                if !stream.header.relay {
+                    return Err(SapError::Protocol(
+                        "miner received un-relayed perturbed-data".into(),
+                    ));
+                }
+                let slot = stream.header.slot;
+                if streams.insert(slot, (from, stream)).is_some() {
                     return Err(SapError::Protocol(format!("duplicate slot {slot:?}")));
                 }
             }
-            SapMessage::AdaptorTable { entries } => {
-                if from != coordinator {
-                    return Err(SapError::Protocol(format!(
-                        "adaptor table from non-coordinator {from}"
-                    )));
+            Inbound::Msg(msg) => {
+                audit.record(from, me, &msg);
+                match msg {
+                    SapMessage::AdaptorTable { entries } => {
+                        if from != coordinator {
+                            return Err(SapError::Protocol(format!(
+                                "adaptor table from non-coordinator {from}"
+                            )));
+                        }
+                        if adaptors.replace(entries).is_some() {
+                            return Err(SapError::Protocol("duplicate adaptor table".into()));
+                        }
+                    }
+                    other => {
+                        return Err(SapError::Protocol(format!(
+                            "miner received unexpected {}",
+                            other.kind()
+                        )))
+                    }
                 }
-                if adaptors.replace(entries).is_some() {
-                    return Err(SapError::Protocol("duplicate adaptor table".into()));
-                }
-            }
-            other => {
-                return Err(SapError::Protocol(format!(
-                    "miner received unexpected {}",
-                    other.kind()
-                )))
             }
         }
     }
     let adaptors = adaptors.expect("loop exits only when set");
 
-    // Unify: apply each slot's adaptor to its dataset.
+    // Unify: decode each slot's stream and apply its adaptor.
     let adaptor_of: HashMap<SlotTag, &SpaceAdaptor> =
         adaptors.iter().map(|(s, a)| (*s, a)).collect();
     let mut parts: Vec<Dataset> = Vec::with_capacity(expected_datasets);
     let mut forwarder_of_slot: Vec<(SlotTag, PartyId)> = Vec::new();
     // Deterministic slot order for reproducible pooling.
-    let mut slots: Vec<SlotTag> = datasets.keys().copied().collect();
+    let mut slots: Vec<SlotTag> = streams.keys().copied().collect();
     slots.sort();
     for slot in slots {
-        let (forwarder, data) = &datasets[&slot];
-        let adaptor = adaptor_of.get(&slot).ok_or_else(|| {
-            SapError::Protocol(format!("no adaptor for slot {slot:?}"))
-        })?;
+        let (forwarder, stream) = streams.remove(&slot).expect("slot key from map");
+        let adaptor = adaptor_of
+            .get(&slot)
+            .ok_or_else(|| SapError::Protocol(format!("no adaptor for slot {slot:?}")))?;
+        let data = stream.into_dataset()?;
         if adaptor.dim() != data.dim() {
             return Err(SapError::Protocol(format!(
                 "adaptor dim {} != data dim {} for slot {slot:?}",
@@ -102,33 +119,23 @@ pub fn run_miner<T: Transport>(
             data.labels().to_vec(),
             data.num_classes(),
         ));
-        forwarder_of_slot.push((slot, *forwarder));
+        forwarder_of_slot.push((slot, forwarder));
     }
     let unified = Dataset::concat(&parts);
 
-    node.send_msg(
+    link::send_message(
+        node,
         coordinator,
         &SapMessage::MiningComplete {
             unified_records: unified.len() as u64,
         },
+        config.block_rows,
     )?;
 
     Ok(MinerOutput {
         unified,
         forwarder_of_slot,
     })
-}
-
-fn timeout_or(e: sap_net::node::NodeError, who: PartyId, phase: &'static str) -> SapError {
-    match e {
-        sap_net::node::NodeError::Transport(sap_net::TransportError::Timeout) => {
-            SapError::Timeout {
-                waiting: who,
-                phase,
-            }
-        }
-        other => SapError::Messaging(other),
-    }
 }
 
 #[cfg(test)]
@@ -167,29 +174,29 @@ mod tests {
         let g1 = Perturbation::random(2, &mut rng);
         let g2 = Perturbation::random(2, &mut rng);
 
-        // Perturbed datasets in spaces g1, g2.
+        // Perturbed datasets in spaces g1, g2, relayed as streams.
         let d1 = tiny_dataset(0.0);
         let d2 = tiny_dataset(5.0);
         let y1 = g1.apply_clean(&d1.to_column_matrix());
         let y2 = g2.apply_clean(&d2.to_column_matrix());
-        relay
-            .send_msg(
-                PartyId(100),
-                &SapMessage::RelayedData {
-                    slot: SlotTag(1),
-                    data: Dataset::from_column_matrix(&y1, d1.labels().to_vec(), 2),
-                },
-            )
-            .unwrap();
-        relay
-            .send_msg(
-                PartyId(100),
-                &SapMessage::RelayedData {
-                    slot: SlotTag(2),
-                    data: Dataset::from_column_matrix(&y2, d2.labels().to_vec(), 2),
-                },
-            )
-            .unwrap();
+        link::send_dataset(
+            &relay,
+            PartyId(100),
+            true,
+            SlotTag(1),
+            &Dataset::from_column_matrix(&y1, d1.labels().to_vec(), 2),
+            4,
+        )
+        .unwrap();
+        link::send_dataset(
+            &relay,
+            PartyId(100),
+            true,
+            SlotTag(2),
+            &Dataset::from_column_matrix(&y2, d2.labels().to_vec(), 2),
+            4,
+        )
+        .unwrap();
         coord
             .send_msg(
                 PartyId(100),
@@ -234,15 +241,15 @@ mod tests {
         let audit = AuditLog::new();
 
         for _ in 0..2 {
-            relay
-                .send_msg(
-                    PartyId(100),
-                    &SapMessage::RelayedData {
-                        slot: SlotTag(7),
-                        data: tiny_dataset(0.0),
-                    },
-                )
-                .unwrap();
+            link::send_dataset(
+                &relay,
+                PartyId(100),
+                true,
+                SlotTag(7),
+                &tiny_dataset(0.0),
+                4,
+            )
+            .unwrap();
         }
         let err = run_miner(&miner_node, 2, PartyId(2), &quick_config(), &audit).unwrap_err();
         assert!(err.to_string().contains("duplicate slot"), "{err}");
@@ -256,15 +263,15 @@ mod tests {
         let coord = Node::new(hub.endpoint(PartyId(2)), 7);
         let audit = AuditLog::new();
 
-        relay
-            .send_msg(
-                PartyId(100),
-                &SapMessage::RelayedData {
-                    slot: SlotTag(7),
-                    data: tiny_dataset(0.0),
-                },
-            )
-            .unwrap();
+        link::send_dataset(
+            &relay,
+            PartyId(100),
+            true,
+            SlotTag(7),
+            &tiny_dataset(0.0),
+            4,
+        )
+        .unwrap();
         coord
             .send_msg(PartyId(100), &SapMessage::AdaptorTable { entries: vec![] })
             .unwrap();
@@ -283,6 +290,25 @@ mod tests {
             .unwrap();
         let err = run_miner(&miner_node, 1, PartyId(2), &quick_config(), &audit).unwrap_err();
         assert!(err.to_string().contains("non-coordinator"), "{err}");
+    }
+
+    #[test]
+    fn un_relayed_stream_rejected() {
+        let hub = InMemoryHub::new();
+        let miner_node = Node::new(hub.endpoint(PartyId(100)), 7);
+        let sender = Node::new(hub.endpoint(PartyId(1)), 7);
+        let audit = AuditLog::new();
+        link::send_dataset(
+            &sender,
+            PartyId(100),
+            false,
+            SlotTag(7),
+            &tiny_dataset(0.0),
+            4,
+        )
+        .unwrap();
+        let err = run_miner(&miner_node, 1, PartyId(2), &quick_config(), &audit).unwrap_err();
+        assert!(err.to_string().contains("un-relayed"), "{err}");
     }
 
     #[test]

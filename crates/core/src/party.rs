@@ -7,20 +7,26 @@
 //!    optimizer over the attack suite),
 //! 2. waits for the coordinator's [`SapMessage::Setup`] (target space `G_t`,
 //!    slot tag, exchange assignment),
-//! 3. perturbs its data with `Gᵢ` and ships it to the assigned receiver,
-//! 4. relays every dataset it receives to the miner (the anonymizing hop),
+//! 3. perturbs its data with `Gᵢ` and streams it to the assigned receiver
+//!    as row blocks,
+//! 4. relays every dataset stream it receives to the miner **without
+//!    decoding it** (the anonymizing hop forwards sealed row blocks),
 //! 5. sends its space adaptor `A_it` to the coordinator,
 //! 6. evaluates its satisfaction `sᵢ = ρᵢᴳ / ρᵢ` locally.
+//!
+//! The actor is generic over the transport and codec, so the same code
+//! runs over the in-memory hub, the fault injector, and real TCP.
 
 use crate::audit::AuditLog;
 use crate::error::SapError;
-use crate::messages::{SapMessage, SlotTag};
+use crate::link::{self, DataStream, Inbound};
+use crate::messages::SapMessage;
 use crate::session::{ProviderReport, SapConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sap_datasets::Dataset;
 use sap_net::node::Node;
-use sap_net::{PartyId, Transport};
+use sap_net::{Codec, PartyId, Transport};
 use sap_perturb::{GeometricPerturbation, SpaceAdaptor};
 use sap_privacy::optimize::{evaluate_perturbation, optimize};
 
@@ -30,8 +36,8 @@ use sap_privacy::optimize::{evaluate_perturbation, optimize};
 ///
 /// Returns [`SapError`] on timeout, messaging failure, or protocol
 /// violation (wrong message kind, dimension mismatch).
-pub fn run_provider<T: Transport>(
-    node: &Node<T>,
+pub fn run_provider<T: Transport, C: Codec>(
+    node: &Node<T, C>,
     data: &Dataset,
     coordinator: PartyId,
     miner: PartyId,
@@ -47,31 +53,44 @@ pub fn run_provider<T: Transport>(
     let g_local = opt.perturbation.clone();
     let rho_local = opt.privacy_guarantee;
 
-    // Phase 2: setup (buffer any early data from fast peers).
-    let mut pending: Vec<(PartyId, SlotTag, Dataset)> = Vec::new();
+    // Phase 2: setup (buffer any early data streams from fast peers).
+    let mut pending: Vec<DataStream> = Vec::new();
     let (target, my_slot, send_data_to, expect_incoming) = loop {
-        let (from, msg): (PartyId, SapMessage) = node
-            .recv_msg_timeout(config.timeout)
-            .map_err(|e| timeout_or(e, me, "setup"))?;
-        audit.record(from, me, &msg);
-        match msg {
-            SapMessage::Setup {
-                target,
-                slot,
-                send_data_to,
-                expect_incoming,
-            } => {
-                if from != coordinator {
-                    return Err(SapError::Protocol(format!("setup from non-coordinator {from}")));
+        let (from, inbound) =
+            link::recv_message(node, config.timeout).map_err(|e| e.or_timeout(me, "setup"))?;
+        match inbound {
+            Inbound::Msg(msg) => {
+                audit.record(from, me, &msg);
+                match msg {
+                    SapMessage::Setup {
+                        target,
+                        slot,
+                        send_data_to,
+                        expect_incoming,
+                    } => {
+                        if from != coordinator {
+                            return Err(SapError::Protocol(format!(
+                                "setup from non-coordinator {from}"
+                            )));
+                        }
+                        break (target, slot, send_data_to, expect_incoming);
+                    }
+                    other => {
+                        return Err(SapError::Protocol(format!(
+                            "unexpected {} before setup",
+                            other.kind()
+                        )))
+                    }
                 }
-                break (target, slot, send_data_to, expect_incoming);
             }
-            SapMessage::PerturbedData { slot, data } => pending.push((from, slot, data)),
-            other => {
-                return Err(SapError::Protocol(format!(
-                    "unexpected {} before setup",
-                    other.kind()
-                )))
+            Inbound::Data(stream) => {
+                audit.record_kind(from, me, stream.kind(), true, false);
+                if stream.header.relay {
+                    return Err(SapError::Protocol(
+                        "provider received a relayed-data stream".into(),
+                    ));
+                }
+                pending.push(stream);
             }
         }
     };
@@ -83,38 +102,46 @@ pub fn run_provider<T: Transport>(
         )));
     }
 
-    // Phase 3: perturb and ship own data.
+    // Phase 3: perturb and stream own data to the assigned receiver.
     let (y, _delta) = g_local.perturb(&x, &mut rng);
     let perturbed = Dataset::from_column_matrix(&y, data.labels().to_vec(), data.num_classes());
-    node.send_msg(
+    link::send_dataset(
+        node,
         send_data_to,
-        &SapMessage::PerturbedData {
-            slot: my_slot,
-            data: perturbed,
-        },
+        false,
+        my_slot,
+        &perturbed,
+        config.block_rows,
     )?;
 
-    // Phase 4: relay incoming datasets to the miner.
+    // Phase 4: relay incoming dataset streams to the miner, blocks
+    // untouched (clone `Bytes` handles, never a `Dataset`).
     let mut relayed = 0u32;
-    for (_, slot, data) in pending {
-        node.send_msg(miner, &SapMessage::RelayedData { slot, data })?;
+    for stream in pending {
+        link::relay_stream(node, miner, &stream)?;
         relayed += 1;
     }
     while relayed < expect_incoming {
-        let (from, msg): (PartyId, SapMessage) = node
-            .recv_msg_timeout(config.timeout)
-            .map_err(|e| timeout_or(e, me, "data exchange"))?;
-        audit.record(from, me, &msg);
-        match msg {
-            SapMessage::PerturbedData { slot, data } => {
-                node.send_msg(miner, &SapMessage::RelayedData { slot, data })?;
+        let (from, inbound) = link::recv_message(node, config.timeout)
+            .map_err(|e| e.or_timeout(me, "data exchange"))?;
+        match inbound {
+            Inbound::Data(stream) if !stream.header.relay => {
+                audit.record_kind(from, me, stream.kind(), true, false);
+                link::relay_stream(node, miner, &stream)?;
                 relayed += 1;
             }
-            other => {
+            Inbound::Data(stream) => {
+                audit.record_kind(from, me, stream.kind(), true, false);
+                return Err(SapError::Protocol(
+                    "unexpected relayed-data during data exchange".into(),
+                ));
+            }
+            Inbound::Msg(msg) => {
+                audit.record(from, me, &msg);
                 return Err(SapError::Protocol(format!(
                     "unexpected {} during data exchange",
-                    other.kind()
-                )))
+                    msg.kind()
+                )));
             }
         }
     }
@@ -122,7 +149,12 @@ pub fn run_provider<T: Transport>(
     // Phase 5: space adaptor to the coordinator.
     let adaptor = SpaceAdaptor::between(g_local.base(), &target)
         .map_err(|e| SapError::Protocol(format!("adaptor construction failed: {e}")))?;
-    node.send_msg(coordinator, &SapMessage::Adaptor { adaptor })?;
+    link::send_message(
+        node,
+        coordinator,
+        &SapMessage::Adaptor { adaptor },
+        config.block_rows,
+    )?;
 
     // Phase 6: satisfaction — privacy of my data under the unified space
     // (target rotation/translation with the inherited noise level).
@@ -143,28 +175,23 @@ pub fn run_provider<T: Transport>(
     })
 }
 
-fn timeout_or(e: sap_net::node::NodeError, who: PartyId, phase: &'static str) -> SapError {
-    match e {
-        sap_net::node::NodeError::Transport(sap_net::TransportError::Timeout) => {
-            SapError::Timeout {
-                waiting: who,
-                phase,
-            }
-        }
-        other => SapError::Messaging(other),
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::messages::SlotTag;
     use sap_net::transport::InMemoryHub;
     use sap_perturb::Perturbation;
     use std::time::Duration;
 
     fn tiny_dataset() -> Dataset {
         let records: Vec<Vec<f64>> = (0..30)
-            .map(|i| vec![(i % 7) as f64 / 7.0, (i % 5) as f64 / 5.0, (i % 3) as f64 / 3.0])
+            .map(|i| {
+                vec![
+                    (i % 7) as f64 / 7.0,
+                    (i % 5) as f64 / 5.0,
+                    (i % 3) as f64 / 3.0,
+                ]
+            })
             .collect();
         let labels: Vec<usize> = (0..30).map(|i| i % 2).collect();
         Dataset::new(records, labels)
@@ -220,35 +247,40 @@ mod tests {
             )
             .unwrap();
 
-        // The receiver gets the provider's perturbed data.
-        let (_, msg): (PartyId, SapMessage) = receiver.recv_msg().unwrap();
-        let SapMessage::PerturbedData { slot, data: perturbed } = msg else {
-            panic!("expected perturbed data");
+        // The receiver gets the provider's perturbed data stream.
+        let (_, inbound) = link::recv_message(&receiver, config.timeout).unwrap();
+        let Inbound::Data(stream) = inbound else {
+            panic!("expected perturbed data stream");
         };
-        assert_eq!(slot, SlotTag(11));
+        assert_eq!(stream.header.slot, SlotTag(11));
+        assert!(!stream.header.relay);
+        let perturbed = stream.into_dataset().unwrap();
         assert_eq!(perturbed.len(), data.len());
         assert_eq!(perturbed.labels(), data.labels());
         // Perturbed values differ from the original.
         assert_ne!(perturbed.record(0), data.record(0));
 
-        // Feed the provider one dataset to relay.
-        receiver
-            .send_msg(
-                PartyId(0),
-                &SapMessage::PerturbedData {
-                    slot: SlotTag(22),
-                    data: tiny_dataset(),
-                },
-            )
-            .unwrap();
+        // Feed the provider one dataset stream to relay.
+        link::send_dataset(
+            &receiver,
+            PartyId(0),
+            false,
+            SlotTag(22),
+            &tiny_dataset(),
+            8,
+        )
+        .unwrap();
 
-        // Miner receives the relayed dataset.
-        let (from, msg): (PartyId, SapMessage) = miner.recv_msg().unwrap();
+        // Miner receives the relayed stream, bytes identical to the
+        // original perturbed payload.
+        let (from, inbound) = link::recv_message(&miner, config.timeout).unwrap();
         assert_eq!(from, PartyId(0));
-        let SapMessage::RelayedData { slot, .. } = msg else {
-            panic!("expected relayed data");
+        let Inbound::Data(relayed) = inbound else {
+            panic!("expected relayed stream");
         };
-        assert_eq!(slot, SlotTag(22));
+        assert!(relayed.header.relay);
+        assert_eq!(relayed.header.slot, SlotTag(22));
+        assert_eq!(relayed.into_dataset().unwrap(), tiny_dataset());
 
         // Coordinator receives the adaptor.
         let (from, msg): (PartyId, SapMessage) = coord.recv_msg().unwrap();
@@ -280,7 +312,10 @@ mod tests {
             &audit,
         )
         .unwrap_err();
-        assert!(matches!(err, SapError::Timeout { phase: "setup", .. }), "{err}");
+        assert!(
+            matches!(err, SapError::Timeout { phase: "setup", .. }),
+            "{err}"
+        );
     }
 
     #[test]
@@ -345,5 +380,26 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.to_string().contains("dimension"), "{err}");
+    }
+
+    #[test]
+    fn provider_rejects_relayed_stream() {
+        let hub = InMemoryHub::new();
+        let provider_node = Node::new(hub.endpoint(PartyId(0)), 7);
+        let peer = Node::new(hub.endpoint(PartyId(2)), 7);
+        let audit = AuditLog::new();
+        let config = quick_config();
+
+        link::send_dataset(&peer, PartyId(0), true, SlotTag(2), &tiny_dataset(), 8).unwrap();
+        let err = run_provider(
+            &provider_node,
+            &tiny_dataset(),
+            PartyId(1),
+            PartyId(100),
+            &config,
+            &audit,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("relayed-data"), "{err}");
     }
 }

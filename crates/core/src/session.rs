@@ -1,20 +1,29 @@
 //! Session orchestration: spin up all roles on threads, run the protocol,
 //! collect the outcome.
+//!
+//! [`run_session`] is the batteries-included entry point over the
+//! in-memory hub (with optional fault injection). [`run_session_over`] is
+//! the generic spine beneath it: hand it any set of [`Transport`]
+//! endpoints (hub, TCP, fault-wrapped, …) and any [`Codec`], and the same
+//! protocol code runs unchanged — the TCP integration test drives a full
+//! session over localhost sockets through exactly this function.
 
 use crate::audit::AuditLog;
 use crate::coordinator::run_coordinator;
 use crate::error::SapError;
+use crate::link::DEFAULT_BLOCK_ROWS;
 use crate::messages::SlotTag;
 use crate::miner::{run_miner, MinerOutput};
 use crate::party::run_provider;
-use bytes::Bytes;
 use sap_datasets::Dataset;
+use sap_net::codec::{Codec, WireCodec};
 use sap_net::node::Node;
 use sap_net::sim::{FaultConfig, FaultyTransport};
-use sap_net::transport::{Endpoint, InMemoryHub, Transport, TransportError};
-use sap_net::PartyId;
+use sap_net::transport::InMemoryHub;
+use sap_net::{PartyId, Transport};
 use sap_perturb::Perturbation;
 use sap_privacy::optimize::OptimizerConfig;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Session-wide configuration.
@@ -31,8 +40,10 @@ pub struct SapConfig {
     pub seed: u64,
     /// Per-receive timeout for every role.
     pub timeout: Duration,
+    /// Rows per dataset stream block (the chunking grain of the exchange).
+    pub block_rows: usize,
     /// Optional fault model applied to every party's *send* path (chaos
-    /// testing). SAP has no retransmission layer, so any lost message makes
+    /// testing). SAP has no retransmission layer, so any lost frame makes
     /// the session abort with a timeout instead of completing — the safety
     /// property the failure-injection tests assert.
     pub fault_config: Option<FaultConfig>,
@@ -46,6 +57,7 @@ impl Default for SapConfig {
             session_secret: 0x5A9_u64 ^ 0x1234_5678,
             seed: 0xD15E,
             timeout: Duration::from_secs(30),
+            block_rows: DEFAULT_BLOCK_ROWS,
             fault_config: None,
         }
     }
@@ -67,6 +79,7 @@ impl SapConfig {
             session_secret: 42,
             seed: 7,
             timeout: Duration::from_secs(10),
+            block_rows: 64,
             fault_config: None,
         }
     }
@@ -141,6 +154,28 @@ impl SapOutcome {
 /// Party id assigned to the miner.
 pub const MINER_ID: PartyId = PartyId(1_000);
 
+fn validate_locals(locals: &[Dataset]) -> Result<(usize, usize), SapError> {
+    let k = locals.len();
+    if k < 3 {
+        return Err(SapError::TooFewProviders { got: k });
+    }
+    let dim = locals[0].dim();
+    let num_classes = locals
+        .iter()
+        .map(Dataset::num_classes)
+        .max()
+        .expect("k >= 3");
+    for (i, d) in locals.iter().enumerate() {
+        if d.dim() != dim {
+            return Err(SapError::InconsistentInputs(format!(
+                "provider {i} has dim {} but provider 0 has {dim}",
+                d.dim()
+            )));
+        }
+    }
+    Ok((dim, num_classes))
+}
+
 /// Runs a complete SAP session over an in-memory network: providers
 /// `DP₀..DP_{k−1}` (the last one doubles as coordinator) plus the miner,
 /// each on its own thread.
@@ -154,141 +189,108 @@ pub const MINER_ID: PartyId = PartyId(1_000);
 /// * [`SapError::InconsistentInputs`] when local datasets disagree.
 /// * Any role's protocol/timeout error, propagated.
 pub fn run_session(locals: Vec<Dataset>, config: &SapConfig) -> Result<SapOutcome, SapError> {
+    validate_locals(&locals)?;
     let k = locals.len();
-    if k < 3 {
-        return Err(SapError::TooFewProviders { got: k });
-    }
-    let dim = locals[0].dim();
-    let num_classes = locals.iter().map(Dataset::num_classes).max().expect("k >= 3");
-    for (i, d) in locals.iter().enumerate() {
-        if d.dim() != dim {
-            return Err(SapError::InconsistentInputs(format!(
-                "provider {i} has dim {} but provider 0 has {dim}",
-                d.dim()
-            )));
-        }
-    }
-
     let hub = InMemoryHub::new();
-    let audit = AuditLog::new();
     let providers: Vec<PartyId> = (0..k as u64).map(PartyId).collect();
-    let coordinator = providers[k - 1];
 
     // Endpoints must be created before any thread starts sending.
-    let endpoints: Vec<_> = providers.iter().map(|&p| Some(hub.endpoint(p))).collect();
+    let endpoints: Vec<_> = providers.iter().map(|&p| hub.endpoint(p)).collect();
     let miner_endpoint = hub.endpoint(MINER_ID);
 
-    spawn_roles(
-        locals,
-        config,
-        &providers,
-        coordinator,
-        endpoints,
-        miner_endpoint,
-        audit,
-        num_classes,
-    )
-}
-
-/// Transport used by session roles: a clean hub endpoint, or the same
-/// endpoint behind the fault injector when [`SapConfig::fault_config`] is
-/// set.
-enum SessionTransport {
-    Clean(Endpoint),
-    Faulty(FaultyTransport<Endpoint>),
-}
-
-impl Transport for SessionTransport {
-    fn local_id(&self) -> PartyId {
-        match self {
-            SessionTransport::Clean(t) => t.local_id(),
-            SessionTransport::Faulty(t) => t.local_id(),
-        }
-    }
-
-    fn send(&self, to: PartyId, payload: Bytes) -> Result<(), TransportError> {
-        match self {
-            SessionTransport::Clean(t) => t.send(to, payload),
-            SessionTransport::Faulty(t) => t.send(to, payload),
-        }
-    }
-
-    fn recv(&self) -> Result<(PartyId, Bytes), TransportError> {
-        match self {
-            SessionTransport::Clean(t) => t.recv(),
-            SessionTransport::Faulty(t) => t.recv(),
-        }
-    }
-
-    fn recv_timeout(&self, timeout: Duration) -> Result<(PartyId, Bytes), TransportError> {
-        match self {
-            SessionTransport::Clean(t) => t.recv_timeout(timeout),
-            SessionTransport::Faulty(t) => t.recv_timeout(timeout),
+    match config.fault_config {
+        None => run_session_over(locals, config, endpoints, miner_endpoint, WireCodec),
+        Some(faults) => {
+            // Same generic path, transports wrapped in the fault injector
+            // with a distinct deterministic stream per party.
+            let salted = |salt: u64| FaultConfig {
+                seed: faults.seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                ..faults
+            };
+            let wrapped: Vec<_> = endpoints
+                .into_iter()
+                .enumerate()
+                .map(|(pos, endpoint)| FaultyTransport::new(endpoint, salted(pos as u64 + 1)))
+                .collect();
+            let miner_wrapped = FaultyTransport::new(miner_endpoint, salted(0x31));
+            run_session_over(locals, config, wrapped, miner_wrapped, WireCodec)
         }
     }
 }
 
-fn wrap_endpoint(endpoint: Endpoint, faults: Option<FaultConfig>, salt: u64) -> SessionTransport {
-    match faults {
-        None => SessionTransport::Clean(endpoint),
-        Some(cfg) => SessionTransport::Faulty(FaultyTransport::new(
-            endpoint,
-            FaultConfig {
-                seed: cfg.seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15),
-                ..cfg
-            },
-        )),
-    }
-}
-
-/// Real role spawner (separated so every closure captures exactly what it
-/// needs).
-#[allow(clippy::too_many_arguments)]
-fn spawn_roles(
+/// Runs a complete SAP session over caller-supplied transports and codec —
+/// the transport-agnostic spine behind [`run_session`].
+///
+/// `provider_transports[i]` must be the endpoint whose
+/// [`Transport::local_id`] is provider `i`; the last provider doubles as
+/// coordinator. `miner_transport` carries the miner role. Every endpoint
+/// must be able to reach every other (full mesh), as with
+/// [`InMemoryHub`] endpoints or a [`sap_net::tcp::local_mesh`].
+///
+/// # Errors
+///
+/// As [`run_session`].
+pub fn run_session_over<T, C>(
     locals: Vec<Dataset>,
     config: &SapConfig,
-    providers: &[PartyId],
-    coordinator: PartyId,
-    mut endpoints: Vec<Option<sap_net::transport::Endpoint>>,
-    miner_endpoint: sap_net::transport::Endpoint,
-    audit: AuditLog,
-    num_classes: usize,
-) -> Result<SapOutcome, SapError> {
+    provider_transports: Vec<T>,
+    miner_transport: T,
+    codec: C,
+) -> Result<SapOutcome, SapError>
+where
+    T: Transport + 'static,
+    C: Codec,
+{
+    let (_dim, num_classes) = validate_locals(&locals)?;
     let k = locals.len();
+    if provider_transports.len() != k {
+        return Err(SapError::InconsistentInputs(format!(
+            "{} transports for {k} providers",
+            provider_transports.len()
+        )));
+    }
+    let providers: Vec<PartyId> = provider_transports
+        .iter()
+        .map(Transport::local_id)
+        .collect();
+    let coordinator = providers[k - 1];
+    let audit = AuditLog::new();
+
+    // Threads share the locals through `Arc` — the session spawns k roles
+    // without cloning a single `Dataset`.
+    let locals: Vec<Arc<Dataset>> = locals.into_iter().map(Arc::new).collect();
+
+    let mut transports: Vec<Option<T>> = provider_transports.into_iter().map(Some).collect();
 
     // Providers 0..k−1 (all but the coordinator).
     let mut provider_handles = Vec::new();
     for pos in 0..k - 1 {
-        let endpoint = endpoints[pos]
+        let transport = transports[pos]
             .take()
             .ok_or_else(|| SapError::Protocol("endpoint consumed twice".into()))?;
-        let node = Node::new(
-            wrap_endpoint(endpoint, config.fault_config, pos as u64 + 1),
-            config.session_secret,
-        );
-        let data = locals[pos].clone();
+        let node = Node::with_codec(transport, codec.clone(), config.session_secret);
+        let data = Arc::clone(&locals[pos]);
         let cfg = config.clone();
         let audit = audit.clone();
         let pid = providers[pos];
         provider_handles.push((
             pid,
-            std::thread::spawn(move || run_provider(&node, &data, coordinator, MINER_ID, &cfg, &audit)),
+            std::thread::spawn(move || {
+                run_provider(&node, &data, coordinator, MINER_ID, &cfg, &audit)
+            }),
         ));
     }
 
     // Coordinator (last provider).
     let coord_handle = {
-        let endpoint = endpoints[k - 1]
+        let transport = transports[k - 1]
             .take()
             .ok_or_else(|| SapError::Protocol("coordinator endpoint consumed".into()))?;
-        let node = Node::new(
-            wrap_endpoint(endpoint, config.fault_config, 0xC0),
-            config.session_secret,
-        );
-        let data = locals[k - 1].clone();
+        let node = Node::with_codec(transport, codec.clone(), config.session_secret);
+        let data = Arc::clone(&locals[k - 1]);
         let cfg = config.clone();
         let audit = audit.clone();
-        let provider_list = providers.to_vec();
+        let provider_list = providers.clone();
         std::thread::spawn(move || {
             run_coordinator(&node, &data, &provider_list, MINER_ID, &cfg, &audit)
         })
@@ -296,10 +298,7 @@ fn spawn_roles(
 
     // Miner.
     let miner_handle = {
-        let node = Node::new(
-            wrap_endpoint(miner_endpoint, config.fault_config, 0x31),
-            config.session_secret,
-        );
+        let node = Node::with_codec(miner_transport, codec.clone(), config.session_secret);
         let cfg = config.clone();
         let audit = audit.clone();
         std::thread::spawn(move || run_miner(&node, k, coordinator, &cfg, &audit))
@@ -376,6 +375,7 @@ mod tests {
     use super::*;
     use sap_datasets::partition::{partition, PartitionScheme};
     use sap_datasets::registry::UciDataset;
+    use sap_net::codec::JsonCodec;
 
     #[test]
     fn session_runs_end_to_end() {
@@ -395,6 +395,27 @@ mod tests {
     }
 
     #[test]
+    fn session_runs_under_json_codec() {
+        // The whole protocol is codec-generic: swap in the debug codec and
+        // nothing else changes.
+        let pooled = UciDataset::Iris.generate(5);
+        let locals = partition(&pooled, 3, PartitionScheme::Uniform, 6);
+        let hub = InMemoryHub::new();
+        let providers: Vec<PartyId> = (0..3).map(PartyId).collect();
+        let endpoints: Vec<_> = providers.iter().map(|&p| hub.endpoint(p)).collect();
+        let miner = hub.endpoint(MINER_ID);
+        let outcome = run_session_over(
+            locals,
+            &SapConfig::quick_test(),
+            endpoints,
+            miner,
+            JsonCodec,
+        )
+        .unwrap();
+        assert_eq!(outcome.unified.len(), pooled.len());
+    }
+
+    #[test]
     fn audit_flow_invariants_hold() {
         let pooled = UciDataset::Iris.generate(2);
         let locals = partition(&pooled, 5, PartitionScheme::Uniform, 3);
@@ -408,16 +429,18 @@ mod tests {
             .unwrap();
         assert!(!outcome.audit.party_saw_data(coordinator));
         assert!(outcome.audit.party_saw_data(MINER_ID));
-        assert!(!outcome.audit.party_saw_parameters(MINER_ID) || {
-            // The adaptor table is a parameter-class payload the miner is
-            // *supposed* to see; verify nothing else parameter-like arrived.
-            outcome
-                .audit
-                .events()
-                .iter()
-                .filter(|e| e.to == MINER_ID && e.carries_parameters)
-                .all(|e| e.kind == "adaptor-table")
-        });
+        assert!(
+            !outcome.audit.party_saw_parameters(MINER_ID) || {
+                // The adaptor table is a parameter-class payload the miner is
+                // *supposed* to see; verify nothing else parameter-like arrived.
+                outcome
+                    .audit
+                    .events()
+                    .iter()
+                    .filter(|e| e.to == MINER_ID && e.carries_parameters)
+                    .all(|e| e.kind == "adaptor-table")
+            }
+        );
     }
 
     #[test]
@@ -454,8 +477,9 @@ mod tests {
     #[test]
     fn duplicating_network_never_returns_wrong_result() {
         use sap_net::sim::FaultConfig;
-        // Duplicates either trip the miner's duplicate-slot check (abort) or
-        // are absorbed where idempotent; a success must still be correct.
+        // Duplicated frames either trip the framing/slot duplicate checks
+        // (abort) or are absorbed where idempotent; a success must still be
+        // correct.
         let pooled = UciDataset::Iris.generate(9);
         let locals = partition(&pooled, 4, PartitionScheme::Uniform, 10);
         let config = SapConfig {
@@ -504,6 +528,25 @@ mod tests {
         let locals = vec![a.clone(), a.clone(), b];
         assert!(matches!(
             run_session(locals, &SapConfig::quick_test()),
+            Err(SapError::InconsistentInputs(_))
+        ));
+    }
+
+    #[test]
+    fn transport_count_mismatch_rejected() {
+        let pooled = UciDataset::Iris.generate(6);
+        let locals = partition(&pooled, 3, PartitionScheme::Uniform, 7);
+        let hub = InMemoryHub::new();
+        let endpoints = vec![hub.endpoint(PartyId(0)), hub.endpoint(PartyId(1))];
+        let miner = hub.endpoint(MINER_ID);
+        assert!(matches!(
+            run_session_over(
+                locals,
+                &SapConfig::quick_test(),
+                endpoints,
+                miner,
+                WireCodec
+            ),
             Err(SapError::InconsistentInputs(_))
         ));
     }

@@ -193,7 +193,9 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(CsvError::RaggedRow { line: 3 }.to_string().contains("line 3"));
+        assert!(CsvError::RaggedRow { line: 3 }
+            .to_string()
+            .contains("line 3"));
         assert!(CsvError::BadValue {
             line: 1,
             token: "x".into()

@@ -28,7 +28,11 @@ impl Dataset {
     /// Panics when `records` and `labels` lengths differ, when records are
     /// ragged, or when `records` is empty.
     pub fn new(records: Vec<Vec<f64>>, labels: Vec<usize>) -> Self {
-        assert_eq!(records.len(), labels.len(), "records/labels length mismatch");
+        assert_eq!(
+            records.len(),
+            labels.len(),
+            "records/labels length mismatch"
+        );
         assert!(!records.is_empty(), "dataset must be non-empty");
         let dim = records[0].len();
         assert!(

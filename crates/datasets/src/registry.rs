@@ -150,7 +150,10 @@ impl UciDataset {
             .iter()
             .position(|&d| d == self)
             .expect("dataset in ALL") as u64;
-        generate(&self.spec(), seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (tag << 32) ^ tag)
+        generate(
+            &self.spec(),
+            seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (tag << 32) ^ tag,
+        )
     }
 }
 

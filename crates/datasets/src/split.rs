@@ -30,7 +30,9 @@ pub fn stratified_split(data: &Dataset, train_fraction: f64, seed: u64) -> Train
     let mut train_idx = Vec::new();
     let mut test_idx = Vec::new();
     for class in 0..data.num_classes() {
-        let mut members: Vec<usize> = (0..data.len()).filter(|&i| data.label(i) == class).collect();
+        let mut members: Vec<usize> = (0..data.len())
+            .filter(|&i| data.label(i) == class)
+            .collect();
         if members.is_empty() {
             continue;
         }
@@ -39,8 +41,8 @@ pub fn stratified_split(data: &Dataset, train_fraction: f64, seed: u64) -> Train
             "class {class} has fewer than 2 records; cannot stratify"
         );
         members.shuffle(&mut rng);
-        let n_train = ((members.len() as f64 * train_fraction).round() as usize)
-            .clamp(1, members.len() - 1);
+        let n_train =
+            ((members.len() as f64 * train_fraction).round() as usize).clamp(1, members.len() - 1);
         train_idx.extend_from_slice(&members[..n_train]);
         test_idx.extend_from_slice(&members[n_train..]);
     }

@@ -121,7 +121,11 @@ impl SymmetricEigen {
 
         // Sort eigenpairs by descending eigenvalue.
         let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by(|&i, &j| m[(j, j)].partial_cmp(&m[(i, i)]).expect("finite eigenvalues"));
+        order.sort_by(|&i, &j| {
+            m[(j, j)]
+                .partial_cmp(&m[(i, i)])
+                .expect("finite eigenvalues")
+        });
         let eigenvalues: Vec<f64> = order.iter().map(|&i| m[(i, i)]).collect();
         let mut eigenvectors = Matrix::zeros(n, n);
         for (new_c, &old_c) in order.iter().enumerate() {
@@ -207,7 +211,11 @@ mod tests {
 
     #[test]
     fn eigenvector_satisfies_definition() {
-        let a = Matrix::from_rows(&[vec![4.0, 1.0, 0.0], vec![1.0, 3.0, 1.0], vec![0.0, 1.0, 2.0]]);
+        let a = Matrix::from_rows(&[
+            vec![4.0, 1.0, 0.0],
+            vec![1.0, 3.0, 1.0],
+            vec![0.0, 1.0, 2.0],
+        ]);
         let e = SymmetricEigen::new(&a).unwrap();
         for k in 0..3 {
             let v = e.eigenvectors().column(k);

@@ -119,8 +119,8 @@ impl LuDecomposition {
         let mut y = vec![0.0; n];
         for i in 0..n {
             let mut s = b[self.perm[i]];
-            for j in 0..i {
-                s -= self.lu[(i, j)] * y[j];
+            for (j, &yj) in y.iter().enumerate().take(i) {
+                s -= self.lu[(i, j)] * yj;
             }
             y[i] = s;
         }
@@ -128,8 +128,8 @@ impl LuDecomposition {
         let mut x = vec![0.0; n];
         for i in (0..n).rev() {
             let mut s = y[i];
-            for j in i + 1..n {
-                s -= self.lu[(i, j)] * x[j];
+            for (j, &xj) in x.iter().enumerate().take(n).skip(i + 1) {
+                s -= self.lu[(i, j)] * xj;
             }
             x[i] = s / self.lu[(i, i)];
         }

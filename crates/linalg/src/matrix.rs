@@ -325,7 +325,12 @@ impl Matrix {
         self.zip_with(rhs, "hadamard", |a, b| a * b)
     }
 
-    fn zip_with(&self, rhs: &Matrix, op: &'static str, f: impl Fn(f64, f64) -> f64) -> Result<Matrix> {
+    fn zip_with(
+        &self,
+        rhs: &Matrix,
+        op: &'static str,
+        f: impl Fn(f64, f64) -> f64,
+    ) -> Result<Matrix> {
         if self.shape() != rhs.shape() {
             return Err(LinalgError::ShapeMismatch {
                 op,
@@ -482,7 +487,10 @@ impl Index<(usize, usize)> for Matrix {
 
     #[inline]
     fn index(&self, (r, c): (usize, usize)) -> &f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &self.data[r * self.cols + c]
     }
 }
@@ -490,7 +498,10 @@ impl Index<(usize, usize)> for Matrix {
 impl IndexMut<(usize, usize)> for Matrix {
     #[inline]
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &mut self.data[r * self.cols + c]
     }
 }
@@ -774,7 +785,12 @@ mod tests {
     // serde_json is not an approved dependency; just check Serialize is
     // derivable by going through the serde data model with a tiny writer.
     fn serde_json_like(m: &Matrix) -> String {
-        format!("rows={} cols={} len={}", m.rows(), m.cols(), m.as_slice().len())
+        format!(
+            "rows={} cols={} len={}",
+            m.rows(),
+            m.cols(),
+            m.as_slice().len()
+        )
     }
 
     #[test]

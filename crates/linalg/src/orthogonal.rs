@@ -76,7 +76,10 @@ pub fn random_rotation<R: Rng + ?Sized>(d: usize, rng: &mut R) -> Matrix {
 ///
 /// Panics if `i == j` or either index is out of range.
 pub fn givens_rotation(d: usize, i: usize, j: usize, theta: f64) -> Matrix {
-    assert!(i < d && j < d && i != j, "invalid Givens plane ({i},{j}) in dim {d}");
+    assert!(
+        i < d && j < d && i != j,
+        "invalid Givens plane ({i},{j}) in dim {d}"
+    );
     let mut m = Matrix::identity(d);
     let (c, s) = (theta.cos(), theta.sin());
     m[(i, i)] = c;

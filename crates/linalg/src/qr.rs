@@ -121,8 +121,8 @@ impl QrDecomposition {
         let mut x = vec![0.0; n];
         for i in (0..n).rev() {
             let mut s = qtb[i];
-            for j in i + 1..n {
-                s -= self.r[(i, j)] * x[j];
+            for (j, &xj) in x.iter().enumerate().take(n).skip(i + 1) {
+                s -= self.r[(i, j)] * xj;
             }
             let d = self.r[(i, i)];
             if d.abs() < 1e-12 {

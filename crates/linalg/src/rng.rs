@@ -55,8 +55,7 @@ mod tests {
         let xs = randn_vec(200_000, &mut rng);
         let m = vecops::mean(&xs);
         let s2 = vecops::variance(&xs);
-        let k: f64 =
-            xs.iter().map(|x| (x - m).powi(4)).sum::<f64>() / (xs.len() as f64 * s2 * s2);
+        let k: f64 = xs.iter().map(|x| (x - m).powi(4)).sum::<f64>() / (xs.len() as f64 * s2 * s2);
         // Gaussian excess kurtosis is 0 (k = 3).
         assert!((k - 3.0).abs() < 0.1, "kurtosis {k} too far from 3");
     }

@@ -1,0 +1,1449 @@
+//! A self-describing JSON-ish debug format over the serde data model.
+//!
+//! This is the [`crate::codec::JsonCodec`] backend. Encoding rules:
+//!
+//! * structs → objects keyed by field name;
+//! * enums → `{"$v": "VariantName"}` for unit variants, plus a `"$p"` key
+//!   carrying the payload (value, array, or object) for data variants;
+//! * sequences/tuples → arrays; options → `null` or the value; bytes →
+//!   arrays of numbers; maps → objects (string keys only);
+//! * `u64`/`i64` keep full precision (numbers are kept as text until a
+//!   concrete integer type asks for them);
+//! * non-finite floats are rejected — JSON has no spelling for them.
+//!
+//! The decoder parses to a value tree first, then drives serde visitors.
+//! Named fields are reordered into declaration order before the visitor
+//! runs, so the positional derives work unchanged; unknown or missing
+//! fields are decode errors (drift is *supposed* to be loud in a debug
+//! codec).
+
+use serde::de::{self, DeserializeOwned, Visitor};
+use serde::ser::{self, Serialize};
+use std::fmt;
+
+/// Errors from the JSON debug format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError(String);
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl ser::Error for JsonError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        JsonError(msg.to_string())
+    }
+}
+
+impl de::Error for JsonError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        JsonError(msg.to_string())
+    }
+}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, JsonError> {
+    Err(JsonError(msg.into()))
+}
+
+/// Serializes a value to JSON text bytes.
+///
+/// # Errors
+///
+/// Returns [`JsonError`] for non-finite floats and non-string map keys.
+pub fn to_bytes<T: Serialize>(value: &T) -> Result<Vec<u8>, JsonError> {
+    let mut ser = JsonSerializer { out: String::new() };
+    value.serialize(&mut ser)?;
+    Ok(ser.out.into_bytes())
+}
+
+/// Deserializes a value from JSON text bytes, requiring full consumption.
+///
+/// # Errors
+///
+/// Returns [`JsonError`] on syntax errors, type mismatches, unknown or
+/// missing fields, or trailing input.
+pub fn from_bytes<T: DeserializeOwned>(bytes: &[u8]) -> Result<T, JsonError> {
+    let text = std::str::from_utf8(bytes).map_err(|_| JsonError("invalid utf-8".into()))?;
+    let mut parser = Parser {
+        input: text.as_bytes(),
+        pos: 0,
+        depth: 0,
+    };
+    let value = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.input.len() {
+        return err("trailing input after value");
+    }
+    T::deserialize(ValueDeserializer { value: &value })
+}
+
+// ---------------------------------------------------------------------------
+// Serializer
+// ---------------------------------------------------------------------------
+
+struct JsonSerializer {
+    out: String,
+}
+
+impl JsonSerializer {
+    fn push_escaped(&mut self, s: &str) {
+        self.out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => self.out.push_str("\\\""),
+                '\\' => self.out.push_str("\\\\"),
+                '\n' => self.out.push_str("\\n"),
+                '\r' => self.out.push_str("\\r"),
+                '\t' => self.out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    self.out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => self.out.push(c),
+            }
+        }
+        self.out.push('"');
+    }
+
+    fn push_f64(&mut self, v: f64) -> Result<(), JsonError> {
+        if !v.is_finite() {
+            return err("JSON cannot represent a non-finite float");
+        }
+        self.out.push_str(&format!("{v:?}"));
+        Ok(())
+    }
+}
+
+/// Compound state: tracks whether a separator is needed, and closes the
+/// aggregate on `end`.
+enum Agg {
+    Arr,
+    Obj,
+    /// Enum payload wrapper: closes both the payload aggregate and the
+    /// variant object.
+    VariantArr,
+    VariantObj,
+}
+
+struct JsonCompound<'a> {
+    ser: &'a mut JsonSerializer,
+    agg: Agg,
+    first: bool,
+}
+
+impl JsonCompound<'_> {
+    fn sep(&mut self) {
+        if self.first {
+            self.first = false;
+        } else {
+            self.ser.out.push(',');
+        }
+    }
+
+    fn close(self) {
+        match self.agg {
+            Agg::Arr => self.ser.out.push(']'),
+            Agg::Obj => self.ser.out.push('}'),
+            Agg::VariantArr => self.ser.out.push_str("]}"),
+            Agg::VariantObj => self.ser.out.push_str("}}"),
+        }
+    }
+}
+
+impl<'a> ser::Serializer for &'a mut JsonSerializer {
+    type Ok = ();
+    type Error = JsonError;
+    type SerializeSeq = JsonCompound<'a>;
+    type SerializeTuple = JsonCompound<'a>;
+    type SerializeTupleStruct = JsonCompound<'a>;
+    type SerializeTupleVariant = JsonCompound<'a>;
+    type SerializeMap = JsonCompound<'a>;
+    type SerializeStruct = JsonCompound<'a>;
+    type SerializeStructVariant = JsonCompound<'a>;
+
+    fn serialize_bool(self, v: bool) -> Result<(), JsonError> {
+        self.out.push_str(if v { "true" } else { "false" });
+        Ok(())
+    }
+    fn serialize_i8(self, v: i8) -> Result<(), JsonError> {
+        self.serialize_i64(i64::from(v))
+    }
+    fn serialize_i16(self, v: i16) -> Result<(), JsonError> {
+        self.serialize_i64(i64::from(v))
+    }
+    fn serialize_i32(self, v: i32) -> Result<(), JsonError> {
+        self.serialize_i64(i64::from(v))
+    }
+    fn serialize_i64(self, v: i64) -> Result<(), JsonError> {
+        self.out.push_str(&v.to_string());
+        Ok(())
+    }
+    fn serialize_u8(self, v: u8) -> Result<(), JsonError> {
+        self.serialize_u64(u64::from(v))
+    }
+    fn serialize_u16(self, v: u16) -> Result<(), JsonError> {
+        self.serialize_u64(u64::from(v))
+    }
+    fn serialize_u32(self, v: u32) -> Result<(), JsonError> {
+        self.serialize_u64(u64::from(v))
+    }
+    fn serialize_u64(self, v: u64) -> Result<(), JsonError> {
+        self.out.push_str(&v.to_string());
+        Ok(())
+    }
+    fn serialize_f32(self, v: f32) -> Result<(), JsonError> {
+        self.push_f64(f64::from(v))
+    }
+    fn serialize_f64(self, v: f64) -> Result<(), JsonError> {
+        self.push_f64(v)
+    }
+    fn serialize_char(self, v: char) -> Result<(), JsonError> {
+        self.push_escaped(&v.to_string());
+        Ok(())
+    }
+    fn serialize_str(self, v: &str) -> Result<(), JsonError> {
+        self.push_escaped(v);
+        Ok(())
+    }
+    fn serialize_bytes(self, v: &[u8]) -> Result<(), JsonError> {
+        self.out.push('[');
+        for (i, b) in v.iter().enumerate() {
+            if i > 0 {
+                self.out.push(',');
+            }
+            self.out.push_str(&b.to_string());
+        }
+        self.out.push(']');
+        Ok(())
+    }
+    fn serialize_none(self) -> Result<(), JsonError> {
+        self.out.push_str("null");
+        Ok(())
+    }
+    fn serialize_some<T: ?Sized + Serialize>(self, value: &T) -> Result<(), JsonError> {
+        value.serialize(self)
+    }
+    fn serialize_unit(self) -> Result<(), JsonError> {
+        self.out.push_str("null");
+        Ok(())
+    }
+    fn serialize_unit_struct(self, _name: &'static str) -> Result<(), JsonError> {
+        self.out.push_str("null");
+        Ok(())
+    }
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+    ) -> Result<(), JsonError> {
+        self.out.push_str("{\"$v\":");
+        self.push_escaped(variant);
+        self.out.push('}');
+        Ok(())
+    }
+    fn serialize_newtype_struct<T: ?Sized + Serialize>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<(), JsonError> {
+        value.serialize(self)
+    }
+    fn serialize_newtype_variant<T: ?Sized + Serialize>(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<(), JsonError> {
+        self.out.push_str("{\"$v\":");
+        self.push_escaped(variant);
+        self.out.push_str(",\"$p\":");
+        value.serialize(&mut *self)?;
+        self.out.push('}');
+        Ok(())
+    }
+    fn serialize_seq(self, _len: Option<usize>) -> Result<JsonCompound<'a>, JsonError> {
+        self.out.push('[');
+        Ok(JsonCompound {
+            ser: self,
+            agg: Agg::Arr,
+            first: true,
+        })
+    }
+    fn serialize_tuple(self, _len: usize) -> Result<JsonCompound<'a>, JsonError> {
+        self.serialize_seq(None)
+    }
+    fn serialize_tuple_struct(
+        self,
+        _name: &'static str,
+        _len: usize,
+    ) -> Result<JsonCompound<'a>, JsonError> {
+        self.serialize_seq(None)
+    }
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        _len: usize,
+    ) -> Result<JsonCompound<'a>, JsonError> {
+        self.out.push_str("{\"$v\":");
+        self.push_escaped(variant);
+        self.out.push_str(",\"$p\":[");
+        Ok(JsonCompound {
+            ser: self,
+            agg: Agg::VariantArr,
+            first: true,
+        })
+    }
+    fn serialize_map(self, _len: Option<usize>) -> Result<JsonCompound<'a>, JsonError> {
+        self.out.push('{');
+        Ok(JsonCompound {
+            ser: self,
+            agg: Agg::Obj,
+            first: true,
+        })
+    }
+    fn serialize_struct(
+        self,
+        _name: &'static str,
+        _len: usize,
+    ) -> Result<JsonCompound<'a>, JsonError> {
+        self.serialize_map(None)
+    }
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        _len: usize,
+    ) -> Result<JsonCompound<'a>, JsonError> {
+        self.out.push_str("{\"$v\":");
+        self.push_escaped(variant);
+        self.out.push_str(",\"$p\":{");
+        Ok(JsonCompound {
+            ser: self,
+            agg: Agg::VariantObj,
+            first: true,
+        })
+    }
+}
+
+impl ser::SerializeSeq for JsonCompound<'_> {
+    type Ok = ();
+    type Error = JsonError;
+    fn serialize_element<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), JsonError> {
+        self.sep();
+        value.serialize(&mut *self.ser)
+    }
+    fn end(self) -> Result<(), JsonError> {
+        self.close();
+        Ok(())
+    }
+}
+
+impl ser::SerializeTuple for JsonCompound<'_> {
+    type Ok = ();
+    type Error = JsonError;
+    fn serialize_element<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), JsonError> {
+        self.sep();
+        value.serialize(&mut *self.ser)
+    }
+    fn end(self) -> Result<(), JsonError> {
+        self.close();
+        Ok(())
+    }
+}
+
+impl ser::SerializeTupleStruct for JsonCompound<'_> {
+    type Ok = ();
+    type Error = JsonError;
+    fn serialize_field<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), JsonError> {
+        self.sep();
+        value.serialize(&mut *self.ser)
+    }
+    fn end(self) -> Result<(), JsonError> {
+        self.close();
+        Ok(())
+    }
+}
+
+impl ser::SerializeTupleVariant for JsonCompound<'_> {
+    type Ok = ();
+    type Error = JsonError;
+    fn serialize_field<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), JsonError> {
+        self.sep();
+        value.serialize(&mut *self.ser)
+    }
+    fn end(self) -> Result<(), JsonError> {
+        self.close();
+        Ok(())
+    }
+}
+
+impl ser::SerializeMap for JsonCompound<'_> {
+    type Ok = ();
+    type Error = JsonError;
+    fn serialize_key<T: ?Sized + Serialize>(&mut self, key: &T) -> Result<(), JsonError> {
+        self.sep();
+        // Keys must render as JSON strings: serialize through a checker that
+        // only accepts strings.
+        let mut key_ser = KeySerializer { out: None };
+        key.serialize(&mut key_ser)?;
+        let key_text = key_ser
+            .out
+            .ok_or_else(|| JsonError("map key must be a string".into()))?;
+        self.ser.push_escaped(&key_text);
+        self.ser.out.push(':');
+        Ok(())
+    }
+    fn serialize_value<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), JsonError> {
+        value.serialize(&mut *self.ser)
+    }
+    fn end(self) -> Result<(), JsonError> {
+        self.close();
+        Ok(())
+    }
+}
+
+impl ser::SerializeStruct for JsonCompound<'_> {
+    type Ok = ();
+    type Error = JsonError;
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), JsonError> {
+        self.sep();
+        self.ser.push_escaped(key);
+        self.ser.out.push(':');
+        value.serialize(&mut *self.ser)
+    }
+    fn end(self) -> Result<(), JsonError> {
+        self.close();
+        Ok(())
+    }
+}
+
+impl ser::SerializeStructVariant for JsonCompound<'_> {
+    type Ok = ();
+    type Error = JsonError;
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), JsonError> {
+        self.sep();
+        self.ser.push_escaped(key);
+        self.ser.out.push(':');
+        value.serialize(&mut *self.ser)
+    }
+    fn end(self) -> Result<(), JsonError> {
+        self.close();
+        Ok(())
+    }
+}
+
+/// Serializer that only accepts strings (for map keys).
+struct KeySerializer {
+    out: Option<String>,
+}
+
+macro_rules! key_reject {
+    ($($method:ident($ty:ty))*) => {$(
+        fn $method(self, _v: $ty) -> Result<(), JsonError> {
+            err("map key must be a string")
+        }
+    )*};
+}
+
+impl ser::Serializer for &mut KeySerializer {
+    type Ok = ();
+    type Error = JsonError;
+    type SerializeSeq = ser::Impossible<(), JsonError>;
+    type SerializeTuple = ser::Impossible<(), JsonError>;
+    type SerializeTupleStruct = ser::Impossible<(), JsonError>;
+    type SerializeTupleVariant = ser::Impossible<(), JsonError>;
+    type SerializeMap = ser::Impossible<(), JsonError>;
+    type SerializeStruct = ser::Impossible<(), JsonError>;
+    type SerializeStructVariant = ser::Impossible<(), JsonError>;
+
+    key_reject! {
+        serialize_bool(bool) serialize_i8(i8) serialize_i16(i16)
+        serialize_i32(i32) serialize_i64(i64) serialize_u8(u8)
+        serialize_u16(u16) serialize_u32(u32) serialize_u64(u64)
+        serialize_f32(f32) serialize_f64(f64)
+    }
+
+    fn serialize_char(self, v: char) -> Result<(), JsonError> {
+        self.out = Some(v.to_string());
+        Ok(())
+    }
+    fn serialize_str(self, v: &str) -> Result<(), JsonError> {
+        self.out = Some(v.to_owned());
+        Ok(())
+    }
+    fn serialize_bytes(self, _v: &[u8]) -> Result<(), JsonError> {
+        err("map key must be a string")
+    }
+    fn serialize_none(self) -> Result<(), JsonError> {
+        err("map key must be a string")
+    }
+    fn serialize_some<T: ?Sized + Serialize>(self, _value: &T) -> Result<(), JsonError> {
+        err("map key must be a string")
+    }
+    fn serialize_unit(self) -> Result<(), JsonError> {
+        err("map key must be a string")
+    }
+    fn serialize_unit_struct(self, _name: &'static str) -> Result<(), JsonError> {
+        err("map key must be a string")
+    }
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+    ) -> Result<(), JsonError> {
+        self.out = Some(variant.to_owned());
+        Ok(())
+    }
+    fn serialize_newtype_struct<T: ?Sized + Serialize>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<(), JsonError> {
+        value.serialize(self)
+    }
+    fn serialize_newtype_variant<T: ?Sized + Serialize>(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        _variant: &'static str,
+        _value: &T,
+    ) -> Result<(), JsonError> {
+        err("map key must be a string")
+    }
+    fn serialize_seq(self, _len: Option<usize>) -> Result<Self::SerializeSeq, JsonError> {
+        err("map key must be a string")
+    }
+    fn serialize_tuple(self, _len: usize) -> Result<Self::SerializeTuple, JsonError> {
+        err("map key must be a string")
+    }
+    fn serialize_tuple_struct(
+        self,
+        _name: &'static str,
+        _len: usize,
+    ) -> Result<Self::SerializeTupleStruct, JsonError> {
+        err("map key must be a string")
+    }
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Self::SerializeTupleVariant, JsonError> {
+        err("map key must be a string")
+    }
+    fn serialize_map(self, _len: Option<usize>) -> Result<Self::SerializeMap, JsonError> {
+        err("map key must be a string")
+    }
+    fn serialize_struct(
+        self,
+        _name: &'static str,
+        _len: usize,
+    ) -> Result<Self::SerializeStruct, JsonError> {
+        err("map key must be a string")
+    }
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Self::SerializeStructVariant, JsonError> {
+        err("map key must be a string")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parser → value tree
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value. Numbers stay textual until a concrete type asks, so
+/// `u64::MAX` survives the trip.
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Null,
+    Bool(bool),
+    Num(String),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Num(_) => "number",
+            Value::Str(_) => "string",
+            Value::Arr(_) => "array",
+            Value::Obj(_) => "object",
+        }
+    }
+}
+
+/// Maximum container nesting the parser accepts — bounds recursion so a
+/// hostile `[[[[…` payload errors instead of overflowing the stack.
+const MAX_DEPTH: u32 = 128;
+
+struct Parser<'i> {
+    input: &'i [u8],
+    pos: usize,
+    depth: u32,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.input.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, JsonError> {
+        self.skip_ws();
+        self.input
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| JsonError("unexpected end of input".into()))
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek()? == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            err(format!("expected `{}` at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, JsonError> {
+        match self.peek()? {
+            b'n' => self.parse_keyword("null", Value::Null),
+            b't' => self.parse_keyword("true", Value::Bool(true)),
+            b'f' => self.parse_keyword("false", Value::Bool(false)),
+            b'"' => Ok(Value::Str(self.parse_string()?)),
+            b'[' => self.parse_array(),
+            b'{' => self.parse_object(),
+            b'-' | b'0'..=b'9' => self.parse_number(),
+            other => err(format!(
+                "unexpected byte `{}` at {}",
+                other as char, self.pos
+            )),
+        }
+    }
+
+    fn parse_keyword(&mut self, kw: &str, value: Value) -> Result<Value, JsonError> {
+        self.skip_ws();
+        if self.input[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(value)
+        } else {
+            err(format!("invalid keyword at byte {}", self.pos))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, JsonError> {
+        self.skip_ws();
+        let start = self.pos;
+        while let Some(&b) = self.input.get(self.pos) {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return err("empty number");
+        }
+        let text = std::str::from_utf8(&self.input[start..self.pos])
+            .expect("ascii digits are valid utf-8");
+        // Validate it parses as *some* number now, so errors surface early.
+        if text.parse::<f64>().is_err() {
+            return err(format!("malformed number `{text}`"));
+        }
+        Ok(Value::Num(text.to_owned()))
+    }
+
+    fn parse_u_escape(&mut self) -> Result<u32, JsonError> {
+        let hex = self
+            .input
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| JsonError("short \\u escape".into()))?;
+        self.pos += 4;
+        u32::from_str_radix(
+            std::str::from_utf8(hex).map_err(|_| JsonError("bad \\u escape".into()))?,
+            16,
+        )
+        .map_err(|_| JsonError("bad \\u escape".into()))
+    }
+
+    fn parse_string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = self
+                .input
+                .get(self.pos)
+                .copied()
+                .ok_or_else(|| JsonError("unterminated string".into()))?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = self
+                        .input
+                        .get(self.pos)
+                        .copied()
+                        .ok_or_else(|| JsonError("unterminated escape".into()))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let code = self.parse_u_escape()?;
+                            // Standard JSON spells non-BMP characters as a
+                            // surrogate pair of \u escapes; combine them.
+                            let c = if (0xD800..0xDC00).contains(&code) {
+                                if self.input.get(self.pos..self.pos + 2) != Some(b"\\u") {
+                                    return err("lone high surrogate");
+                                }
+                                self.pos += 2;
+                                let low = self.parse_u_escape()?;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return err("invalid low surrogate");
+                                }
+                                let combined = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                char::from_u32(combined)
+                                    .ok_or_else(|| JsonError("bad surrogate pair".into()))?
+                            } else {
+                                char::from_u32(code)
+                                    .ok_or_else(|| JsonError("bad \\u code point".into()))?
+                            };
+                            out.push(c);
+                        }
+                        _ => return err("unknown escape"),
+                    }
+                }
+                _ => {
+                    // Re-decode UTF-8 from this byte.
+                    let s = &self.input[self.pos - 1..];
+                    let width = utf8_width(b);
+                    let chunk = s
+                        .get(..width)
+                        .ok_or_else(|| JsonError("truncated utf-8".into()))?;
+                    let text = std::str::from_utf8(chunk)
+                        .map_err(|_| JsonError("invalid utf-8 in string".into()))?;
+                    out.push_str(text);
+                    self.pos += width - 1;
+                }
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, JsonError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return err("nesting too deep");
+        }
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return err(format!("expected `,` or `]` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, JsonError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return err("nesting too deep");
+        }
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Value::Obj(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Value::Obj(entries));
+                }
+                _ => return err(format!("expected `,` or `}}` at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+fn utf8_width(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Value tree → serde visitors
+// ---------------------------------------------------------------------------
+
+struct ValueDeserializer<'a> {
+    value: &'a Value,
+}
+
+impl<'a> ValueDeserializer<'a> {
+    fn mismatch<T>(&self, wanted: &str) -> Result<T, JsonError> {
+        err(format!(
+            "expected {wanted}, found {}",
+            self.value.type_name()
+        ))
+    }
+
+    fn num_text(&self, wanted: &str) -> Result<&'a str, JsonError> {
+        match self.value {
+            Value::Num(text) => Ok(text),
+            _ => err(format!(
+                "expected {wanted}, found {}",
+                self.value.type_name()
+            )),
+        }
+    }
+}
+
+macro_rules! de_int {
+    ($($method:ident, $ty:ty, $visit:ident;)*) => {$(
+        fn $method<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, JsonError> {
+            let text = self.num_text(stringify!($ty))?;
+            let v: $ty = text
+                .parse()
+                .map_err(|_| JsonError(format!("number `{text}` out of range for {}", stringify!($ty))))?;
+            visitor.$visit(v)
+        }
+    )*};
+}
+
+impl<'de> de::Deserializer<'de> for ValueDeserializer<'_> {
+    type Error = JsonError;
+
+    fn deserialize_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, JsonError> {
+        match self.value {
+            Value::Null => visitor.visit_unit(),
+            Value::Bool(b) => visitor.visit_bool(*b),
+            Value::Num(text) => {
+                if let Ok(v) = text.parse::<i64>() {
+                    visitor.visit_i64(v)
+                } else if let Ok(v) = text.parse::<u64>() {
+                    visitor.visit_u64(v)
+                } else {
+                    visitor.visit_f64(text.parse::<f64>().expect("validated at parse time"))
+                }
+            }
+            Value::Str(s) => visitor.visit_str(s),
+            Value::Arr(_) => self.deserialize_seq(visitor),
+            Value::Obj(_) => self.deserialize_map(visitor),
+        }
+    }
+
+    fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, JsonError> {
+        match self.value {
+            Value::Bool(b) => visitor.visit_bool(*b),
+            _ => self.mismatch("bool"),
+        }
+    }
+
+    de_int! {
+        deserialize_i8, i8, visit_i8;
+        deserialize_i16, i16, visit_i16;
+        deserialize_i32, i32, visit_i32;
+        deserialize_i64, i64, visit_i64;
+        deserialize_u8, u8, visit_u8;
+        deserialize_u16, u16, visit_u16;
+        deserialize_u32, u32, visit_u32;
+        deserialize_u64, u64, visit_u64;
+    }
+
+    fn deserialize_f32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, JsonError> {
+        let text = self.num_text("f32")?;
+        let v: f32 = text.parse().expect("validated at parse time");
+        // `parse` saturates out-of-range finite text to infinity; the
+        // format has no spelling for non-finite floats, so reject.
+        if !v.is_finite() {
+            return err(format!("number `{text}` out of range for f32"));
+        }
+        visitor.visit_f32(v)
+    }
+
+    fn deserialize_f64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, JsonError> {
+        let text = self.num_text("f64")?;
+        visitor.visit_f64(text.parse().expect("validated at parse time"))
+    }
+
+    fn deserialize_char<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, JsonError> {
+        match self.value {
+            Value::Str(s) if s.chars().count() == 1 => {
+                visitor.visit_char(s.chars().next().expect("one char"))
+            }
+            _ => self.mismatch("single-character string"),
+        }
+    }
+
+    fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, JsonError> {
+        match self.value {
+            Value::Str(s) => visitor.visit_str(s),
+            _ => self.mismatch("string"),
+        }
+    }
+
+    fn deserialize_string<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, JsonError> {
+        self.deserialize_str(visitor)
+    }
+
+    fn deserialize_bytes<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, JsonError> {
+        match self.value {
+            Value::Arr(items) => {
+                let mut bytes = Vec::with_capacity(items.len());
+                for item in items {
+                    match item {
+                        Value::Num(text) => bytes.push(
+                            text.parse::<u8>()
+                                .map_err(|_| JsonError(format!("byte out of range: `{text}`")))?,
+                        ),
+                        other => return err(format!("expected byte, found {}", other.type_name())),
+                    }
+                }
+                visitor.visit_byte_buf(bytes)
+            }
+            _ => self.mismatch("byte array"),
+        }
+    }
+
+    fn deserialize_byte_buf<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, JsonError> {
+        self.deserialize_bytes(visitor)
+    }
+
+    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, JsonError> {
+        match self.value {
+            Value::Null => visitor.visit_none(),
+            _ => visitor.visit_some(self),
+        }
+    }
+
+    fn deserialize_unit<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, JsonError> {
+        match self.value {
+            Value::Null => visitor.visit_unit(),
+            _ => self.mismatch("null"),
+        }
+    }
+
+    fn deserialize_unit_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, JsonError> {
+        self.deserialize_unit(visitor)
+    }
+
+    fn deserialize_newtype_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, JsonError> {
+        visitor.visit_newtype_struct(self)
+    }
+
+    fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, JsonError> {
+        match self.value {
+            Value::Arr(items) => visitor.visit_seq(SliceSeq { items, next: 0 }),
+            _ => self.mismatch("array"),
+        }
+    }
+
+    fn deserialize_tuple<V: Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, JsonError> {
+        match self.value {
+            Value::Arr(items) if items.len() == len => {
+                visitor.visit_seq(SliceSeq { items, next: 0 })
+            }
+            Value::Arr(items) => err(format!(
+                "expected array of {len}, found {} elements",
+                items.len()
+            )),
+            _ => self.mismatch("array"),
+        }
+    }
+
+    fn deserialize_tuple_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, JsonError> {
+        self.deserialize_tuple(len, visitor)
+    }
+
+    fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, JsonError> {
+        match self.value {
+            Value::Obj(entries) => visitor.visit_map(ObjMap {
+                entries,
+                next: 0,
+                value: None,
+            }),
+            _ => self.mismatch("object"),
+        }
+    }
+
+    fn deserialize_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, JsonError> {
+        match self.value {
+            // Reorder named fields into declaration order and drive the
+            // positional visitor. Unknown and missing fields are errors.
+            Value::Obj(entries) => {
+                let mut ordered: Vec<&Value> = Vec::with_capacity(fields.len());
+                for field in fields {
+                    let mut matches = entries.iter().filter(|(k, _)| k == field);
+                    let found = matches
+                        .next()
+                        .map(|(_, v)| v)
+                        .ok_or_else(|| JsonError(format!("missing field `{field}`")))?;
+                    if matches.next().is_some() {
+                        return err(format!("duplicate field `{field}`"));
+                    }
+                    ordered.push(found);
+                }
+                if entries.len() != fields.len() {
+                    for (k, _) in entries {
+                        if !fields.contains(&k.as_str()) {
+                            return err(format!("unknown field `{k}`"));
+                        }
+                    }
+                }
+                visitor.visit_seq(RefSeq {
+                    items: ordered,
+                    next: 0,
+                })
+            }
+            // Positional arrays are accepted too (compat with captures).
+            Value::Arr(items) if items.len() == fields.len() => {
+                visitor.visit_seq(SliceSeq { items, next: 0 })
+            }
+            _ => self.mismatch("object"),
+        }
+    }
+
+    fn deserialize_enum<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        variants: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, JsonError> {
+        match self.value {
+            Value::Obj(entries) => {
+                let variant_name = entries
+                    .iter()
+                    .find(|(k, _)| k == "$v")
+                    .and_then(|(_, v)| match v {
+                        Value::Str(s) => Some(s.as_str()),
+                        _ => None,
+                    })
+                    .ok_or_else(|| JsonError("enum object needs a string `$v` key".into()))?;
+                let index = variants
+                    .iter()
+                    .position(|v| *v == variant_name)
+                    .ok_or_else(|| JsonError(format!("unknown variant `{variant_name}`")))?;
+                let payload = entries.iter().find(|(k, _)| k == "$p").map(|(_, v)| v);
+                for (k, _) in entries {
+                    if k != "$v" && k != "$p" {
+                        return err(format!("unexpected key `{k}` in enum object"));
+                    }
+                }
+                visitor.visit_enum(ValueEnum {
+                    index: u32::try_from(index).expect("variant count fits u32"),
+                    payload,
+                })
+            }
+            _ => self.mismatch("enum object"),
+        }
+    }
+
+    fn deserialize_identifier<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, JsonError> {
+        self.deserialize_any(visitor)
+    }
+
+    fn deserialize_ignored_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, JsonError> {
+        visitor.visit_unit()
+    }
+}
+
+struct SliceSeq<'a> {
+    items: &'a [Value],
+    next: usize,
+}
+
+impl<'de> de::SeqAccess<'de> for SliceSeq<'_> {
+    type Error = JsonError;
+
+    fn next_element_seed<T: de::DeserializeSeed<'de>>(
+        &mut self,
+        seed: T,
+    ) -> Result<Option<T::Value>, JsonError> {
+        match self.items.get(self.next) {
+            None => Ok(None),
+            Some(value) => {
+                self.next += 1;
+                seed.deserialize(ValueDeserializer { value }).map(Some)
+            }
+        }
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.items.len() - self.next)
+    }
+}
+
+struct RefSeq<'a> {
+    items: Vec<&'a Value>,
+    next: usize,
+}
+
+impl<'de> de::SeqAccess<'de> for RefSeq<'_> {
+    type Error = JsonError;
+
+    fn next_element_seed<T: de::DeserializeSeed<'de>>(
+        &mut self,
+        seed: T,
+    ) -> Result<Option<T::Value>, JsonError> {
+        match self.items.get(self.next) {
+            None => Ok(None),
+            Some(value) => {
+                self.next += 1;
+                seed.deserialize(ValueDeserializer { value }).map(Some)
+            }
+        }
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.items.len() - self.next)
+    }
+}
+
+struct ObjMap<'a> {
+    entries: &'a [(String, Value)],
+    next: usize,
+    value: Option<&'a Value>,
+}
+
+impl<'de> de::MapAccess<'de> for ObjMap<'_> {
+    type Error = JsonError;
+
+    fn next_key_seed<K: de::DeserializeSeed<'de>>(
+        &mut self,
+        seed: K,
+    ) -> Result<Option<K::Value>, JsonError> {
+        match self.entries.get(self.next) {
+            None => Ok(None),
+            Some((key, value)) => {
+                self.next += 1;
+                self.value = Some(value);
+                let key_value = Value::Str(key.clone());
+                seed.deserialize(ValueDeserializer { value: &key_value })
+                    .map(Some)
+            }
+        }
+    }
+
+    fn next_value_seed<V: de::DeserializeSeed<'de>>(
+        &mut self,
+        seed: V,
+    ) -> Result<V::Value, JsonError> {
+        let value = self
+            .value
+            .take()
+            .ok_or_else(|| JsonError("next_value_seed called before next_key_seed".into()))?;
+        seed.deserialize(ValueDeserializer { value })
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.entries.len() - self.next)
+    }
+}
+
+struct ValueEnum<'a> {
+    index: u32,
+    payload: Option<&'a Value>,
+}
+
+impl<'de> de::EnumAccess<'de> for ValueEnum<'_> {
+    type Error = JsonError;
+    type Variant = Self;
+
+    fn variant_seed<V: de::DeserializeSeed<'de>>(
+        self,
+        seed: V,
+    ) -> Result<(V::Value, Self), JsonError> {
+        let index = self.index;
+        let value = seed.deserialize(de::value::U32Deserializer::<JsonError>::new(index))?;
+        Ok((value, self))
+    }
+}
+
+impl<'de> de::VariantAccess<'de> for ValueEnum<'_> {
+    type Error = JsonError;
+
+    fn unit_variant(self) -> Result<(), JsonError> {
+        match self.payload {
+            None | Some(Value::Null) => Ok(()),
+            Some(other) => err(format!(
+                "unit variant carries unexpected {} payload",
+                other.type_name()
+            )),
+        }
+    }
+
+    fn newtype_variant_seed<T: de::DeserializeSeed<'de>>(
+        self,
+        seed: T,
+    ) -> Result<T::Value, JsonError> {
+        let value = self
+            .payload
+            .ok_or_else(|| JsonError("newtype variant missing `$p` payload".into()))?;
+        seed.deserialize(ValueDeserializer { value })
+    }
+
+    fn tuple_variant<V: Visitor<'de>>(self, len: usize, visitor: V) -> Result<V::Value, JsonError> {
+        let value = self
+            .payload
+            .ok_or_else(|| JsonError("tuple variant missing `$p` payload".into()))?;
+        de::Deserializer::deserialize_tuple(ValueDeserializer { value }, len, visitor)
+    }
+
+    fn struct_variant<V: Visitor<'de>>(
+        self,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, JsonError> {
+        let value = self
+            .payload
+            .ok_or_else(|| JsonError("struct variant missing `$p` payload".into()))?;
+        de::Deserializer::deserialize_struct(ValueDeserializer { value }, "", fields, visitor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::{Deserialize, Serialize};
+    use std::collections::BTreeMap;
+
+    fn roundtrip<T: Serialize + DeserializeOwned + PartialEq + fmt::Debug>(v: T) {
+        let bytes = to_bytes(&v).unwrap();
+        let back: T = from_bytes(&bytes).unwrap();
+        assert_eq!(back, v, "json: {}", String::from_utf8_lossy(&bytes));
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        roundtrip(true);
+        roundtrip(-42i8);
+        roundtrip(u64::MAX);
+        roundtrip(i64::MIN);
+        roundtrip(1.5f32);
+        roundtrip(-0.123456789f64);
+        roundtrip(1e300f64);
+        roundtrip('λ');
+        roundtrip(String::from("json \"escape\" \\ test\nline"));
+        roundtrip(String::new());
+    }
+
+    #[test]
+    fn collections_roundtrip() {
+        roundtrip(vec![1u32, 2, 3]);
+        roundtrip(Vec::<f64>::new());
+        roundtrip(vec![vec![1.0f64, 2.0], vec![]]);
+        roundtrip((1u8, String::from("x"), 2.5f64));
+        roundtrip(vec![Some(1u8), None, Some(3)]);
+        let mut m = BTreeMap::new();
+        m.insert(String::from("a"), 1u64);
+        m.insert(String::from("b"), 2u64);
+        roundtrip(m);
+    }
+
+    #[derive(Serialize, Deserialize, PartialEq, Debug)]
+    struct Nested {
+        id: u64,
+        name: String,
+        values: Vec<f64>,
+        flag: Option<bool>,
+    }
+
+    #[derive(Serialize, Deserialize, PartialEq, Debug)]
+    enum Msg {
+        Ping,
+        Data { payload: Vec<u8>, crc: u32 },
+        Pair(u8, u8),
+        Wrapped(Nested),
+    }
+
+    #[test]
+    fn structs_and_enums_roundtrip() {
+        roundtrip(Nested {
+            id: 7,
+            name: "party-3".into(),
+            values: vec![0.1, 0.2],
+            flag: Some(true),
+        });
+        roundtrip(Msg::Ping);
+        roundtrip(Msg::Data {
+            payload: vec![1, 2, 3],
+            crc: 0xDEAD,
+        });
+        roundtrip(Msg::Pair(4, 5));
+        roundtrip(Msg::Wrapped(Nested {
+            id: 1,
+            name: String::new(),
+            values: vec![],
+            flag: None,
+        }));
+    }
+
+    #[test]
+    fn field_order_is_flexible_but_names_are_strict() {
+        let reordered = br#"{"name":"x","id":3,"flag":null,"values":[1.0]}"#;
+        let v: Nested = from_bytes(reordered).unwrap();
+        assert_eq!(v.id, 3);
+        assert_eq!(v.values, vec![1.0]);
+
+        let unknown = br#"{"name":"x","id":3,"flag":null,"values":[],"extra":1}"#;
+        assert!(from_bytes::<Nested>(unknown).is_err());
+
+        let missing = br#"{"name":"x","id":3}"#;
+        assert!(from_bytes::<Nested>(missing).is_err());
+    }
+
+    #[test]
+    fn adversarial_inputs_error_cleanly() {
+        for bad in [
+            &b"{"[..],
+            b"[1,2",
+            b"\"unterminated",
+            b"{\"$v\":\"NoSuchVariant\"}",
+            b"nulll",
+            b"12.3.4",
+            b"{\"$v\":3}",
+            b"[1,2,]",
+            b"",
+        ] {
+            assert!(
+                from_bytes::<Msg>(bad).is_err(),
+                "{:?}",
+                String::from_utf8_lossy(bad)
+            );
+        }
+    }
+
+    #[test]
+    fn deep_nesting_rejected_without_stack_overflow() {
+        let bomb = vec![b'['; 100_000];
+        assert!(from_bytes::<Vec<u8>>(&bomb).is_err());
+        let obj_bomb = "{\"$p\":".repeat(50_000);
+        assert!(from_bytes::<Vec<u8>>(obj_bomb.as_bytes()).is_err());
+        // Nesting within the bound still parses.
+        let ok: Vec<Vec<Vec<u8>>> = from_bytes(b"[[[1,2],[3]],[[4]]]").unwrap();
+        assert_eq!(ok.len(), 2);
+    }
+
+    #[test]
+    fn surrogate_pair_escapes_decode() {
+        // Standard JSON encoding of an astral-plane character, as emitted
+        // by serde_json / Python / JS.
+        let v: String = from_bytes(br#""\ud83d\ude00""#).unwrap();
+        assert_eq!(v, "\u{1F600}");
+        // Lone or malformed surrogates are errors.
+        assert!(from_bytes::<String>(br#""\ud83d""#).is_err());
+        assert!(from_bytes::<String>(br#""\ud83dx""#).is_err());
+        assert!(from_bytes::<String>(br#""\ud83d\u0041""#).is_err());
+        assert!(from_bytes::<String>(br#""\udc00""#).is_err());
+    }
+
+    #[test]
+    fn duplicate_struct_field_rejected() {
+        let dup = br#"{"id":1,"id":2,"name":"x","values":[],"flag":null}"#;
+        let err = from_bytes::<Nested>(dup).unwrap_err();
+        assert!(err.to_string().contains("duplicate field"), "{err}");
+    }
+
+    #[test]
+    fn f32_out_of_range_rejected() {
+        assert!(from_bytes::<f32>(b"1e300").is_err());
+        assert_eq!(from_bytes::<f32>(b"1.5").unwrap(), 1.5f32);
+    }
+
+    #[test]
+    fn non_finite_floats_rejected() {
+        assert!(to_bytes(&f64::NAN).is_err());
+        assert!(to_bytes(&f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn u64_precision_survives() {
+        let v = u64::MAX - 1;
+        let bytes = to_bytes(&v).unwrap();
+        assert_eq!(from_bytes::<u64>(&bytes).unwrap(), v);
+    }
+}

@@ -1,34 +1,56 @@
-//! Simulated multiparty transport for the SAP protocol.
+//! Pluggable, streaming multiparty messaging for the SAP protocol.
 //!
 //! The PODC'07 brief runs between three roles — data providers, a
 //! coordinator, and the mining service provider — and "assume[s] that
 //! encryption is applied before data is transmitted on the network". This
-//! crate supplies the communication substrate those roles run on, built so
-//! the protocol logic in `sap-core` is testable end-to-end with realistic
-//! failure modes:
+//! crate supplies the communication substrate those roles run on, as a
+//! layered pipeline in which every layer is swappable:
 //!
-//! * [`wire`] — a compact, non-self-describing binary serde codec (the
-//!   workspace's offline dependency set has no serde *format* crate, so one
-//!   is implemented here).
-//! * [`crypto`] — a toy stream-cipher + checksum envelope standing in for
-//!   the paper's assumed link encryption. **Not real cryptography**; it
-//!   models the interface (key per channel, sealed payloads, tamper
-//!   detection), not the security.
-//! * [`transport`] — the [`transport::Transport`] trait and an in-memory
-//!   hub implementation over crossbeam channels, one endpoint per party.
+//! ```text
+//!   protocol actors (sap-core)          — generic over Transport + Codec
+//!        │ typed messages / streams
+//!   [`node`]   Node<T, C>               — typed send/recv, stream relay
+//!        │ codec-encoded bytes
+//!   [`codec`]  Codec: wire | json       — pluggable serialization
+//!        │ encoded message
+//!   [`frame`]  chunked sealed frames    — bounded chunks, per-frame seal
+//!        │ sealed frames (Bytes)
+//!   [`transport`] / [`tcp`] / [`sim`]   — in-memory hub, TCP, fault inject
+//! ```
+//!
+//! * [`codec`] — the [`codec::Codec`] trait; [`codec::WireCodec`] (compact
+//!   binary, default) and [`codec::JsonCodec`] (self-describing debug).
+//! * [`wire`] — the binary format behind `WireCodec` (spec in the module
+//!   docs).
+//! * [`json`] — the JSON-ish format behind `JsonCodec`.
+//! * [`frame`] — chunked streaming frames with a per-frame sealed
+//!   envelope; datasets travel as row-block streams, never one giant
+//!   allocation.
+//! * [`crypto`] — the legacy byte-wise toy envelope (kept for
+//!   compatibility and comparison benches). **Not real cryptography**,
+//!   and neither is the frame envelope; they model the interface.
+//! * [`transport`] — the [`transport::Transport`] trait and the in-memory
+//!   hub implementation over channels, one endpoint per party.
+//! * [`tcp`] — a real TCP backend with the same contract.
 //! * [`sim`] — a fault-injecting transport decorator (drops, duplicates,
 //!   reordering) for failure-injection tests.
-//! * [`node`] — typed convenience layer: send/receive serde values over a
-//!   sealed channel.
+//! * [`node`] — typed convenience layer: send/receive codec values over
+//!   sealed frames, plus zero-decode stream relays.
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod codec;
 pub mod crypto;
+pub mod frame;
+pub mod json;
 pub mod node;
 pub mod sim;
+pub mod tcp;
 pub mod transport;
 pub mod wire;
 
-pub use node::Node;
+pub use codec::{Codec, CodecError, JsonCodec, WireCodec};
+pub use node::{Node, NodeEvent};
+pub use tcp::TcpTransport;
 pub use transport::{InMemoryHub, PartyId, Transport, TransportError};

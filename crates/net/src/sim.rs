@@ -165,7 +165,11 @@ mod tests {
     use super::*;
     use crate::transport::InMemoryHub;
 
-    fn pair() -> (InMemoryHub, crate::transport::Endpoint, crate::transport::Endpoint) {
+    fn pair() -> (
+        InMemoryHub,
+        crate::transport::Endpoint,
+        crate::transport::Endpoint,
+    ) {
         let hub = InMemoryHub::new();
         let a = hub.endpoint(PartyId(1));
         let b = hub.endpoint(PartyId(2));
@@ -197,8 +201,11 @@ mod tests {
         );
         let n = 2000;
         for i in 0..n {
-            ft.send(PartyId(2), Bytes::copy_from_slice(&(i as u32).to_le_bytes()))
-                .unwrap();
+            ft.send(
+                PartyId(2),
+                Bytes::copy_from_slice(&(i as u32).to_le_bytes()),
+            )
+            .unwrap();
         }
         let mut received = 0;
         while b.recv_timeout(Duration::from_millis(1)).is_ok() {

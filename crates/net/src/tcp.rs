@@ -1,0 +1,331 @@
+//! A real TCP transport: the same [`Transport`] contract as the in-memory
+//! hub, over sockets.
+//!
+//! Each party binds a listener and knows its peers' addresses. Outgoing
+//! connections are opened lazily on first send (with bounded retry, so
+//! peers may come up in any order) and kept alive for the session. On the
+//! wire every payload travels as `[sender id: u64 LE]` once per
+//! connection, then `[len: u32 LE][payload]` per message — the sealed
+//! frames of [`crate::frame`] are the payloads, so TCP sees only
+//! ciphertext.
+//!
+//! The implementation is deliberately thread-per-connection blocking I/O:
+//! a SAP session has a handful of long-lived channels, not thousands, and
+//! the protocol actors block on `recv` anyway.
+//!
+//! # Identity model
+//!
+//! The 8-byte sender id at connection start is a **routing hint**, not
+//! authentication — anything that can reach the port can claim any id
+//! (the in-memory hub, being in-process, stamps it authoritatively).
+//! *Content* authenticity comes from the layer above: every frame is
+//! sealed under the per-direction channel key derived from the session
+//! secret, so a claimed id that does not match the sealing key fails to
+//! open and aborts the session. What an unauthenticated outsider *can*
+//! do is exactly that — send one garbage frame and abort the session
+//! (denial of service), the standard failure mode for SAP, which has no
+//! retransmission and treats every anomaly as a reason to stop. Run the
+//! mesh on a trusted network, as the paper's link-encryption assumption
+//! already requires.
+
+use crate::transport::{PartyId, Transport, TransportError};
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Upper bound on one sealed payload (64 MiB) — a hard stop against
+/// corrupt or hostile length prefixes.
+pub const MAX_PAYLOAD: usize = 64 * 1024 * 1024;
+
+/// How long `send` keeps retrying to reach a peer that has not bound yet.
+const CONNECT_RETRY_WINDOW: Duration = Duration::from_secs(5);
+
+/// A TCP-backed [`Transport`] endpoint.
+pub struct TcpTransport {
+    id: PartyId,
+    local_addr: SocketAddr,
+    peers: Mutex<HashMap<PartyId, SocketAddr>>,
+    // Per-peer write locks: the outer map lock is held only to look up or
+    // install an entry, never across connect/write — a peer that is down
+    // (connect retries up to CONNECT_RETRY_WINDOW) must not block sends
+    // to healthy peers.
+    conns: Mutex<HashMap<PartyId, Arc<Mutex<Option<TcpStream>>>>>,
+    inbox: Receiver<(PartyId, Bytes)>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl TcpTransport {
+    /// Binds a listener on `127.0.0.1:0` and starts accepting.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn bind(id: PartyId) -> std::io::Result<Self> {
+        Self::bind_addr(id, "127.0.0.1:0".parse().expect("static addr"))
+    }
+
+    /// Binds a listener on an explicit address and starts accepting.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn bind_addr(id: PartyId, addr: SocketAddr) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let (tx, rx) = unbounded();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let accept_shutdown = Arc::clone(&shutdown);
+        std::thread::Builder::new()
+            .name(format!("tcp-accept-{id}"))
+            .spawn(move || accept_loop(&listener, &tx, &accept_shutdown))
+            .expect("spawn accept thread");
+        Ok(TcpTransport {
+            id,
+            local_addr,
+            peers: Mutex::new(HashMap::new()),
+            conns: Mutex::new(HashMap::new()),
+            inbox: rx,
+            shutdown,
+        })
+    }
+
+    /// The bound listen address (port is concrete after `bind`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Registers where a peer listens. Must happen before sending to it.
+    pub fn register_peer(&self, peer: PartyId, addr: SocketAddr) {
+        self.peers.lock().insert(peer, addr);
+    }
+
+    fn connect(&self, to: PartyId) -> Result<TcpStream, TransportError> {
+        let addr = *self
+            .peers
+            .lock()
+            .get(&to)
+            .ok_or(TransportError::UnknownParty(to))?;
+        // Retry briefly: session setup may race peer binds.
+        let deadline = std::time::Instant::now() + CONNECT_RETRY_WINDOW;
+        loop {
+            match TcpStream::connect(addr) {
+                Ok(mut stream) => {
+                    stream.set_nodelay(true).ok();
+                    stream
+                        .write_all(&self.id.0.to_le_bytes())
+                        .map_err(|_| TransportError::Disconnected)?;
+                    return Ok(stream);
+                }
+                Err(_) if std::time::Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(_) => return Err(TransportError::Disconnected),
+            }
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, tx: &Sender<(PartyId, Bytes)>, shutdown: &Arc<AtomicBool>) {
+    loop {
+        let Ok((stream, _)) = listener.accept() else {
+            return;
+        };
+        if shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let tx = tx.clone();
+        std::thread::Builder::new()
+            .name("tcp-reader".into())
+            .spawn(move || reader_loop(stream, &tx))
+            .expect("spawn reader thread");
+    }
+}
+
+fn reader_loop(mut stream: TcpStream, tx: &Sender<(PartyId, Bytes)>) {
+    let mut id_buf = [0u8; 8];
+    if stream.read_exact(&mut id_buf).is_err() {
+        return;
+    }
+    let from = PartyId(u64::from_le_bytes(id_buf));
+    let mut len_buf = [0u8; 4];
+    loop {
+        if stream.read_exact(&mut len_buf).is_err() {
+            return; // peer closed
+        }
+        let len = u32::from_le_bytes(len_buf) as usize;
+        if len > MAX_PAYLOAD {
+            let _ = stream.shutdown(Shutdown::Both);
+            return;
+        }
+        let mut payload = vec![0u8; len];
+        if stream.read_exact(&mut payload).is_err() {
+            return;
+        }
+        if tx.send((from, Bytes::from(payload))).is_err() {
+            return; // endpoint dropped
+        }
+    }
+}
+
+impl Transport for TcpTransport {
+    fn local_id(&self) -> PartyId {
+        self.id
+    }
+
+    fn send(&self, to: PartyId, payload: Bytes) -> Result<(), TransportError> {
+        if payload.len() > MAX_PAYLOAD {
+            return Err(TransportError::PayloadTooLarge {
+                size: payload.len(),
+            });
+        }
+        let slot = Arc::clone(
+            self.conns
+                .lock()
+                .entry(to)
+                .or_insert_with(|| Arc::new(Mutex::new(None))),
+        );
+        // Connect lazily and write under the per-peer lock only; frames to
+        // one peer stay contiguous while other peers proceed in parallel.
+        let mut stream_slot = slot.lock();
+        if stream_slot.is_none() {
+            *stream_slot = Some(self.connect(to)?);
+        }
+        let stream = stream_slot.as_mut().expect("connected above");
+        let len = u32::try_from(payload.len()).expect("bounded by MAX_PAYLOAD");
+        let write = stream
+            .write_all(&len.to_le_bytes())
+            .and_then(|()| stream.write_all(&payload));
+        if write.is_err() {
+            *stream_slot = None;
+            return Err(TransportError::Disconnected);
+        }
+        Ok(())
+    }
+
+    fn recv(&self) -> Result<(PartyId, Bytes), TransportError> {
+        self.inbox.recv().map_err(|_| TransportError::Disconnected)
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<(PartyId, Bytes), TransportError> {
+        self.inbox.recv_timeout(timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => TransportError::Timeout,
+            RecvTimeoutError::Disconnected => TransportError::Disconnected,
+        })
+    }
+}
+
+impl Drop for TcpTransport {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        // Wake the accept loop so it observes the flag and exits.
+        let _ = TcpStream::connect(self.local_addr);
+        for (_, slot) in self.conns.lock().drain() {
+            if let Some(conn) = slot.lock().take() {
+                let _ = conn.shutdown(Shutdown::Both);
+            }
+        }
+    }
+}
+
+/// Builds a fully meshed set of TCP endpoints on localhost, one per party,
+/// with every peer address pre-registered — the TCP analogue of
+/// registering every party on an [`crate::transport::InMemoryHub`].
+///
+/// # Errors
+///
+/// Propagates socket errors.
+pub fn local_mesh(ids: &[PartyId]) -> std::io::Result<Vec<TcpTransport>> {
+    let transports: Vec<TcpTransport> = ids
+        .iter()
+        .map(|&id| TcpTransport::bind(id))
+        .collect::<std::io::Result<_>>()?;
+    let addrs: Vec<(PartyId, SocketAddr)> = transports
+        .iter()
+        .map(|t| (t.local_id(), t.local_addr()))
+        .collect();
+    for transport in &transports {
+        for &(peer, addr) in &addrs {
+            // Self is registered too: the in-memory hub allows a party to
+            // send to itself (the SAP exchange plan may assign a provider
+            // as its own receiver), so the TCP mesh must as well — it
+            // simply loops through the local listener.
+            transport.register_peer(peer, addr);
+        }
+    }
+    Ok(transports)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tcp_send_and_receive() {
+        let mesh = local_mesh(&[PartyId(1), PartyId(2)]).unwrap();
+        let (a, b) = {
+            let mut it = mesh.into_iter();
+            (it.next().unwrap(), it.next().unwrap())
+        };
+        a.send(PartyId(2), Bytes::from_static(b"over tcp")).unwrap();
+        let (from, payload) = b.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(from, PartyId(1));
+        assert_eq!(&payload[..], b"over tcp");
+    }
+
+    #[test]
+    fn tcp_fifo_per_sender() {
+        let mesh = local_mesh(&[PartyId(1), PartyId(2)]).unwrap();
+        let (a, b) = {
+            let mut it = mesh.into_iter();
+            (it.next().unwrap(), it.next().unwrap())
+        };
+        for i in 0..50u8 {
+            a.send(PartyId(2), Bytes::copy_from_slice(&[i])).unwrap();
+        }
+        for i in 0..50u8 {
+            let (_, p) = b.recv_timeout(Duration::from_secs(5)).unwrap();
+            assert_eq!(p[0], i);
+        }
+    }
+
+    #[test]
+    fn tcp_bidirectional_and_large_payload() {
+        let mesh = local_mesh(&[PartyId(1), PartyId(2)]).unwrap();
+        let (a, b) = {
+            let mut it = mesh.into_iter();
+            (it.next().unwrap(), it.next().unwrap())
+        };
+        let big: Vec<u8> = (0..1_000_000usize).map(|i| (i % 251) as u8).collect();
+        a.send(PartyId(2), Bytes::from(big.clone())).unwrap();
+        b.send(PartyId(1), Bytes::from_static(b"ack")).unwrap();
+        let (_, got) = b.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(got.len(), big.len());
+        assert_eq!(&got[..64], &big[..64]);
+        let (_, ack) = a.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(&ack[..], b"ack");
+    }
+
+    #[test]
+    fn unknown_peer_errors() {
+        let t = TcpTransport::bind(PartyId(1)).unwrap();
+        assert_eq!(
+            t.send(PartyId(9), Bytes::new()).unwrap_err(),
+            TransportError::UnknownParty(PartyId(9))
+        );
+    }
+
+    #[test]
+    fn timeout_when_silent() {
+        let t = TcpTransport::bind(PartyId(1)).unwrap();
+        assert_eq!(
+            t.recv_timeout(Duration::from_millis(20)).unwrap_err(),
+            TransportError::Timeout
+        );
+    }
+}

@@ -18,7 +18,9 @@ use std::time::Duration;
 /// By convention in this workspace: data providers are `0..k`, the
 /// coordinator is one of them (usually `k−1`), and the mining service
 /// provider gets a dedicated high id.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub struct PartyId(pub u64);
 
 impl fmt::Display for PartyId {
@@ -36,6 +38,12 @@ pub enum TransportError {
     Disconnected,
     /// `recv_timeout` elapsed without a message.
     Timeout,
+    /// The payload exceeds the transport's size limit (e.g. a stream
+    /// block larger than [`crate::tcp::MAX_PAYLOAD`]).
+    PayloadTooLarge {
+        /// Offending payload size in bytes.
+        size: usize,
+    },
 }
 
 impl fmt::Display for TransportError {
@@ -44,6 +52,9 @@ impl fmt::Display for TransportError {
             TransportError::UnknownParty(p) => write!(f, "unknown party {p}"),
             TransportError::Disconnected => write!(f, "transport disconnected"),
             TransportError::Timeout => write!(f, "receive timed out"),
+            TransportError::PayloadTooLarge { size } => {
+                write!(f, "payload of {size} bytes exceeds the transport limit")
+            }
         }
     }
 }
@@ -137,9 +148,7 @@ impl Transport for Endpoint {
 
     fn send(&self, to: PartyId, payload: Bytes) -> Result<(), TransportError> {
         let routes = self.routes.read();
-        let tx = routes
-            .get(&to)
-            .ok_or(TransportError::UnknownParty(to))?;
+        let tx = routes.get(&to).ok_or(TransportError::UnknownParty(to))?;
         tx.send((self.id, payload))
             .map_err(|_| TransportError::Disconnected)
     }

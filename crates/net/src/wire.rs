@@ -1,12 +1,39 @@
-//! A compact binary serde codec.
+//! A compact binary serde codec — the format behind
+//! [`crate::codec::WireCodec`], the default of the pluggable codec layer.
 //!
-//! The approved offline dependency set includes `serde` but no serde
-//! *format* crate, so the wire format is implemented here: a
-//! non-self-describing little-endian encoding in the spirit of `bincode`.
-//! Fixed-width integers, `u64` length prefixes for strings/sequences/maps,
-//! `u32` enum variant indices, one-byte option tags. Because the format is
-//! non-self-describing, `deserialize_any` is unsupported — which is fine for
-//! the derive-generated message types the protocol exchanges.
+//! The offline dependency set includes `serde` but no serde *format*
+//! crate, so the wire format is implemented here: a non-self-describing
+//! little-endian encoding in the spirit of `bincode`. Because the format
+//! is non-self-describing, `deserialize_any` is unsupported — which is
+//! fine for the derive-generated message types the protocol exchanges.
+//!
+//! # Wire format specification
+//!
+//! All multi-byte values are **little-endian**. Nothing is aligned or
+//! padded; values are concatenated in field/element order.
+//!
+//! | data-model shape | encoding |
+//! |---|---|
+//! | `bool` | 1 byte: `0x00` false, `0x01` true (other values reject) |
+//! | `u8`/`i8` … `u64`/`i64` | fixed-width LE, no varint |
+//! | `usize`/`isize` | as `u64`/`i64` |
+//! | `f32`/`f64` | IEEE-754 bits, LE |
+//! | `char` | Unicode scalar as `u32` (invalid code points reject) |
+//! | `str`/`String` | `u64` byte length ‖ UTF-8 bytes |
+//! | bytes | `u64` length ‖ raw bytes |
+//! | `Option<T>` | 1 byte tag (`0x00` none / `0x01` some) ‖ value if some |
+//! | `()` / unit struct | zero bytes |
+//! | sequence (`Vec`, slice) | `u64` element count ‖ elements |
+//! | map | `u64` entry count ‖ (key ‖ value)\* |
+//! | tuple / tuple struct / struct | fields in declaration order, no count |
+//! | newtype struct | the inner value |
+//! | enum variant | `u32` variant index ‖ payload (if any) |
+//!
+//! Decoding requires the input to be **fully consumed**; trailing bytes are
+//! an error ([`WireError::TrailingBytes`]), truncated input is
+//! [`WireError::UnexpectedEof`]. This makes the format suitable for the
+//! framing layer's length-delimited chunks: any split or corruption is
+//! caught at the first decode.
 //!
 //! # Example
 //!
@@ -247,11 +274,7 @@ impl<'a> ser::Serializer for &'a mut WireSerializer {
         self.put_len(len);
         Ok(Compound { ser: self })
     }
-    fn serialize_struct(
-        self,
-        _name: &'static str,
-        _len: usize,
-    ) -> Result<Compound<'a>, WireError> {
+    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<Compound<'a>, WireError> {
         Ok(Compound { ser: self })
     }
     fn serialize_struct_variant(
@@ -368,7 +391,7 @@ macro_rules! de_fixed {
     };
 }
 
-impl<'de, 'a> de::Deserializer<'de> for &'a mut WireDeserializer<'de> {
+impl<'de> de::Deserializer<'de> for &mut WireDeserializer<'de> {
     type Error = WireError;
 
     fn deserialize_any<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, WireError> {
@@ -722,7 +745,10 @@ mod tests {
     fn trailing_bytes_error() {
         let mut bytes = to_bytes(&1u8).unwrap();
         bytes.push(0);
-        assert_eq!(from_bytes::<u8>(&bytes).unwrap_err(), WireError::TrailingBytes);
+        assert_eq!(
+            from_bytes::<u8>(&bytes).unwrap_err(),
+            WireError::TrailingBytes
+        );
     }
 
     #[test]

@@ -88,7 +88,9 @@ impl SpaceAdaptor {
     pub fn apply(&self, y: &Matrix) -> Matrix {
         assert_eq!(y.rows(), self.dim(), "adaptor dimensionality mismatch");
         let ry = self.rotation.matmul(y).expect("dims checked");
-        Matrix::from_fn(ry.rows(), ry.cols(), |r, c| ry[(r, c)] + self.translation[r])
+        Matrix::from_fn(ry.rows(), ry.cols(), |r, c| {
+            ry[(r, c)] + self.translation[r]
+        })
     }
 
     /// The complementary noise `Δ_it = R_it·Δᵢ` for a realized source noise

@@ -40,7 +40,7 @@ impl AdditivePerturbation {
     /// Perturbs a `d × N` dataset, returning `(Y, Δ)`.
     pub fn perturb<R: Rng + ?Sized>(&self, x: &Matrix, rng: &mut R) -> (Matrix, Matrix) {
         let delta = self.noise.sample(x.rows(), x.cols(), rng);
-        (&*x + &delta, delta)
+        (x + &delta, delta)
     }
 }
 

@@ -116,7 +116,9 @@ impl Perturbation {
     pub fn apply_clean(&self, x: &Matrix) -> Matrix {
         assert_eq!(x.rows(), self.dim(), "dataset dimensionality mismatch");
         let rx = self.rotation.matmul(x).expect("shapes checked");
-        Matrix::from_fn(rx.rows(), rx.cols(), |r, c| rx[(r, c)] + self.translation[r])
+        Matrix::from_fn(rx.rows(), rx.cols(), |r, c| {
+            rx[(r, c)] + self.translation[r]
+        })
     }
 
     /// Inverts the affine map: `R⁻¹·(Y − Ψ)`. For noisy data this returns

@@ -15,8 +15,8 @@
 use super::{Attack, AttackerKnowledge};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sap_ica::fastica::{FastIca, FastIcaConfig};
 use sap_ica::excess_kurtosis;
+use sap_ica::fastica::{FastIca, FastIcaConfig};
 use sap_linalg::{vecops, Matrix};
 
 /// See the module docs.
@@ -76,13 +76,11 @@ impl Attack for IcaReconstruction {
         for &j in &attr_order {
             let prior = &knowledge.attr_stats[j];
             // Best unused component by kurtosis proximity.
-            let pick = (0..k)
-                .filter(|&c| !used[c])
-                .min_by(|&a, &b| {
-                    let da = (comp_kurt[a] - prior.kurtosis).abs();
-                    let db = (comp_kurt[b] - prior.kurtosis).abs();
-                    da.partial_cmp(&db).expect("finite")
-                });
+            let pick = (0..k).filter(|&c| !used[c]).min_by(|&a, &b| {
+                let da = (comp_kurt[a] - prior.kurtosis).abs();
+                let db = (comp_kurt[b] - prior.kurtosis).abs();
+                da.partial_cmp(&db).expect("finite")
+            });
             let Some(c) = pick else {
                 // Fewer components than attributes (rank-deficient data):
                 // fall back to the prior mean for the unmatched attribute.
@@ -137,7 +135,11 @@ mod tests {
             // Spiky two-sided exponential-ish: positive kurtosis.
             _ => {
                 let u: f64 = rng.random_range(0.0001..1.0);
-                let sign = if rng.random_range(0.0..1.0) < 0.5 { -1.0 } else { 1.0 };
+                let sign = if rng.random_range(0.0..1.0) < 0.5 {
+                    -1.0
+                } else {
+                    1.0
+                };
                 sign * (-u.ln()) * 0.1 + 0.5
             }
         });

@@ -230,7 +230,9 @@ impl AttackSuite {
 impl std::fmt::Debug for AttackSuite {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let names: Vec<&str> = self.attacks.iter().map(|a| a.name()).collect();
-        f.debug_struct("AttackSuite").field("attacks", &names).finish()
+        f.debug_struct("AttackSuite")
+            .field("attacks", &names)
+            .finish()
     }
 }
 

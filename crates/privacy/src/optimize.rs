@@ -112,7 +112,7 @@ pub fn optimize<R: Rng + ?Sized>(
         let (y, _) = cand.perturb(&sample, rng);
         let rho = suite.privacy_guarantee(&sample, &y, &knowledge);
         history.push(rho);
-        if best.as_ref().map_or(true, |(_, b)| rho > *b) {
+        if best.as_ref().is_none_or(|(_, b)| rho > *b) {
             best = Some((cand, rho));
         }
     }

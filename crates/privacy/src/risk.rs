@@ -52,7 +52,10 @@ pub fn satisfaction(rho_global: f64, rho_local: f64) -> f64 {
 ///
 /// Panics when `π ∉ [0, 1]`, `b <= 0`, or `s`/`ρ` are negative.
 pub fn risk_of_breach(pi: f64, s: f64, rho: f64, b: f64) -> f64 {
-    assert!((0.0..=1.0).contains(&pi), "identifiability must be in [0,1]");
+    assert!(
+        (0.0..=1.0).contains(&pi),
+        "identifiability must be in [0,1]"
+    );
     assert!(b > 0.0, "bound must be positive");
     assert!(s >= 0.0 && rho >= 0.0, "s and rho must be non-negative");
     (pi * (1.0 - s * rho / b)).clamp(0.0, 1.0)
@@ -203,7 +206,10 @@ mod tests {
         let r2 = sap_risk(b, rho, s, 2); // π = 1
         assert!((r2 - (1.0 - 0.45)).abs() < 1e-12);
         let r20 = sap_risk(b, rho, s, 20); // π = 1/19, miner term tiny
-        assert!((r20 - 0.1).abs() < 1e-12, "local term (b-ρ)/b = 0.1 dominates");
+        assert!(
+            (r20 - 0.1).abs() < 1e-12,
+            "local term (b-ρ)/b = 0.1 dominates"
+        );
     }
 
     #[test]

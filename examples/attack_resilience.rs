@@ -43,7 +43,10 @@ fn main() {
     }
 
     println!("\n-- random vs optimized perturbation across noise levels --");
-    println!("{:>8} {:>14} {:>16}", "sigma", "random rho", "optimized rho");
+    println!(
+        "{:>8} {:>14} {:>16}",
+        "sigma", "random rho", "optimized rho"
+    );
     for sigma in [0.0, 0.02, 0.05, 0.1, 0.2] {
         let g = GeometricPerturbation::random(x.rows(), sigma, &mut rng);
         let (y, _) = g.perturb(&sample, &mut rng);

@@ -81,7 +81,10 @@ fn lossy_link_to_miner() {
     match run_miner(&node, 3, PartyId(2), &config, &audit) {
         Err(SapError::Timeout { phase, .. }) => {
             println!("lossy network: miner aborted cleanly during '{phase}'");
-            println!("(drops observed by fault injector: {})", node.transport().fault_counts().0);
+            println!(
+                "(drops observed by fault injector: {})",
+                node.transport().fault_counts().0
+            );
         }
         other => panic!("expected timeout, got {other:?}"),
     }

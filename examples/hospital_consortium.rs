@@ -38,9 +38,12 @@ fn main() {
     }
 
     // Baseline the consortium could only get by pooling raw data (illegal).
-    let baseline = SvmClassifier::fit(&tt.train, &SvmConfig::rbf_for_dim(tt.train.dim()))
-        .accuracy(&tt.test);
-    println!("\nraw-pooling SVM accuracy (hypothetical): {:.1}%", 100.0 * baseline);
+    let baseline =
+        SvmClassifier::fit(&tt.train, &SvmConfig::rbf_for_dim(tt.train.dim())).accuracy(&tt.test);
+    println!(
+        "\nraw-pooling SVM accuracy (hypothetical): {:.1}%",
+        100.0 * baseline
+    );
 
     // Run SAP.
     let outcome = run_session(clinics, &SapConfig::default()).expect("session");

@@ -95,8 +95,7 @@ fn naive_bayes_is_not_rotation_invariant() {
     for i in 0..400 {
         let class = i % 2;
         let x = sap_repro::linalg::randn(&mut rng) * 4.0; // high-variance axis
-        let y = sap_repro::linalg::randn(&mut rng) * 0.08
-            + if class == 0 { -0.4 } else { 0.4 };
+        let y = sap_repro::linalg::randn(&mut rng) * 0.08 + if class == 0 { -0.4 } else { 0.4 };
         records.push(vec![x, y]);
         labels.push(class);
     }

@@ -1,7 +1,11 @@
 //! Failure-injection tests: SAP roles over faulty transports must abort
-//! cleanly (error out), never produce wrong results.
+//! cleanly (error out), never produce wrong results. With the chunked
+//! frame pipeline, faults now act at *frame* granularity: a dropped frame
+//! starves reassembly (timeout), a duplicated or reordered frame breaks
+//! the sequence check (protocol abort) — never a wrong dataset.
 
 use sap_repro::core::audit::AuditLog;
+use sap_repro::core::link;
 use sap_repro::core::messages::{SapMessage, SlotTag};
 use sap_repro::core::miner::run_miner;
 use sap_repro::core::session::SapConfig;
@@ -22,14 +26,16 @@ fn quick(timeout_ms: u64) -> SapConfig {
 
 fn tiny_dataset() -> Dataset {
     Dataset::new(
-        (0..12).map(|i| vec![i as f64 / 12.0, (i % 3) as f64 / 3.0]).collect(),
+        (0..12)
+            .map(|i| vec![i as f64 / 12.0, (i % 3) as f64 / 3.0])
+            .collect(),
         (0..12).map(|i| i % 2).collect(),
     )
 }
 
-/// A sender whose messages are all dropped: the miner times out cleanly.
+/// A sender whose frames are all dropped: the miner times out cleanly.
 #[test]
-fn dropped_messages_time_out_cleanly() {
+fn dropped_frames_time_out_cleanly() {
     let hub = InMemoryHub::new();
     let miner_node = Node::new(hub.endpoint(PartyId(100)), 42);
     // The relay's outgoing link drops everything.
@@ -43,16 +49,11 @@ fn dropped_messages_time_out_cleanly() {
         ),
         42,
     );
-    relay
-        .send_msg(
-            PartyId(100),
-            &SapMessage::RelayedData {
-                slot: SlotTag(1),
-                data: tiny_dataset(),
-            },
-        )
-        .unwrap();
-    assert_eq!(relay.transport().fault_counts().0, 1, "message was dropped");
+    link::send_dataset(&relay, PartyId(100), true, SlotTag(1), &tiny_dataset(), 8).unwrap();
+    assert!(
+        relay.transport().fault_counts().0 >= 2,
+        "header and block frames were dropped"
+    );
 
     let audit = AuditLog::new();
     let err = run_miner(&miner_node, 1, PartyId(2), &quick(100), &audit).unwrap_err();
@@ -61,10 +62,26 @@ fn dropped_messages_time_out_cleanly() {
     assert!(audit.is_empty());
 }
 
-/// A duplicated relay frame becomes a duplicate slot — a protocol error,
-/// not silent double-counting of records.
+/// A whole stream delivered twice becomes a duplicate slot — a protocol
+/// error, not silent double-counting of records.
 #[test]
-fn duplicated_relay_detected_as_protocol_error() {
+fn duplicated_stream_detected_as_duplicate_slot() {
+    let hub = InMemoryHub::new();
+    let miner_node = Node::new(hub.endpoint(PartyId(100)), 42);
+    let relay = Node::new(hub.endpoint(PartyId(1)), 42);
+    for _ in 0..2 {
+        link::send_dataset(&relay, PartyId(100), true, SlotTag(9), &tiny_dataset(), 64).unwrap();
+    }
+
+    let audit = AuditLog::new();
+    let err = run_miner(&miner_node, 2, PartyId(2), &quick(300), &audit).unwrap_err();
+    assert!(err.to_string().contains("duplicate slot"), "{err}");
+}
+
+/// Frame-level duplication inside one stream breaks the sequence check:
+/// the miner aborts with a protocol error instead of guessing.
+#[test]
+fn duplicated_frames_detected_as_framing_violation() {
     let hub = InMemoryHub::new();
     let miner_node = Node::new(hub.endpoint(PartyId(100)), 42);
     let relay = Node::new(
@@ -77,25 +94,23 @@ fn duplicated_relay_detected_as_protocol_error() {
         ),
         42,
     );
-    relay
-        .send_msg(
-            PartyId(100),
-            &SapMessage::RelayedData {
-                slot: SlotTag(9),
-                data: tiny_dataset(),
-            },
-        )
-        .unwrap();
+    link::send_dataset(&relay, PartyId(100), true, SlotTag(9), &tiny_dataset(), 8).unwrap();
 
     let audit = AuditLog::new();
-    let err = run_miner(&miner_node, 2, PartyId(2), &quick(300), &audit).unwrap_err();
-    assert!(err.to_string().contains("duplicate slot"), "{err}");
+    let err = run_miner(&miner_node, 1, PartyId(2), &quick(300), &audit).unwrap_err();
+    assert!(
+        matches!(err, SapError::Protocol(_)),
+        "duplicated frames must abort as a protocol violation, got {err}"
+    );
 }
 
-/// Corrupted ciphertext (tampering / bit-rot) surfaces as a crypto failure,
-/// not as garbage data.
+/// Corrupted ciphertext (tampering / bit-rot) surfaces as a sealed-frame
+/// failure, not as garbage data.
 #[test]
 fn corrupted_frame_fails_crypto_not_parsing() {
+    use sap_repro::net::frame::FrameError;
+    use sap_repro::net::node::NodeError;
+
     let hub = InMemoryHub::new();
     let a = Node::new(hub.endpoint(PartyId(1)), 42);
     let b_endpoint = hub.endpoint(PartyId(2));
@@ -113,13 +128,16 @@ fn corrupted_frame_fails_crypto_not_parsing() {
     let d = hub2.endpoint(PartyId(1));
     d.send(PartyId(2), corrupted.into()).unwrap();
     let err = c.recv_msg::<u64>().unwrap_err();
-    assert!(matches!(err, sap_repro::net::node::NodeError::Crypto(_)), "{err}");
+    assert!(
+        matches!(err, NodeError::Frame(FrameError::Crypto(_))),
+        "{err}"
+    );
 }
 
-/// Reordering (delay) between two relays is harmless: the miner keys
-/// everything by slot, so arrival order does not matter.
+/// Pairwise delay shifts frames but preserves order once flushed: streams
+/// reassemble and the miner keys everything by slot, so nothing breaks.
 #[test]
-fn reordered_relays_still_unify() {
+fn delayed_relays_still_unify() {
     use sap_repro::perturb::{Perturbation, SpaceAdaptor};
 
     let hub = InMemoryHub::new();
@@ -145,15 +163,15 @@ fn reordered_relays_still_unify() {
     let y2 = g2.apply_clean(&d1.to_column_matrix());
 
     for (slot, y) in [(SlotTag(1), &y1), (SlotTag(2), &y2)] {
-        relay
-            .send_msg(
-                PartyId(100),
-                &SapMessage::RelayedData {
-                    slot,
-                    data: Dataset::from_column_matrix(y, d1.labels().to_vec(), 2),
-                },
-            )
-            .unwrap();
+        link::send_dataset(
+            &relay,
+            PartyId(100),
+            true,
+            slot,
+            &Dataset::from_column_matrix(y, d1.labels().to_vec(), 2),
+            8,
+        )
+        .unwrap();
     }
     relay.transport().flush().unwrap();
     coord
@@ -171,5 +189,5 @@ fn reordered_relays_still_unify() {
     let audit = AuditLog::new();
     let out = run_miner(&miner_node, 2, PartyId(2), &quick(500), &audit).unwrap();
     assert_eq!(out.unified.len(), 24);
-    assert_eq!(relay.transport().fault_counts().2 >= 1, true, "delay happened");
+    assert!(relay.transport().fault_counts().2 >= 1, "delay happened");
 }

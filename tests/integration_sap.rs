@@ -107,11 +107,7 @@ fn coordinator_never_relays_and_forwarders_vary() {
         let mut config = quick();
         config.seed = seed;
         let outcome = run_session(locals, &config).unwrap();
-        let mut forwarders: Vec<u64> = outcome
-            .forwarder_of_slot
-            .iter()
-            .map(|(_, p)| p.0)
-            .collect();
+        let mut forwarders: Vec<u64> = outcome.forwarder_of_slot.iter().map(|(_, p)| p.0).collect();
         assert!(forwarders.iter().all(|&f| f != 4), "coordinator relayed");
         forwarders.sort_unstable();
         seen_forwarder_sets.insert(format!("{forwarders:?}"));

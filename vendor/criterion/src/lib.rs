@@ -1,0 +1,236 @@
+//! Minimal vendored benchmark harness with a criterion-shaped API.
+//!
+//! Implements the subset the workspace's benches use: `criterion_group!`,
+//! `criterion_main!`, benchmark groups, `bench_function` /
+//! `bench_with_input`, `Bencher::iter`, `Throughput`, and `sample_size`.
+//! Timing is a calibrated batch measurement (median of samples), printed
+//! per bench; set `CRITERION_JSON=<path>` to also append one JSON line per
+//! bench for machine consumption.
+
+#![deny(unsafe_code)]
+
+use std::hint::black_box as hint_black_box;
+use std::io::Write;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    hint_black_box(x)
+}
+
+/// A benchmark identifier: function name plus parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Work-per-iteration annotation, used to report throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Runs one benchmark body repeatedly and records the per-iteration time.
+pub struct Bencher {
+    ns_per_iter: f64,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Measures `f`: calibrates an iteration batch, then takes samples and
+    /// keeps the median.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up.
+        for _ in 0..3 {
+            hint_black_box(f());
+        }
+        // Calibrate batch size to ≥ ~5 ms.
+        let mut batch: u64 = 1;
+        let mut elapsed;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                hint_black_box(f());
+            }
+            elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(5) || batch >= 1 << 24 {
+                break;
+            }
+            batch *= 4;
+        }
+        // Samples (bounded so huge sample_size stays fast in this shim).
+        let samples = self.sample_size.clamp(3, 15);
+        let mut times: Vec<f64> = Vec::with_capacity(samples);
+        times.push(elapsed.as_secs_f64() * 1e9 / batch as f64);
+        for _ in 1..samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                hint_black_box(f());
+            }
+            times.push(start.elapsed().as_secs_f64() * 1e9 / batch as f64);
+        }
+        times.sort_by(f64::total_cmp);
+        self.ns_per_iter = times[times.len() / 2];
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Annotates subsequent benches with work-per-iteration.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benches a closure.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            ns_per_iter: f64::NAN,
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        self.report(&id.id, b.ns_per_iter);
+        self
+    }
+
+    /// Benches a closure against one input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            ns_per_iter: f64::NAN,
+            sample_size: self.sample_size,
+        };
+        f(&mut b, input);
+        self.report(&id.id, b.ns_per_iter);
+        self
+    }
+
+    /// Ends the group (reporting is eager; this is for API compatibility).
+    pub fn finish(self) {}
+
+    fn report(&self, id: &str, ns: f64) {
+        let full = format!("{}/{}", self.name, id);
+        let thr = match self.throughput {
+            Some(Throughput::Bytes(n)) => {
+                format!(
+                    "  {:>8.1} MiB/s",
+                    n as f64 / (ns * 1e-9) / (1024.0 * 1024.0)
+                )
+            }
+            Some(Throughput::Elements(n)) => {
+                format!("  {:>8.1} Melem/s", n as f64 / (ns * 1e-9) / 1e6)
+            }
+            None => String::new(),
+        };
+        println!("{full:<56} {ns:>14.1} ns/iter{thr}");
+        if let Ok(path) = std::env::var("CRITERION_JSON") {
+            let line = match self.throughput {
+                Some(Throughput::Bytes(n)) => {
+                    format!("{{\"bench\":\"{full}\",\"ns_per_iter\":{ns:.1},\"bytes\":{n}}}\n")
+                }
+                Some(Throughput::Elements(n)) => {
+                    format!("{{\"bench\":\"{full}\",\"ns_per_iter\":{ns:.1},\"elements\":{n}}}\n")
+                }
+                None => format!("{{\"bench\":\"{full}\",\"ns_per_iter\":{ns:.1}}}\n"),
+            };
+            if let Ok(mut file) = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+            {
+                let _ = file.write_all(line.as_bytes());
+            }
+        }
+    }
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Benches a closure outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id, f);
+        self
+    }
+}
+
+/// Declares a benchmark group function calling each target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,275 @@
+//! Minimal vendored property-testing harness with a proptest-shaped API.
+//!
+//! Supports the subset this workspace uses: the [`proptest!`] macro with an
+//! optional `#![proptest_config(...)]` header, range strategies
+//! (`1usize..8`, `0.05f64..2.0`), [`any`] for primitives, and the
+//! `prop_assert!` / `prop_assert_eq!` macros. Cases are generated from a
+//! deterministic per-test seed (FNV of the test name), so failures
+//! reproduce; there is no shrinking.
+
+#![deny(unsafe_code)]
+
+use std::marker::PhantomData;
+
+/// Configuration for a `proptest!` block.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// The deterministic generator driving case generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds from a test name (FNV-1a), so every test has a stable stream.
+    pub fn from_name(name: &str) -> Self {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { state: h | 1 }
+    }
+
+    /// Next 64 random bits (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+macro_rules! int_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for std::ops::Range<$ty> {
+            type Value = $ty;
+            fn sample(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                let v = u128::from(rng.next_u64()) % span;
+                (self.start as u128).wrapping_add(v) as $ty
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$ty> {
+            type Value = $ty;
+            fn sample(&self, rng: &mut TestRng) -> $ty {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let span = (hi as u128).wrapping_sub(lo as u128).wrapping_add(1);
+                let v = if span == 0 { u128::from(rng.next_u64()) } else { u128::from(rng.next_u64()) % span };
+                (lo as u128).wrapping_add(v) as $ty
+            }
+        }
+    )*};
+}
+
+int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for std::ops::Range<$ty> {
+            type Value = $ty;
+            fn sample(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty strategy range");
+                self.start + (rng.next_f64() as $ty) * (self.end - self.start)
+            }
+        }
+    )*};
+}
+
+float_strategy!(f32, f64);
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! int_arbitrary {
+    ($($ty:ty),*) => {$(
+        impl Arbitrary for $ty {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap)]
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $ty
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Finite, roughly log-uniform over magnitudes — adequate for the
+        // numeric property tests here.
+        let mag = rng.next_f64() * 20.0 - 10.0;
+        let sign = if rng.next_u64() & 1 == 1 { -1.0 } else { 1.0 };
+        sign * 10f64.powf(mag)
+    }
+}
+
+/// Strategy produced by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The whole-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Fails the current property case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err(format!(
+                "prop_assert failed: {}", stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Fails the current property case unless both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (__lhs, __rhs) = (&$lhs, &$rhs);
+        if !(__lhs == __rhs) {
+            return ::core::result::Result::Err(format!(
+                "prop_assert_eq failed: {:?} != {:?}",
+                __lhs, __rhs
+            ));
+        }
+    }};
+}
+
+/// Declares property tests. Each `fn name(arg in strategy, ...) { body }`
+/// item becomes a `#[test]` running `cases` deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                let mut __rng = $crate::TestRng::from_name(stringify!($name));
+                for __case in 0..__cfg.cases {
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)*
+                    let __outcome: ::core::result::Result<(), ::std::string::String> = (|| {
+                        $body;
+                        ::core::result::Result::Ok(())
+                    })();
+                    if let ::core::result::Result::Err(__msg) = __outcome {
+                        panic!(
+                            "property `{}` failed on case {}: {}",
+                            stringify!($name), __case, __msg
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Everything a property-test module needs.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, proptest, Arbitrary, ProptestConfig, Strategy, TestRng,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(d in 1usize..8, x in 0.25f64..0.75) {
+            prop_assert!((1..8).contains(&d));
+            prop_assert!((0.25..0.75).contains(&x), "x = {x}");
+        }
+
+        #[test]
+        fn any_u64_draws_are_independent(a in any::<u64>(), b in any::<u64>()) {
+            // Two draws within one case come from one advancing stream —
+            // a collision would mean the stream is stuck.
+            prop_assert!(a != b, "stream repeated {a}");
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        let mut a = TestRng::from_name("x");
+        let mut b = TestRng::from_name("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,253 @@
+//! Minimal vendored stand-in for the `rand` crate.
+//!
+//! Implements exactly the surface this workspace uses: the [`Rng`] core
+//! trait, the [`RngExt`] range-sampling extension, [`SeedableRng`],
+//! [`rngs::StdRng`] (xoshiro256++ seeded via SplitMix64), and
+//! [`seq::SliceRandom`] (Fisher–Yates shuffle). All generators are fully
+//! deterministic per seed — property tests and the protocol's reproducible
+//! experiment figures depend on that.
+
+#![deny(unsafe_code)]
+
+/// A source of random `u64`s.
+pub trait Rng {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform `f64` in `[0, 1)` (53-bit resolution).
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A range that a uniform value can be drawn from.
+pub trait SampleRange<T> {
+    /// Draws a uniform value from the range.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_range {
+    ($($ty:ty),*) => {$(
+        impl SampleRange<$ty> for std::ops::Range<$ty> {
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                let v = if span == 0 || span > u128::from(u64::MAX) {
+                    rng.next_u64() as u128
+                } else {
+                    u128::from(rng.next_u64()) % span
+                };
+                (self.start as u128).wrapping_add(v) as $ty
+            }
+        }
+        impl SampleRange<$ty> for std::ops::RangeInclusive<$ty> {
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $ty {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample from empty range");
+                let span = (hi as u128).wrapping_sub(lo as u128).wrapping_add(1);
+                let v = if span == 0 {
+                    rng.next_u64() as u128
+                } else {
+                    u128::from(rng.next_u64()) % span
+                };
+                (lo as u128).wrapping_add(v) as $ty
+            }
+        }
+    )*};
+}
+
+int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range {
+    ($($ty:ty),*) => {$(
+        impl SampleRange<$ty> for std::ops::Range<$ty> {
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let u = rng.next_f64() as $ty;
+                self.start + u * (self.end - self.start)
+            }
+        }
+        impl SampleRange<$ty> for std::ops::RangeInclusive<$ty> {
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $ty {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample from empty range");
+                let u = rng.next_f64() as $ty;
+                lo + u * (hi - lo)
+            }
+        }
+    )*};
+}
+
+float_range!(f32, f64);
+
+/// Convenience sampling methods available on every [`Rng`].
+pub trait RngExt: Rng {
+    /// Draws a uniform value from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty.
+    fn random_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p` is outside `[0, 1]`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of [0,1]");
+        self.next_f64() < p
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+/// Construction of deterministic generators from seeds.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Named generators.
+pub mod rngs {
+    use super::{splitmix64, Rng, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut s = [0u64; 4];
+            for w in &mut s {
+                *w = splitmix64(&mut sm);
+            }
+            StdRng { s }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Sequence-related helpers.
+pub mod seq {
+    use super::Rng;
+
+    /// Random operations on slices.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+        /// A uniformly random element, `None` when empty.
+        fn choose<'a, R: Rng + ?Sized>(&'a self, rng: &mut R) -> Option<&'a Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            use crate::SampleRange;
+            for i in (1..self.len()).rev() {
+                let j = (0..=i).sample_from(rng);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<'a, R: Rng + ?Sized>(&'a self, rng: &mut R) -> Option<&'a T> {
+            use crate::SampleRange;
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[(0..self.len()).sample_from(rng)])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_are_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x: f64 = rng.random_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&x));
+            let n: usize = rng.random_range(0..7);
+            assert!(n < 7);
+            let m: usize = rng.random_range(0..=3);
+            assert!(m <= 3);
+        }
+        let _big: u64 = rng.random_range(0..u64::MAX);
+    }
+
+    #[test]
+    fn uniformity_rough_check() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.next_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>(), "shuffle should move things");
+    }
+}

@@ -1,0 +1,889 @@
+//! The deserialization half of the data model.
+
+use std::fmt::Display;
+use std::marker::PhantomData;
+
+/// Error type contract for deserializers.
+pub trait Error: Sized + std::fmt::Debug + Display {
+    /// Builds an error from a message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A value that can deserialize itself from any [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes a value.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the deserializer's error.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A value deserializable from any lifetime (owns all its data).
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// A stateful deserialization entry point (the seed form).
+pub trait DeserializeSeed<'de>: Sized {
+    /// The produced value.
+    type Value;
+    /// Deserializes using the seed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the deserializer's error.
+    fn deserialize<D: Deserializer<'de>>(self, deserializer: D) -> Result<Self::Value, D::Error>;
+}
+
+impl<'de, T: Deserialize<'de>> DeserializeSeed<'de> for PhantomData<T> {
+    type Value = T;
+    fn deserialize<D: Deserializer<'de>>(self, deserializer: D) -> Result<T, D::Error> {
+        T::deserialize(deserializer)
+    }
+}
+
+macro_rules! visit_default {
+    ($($method:ident($ty:ty) -> $what:expr;)*) => {$(
+        /// Visits one input shape; the default rejects it.
+        ///
+        /// # Errors
+        ///
+        /// The default implementation always errors with a type mismatch.
+        fn $method<E: Error>(self, _v: $ty) -> Result<Self::Value, E> {
+            Err(E::custom(concat!("unexpected ", $what)))
+        }
+    )*};
+}
+
+/// Receives the value a [`Deserializer`] found in its input.
+pub trait Visitor<'de>: Sized {
+    /// The value this visitor produces.
+    type Value;
+
+    visit_default! {
+        visit_bool(bool) -> "bool";
+        visit_i8(i8) -> "i8";
+        visit_i16(i16) -> "i16";
+        visit_i32(i32) -> "i32";
+        visit_i64(i64) -> "i64";
+        visit_u8(u8) -> "u8";
+        visit_u16(u16) -> "u16";
+        visit_u32(u32) -> "u32";
+        visit_u64(u64) -> "u64";
+        visit_f32(f32) -> "f32";
+        visit_f64(f64) -> "f64";
+        visit_char(char) -> "char";
+    }
+
+    /// Visits a borrowed string.
+    ///
+    /// # Errors
+    ///
+    /// The default rejects strings.
+    fn visit_str<E: Error>(self, _v: &str) -> Result<Self::Value, E> {
+        Err(E::custom("unexpected string"))
+    }
+
+    /// Visits a string borrowed from the input itself.
+    ///
+    /// # Errors
+    ///
+    /// As [`Visitor::visit_str`].
+    fn visit_borrowed_str<E: Error>(self, v: &'de str) -> Result<Self::Value, E> {
+        self.visit_str(v)
+    }
+
+    /// Visits an owned string.
+    ///
+    /// # Errors
+    ///
+    /// As [`Visitor::visit_str`].
+    fn visit_string<E: Error>(self, v: String) -> Result<Self::Value, E> {
+        self.visit_str(&v)
+    }
+
+    /// Visits borrowed bytes.
+    ///
+    /// # Errors
+    ///
+    /// The default rejects bytes.
+    fn visit_bytes<E: Error>(self, _v: &[u8]) -> Result<Self::Value, E> {
+        Err(E::custom("unexpected bytes"))
+    }
+
+    /// Visits bytes borrowed from the input itself.
+    ///
+    /// # Errors
+    ///
+    /// As [`Visitor::visit_bytes`].
+    fn visit_borrowed_bytes<E: Error>(self, v: &'de [u8]) -> Result<Self::Value, E> {
+        self.visit_bytes(v)
+    }
+
+    /// Visits an owned byte buffer.
+    ///
+    /// # Errors
+    ///
+    /// As [`Visitor::visit_bytes`].
+    fn visit_byte_buf<E: Error>(self, v: Vec<u8>) -> Result<Self::Value, E> {
+        self.visit_bytes(&v)
+    }
+
+    /// Visits a missing optional value.
+    ///
+    /// # Errors
+    ///
+    /// The default rejects options.
+    fn visit_none<E: Error>(self) -> Result<Self::Value, E> {
+        Err(E::custom("unexpected none"))
+    }
+
+    /// Visits a present optional value.
+    ///
+    /// # Errors
+    ///
+    /// The default rejects options.
+    fn visit_some<D: Deserializer<'de>>(self, _d: D) -> Result<Self::Value, D::Error> {
+        Err(<D::Error as Error>::custom("unexpected some"))
+    }
+
+    /// Visits a unit value.
+    ///
+    /// # Errors
+    ///
+    /// The default rejects unit.
+    fn visit_unit<E: Error>(self) -> Result<Self::Value, E> {
+        Err(E::custom("unexpected unit"))
+    }
+
+    /// Visits a newtype struct.
+    ///
+    /// # Errors
+    ///
+    /// The default rejects newtype structs.
+    fn visit_newtype_struct<D: Deserializer<'de>>(self, _d: D) -> Result<Self::Value, D::Error> {
+        Err(<D::Error as Error>::custom("unexpected newtype struct"))
+    }
+
+    /// Visits a sequence.
+    ///
+    /// # Errors
+    ///
+    /// The default rejects sequences.
+    fn visit_seq<A: SeqAccess<'de>>(self, _seq: A) -> Result<Self::Value, A::Error> {
+        Err(<A::Error as Error>::custom("unexpected sequence"))
+    }
+
+    /// Visits a map.
+    ///
+    /// # Errors
+    ///
+    /// The default rejects maps.
+    fn visit_map<A: MapAccess<'de>>(self, _map: A) -> Result<Self::Value, A::Error> {
+        Err(<A::Error as Error>::custom("unexpected map"))
+    }
+
+    /// Visits an enum.
+    ///
+    /// # Errors
+    ///
+    /// The default rejects enums.
+    fn visit_enum<A: EnumAccess<'de>>(self, _data: A) -> Result<Self::Value, A::Error> {
+        Err(<A::Error as Error>::custom("unexpected enum"))
+    }
+}
+
+/// The format side of deserialization.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+
+    /// Deserializes whatever the input holds (self-describing formats only).
+    ///
+    /// # Errors
+    ///
+    /// Format-defined.
+    fn deserialize_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes a `bool`.
+    ///
+    /// # Errors
+    ///
+    /// Format-defined.
+    fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes an `i8`.
+    ///
+    /// # Errors
+    ///
+    /// Format-defined.
+    fn deserialize_i8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes an `i16`.
+    ///
+    /// # Errors
+    ///
+    /// Format-defined.
+    fn deserialize_i16<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes an `i32`.
+    ///
+    /// # Errors
+    ///
+    /// Format-defined.
+    fn deserialize_i32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes an `i64`.
+    ///
+    /// # Errors
+    ///
+    /// Format-defined.
+    fn deserialize_i64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes a `u8`.
+    ///
+    /// # Errors
+    ///
+    /// Format-defined.
+    fn deserialize_u8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes a `u16`.
+    ///
+    /// # Errors
+    ///
+    /// Format-defined.
+    fn deserialize_u16<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes a `u32`.
+    ///
+    /// # Errors
+    ///
+    /// Format-defined.
+    fn deserialize_u32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes a `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Format-defined.
+    fn deserialize_u64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes an `f32`.
+    ///
+    /// # Errors
+    ///
+    /// Format-defined.
+    fn deserialize_f32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes an `f64`.
+    ///
+    /// # Errors
+    ///
+    /// Format-defined.
+    fn deserialize_f64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes a `char`.
+    ///
+    /// # Errors
+    ///
+    /// Format-defined.
+    fn deserialize_char<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes a borrowed string.
+    ///
+    /// # Errors
+    ///
+    /// Format-defined.
+    fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes an owned string.
+    ///
+    /// # Errors
+    ///
+    /// Format-defined.
+    fn deserialize_string<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes borrowed bytes.
+    ///
+    /// # Errors
+    ///
+    /// Format-defined.
+    fn deserialize_bytes<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes an owned byte buffer.
+    ///
+    /// # Errors
+    ///
+    /// Format-defined.
+    fn deserialize_byte_buf<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes an `Option`.
+    ///
+    /// # Errors
+    ///
+    /// Format-defined.
+    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes `()`.
+    ///
+    /// # Errors
+    ///
+    /// Format-defined.
+    fn deserialize_unit<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes a unit struct.
+    ///
+    /// # Errors
+    ///
+    /// Format-defined.
+    fn deserialize_unit_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Deserializes a newtype struct.
+    ///
+    /// # Errors
+    ///
+    /// Format-defined.
+    fn deserialize_newtype_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Deserializes a sequence.
+    ///
+    /// # Errors
+    ///
+    /// Format-defined.
+    fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes a fixed-length tuple.
+    ///
+    /// # Errors
+    ///
+    /// Format-defined.
+    fn deserialize_tuple<V: Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Deserializes a tuple struct.
+    ///
+    /// # Errors
+    ///
+    /// Format-defined.
+    fn deserialize_tuple_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Deserializes a map.
+    ///
+    /// # Errors
+    ///
+    /// Format-defined.
+    fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes a struct.
+    ///
+    /// # Errors
+    ///
+    /// Format-defined.
+    fn deserialize_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Deserializes an enum.
+    ///
+    /// # Errors
+    ///
+    /// Format-defined.
+    fn deserialize_enum<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        variants: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Deserializes a struct-field or enum-variant identifier.
+    ///
+    /// # Errors
+    ///
+    /// Format-defined.
+    fn deserialize_identifier<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Skips over whatever value comes next.
+    ///
+    /// # Errors
+    ///
+    /// Format-defined.
+    fn deserialize_ignored_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+
+    /// Whether the format is human readable.
+    fn is_human_readable(&self) -> bool {
+        true
+    }
+}
+
+/// Access to the elements of a sequence.
+pub trait SeqAccess<'de> {
+    /// Error type.
+    type Error: Error;
+
+    /// Deserializes the next element with a seed.
+    ///
+    /// # Errors
+    ///
+    /// Format-defined.
+    fn next_element_seed<T: DeserializeSeed<'de>>(
+        &mut self,
+        seed: T,
+    ) -> Result<Option<T::Value>, Self::Error>;
+
+    /// Deserializes the next element.
+    ///
+    /// # Errors
+    ///
+    /// Format-defined.
+    fn next_element<T: Deserialize<'de>>(&mut self) -> Result<Option<T>, Self::Error> {
+        self.next_element_seed(PhantomData)
+    }
+
+    /// Remaining length, when known.
+    fn size_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Access to the entries of a map.
+pub trait MapAccess<'de> {
+    /// Error type.
+    type Error: Error;
+
+    /// Deserializes the next key with a seed.
+    ///
+    /// # Errors
+    ///
+    /// Format-defined.
+    fn next_key_seed<K: DeserializeSeed<'de>>(
+        &mut self,
+        seed: K,
+    ) -> Result<Option<K::Value>, Self::Error>;
+
+    /// Deserializes the next value with a seed.
+    ///
+    /// # Errors
+    ///
+    /// Format-defined.
+    fn next_value_seed<V: DeserializeSeed<'de>>(
+        &mut self,
+        seed: V,
+    ) -> Result<V::Value, Self::Error>;
+
+    /// Deserializes the next key.
+    ///
+    /// # Errors
+    ///
+    /// Format-defined.
+    fn next_key<K: Deserialize<'de>>(&mut self) -> Result<Option<K>, Self::Error> {
+        self.next_key_seed(PhantomData)
+    }
+
+    /// Deserializes the next value.
+    ///
+    /// # Errors
+    ///
+    /// Format-defined.
+    fn next_value<V: Deserialize<'de>>(&mut self) -> Result<V, Self::Error> {
+        self.next_value_seed(PhantomData)
+    }
+
+    /// Remaining length, when known.
+    fn size_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Access to the variant of an enum.
+pub trait EnumAccess<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+    /// Payload accessor produced alongside the variant identifier.
+    type Variant: VariantAccess<'de, Error = Self::Error>;
+
+    /// Identifies the variant with a seed.
+    ///
+    /// # Errors
+    ///
+    /// Format-defined.
+    fn variant_seed<V: DeserializeSeed<'de>>(
+        self,
+        seed: V,
+    ) -> Result<(V::Value, Self::Variant), Self::Error>;
+
+    /// Identifies the variant.
+    ///
+    /// # Errors
+    ///
+    /// Format-defined.
+    fn variant<V: Deserialize<'de>>(self) -> Result<(V, Self::Variant), Self::Error> {
+        self.variant_seed(PhantomData)
+    }
+}
+
+/// Access to the payload of one enum variant.
+pub trait VariantAccess<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+
+    /// Consumes a unit variant.
+    ///
+    /// # Errors
+    ///
+    /// Format-defined.
+    fn unit_variant(self) -> Result<(), Self::Error>;
+
+    /// Deserializes a newtype variant payload with a seed.
+    ///
+    /// # Errors
+    ///
+    /// Format-defined.
+    fn newtype_variant_seed<T: DeserializeSeed<'de>>(
+        self,
+        seed: T,
+    ) -> Result<T::Value, Self::Error>;
+
+    /// Deserializes a newtype variant payload.
+    ///
+    /// # Errors
+    ///
+    /// Format-defined.
+    fn newtype_variant<T: Deserialize<'de>>(self) -> Result<T, Self::Error> {
+        self.newtype_variant_seed(PhantomData)
+    }
+
+    /// Deserializes a tuple variant payload.
+    ///
+    /// # Errors
+    ///
+    /// Format-defined.
+    fn tuple_variant<V: Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+
+    /// Deserializes a struct variant payload.
+    ///
+    /// # Errors
+    ///
+    /// Format-defined.
+    fn struct_variant<V: Visitor<'de>>(
+        self,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+}
+
+/// Trivial deserializers wrapping already-decoded values.
+pub mod value {
+    use super::{Deserializer, Error, Visitor};
+    use std::marker::PhantomData;
+
+    /// A deserializer holding one already-decoded `u32` (used for enum
+    /// variant indices).
+    pub struct U32Deserializer<E> {
+        value: u32,
+        marker: PhantomData<E>,
+    }
+
+    impl<E> U32Deserializer<E> {
+        /// Wraps a value.
+        pub fn new(value: u32) -> Self {
+            U32Deserializer {
+                value,
+                marker: PhantomData,
+            }
+        }
+    }
+
+    macro_rules! forward_to_u32 {
+        ($($method:ident)*) => {$(
+            fn $method<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+                visitor.visit_u32(self.value)
+            }
+        )*};
+    }
+
+    impl<'de, E: Error> Deserializer<'de> for U32Deserializer<E> {
+        type Error = E;
+
+        forward_to_u32! {
+            deserialize_any deserialize_u8 deserialize_u16 deserialize_u32
+            deserialize_u64 deserialize_i8 deserialize_i16 deserialize_i32
+            deserialize_i64 deserialize_identifier deserialize_ignored_any
+        }
+
+        fn deserialize_bool<V: Visitor<'de>>(self, _v: V) -> Result<V::Value, E> {
+            Err(E::custom("u32 deserializer: bool unsupported"))
+        }
+        fn deserialize_f32<V: Visitor<'de>>(self, _v: V) -> Result<V::Value, E> {
+            Err(E::custom("u32 deserializer: f32 unsupported"))
+        }
+        fn deserialize_f64<V: Visitor<'de>>(self, _v: V) -> Result<V::Value, E> {
+            Err(E::custom("u32 deserializer: f64 unsupported"))
+        }
+        fn deserialize_char<V: Visitor<'de>>(self, _v: V) -> Result<V::Value, E> {
+            Err(E::custom("u32 deserializer: char unsupported"))
+        }
+        fn deserialize_str<V: Visitor<'de>>(self, _v: V) -> Result<V::Value, E> {
+            Err(E::custom("u32 deserializer: str unsupported"))
+        }
+        fn deserialize_string<V: Visitor<'de>>(self, _v: V) -> Result<V::Value, E> {
+            Err(E::custom("u32 deserializer: string unsupported"))
+        }
+        fn deserialize_bytes<V: Visitor<'de>>(self, _v: V) -> Result<V::Value, E> {
+            Err(E::custom("u32 deserializer: bytes unsupported"))
+        }
+        fn deserialize_byte_buf<V: Visitor<'de>>(self, _v: V) -> Result<V::Value, E> {
+            Err(E::custom("u32 deserializer: byte buf unsupported"))
+        }
+        fn deserialize_option<V: Visitor<'de>>(self, _v: V) -> Result<V::Value, E> {
+            Err(E::custom("u32 deserializer: option unsupported"))
+        }
+        fn deserialize_unit<V: Visitor<'de>>(self, _v: V) -> Result<V::Value, E> {
+            Err(E::custom("u32 deserializer: unit unsupported"))
+        }
+        fn deserialize_unit_struct<V: Visitor<'de>>(
+            self,
+            _name: &'static str,
+            _v: V,
+        ) -> Result<V::Value, E> {
+            Err(E::custom("u32 deserializer: unit struct unsupported"))
+        }
+        fn deserialize_newtype_struct<V: Visitor<'de>>(
+            self,
+            _name: &'static str,
+            _v: V,
+        ) -> Result<V::Value, E> {
+            Err(E::custom("u32 deserializer: newtype unsupported"))
+        }
+        fn deserialize_seq<V: Visitor<'de>>(self, _v: V) -> Result<V::Value, E> {
+            Err(E::custom("u32 deserializer: seq unsupported"))
+        }
+        fn deserialize_tuple<V: Visitor<'de>>(self, _len: usize, _v: V) -> Result<V::Value, E> {
+            Err(E::custom("u32 deserializer: tuple unsupported"))
+        }
+        fn deserialize_tuple_struct<V: Visitor<'de>>(
+            self,
+            _name: &'static str,
+            _len: usize,
+            _v: V,
+        ) -> Result<V::Value, E> {
+            Err(E::custom("u32 deserializer: tuple struct unsupported"))
+        }
+        fn deserialize_map<V: Visitor<'de>>(self, _v: V) -> Result<V::Value, E> {
+            Err(E::custom("u32 deserializer: map unsupported"))
+        }
+        fn deserialize_struct<V: Visitor<'de>>(
+            self,
+            _name: &'static str,
+            _fields: &'static [&'static str],
+            _v: V,
+        ) -> Result<V::Value, E> {
+            Err(E::custom("u32 deserializer: struct unsupported"))
+        }
+        fn deserialize_enum<V: Visitor<'de>>(
+            self,
+            _name: &'static str,
+            _variants: &'static [&'static str],
+            _v: V,
+        ) -> Result<V::Value, E> {
+            Err(E::custom("u32 deserializer: enum unsupported"))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls for std types used in the workspace.
+// ---------------------------------------------------------------------------
+
+macro_rules! primitive_deserialize {
+    ($($ty:ty, $deser:ident, $visit:ident;)*) => {$(
+        impl<'de> Deserialize<'de> for $ty {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                struct PrimitiveVisitor;
+                impl<'de> Visitor<'de> for PrimitiveVisitor {
+                    type Value = $ty;
+                    fn $visit<E: Error>(self, v: $ty) -> Result<$ty, E> {
+                        Ok(v)
+                    }
+                }
+                deserializer.$deser(PrimitiveVisitor)
+            }
+        }
+    )*};
+}
+
+primitive_deserialize! {
+    bool, deserialize_bool, visit_bool;
+    i8, deserialize_i8, visit_i8;
+    i16, deserialize_i16, visit_i16;
+    i32, deserialize_i32, visit_i32;
+    i64, deserialize_i64, visit_i64;
+    u8, deserialize_u8, visit_u8;
+    u16, deserialize_u16, visit_u16;
+    u32, deserialize_u32, visit_u32;
+    u64, deserialize_u64, visit_u64;
+    f32, deserialize_f32, visit_f32;
+    f64, deserialize_f64, visit_f64;
+    char, deserialize_char, visit_char;
+}
+
+impl<'de> Deserialize<'de> for usize {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct UsizeVisitor;
+        impl<'de> Visitor<'de> for UsizeVisitor {
+            type Value = usize;
+            fn visit_u64<E: Error>(self, v: u64) -> Result<usize, E> {
+                usize::try_from(v).map_err(|_| E::custom("usize overflow"))
+            }
+        }
+        deserializer.deserialize_u64(UsizeVisitor)
+    }
+}
+
+impl<'de> Deserialize<'de> for isize {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct IsizeVisitor;
+        impl<'de> Visitor<'de> for IsizeVisitor {
+            type Value = isize;
+            fn visit_i64<E: Error>(self, v: i64) -> Result<isize, E> {
+                isize::try_from(v).map_err(|_| E::custom("isize overflow"))
+            }
+        }
+        deserializer.deserialize_i64(IsizeVisitor)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct StringVisitor;
+        impl<'de> Visitor<'de> for StringVisitor {
+            type Value = String;
+            fn visit_str<E: Error>(self, v: &str) -> Result<String, E> {
+                Ok(v.to_owned())
+            }
+            fn visit_string<E: Error>(self, v: String) -> Result<String, E> {
+                Ok(v)
+            }
+        }
+        deserializer.deserialize_string(StringVisitor)
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct UnitVisitor;
+        impl<'de> Visitor<'de> for UnitVisitor {
+            type Value = ();
+            fn visit_unit<E: Error>(self) -> Result<(), E> {
+                Ok(())
+            }
+        }
+        deserializer.deserialize_unit(UnitVisitor)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct OptionVisitor<T>(PhantomData<T>);
+        impl<'de, T: Deserialize<'de>> Visitor<'de> for OptionVisitor<T> {
+            type Value = Option<T>;
+            fn visit_none<E: Error>(self) -> Result<Option<T>, E> {
+                Ok(None)
+            }
+            fn visit_some<D: Deserializer<'de>>(self, d: D) -> Result<Option<T>, D::Error> {
+                T::deserialize(d).map(Some)
+            }
+        }
+        deserializer.deserialize_option(OptionVisitor(PhantomData))
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct VecVisitor<T>(PhantomData<T>);
+        impl<'de, T: Deserialize<'de>> Visitor<'de> for VecVisitor<T> {
+            type Value = Vec<T>;
+            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<Vec<T>, A::Error> {
+                let mut out = Vec::with_capacity(seq.size_hint().unwrap_or(0).min(4096));
+                while let Some(item) = seq.next_element()? {
+                    out.push(item);
+                }
+                Ok(out)
+            }
+        }
+        deserializer.deserialize_seq(VecVisitor(PhantomData))
+    }
+}
+
+macro_rules! tuple_deserialize {
+    ($len:expr => $($name:ident),+) => {
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<De: Deserializer<'de>>(deserializer: De) -> Result<Self, De::Error> {
+                struct TupleVisitor<$($name),+>(PhantomData<($($name,)+)>);
+                impl<'de, $($name: Deserialize<'de>),+> Visitor<'de> for TupleVisitor<$($name),+> {
+                    type Value = ($($name,)+);
+                    #[allow(non_snake_case)]
+                    fn visit_seq<Acc: SeqAccess<'de>>(
+                        self,
+                        mut seq: Acc,
+                    ) -> Result<Self::Value, Acc::Error> {
+                        $(
+                            let $name = seq
+                                .next_element()?
+                                .ok_or_else(|| <Acc::Error as Error>::custom("tuple too short"))?;
+                        )+
+                        Ok(($($name,)+))
+                    }
+                }
+                deserializer.deserialize_tuple($len, TupleVisitor(PhantomData))
+            }
+        }
+    };
+}
+
+tuple_deserialize!(1 => A);
+tuple_deserialize!(2 => A, B);
+tuple_deserialize!(3 => A, B, C);
+tuple_deserialize!(4 => A, B, C, D);
+
+impl<'de, K: Deserialize<'de> + Ord, V: Deserialize<'de>> Deserialize<'de>
+    for std::collections::BTreeMap<K, V>
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct BTreeVisitor<K, V>(PhantomData<(K, V)>);
+        impl<'de, K: Deserialize<'de> + Ord, V: Deserialize<'de>> Visitor<'de> for BTreeVisitor<K, V> {
+            type Value = std::collections::BTreeMap<K, V>;
+            fn visit_map<A: MapAccess<'de>>(self, mut map: A) -> Result<Self::Value, A::Error> {
+                let mut out = std::collections::BTreeMap::new();
+                while let Some(k) = map.next_key()? {
+                    let v = map.next_value()?;
+                    out.insert(k, v);
+                }
+                Ok(out)
+            }
+        }
+        deserializer.deserialize_map(BTreeVisitor(PhantomData))
+    }
+}
+
+impl<'de, K, V, H> Deserialize<'de> for std::collections::HashMap<K, V, H>
+where
+    K: Deserialize<'de> + std::hash::Hash + Eq,
+    V: Deserialize<'de>,
+    H: std::hash::BuildHasher + Default,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct HashVisitor<K, V, H>(PhantomData<(K, V, H)>);
+        impl<'de, K, V, H> Visitor<'de> for HashVisitor<K, V, H>
+        where
+            K: Deserialize<'de> + std::hash::Hash + Eq,
+            V: Deserialize<'de>,
+            H: std::hash::BuildHasher + Default,
+        {
+            type Value = std::collections::HashMap<K, V, H>;
+            fn visit_map<A: MapAccess<'de>>(self, mut map: A) -> Result<Self::Value, A::Error> {
+                let mut out = std::collections::HashMap::with_hasher(H::default());
+                while let Some(k) = map.next_key()? {
+                    let v = map.next_value()?;
+                    out.insert(k, v);
+                }
+                Ok(out)
+            }
+        }
+        deserializer.deserialize_map(HashVisitor(PhantomData))
+    }
+}

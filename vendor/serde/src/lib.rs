@@ -1,0 +1,21 @@
+//! Minimal vendored stand-in for the `serde` data model.
+//!
+//! The workspace builds offline, so the subset of serde's serializer /
+//! deserializer contract that the wire and JSON codecs plus the derive
+//! macro need is implemented here. The trait-method vocabulary mirrors real
+//! serde (same names, same shapes) so codec code written against this shim
+//! reads exactly like serde code — but only the surface this repository
+//! exercises exists: no `i128`, no borrowed-lifetime zoo, no
+//! `serde(attr)` customization.
+
+#![deny(unsafe_code)]
+
+pub mod de;
+pub mod ser;
+
+pub use de::{Deserialize, DeserializeOwned, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+// Derive macros, re-exported under the same names as the traits (macro and
+// type namespaces are distinct, mirroring real serde's `derive` feature).
+pub use serde_derive::{Deserialize, Serialize};

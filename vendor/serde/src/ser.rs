@@ -1,0 +1,616 @@
+//! The serialization half of the data model.
+
+use std::fmt::Display;
+
+/// Error type contract for serializers.
+pub trait Error: Sized + std::fmt::Debug + Display {
+    /// Builds an error from a message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A value that can serialize itself into any [`Serializer`].
+pub trait Serialize {
+    /// Serializes `self`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the serializer's error.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// The driver for one serialization: the format side of the data model.
+pub trait Serializer: Sized {
+    /// Output of a successful serialization.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+    /// Compound serializer for sequences.
+    type SerializeSeq: SerializeSeq<Ok = Self::Ok, Error = Self::Error>;
+    /// Compound serializer for tuples.
+    type SerializeTuple: SerializeTuple<Ok = Self::Ok, Error = Self::Error>;
+    /// Compound serializer for tuple structs.
+    type SerializeTupleStruct: SerializeTupleStruct<Ok = Self::Ok, Error = Self::Error>;
+    /// Compound serializer for tuple enum variants.
+    type SerializeTupleVariant: SerializeTupleVariant<Ok = Self::Ok, Error = Self::Error>;
+    /// Compound serializer for maps.
+    type SerializeMap: SerializeMap<Ok = Self::Ok, Error = Self::Error>;
+    /// Compound serializer for structs.
+    type SerializeStruct: SerializeStruct<Ok = Self::Ok, Error = Self::Error>;
+    /// Compound serializer for struct enum variants.
+    type SerializeStructVariant: SerializeStructVariant<Ok = Self::Ok, Error = Self::Error>;
+
+    /// Serializes a `bool`.
+    ///
+    /// # Errors
+    ///
+    /// Format-defined.
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error>;
+    /// Serializes an `i8`.
+    ///
+    /// # Errors
+    ///
+    /// Format-defined.
+    fn serialize_i8(self, v: i8) -> Result<Self::Ok, Self::Error>;
+    /// Serializes an `i16`.
+    ///
+    /// # Errors
+    ///
+    /// Format-defined.
+    fn serialize_i16(self, v: i16) -> Result<Self::Ok, Self::Error>;
+    /// Serializes an `i32`.
+    ///
+    /// # Errors
+    ///
+    /// Format-defined.
+    fn serialize_i32(self, v: i32) -> Result<Self::Ok, Self::Error>;
+    /// Serializes an `i64`.
+    ///
+    /// # Errors
+    ///
+    /// Format-defined.
+    fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a `u8`.
+    ///
+    /// # Errors
+    ///
+    /// Format-defined.
+    fn serialize_u8(self, v: u8) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a `u16`.
+    ///
+    /// # Errors
+    ///
+    /// Format-defined.
+    fn serialize_u16(self, v: u16) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a `u32`.
+    ///
+    /// # Errors
+    ///
+    /// Format-defined.
+    fn serialize_u32(self, v: u32) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Format-defined.
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+    /// Serializes an `f32`.
+    ///
+    /// # Errors
+    ///
+    /// Format-defined.
+    fn serialize_f32(self, v: f32) -> Result<Self::Ok, Self::Error>;
+    /// Serializes an `f64`.
+    ///
+    /// # Errors
+    ///
+    /// Format-defined.
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a `char`.
+    ///
+    /// # Errors
+    ///
+    /// Format-defined.
+    fn serialize_char(self, v: char) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a string slice.
+    ///
+    /// # Errors
+    ///
+    /// Format-defined.
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+    /// Serializes raw bytes.
+    ///
+    /// # Errors
+    ///
+    /// Format-defined.
+    fn serialize_bytes(self, v: &[u8]) -> Result<Self::Ok, Self::Error>;
+    /// Serializes `Option::None`.
+    ///
+    /// # Errors
+    ///
+    /// Format-defined.
+    fn serialize_none(self) -> Result<Self::Ok, Self::Error>;
+    /// Serializes `Option::Some`.
+    ///
+    /// # Errors
+    ///
+    /// Format-defined.
+    fn serialize_some<T: ?Sized + Serialize>(self, value: &T) -> Result<Self::Ok, Self::Error>;
+    /// Serializes `()`.
+    ///
+    /// # Errors
+    ///
+    /// Format-defined.
+    fn serialize_unit(self) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a unit struct.
+    ///
+    /// # Errors
+    ///
+    /// Format-defined.
+    fn serialize_unit_struct(self, name: &'static str) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a unit enum variant.
+    ///
+    /// # Errors
+    ///
+    /// Format-defined.
+    fn serialize_unit_variant(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+    ) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a newtype struct.
+    ///
+    /// # Errors
+    ///
+    /// Format-defined.
+    fn serialize_newtype_struct<T: ?Sized + Serialize>(
+        self,
+        name: &'static str,
+        value: &T,
+    ) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a newtype enum variant.
+    ///
+    /// # Errors
+    ///
+    /// Format-defined.
+    fn serialize_newtype_variant<T: ?Sized + Serialize>(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<Self::Ok, Self::Error>;
+    /// Begins a sequence.
+    ///
+    /// # Errors
+    ///
+    /// Format-defined.
+    fn serialize_seq(self, len: Option<usize>) -> Result<Self::SerializeSeq, Self::Error>;
+    /// Begins a tuple.
+    ///
+    /// # Errors
+    ///
+    /// Format-defined.
+    fn serialize_tuple(self, len: usize) -> Result<Self::SerializeTuple, Self::Error>;
+    /// Begins a tuple struct.
+    ///
+    /// # Errors
+    ///
+    /// Format-defined.
+    fn serialize_tuple_struct(
+        self,
+        name: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeTupleStruct, Self::Error>;
+    /// Begins a tuple enum variant.
+    ///
+    /// # Errors
+    ///
+    /// Format-defined.
+    fn serialize_tuple_variant(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeTupleVariant, Self::Error>;
+    /// Begins a map.
+    ///
+    /// # Errors
+    ///
+    /// Format-defined.
+    fn serialize_map(self, len: Option<usize>) -> Result<Self::SerializeMap, Self::Error>;
+    /// Begins a struct.
+    ///
+    /// # Errors
+    ///
+    /// Format-defined.
+    fn serialize_struct(
+        self,
+        name: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeStruct, Self::Error>;
+    /// Begins a struct enum variant.
+    ///
+    /// # Errors
+    ///
+    /// Format-defined.
+    fn serialize_struct_variant(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeStructVariant, Self::Error>;
+
+    /// Whether the format is human readable.
+    fn is_human_readable(&self) -> bool {
+        true
+    }
+}
+
+/// Compound serializer for sequences.
+pub trait SerializeSeq {
+    /// Output type.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+    /// Serializes one element.
+    ///
+    /// # Errors
+    ///
+    /// Format-defined.
+    fn serialize_element<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Self::Error>;
+    /// Finishes the sequence.
+    ///
+    /// # Errors
+    ///
+    /// Format-defined.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Compound serializer for tuples.
+pub trait SerializeTuple {
+    /// Output type.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+    /// Serializes one element.
+    ///
+    /// # Errors
+    ///
+    /// Format-defined.
+    fn serialize_element<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Self::Error>;
+    /// Finishes the tuple.
+    ///
+    /// # Errors
+    ///
+    /// Format-defined.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Compound serializer for tuple structs.
+pub trait SerializeTupleStruct {
+    /// Output type.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+    /// Serializes one field.
+    ///
+    /// # Errors
+    ///
+    /// Format-defined.
+    fn serialize_field<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Self::Error>;
+    /// Finishes the tuple struct.
+    ///
+    /// # Errors
+    ///
+    /// Format-defined.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Compound serializer for tuple enum variants.
+pub trait SerializeTupleVariant {
+    /// Output type.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+    /// Serializes one field.
+    ///
+    /// # Errors
+    ///
+    /// Format-defined.
+    fn serialize_field<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Self::Error>;
+    /// Finishes the variant.
+    ///
+    /// # Errors
+    ///
+    /// Format-defined.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Compound serializer for maps.
+pub trait SerializeMap {
+    /// Output type.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+    /// Serializes one key.
+    ///
+    /// # Errors
+    ///
+    /// Format-defined.
+    fn serialize_key<T: ?Sized + Serialize>(&mut self, key: &T) -> Result<(), Self::Error>;
+    /// Serializes one value.
+    ///
+    /// # Errors
+    ///
+    /// Format-defined.
+    fn serialize_value<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Self::Error>;
+    /// Finishes the map.
+    ///
+    /// # Errors
+    ///
+    /// Format-defined.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Compound serializer for structs.
+pub trait SerializeStruct {
+    /// Output type.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+    /// Serializes one named field.
+    ///
+    /// # Errors
+    ///
+    /// Format-defined.
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Self::Error>;
+    /// Finishes the struct.
+    ///
+    /// # Errors
+    ///
+    /// Format-defined.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Compound serializer for struct enum variants.
+pub trait SerializeStructVariant {
+    /// Output type.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+    /// Serializes one named field.
+    ///
+    /// # Errors
+    ///
+    /// Format-defined.
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Self::Error>;
+    /// Finishes the variant.
+    ///
+    /// # Errors
+    ///
+    /// Format-defined.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// An uninstantiable compound serializer, for serializers that reject all
+/// aggregates (e.g. map-key serializers).
+pub struct Impossible<Ok, Error> {
+    void: Void,
+    marker: std::marker::PhantomData<(Ok, Error)>,
+}
+
+enum Void {}
+
+macro_rules! impossible_impl {
+    ($trait:ident, $method:ident $(, $key:ident)?) => {
+        impl<Ok, E: Error> $trait for Impossible<Ok, E> {
+            type Ok = Ok;
+            type Error = E;
+            fn $method<T: ?Sized + Serialize>(
+                &mut self,
+                $($key: &'static str,)?
+                _value: &T,
+            ) -> Result<(), E> {
+                match self.void {}
+            }
+            fn end(self) -> Result<Ok, E> {
+                match self.void {}
+            }
+        }
+    };
+}
+
+impossible_impl!(SerializeSeq, serialize_element);
+impossible_impl!(SerializeTuple, serialize_element);
+impossible_impl!(SerializeTupleStruct, serialize_field);
+impossible_impl!(SerializeTupleVariant, serialize_field);
+
+impl<Ok, E: Error> SerializeMap for Impossible<Ok, E> {
+    type Ok = Ok;
+    type Error = E;
+    fn serialize_key<T: ?Sized + Serialize>(&mut self, _key: &T) -> Result<(), E> {
+        match self.void {}
+    }
+    fn serialize_value<T: ?Sized + Serialize>(&mut self, _value: &T) -> Result<(), E> {
+        match self.void {}
+    }
+    fn end(self) -> Result<Ok, E> {
+        match self.void {}
+    }
+}
+
+impl<Ok, E: Error> SerializeStruct for Impossible<Ok, E> {
+    type Ok = Ok;
+    type Error = E;
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        _key: &'static str,
+        _value: &T,
+    ) -> Result<(), E> {
+        match self.void {}
+    }
+    fn end(self) -> Result<Ok, E> {
+        match self.void {}
+    }
+}
+
+impl<Ok, E: Error> SerializeStructVariant for Impossible<Ok, E> {
+    type Ok = Ok;
+    type Error = E;
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        _key: &'static str,
+        _value: &T,
+    ) -> Result<(), E> {
+        match self.void {}
+    }
+    fn end(self) -> Result<Ok, E> {
+        match self.void {}
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls for std types used in the workspace.
+// ---------------------------------------------------------------------------
+
+macro_rules! primitive_serialize {
+    ($($ty:ty => $method:ident),* $(,)?) => {$(
+        impl Serialize for $ty {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.$method(*self)
+            }
+        }
+    )*};
+}
+
+primitive_serialize! {
+    bool => serialize_bool,
+    i8 => serialize_i8,
+    i16 => serialize_i16,
+    i32 => serialize_i32,
+    i64 => serialize_i64,
+    u8 => serialize_u8,
+    u16 => serialize_u16,
+    u32 => serialize_u32,
+    u64 => serialize_u64,
+    f32 => serialize_f32,
+    f64 => serialize_f64,
+    char => serialize_char,
+}
+
+impl Serialize for usize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_u64(*self as u64)
+    }
+}
+
+impl Serialize for isize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_i64(*self as i64)
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for () {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_unit()
+    }
+}
+
+impl<T: ?Sized + Serialize> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: ?Sized + Serialize> Serialize for Box<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            None => serializer.serialize_none(),
+            Some(v) => serializer.serialize_some(v),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut seq = serializer.serialize_seq(Some(self.len()))?;
+        for item in self {
+            seq.serialize_element(item)?;
+        }
+        seq.end()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
+macro_rules! tuple_serialize {
+    ($len:expr => $(($idx:tt $name:ident)),+) => {
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let mut t = serializer.serialize_tuple($len)?;
+                $(SerializeTuple::serialize_element(&mut t, &self.$idx)?;)+
+                t.end()
+            }
+        }
+    };
+}
+
+tuple_serialize!(1 => (0 A));
+tuple_serialize!(2 => (0 A), (1 B));
+tuple_serialize!(3 => (0 A), (1 B), (2 C));
+tuple_serialize!(4 => (0 A), (1 B), (2 C), (3 D));
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut map = serializer.serialize_map(Some(self.len()))?;
+        for (k, v) in self {
+            map.serialize_key(k)?;
+            map.serialize_value(v)?;
+        }
+        map.end()
+    }
+}
+
+impl<K: Serialize, V: Serialize, H> Serialize for std::collections::HashMap<K, V, H> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut map = serializer.serialize_map(Some(self.len()))?;
+        for (k, v) in self {
+            map.serialize_key(k)?;
+            map.serialize_value(v)?;
+        }
+        map.end()
+    }
+}

@@ -1,0 +1,480 @@
+//! Minimal vendored `#[derive(Serialize, Deserialize)]` macros.
+//!
+//! The offline build has no `syn`/`quote`, so the item is parsed directly
+//! from the `proc_macro` token stream and the impls are emitted as strings.
+//! Supported shapes — exactly what this workspace derives on:
+//!
+//! * unit structs, newtype/tuple structs, named-field structs;
+//! * enums whose variants are unit, newtype, tuple, or struct-like;
+//! * no generics, no lifetimes, no `#[serde(...)]` attributes.
+//!
+//! Generated deserialization code is positional (`visit_seq`): the codec
+//! decides how field names map to positions. The JSON debug codec reorders
+//! named fields into declaration order before driving the visitor, so both
+//! self-describing and compact formats work against the same derive.
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+enum Kind {
+    UnitStruct,
+    TupleStruct(usize),
+    NamedStruct(Vec<String>),
+    Enum(Vec<(String, VariantFields)>),
+}
+
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Model {
+    name: String,
+    kind: Kind,
+}
+
+/// Derives `serde::ser::Serialize` for the supported item shapes.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let model = parse_item(input);
+    gen_serialize(&model)
+        .parse()
+        .expect("serde shim derive: generated Serialize impl must parse")
+}
+
+/// Derives `serde::de::Deserialize` for the supported item shapes.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let model = parse_item(input);
+    gen_deserialize(&model)
+        .parse()
+        .expect("serde shim derive: generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Model {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&toks, 0);
+
+    let kw = expect_ident(&toks, i);
+    i += 1;
+    let name = expect_ident(&toks, i);
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde shim derive: generic type `{name}` is unsupported");
+        }
+    }
+
+    let kind = match kw.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(count_tuple_fields(g))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::UnitStruct,
+            other => panic!("serde shim derive: unsupported struct body: {other:?}"),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g))
+            }
+            other => panic!("serde shim derive: unsupported enum body: {other:?}"),
+        },
+        other => panic!("serde shim derive: expected struct or enum, found `{other}`"),
+    };
+
+    Model { name, kind }
+}
+
+fn skip_attrs_and_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+fn expect_ident(toks: &[TokenTree], i: usize) -> String {
+    match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected identifier, found {other:?}"),
+    }
+}
+
+/// Parses `{ field: Type, ... }`, returning the field names. Types are
+/// skipped with angle-bracket depth tracking so `BTreeMap<K, V>` commas do
+/// not end a field early (groups are opaque single tokens, so commas inside
+/// parens/brackets are invisible here).
+fn parse_named_fields(g: &Group) -> Vec<String> {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs_and_vis(&toks, i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = expect_ident(&toks, i);
+        i += 1;
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => {
+                panic!("serde shim derive: expected `:` after field `{name}`, found {other:?}")
+            }
+        }
+        let mut angle_depth = 0i64;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    fields
+}
+
+/// Counts the fields of `( Type, Type, ... )` via top-level commas.
+fn count_tuple_fields(g: &Group) -> usize {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut angle_depth = 0i64;
+    let mut commas = 0usize;
+    let mut trailing_comma = false;
+    for t in &toks {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle_depth += 1;
+                trailing_comma = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth -= 1;
+                trailing_comma = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                commas += 1;
+                trailing_comma = true;
+            }
+            _ => trailing_comma = false,
+        }
+    }
+    commas + usize::from(!trailing_comma)
+}
+
+fn parse_variants(g: &Group) -> Vec<(String, VariantFields)> {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs_and_vis(&toks, i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = expect_ident(&toks, i);
+        i += 1;
+        let fields = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantFields::Named(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantFields::Tuple(count_tuple_fields(g))
+            }
+            _ => VariantFields::Unit,
+        };
+        if let Some(TokenTree::Punct(p)) = toks.get(i) {
+            if p.as_char() == '=' {
+                panic!("serde shim derive: explicit discriminants are unsupported");
+            }
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        variants.push((name, fields));
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Serialize
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(m: &Model) -> String {
+    let name = &m.name;
+    let body = match &m.kind {
+        Kind::UnitStruct => {
+            format!("::serde::ser::Serializer::serialize_unit_struct(serializer, \"{name}\")")
+        }
+        Kind::TupleStruct(1) => format!(
+            "::serde::ser::Serializer::serialize_newtype_struct(serializer, \"{name}\", &self.0)"
+        ),
+        Kind::TupleStruct(n) => {
+            let mut s = format!(
+                "let mut state = ::serde::ser::Serializer::serialize_tuple_struct(serializer, \"{name}\", {n}usize)?;\n"
+            );
+            for idx in 0..*n {
+                s += &format!(
+                    "::serde::ser::SerializeTupleStruct::serialize_field(&mut state, &self.{idx})?;\n"
+                );
+            }
+            s += "::serde::ser::SerializeTupleStruct::end(state)";
+            s
+        }
+        Kind::NamedStruct(fields) => {
+            let n = fields.len();
+            let mut s = format!(
+                "let mut state = ::serde::ser::Serializer::serialize_struct(serializer, \"{name}\", {n}usize)?;\n"
+            );
+            for f in fields {
+                s += &format!(
+                    "::serde::ser::SerializeStruct::serialize_field(&mut state, \"{f}\", &self.{f})?;\n"
+                );
+            }
+            s += "::serde::ser::SerializeStruct::end(state)";
+            s
+        }
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for (idx, (v, fields)) in variants.iter().enumerate() {
+                match fields {
+                    VariantFields::Unit => {
+                        arms += &format!(
+                            "{name}::{v} => ::serde::ser::Serializer::serialize_unit_variant(serializer, \"{name}\", {idx}u32, \"{v}\"),\n"
+                        );
+                    }
+                    VariantFields::Tuple(1) => {
+                        arms += &format!(
+                            "{name}::{v}(__f0) => ::serde::ser::Serializer::serialize_newtype_variant(serializer, \"{name}\", {idx}u32, \"{v}\", __f0),\n"
+                        );
+                    }
+                    VariantFields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let mut arm = format!(
+                            "{name}::{v}({}) => {{\nlet mut state = ::serde::ser::Serializer::serialize_tuple_variant(serializer, \"{name}\", {idx}u32, \"{v}\", {n}usize)?;\n",
+                            binds.join(", ")
+                        );
+                        for b in &binds {
+                            arm += &format!(
+                                "::serde::ser::SerializeTupleVariant::serialize_field(&mut state, {b})?;\n"
+                            );
+                        }
+                        arm += "::serde::ser::SerializeTupleVariant::end(state)\n},\n";
+                        arms += &arm;
+                    }
+                    VariantFields::Named(fs) => {
+                        let n = fs.len();
+                        let mut arm = format!(
+                            "{name}::{v} {{ {} }} => {{\nlet mut state = ::serde::ser::Serializer::serialize_struct_variant(serializer, \"{name}\", {idx}u32, \"{v}\", {n}usize)?;\n",
+                            fs.join(", ")
+                        );
+                        for f in fs {
+                            arm += &format!(
+                                "::serde::ser::SerializeStructVariant::serialize_field(&mut state, \"{f}\", {f})?;\n"
+                            );
+                        }
+                        arm += "::serde::ser::SerializeStructVariant::end(state)\n},\n";
+                        arms += &arm;
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::ser::Serialize for {name} {{\n\
+             fn serialize<S: ::serde::ser::Serializer>(&self, serializer: S) -> ::core::result::Result<S::Ok, S::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Deserialize
+// ---------------------------------------------------------------------------
+
+fn next_element_expr(err_ty: &str, what: &str) -> String {
+    format!(
+        "match ::serde::de::SeqAccess::next_element(&mut seq)? {{\n\
+             ::core::option::Option::Some(__value) => __value,\n\
+             ::core::option::Option::None => return ::core::result::Result::Err(<{err_ty} as ::serde::de::Error>::custom(\"missing {what}\")),\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(m: &Model) -> String {
+    let name = &m.name;
+    let body = match &m.kind {
+        Kind::UnitStruct => format!(
+            "struct __Visitor;\n\
+             impl<'de> ::serde::de::Visitor<'de> for __Visitor {{\n\
+                 type Value = {name};\n\
+                 fn visit_unit<E: ::serde::de::Error>(self) -> ::core::result::Result<{name}, E> {{\n\
+                     ::core::result::Result::Ok({name})\n\
+                 }}\n\
+             }}\n\
+             ::serde::de::Deserializer::deserialize_unit_struct(deserializer, \"{name}\", __Visitor)"
+        ),
+        Kind::TupleStruct(1) => format!(
+            "struct __Visitor;\n\
+             impl<'de> ::serde::de::Visitor<'de> for __Visitor {{\n\
+                 type Value = {name};\n\
+                 fn visit_newtype_struct<D2: ::serde::de::Deserializer<'de>>(self, d: D2) -> ::core::result::Result<{name}, D2::Error> {{\n\
+                     ::core::result::Result::Ok({name}(::serde::de::Deserialize::deserialize(d)?))\n\
+                 }}\n\
+                 fn visit_seq<A: ::serde::de::SeqAccess<'de>>(self, mut seq: A) -> ::core::result::Result<{name}, A::Error> {{\n\
+                     ::core::result::Result::Ok({name}({}))\n\
+                 }}\n\
+             }}\n\
+             ::serde::de::Deserializer::deserialize_newtype_struct(deserializer, \"{name}\", __Visitor)",
+            next_element_expr("A::Error", "newtype field"),
+        ),
+        Kind::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|k| next_element_expr("A::Error", &format!("tuple field {k}")))
+                .collect();
+            format!(
+                "struct __Visitor;\n\
+                 impl<'de> ::serde::de::Visitor<'de> for __Visitor {{\n\
+                     type Value = {name};\n\
+                     fn visit_seq<A: ::serde::de::SeqAccess<'de>>(self, mut seq: A) -> ::core::result::Result<{name}, A::Error> {{\n\
+                         ::core::result::Result::Ok({name}({}))\n\
+                     }}\n\
+                 }}\n\
+                 ::serde::de::Deserializer::deserialize_tuple_struct(deserializer, \"{name}\", {n}usize, __Visitor)",
+                elems.join(", "),
+            )
+        }
+        Kind::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: {}", next_element_expr("A::Error", &format!("field `{f}`"))))
+                .collect();
+            let field_names: Vec<String> = fields.iter().map(|f| format!("\"{f}\"")).collect();
+            format!(
+                "struct __Visitor;\n\
+                 impl<'de> ::serde::de::Visitor<'de> for __Visitor {{\n\
+                     type Value = {name};\n\
+                     fn visit_seq<A: ::serde::de::SeqAccess<'de>>(self, mut seq: A) -> ::core::result::Result<{name}, A::Error> {{\n\
+                         ::core::result::Result::Ok({name} {{ {} }})\n\
+                     }}\n\
+                 }}\n\
+                 ::serde::de::Deserializer::deserialize_struct(deserializer, \"{name}\", &[{}], __Visitor)",
+                inits.join(", "),
+                field_names.join(", "),
+            )
+        }
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for (idx, (v, fields)) in variants.iter().enumerate() {
+                match fields {
+                    VariantFields::Unit => {
+                        arms += &format!(
+                            "{idx}u32 => {{ ::serde::de::VariantAccess::unit_variant(__variant)?; ::core::result::Result::Ok({name}::{v}) }}\n"
+                        );
+                    }
+                    VariantFields::Tuple(1) => {
+                        arms += &format!(
+                            "{idx}u32 => ::core::result::Result::Ok({name}::{v}(::serde::de::VariantAccess::newtype_variant(__variant)?)),\n"
+                        );
+                    }
+                    VariantFields::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|k| next_element_expr("A2::Error", &format!("tuple field {k}")))
+                            .collect();
+                        arms += &format!(
+                            "{idx}u32 => {{\n\
+                             struct __TupleVisitor{idx};\n\
+                             impl<'de> ::serde::de::Visitor<'de> for __TupleVisitor{idx} {{\n\
+                                 type Value = {name};\n\
+                                 fn visit_seq<A2: ::serde::de::SeqAccess<'de>>(self, mut seq: A2) -> ::core::result::Result<{name}, A2::Error> {{\n\
+                                     ::core::result::Result::Ok({name}::{v}({}))\n\
+                                 }}\n\
+                             }}\n\
+                             ::serde::de::VariantAccess::tuple_variant(__variant, {n}usize, __TupleVisitor{idx})\n\
+                             }}\n",
+                            elems.join(", "),
+                        );
+                    }
+                    VariantFields::Named(fs) => {
+                        let inits: Vec<String> = fs
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: {}",
+                                    next_element_expr("A2::Error", &format!("field `{f}`"))
+                                )
+                            })
+                            .collect();
+                        let field_names: Vec<String> =
+                            fs.iter().map(|f| format!("\"{f}\"")).collect();
+                        arms += &format!(
+                            "{idx}u32 => {{\n\
+                             struct __StructVisitor{idx};\n\
+                             impl<'de> ::serde::de::Visitor<'de> for __StructVisitor{idx} {{\n\
+                                 type Value = {name};\n\
+                                 fn visit_seq<A2: ::serde::de::SeqAccess<'de>>(self, mut seq: A2) -> ::core::result::Result<{name}, A2::Error> {{\n\
+                                     ::core::result::Result::Ok({name}::{v} {{ {} }})\n\
+                                 }}\n\
+                             }}\n\
+                             ::serde::de::VariantAccess::struct_variant(__variant, &[{}], __StructVisitor{idx})\n\
+                             }}\n",
+                            inits.join(", "),
+                            field_names.join(", "),
+                        );
+                    }
+                }
+            }
+            let variant_names: Vec<String> =
+                variants.iter().map(|(v, _)| format!("\"{v}\"")).collect();
+            format!(
+                "struct __Visitor;\n\
+                 impl<'de> ::serde::de::Visitor<'de> for __Visitor {{\n\
+                     type Value = {name};\n\
+                     fn visit_enum<A: ::serde::de::EnumAccess<'de>>(self, __access: A) -> ::core::result::Result<{name}, A::Error> {{\n\
+                         let (__idx, __variant): (u32, _) = ::serde::de::EnumAccess::variant(__access)?;\n\
+                         match __idx {{\n\
+                             {arms}\n\
+                             _ => ::core::result::Result::Err(<A::Error as ::serde::de::Error>::custom(\"invalid variant index\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}\n\
+                 ::serde::de::Deserializer::deserialize_enum(deserializer, \"{name}\", &[{}], __Visitor)",
+                variant_names.join(", "),
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::de::Deserialize<'de> for {name} {{\n\
+             fn deserialize<D: ::serde::de::Deserializer<'de>>(deserializer: D) -> ::core::result::Result<Self, D::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    )
+}
