@@ -1,0 +1,265 @@
+//! Concurrent-vs-serial SAP session throughput through the `SapServer`
+//! runtime, captured into `BENCH_server.json`.
+//!
+//! Both arms run the *same* 8 sessions over real localhost TCP with the
+//! same simulated WAN link latency ([`FaultConfig::send_latency`], applied
+//! identically to both arms — apples to apples):
+//!
+//! * **serial** — the pre-server deployment model: one process, one
+//!   session; each session gets a fresh TCP mesh, runs to completion, and
+//!   tears down before the next starts.
+//! * **concurrent** — all 8 sessions submitted to one [`SapServer`]:
+//!   shared TCP lanes (session-multiplexed by the v3 envelope), shared
+//!   fixed worker pool, admission control on.
+//!
+//! What the speedup measures: a session spends most of its wall clock in
+//! *link-latency bubbles* (SAP's phases serialize across parties). A
+//! multi-session runtime overlaps one session's bubbles with its
+//! siblings' work, so aggregate throughput scales until the worker pool
+//! — or the CPU — saturates. CPU-bound work does not multiply on a small
+//! machine (this box may have a single core); latency hiding does.
+//!
+//! The binary exits non-zero when concurrent aggregate throughput falls
+//! below the serial baseline — the CI regression gate.
+//!
+//! ```text
+//! cargo run -p sap-bench --release --bin server_throughput -- [--scale quick|full] [out.json]
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sap_core::session::{run_session_over, SapConfig, MINER_ID};
+use sap_core::SapError;
+use sap_datasets::partition::{partition, PartitionScheme};
+use sap_datasets::Dataset;
+use sap_linalg::randn_matrix;
+use sap_net::sim::{FaultConfig, FaultyTransport};
+use sap_net::tcp::local_mesh;
+use sap_net::{PartyId, WireCodec};
+use sap_server::{SapServer, ServerConfig};
+use std::time::{Duration, Instant};
+
+struct Scale {
+    name: &'static str,
+    sessions: u64,
+    providers: usize,
+    records: usize,
+    dim: usize,
+    block_rows: usize,
+    link_latency: Duration,
+}
+
+const QUICK: Scale = Scale {
+    name: "quick",
+    sessions: 8,
+    providers: 4,
+    records: 480,
+    dim: 8,
+    block_rows: 16,
+    link_latency: Duration::from_millis(3),
+};
+
+const FULL: Scale = Scale {
+    name: "full",
+    sessions: 8,
+    providers: 4,
+    records: 2_400,
+    dim: 12,
+    block_rows: 32,
+    link_latency: Duration::from_millis(5),
+};
+
+fn session_locals(scale: &Scale, seed: u64) -> Vec<Dataset> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let m = randn_matrix(scale.dim, scale.records, &mut rng);
+    let labels = (0..scale.records).map(|i| i % 2).collect();
+    let pooled = Dataset::from_column_matrix(&m, labels, 2);
+    partition(
+        &pooled,
+        scale.providers,
+        PartitionScheme::Uniform,
+        seed ^ 0x77,
+    )
+}
+
+fn session_config(scale: &Scale, seed: u64) -> SapConfig {
+    SapConfig {
+        seed,
+        block_rows: scale.block_rows,
+        timeout: Duration::from_secs(300),
+        fault_config: Some(FaultConfig {
+            send_latency: scale.link_latency,
+            ..FaultConfig::default()
+        }),
+        ..SapConfig::quick_test()
+    }
+}
+
+/// One session the old way: fresh mesh, dedicated run, teardown.
+fn run_serial_session(scale: &Scale, seed: u64) -> Result<(), SapError> {
+    let mut ids: Vec<PartyId> = (0..scale.providers as u64).map(PartyId).collect();
+    ids.push(MINER_ID);
+    let mut mesh = local_mesh(&ids).expect("bind serial mesh");
+    let miner = mesh.pop().expect("miner endpoint");
+    let config = session_config(scale, seed);
+    let faults = config.fault_config.expect("latency model set");
+    let providers: Vec<_> = mesh
+        .into_iter()
+        .map(|t| FaultyTransport::new(t, faults))
+        .collect();
+    let miner = FaultyTransport::new(miner, faults);
+    // The per-endpoint fault config is identical (latency only, no random
+    // faults), matching how the server wraps per-session endpoints.
+    run_session_over(
+        session_locals(scale, seed),
+        &config,
+        providers,
+        miner,
+        WireCodec,
+    )
+    .map(|_| ())
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_server.json");
+    let mut scale = &QUICK;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = args.next().unwrap_or_default();
+                scale = match v.as_str() {
+                    "quick" => &QUICK,
+                    "full" => &FULL,
+                    other => {
+                        eprintln!("unknown scale '{other}' (quick|full)");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            path => out_path = path.to_string(),
+        }
+    }
+
+    let total_rows = scale.records as u64 * scale.sessions;
+    println!(
+        "server_throughput [{}]: {} sessions × ({} providers, {} rows × {} dims), link latency {:?}",
+        scale.name,
+        scale.sessions,
+        scale.providers,
+        scale.records,
+        scale.dim,
+        scale.link_latency
+    );
+
+    // Serial baseline: sessions one after another, fresh mesh each.
+    let serial_start = Instant::now();
+    for i in 0..scale.sessions {
+        run_serial_session(scale, 0xBE5C + i).expect("serial session");
+    }
+    let serial_s = serial_start.elapsed().as_secs_f64();
+    println!(
+        "  serial:     {serial_s:.3}s  ({:.2} sessions/s)",
+        scale.sessions as f64 / serial_s
+    );
+
+    // Concurrent arm: same sessions through one SapServer.
+    let server = SapServer::local_tcp(ServerConfig {
+        max_parties: scale.providers,
+        max_concurrent: scale.sessions as usize,
+        ..ServerConfig::default()
+    })
+    .expect("bind server lanes");
+    let concurrent_start = Instant::now();
+    let ids: Vec<_> = (0..scale.sessions)
+        .map(|i| {
+            server
+                .submit(
+                    session_locals(scale, 0xBE5C + i),
+                    &session_config(scale, 0xBE5C + i),
+                )
+                .expect("admit session")
+        })
+        .collect();
+    for id in ids {
+        server.wait(id, None).expect("concurrent session");
+    }
+    let concurrent_s = concurrent_start.elapsed().as_secs_f64();
+    let metrics = server.metrics();
+    println!(
+        "  concurrent: {concurrent_s:.3}s  ({:.2} sessions/s, pool {} workers)",
+        scale.sessions as f64 / concurrent_s,
+        server.pool_capacity()
+    );
+
+    let speedup = serial_s / concurrent_s;
+    println!("  aggregate speedup: {speedup:.2}x");
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"server_throughput\",\n",
+            "  \"scale\": \"{}\",\n",
+            "  \"sessions\": {},\n",
+            "  \"providers_per_session\": {},\n",
+            "  \"records_per_session\": {},\n",
+            "  \"dims\": {},\n",
+            "  \"block_rows\": {},\n",
+            "  \"link_latency_ms\": {},\n",
+            "  \"total_rows\": {},\n",
+            "  \"serial\": {{\n",
+            "    \"model\": \"one process = one session: fresh TCP mesh per session, run, teardown\",\n",
+            "    \"total_s\": {:.6},\n",
+            "    \"sessions_per_s\": {:.3},\n",
+            "    \"rows_per_s\": {:.1}\n",
+            "  }},\n",
+            "  \"concurrent\": {{\n",
+            "    \"model\": \"one SapServer: shared session-muxed TCP lanes + fixed actor pool\",\n",
+            "    \"total_s\": {:.6},\n",
+            "    \"sessions_per_s\": {:.3},\n",
+            "    \"rows_per_s\": {:.1},\n",
+            "    \"pool_workers\": {},\n",
+            "    \"bytes_sealed\": {},\n",
+            "    \"frames_routed\": {},\n",
+            "    \"blocks_relayed\": {},\n",
+            "    \"unknown_session_dropped\": {},\n",
+            "    \"shed_frames\": {}\n",
+            "  }},\n",
+            "  \"aggregate_speedup\": {:.3},\n",
+            "  \"note\": \"identical sessions and link-latency model in both arms; the speedup is latency overlap across sessions sharing one runtime, bounded by the worker pool and the machine's cores\"\n",
+            "}}\n"
+        ),
+        scale.name,
+        scale.sessions,
+        scale.providers,
+        scale.records,
+        scale.dim,
+        scale.block_rows,
+        scale.link_latency.as_millis(),
+        total_rows,
+        serial_s,
+        scale.sessions as f64 / serial_s,
+        total_rows as f64 / serial_s,
+        concurrent_s,
+        scale.sessions as f64 / concurrent_s,
+        total_rows as f64 / concurrent_s,
+        server.pool_capacity(),
+        metrics.bytes_sealed,
+        metrics.frames_routed,
+        metrics.blocks_relayed,
+        metrics.unknown_session_dropped,
+        metrics.shed_frames,
+        speedup,
+    );
+    std::fs::write(&out_path, json).expect("write BENCH_server.json");
+    println!("  wrote {out_path}");
+
+    // CI gate: a multi-session runtime that is *slower* than running the
+    // same sessions serially is a regression.
+    if speedup < 1.0 {
+        eprintln!(
+            "FAIL: concurrent aggregate throughput below the serial baseline ({speedup:.2}x)"
+        );
+        std::process::exit(1);
+    }
+}

@@ -30,6 +30,18 @@ pub enum SapError {
     },
     /// Provider datasets disagree on dimensionality or class count.
     InconsistentInputs(String),
+    /// The session was aborted by its owner (server shutdown, GC of an
+    /// overdue session, or an explicit
+    /// [`crate::runtime::SessionHandle::abort`]).
+    Aborted,
+    /// The session's role gang does not fit the worker pool — a sizing
+    /// error caught at spawn, before any role runs.
+    Capacity {
+        /// Workers the session needs (one per role).
+        needed: usize,
+        /// Workers the pool has in total.
+        available: usize,
+    },
 }
 
 impl fmt::Display for SapError {
@@ -45,6 +57,13 @@ impl fmt::Display for SapError {
                 write!(f, "SAP needs at least 3 providers, got {got}")
             }
             SapError::InconsistentInputs(what) => write!(f, "inconsistent inputs: {what}"),
+            SapError::Aborted => write!(f, "session aborted by its owner"),
+            SapError::Capacity { needed, available } => {
+                write!(
+                    f,
+                    "session needs {needed} workers but the pool has {available}"
+                )
+            }
         }
     }
 }

@@ -65,7 +65,11 @@ pub mod miner;
 pub mod mining;
 pub mod party;
 pub mod permutation;
+pub mod runtime;
 pub mod session;
 
 pub use error::SapError;
-pub use session::{run_session, run_session_over, ProviderReport, SapConfig, SapOutcome};
+pub use runtime::{ActorPool, SessionHandle, SessionStatus};
+pub use session::{
+    run_session, run_session_over, spawn_session, ProviderReport, SapConfig, SapOutcome,
+};

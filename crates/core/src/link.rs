@@ -22,7 +22,7 @@ use crate::messages::{SapMessage, SlotTag};
 use bytes::Bytes;
 use sap_datasets::Dataset;
 use sap_net::node::{Node, NodeEvent};
-use sap_net::{Codec, PartyId, Transport};
+use sap_net::{Codec, PartyId, SessionId, Transport};
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
@@ -38,6 +38,12 @@ pub const MAX_BLOCK_BYTES: usize = 8 * 1024 * 1024;
 /// Stream header for a dataset transfer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DataHeader {
+    /// The session the stream belongs to. Redundant with the (already
+    /// authenticated) envelope stamp, but threading it through the header
+    /// lets the relay hop preserve full session provenance **without
+    /// decoding a single row block**: [`relay_stream`] copies the header,
+    /// blocks stay opaque `Bytes`.
+    pub session: SessionId,
     /// `false` for a provider→provider exchange (`PerturbedData`), `true`
     /// for the relay hop to the miner (`RelayedData`).
     pub relay: bool,
@@ -130,11 +136,14 @@ pub fn send_dataset<T: Transport, C: Codec>(
     let row_size = 4 + data.dim() * 8;
     let block_rows = block_rows.min((MAX_BLOCK_BYTES / row_size).max(1));
     let header = DataHeader {
+        session: node.session(),
         relay,
         slot,
         rows: data.len() as u64,
-        dim: u32::try_from(data.dim()).expect("dimension fits u32"),
-        num_classes: u32::try_from(data.num_classes()).expect("class count fits u32"),
+        dim: u32::try_from(data.dim())
+            .map_err(|_| SapError::Protocol("dimension overflows u32".into()))?,
+        num_classes: u32::try_from(data.num_classes())
+            .map_err(|_| SapError::Protocol("class count overflows u32".into()))?,
     };
     let blocks = (0..data.len())
         .step_by(block_rows)
@@ -177,7 +186,20 @@ pub fn recv_message<T: Transport, C: Codec>(
         .map_err(SapError::from)?;
     let inbound = match event {
         NodeEvent::Msg(msg) => Inbound::Msg(msg),
-        NodeEvent::Stream { header, blocks } => Inbound::Data(DataStream { header, blocks }),
+        NodeEvent::Stream { header, blocks } => {
+            // The envelope already pinned the frames to this session; the
+            // header-level check catches a *sender bug* (a relay stamping
+            // someone else's stream into its own session) before a single
+            // row is decoded.
+            if header.session != node.session() {
+                return Err(SapError::Protocol(format!(
+                    "stream header for {} arrived in {}",
+                    header.session,
+                    node.session()
+                )));
+            }
+            Inbound::Data(DataStream { header, blocks })
+        }
     };
     Ok((from, inbound))
 }
@@ -360,6 +382,7 @@ mod tests {
     #[test]
     fn corrupted_block_is_protocol_error() {
         let header = DataHeader {
+            session: SessionId::SOLO,
             relay: false,
             slot: SlotTag(1),
             rows: 2,
@@ -384,6 +407,7 @@ mod tests {
     fn out_of_range_label_rejected() {
         let data = dataset(4, 2); // labels 0..3
         let mut header = DataHeader {
+            session: SessionId::SOLO,
             relay: false,
             slot: SlotTag(1),
             rows: 4,

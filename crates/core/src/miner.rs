@@ -31,6 +31,9 @@ pub struct MinerOutput {
     /// Which provider *forwarded* each slot (the miner's entire knowledge of
     /// data provenance — used by tests to verify identifiability).
     pub forwarder_of_slot: Vec<(SlotTag, PartyId)>,
+    /// Total relayed row blocks received across all streams (feeds the
+    /// server's `blocks_relayed` metric).
+    pub relayed_blocks: u64,
 }
 
 /// Runs the miner role to completion.
@@ -96,6 +99,10 @@ pub fn run_miner<T: Transport, C: Codec>(
         adaptors.iter().map(|(s, a)| (*s, a)).collect();
     let mut parts: Vec<Dataset> = Vec::with_capacity(expected_datasets);
     let mut forwarder_of_slot: Vec<(SlotTag, PartyId)> = Vec::new();
+    let relayed_blocks: u64 = streams
+        .values()
+        .map(|(_, stream)| stream.blocks.len() as u64)
+        .sum();
     // Deterministic slot order for reproducible pooling.
     let mut slots: Vec<SlotTag> = streams.keys().copied().collect();
     slots.sort();
@@ -135,6 +142,7 @@ pub fn run_miner<T: Transport, C: Codec>(
     Ok(MinerOutput {
         unified,
         forwarder_of_slot,
+        relayed_blocks,
     })
 }
 

@@ -1,0 +1,515 @@
+//! The pooled actor scheduler and the session lifecycle it drives.
+//!
+//! The seed runtime spawned `k + 1` dedicated OS threads per session and
+//! joined them inline — fine for one session, fatal for a server running
+//! hundreds (`N × (k + 2)` threads). This module replaces that with:
+//!
+//! * [`ActorPool`] — a **fixed** pool of worker threads that executes role
+//!   tasks. Sessions submit their roles as a *gang*: the pool admits a
+//!   gang only when enough workers are free to run **every** role of the
+//!   session concurrently. Gang admission is what makes a fixed pool safe
+//!   for blocking protocol actors — admitting half a session would park a
+//!   provider on a worker waiting for a coordinator that never gets
+//!   scheduled. Queued gangs start in FIFO order as workers free up, so
+//!   `N` sessions share `W` workers instead of owning `N × (k + 1)`
+//!   threads.
+//! * [`SessionHandle`] — one session's lifecycle: spawn (via
+//!   [`crate::session::spawn_session`]), [`SessionHandle::poll`],
+//!   [`SessionHandle::abort`], and [`SessionHandle::harvest`]. Role
+//!   results accumulate behind the handle; harvest assembles the
+//!   [`SapOutcome`] exactly as the old inline join did — including
+//!   preferring the first *role* error over panics, which are caught per
+//!   task so a panicking role degrades one session, never a pool worker.
+
+use crate::audit::AuditLog;
+use crate::error::SapError;
+use crate::miner::MinerOutput;
+use crate::session::{ProviderReport, SapOutcome};
+use sap_datasets::Dataset;
+use sap_net::{PartyId, SessionId};
+use sap_perturb::Perturbation;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// A role task: runs one protocol actor to completion.
+pub(crate) type RoleTask = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolState {
+    pending_gangs: VecDeque<Vec<RoleTask>>,
+    ready: VecDeque<RoleTask>,
+    /// Tasks admitted but not yet finished (`ready` + running). The
+    /// admission invariant `committed ≤ workers` guarantees every admitted
+    /// task gets a worker without preempting a gang-mate.
+    committed: usize,
+    shutdown: bool,
+}
+
+struct PoolInner {
+    state: Mutex<PoolState>,
+    work_ready: Condvar,
+    workers: usize,
+}
+
+impl PoolInner {
+    /// Admits pending gangs (FIFO) while they fit the free capacity.
+    /// Called with the state lock held.
+    fn promote(&self, state: &mut PoolState) {
+        while let Some(front) = state.pending_gangs.front() {
+            if self.workers - state.committed < front.len() {
+                break;
+            }
+            let gang = state.pending_gangs.pop_front().expect("front exists");
+            state.committed += gang.len();
+            state.ready.extend(gang);
+            self.work_ready.notify_all();
+        }
+    }
+}
+
+/// A fixed-size worker pool executing session role gangs.
+///
+/// Dropping the pool asks workers to finish their current task and exit;
+/// queued gangs that never started are discarded (their sessions see
+/// [`SapError::Aborted`] if harvested — the tasks never ran, so the
+/// session reports zero finished roles forever; abort such sessions
+/// before dropping their pool).
+pub struct ActorPool {
+    inner: Arc<PoolInner>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ActorPool {
+    /// Creates a pool with `workers` threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `workers` is zero.
+    pub fn new(workers: usize) -> Self {
+        assert!(workers > 0, "pool needs at least one worker");
+        let inner = Arc::new(PoolInner {
+            state: Mutex::new(PoolState {
+                pending_gangs: VecDeque::new(),
+                ready: VecDeque::new(),
+                committed: 0,
+                shutdown: false,
+            }),
+            work_ready: Condvar::new(),
+            workers,
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("sap-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        ActorPool { inner, handles }
+    }
+
+    /// Number of worker threads.
+    pub fn capacity(&self) -> usize {
+        self.inner.workers
+    }
+
+    /// Submits a gang of role tasks. The gang starts — all members
+    /// together — once enough workers are free; until then it queues FIFO.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SapError::Capacity`] when the gang is larger than the
+    /// pool and therefore could never start.
+    pub(crate) fn submit_gang(&self, gang: Vec<RoleTask>) -> Result<(), SapError> {
+        if gang.len() > self.inner.workers {
+            return Err(SapError::Capacity {
+                needed: gang.len(),
+                available: self.inner.workers,
+            });
+        }
+        let mut state = self.inner.state.lock().expect("pool lock");
+        if state.shutdown {
+            return Err(SapError::Aborted);
+        }
+        state.pending_gangs.push_back(gang);
+        self.inner.promote(&mut state);
+        Ok(())
+    }
+
+    /// Sessions currently admitted or queued (in units of tasks).
+    pub fn queued_tasks(&self) -> usize {
+        let state = self.inner.state.lock().expect("pool lock");
+        state.pending_gangs.iter().map(Vec::len).sum::<usize>() + state.committed
+    }
+}
+
+impl Drop for ActorPool {
+    fn drop(&mut self) {
+        {
+            let mut state = self.inner.state.lock().expect("pool lock");
+            state.shutdown = true;
+            state.pending_gangs.clear();
+            state.ready.clear();
+            self.inner.work_ready.notify_all();
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(inner: &PoolInner) {
+    loop {
+        let task = {
+            let mut state = inner.state.lock().expect("pool lock");
+            loop {
+                if state.shutdown {
+                    return;
+                }
+                if let Some(task) = state.ready.pop_front() {
+                    break task;
+                }
+                state = inner.work_ready.wait(state).expect("pool lock");
+            }
+        };
+        task();
+        let mut state = inner.state.lock().expect("pool lock");
+        state.committed -= 1;
+        inner.promote(&mut state);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Session lifecycle
+// ---------------------------------------------------------------------------
+
+/// Where a session stands, as reported by [`SessionHandle::poll`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionStatus {
+    /// Roles are still queued or running.
+    Running {
+        /// Roles that have finished (ok or err).
+        finished: usize,
+        /// Total roles in the session.
+        total: usize,
+    },
+    /// Every role finished without error; the outcome awaits harvest.
+    Complete,
+    /// At least one role failed; harvest returns the first error.
+    Failed,
+    /// The session was aborted by its owner; harvest returns
+    /// [`SapError::Aborted`].
+    Aborted,
+    /// The outcome (or error) was already harvested.
+    Harvested,
+}
+
+pub(crate) struct SessionCollect {
+    pub(crate) reports: Vec<Option<ProviderReport>>,
+    pub(crate) target: Option<Perturbation>,
+    pub(crate) miner: Option<MinerOutput>,
+    /// One slot per role, in role order (providers by position, then the
+    /// coordinator, then the miner). Harvest reports the first error *in
+    /// role order*, not in wall-time order — a failing role usually drags
+    /// siblings down with `Disconnected` cascades, and role order keeps
+    /// the root cause deterministic.
+    pub(crate) role_errors: Vec<Option<SapError>>,
+    pub(crate) finished_roles: usize,
+    pub(crate) total_roles: usize,
+    pub(crate) aborted: bool,
+    pub(crate) harvested: bool,
+}
+
+impl SessionCollect {
+    fn first_error_mut(&mut self) -> Option<&mut Option<SapError>> {
+        self.role_errors.iter_mut().find(|e| e.is_some())
+    }
+}
+
+pub(crate) struct SessionShared {
+    pub(crate) state: Mutex<SessionCollect>,
+    pub(crate) progress: Condvar,
+    pub(crate) session: SessionId,
+    pub(crate) num_classes: usize,
+    pub(crate) k: usize,
+    pub(crate) audit: AuditLog,
+    /// Invoked once on abort — the owner's lever for tearing down the
+    /// session's transport (e.g. closing its mux routes) so blocked roles
+    /// fail fast instead of waiting out their timeouts.
+    pub(crate) on_abort: Mutex<Option<Box<dyn FnOnce() + Send>>>,
+}
+
+impl SessionShared {
+    pub(crate) fn record(&self, update: impl FnOnce(&mut SessionCollect)) {
+        let mut state = self.state.lock().expect("session lock");
+        update(&mut state);
+        state.finished_roles += 1;
+        self.progress.notify_all();
+    }
+
+    /// Runs one role body, recording a panic as [`SapError::PartyPanicked`]
+    /// instead of poisoning a pool worker. `role` is the gang position
+    /// (providers by position, coordinator, miner last).
+    pub(crate) fn run_role(
+        &self,
+        role: usize,
+        pid: PartyId,
+        body: impl FnOnce() -> Result<(), SapError>,
+    ) {
+        match catch_unwind(AssertUnwindSafe(body)) {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => self.record(|s| {
+                s.role_errors[role] = Some(e);
+            }),
+            Err(_) => self.record(|s| {
+                s.role_errors[role] = Some(SapError::PartyPanicked(pid));
+            }),
+        }
+    }
+}
+
+/// One running (or finished) session's lifecycle handle. Cloneable; all
+/// clones observe the same session.
+#[derive(Clone)]
+pub struct SessionHandle {
+    pub(crate) shared: Arc<SessionShared>,
+}
+
+impl SessionHandle {
+    /// The session's id.
+    pub fn session(&self) -> SessionId {
+        self.shared.session
+    }
+
+    /// Installs the hook [`SessionHandle::abort`] runs once (replacing any
+    /// previous hook). A server points this at its transport teardown —
+    /// e.g. closing the session's mux routes so blocked roles see
+    /// `Disconnected` immediately instead of waiting out their timeouts.
+    pub fn set_abort_hook(&self, hook: impl FnOnce() + Send + 'static) {
+        *self.shared.on_abort.lock().expect("session lock") = Some(Box::new(hook));
+    }
+
+    /// Non-blocking status check.
+    pub fn poll(&self) -> SessionStatus {
+        let state = self.shared.state.lock().expect("session lock");
+        if state.harvested {
+            SessionStatus::Harvested
+        } else if state.aborted {
+            SessionStatus::Aborted
+        } else if state.finished_roles < state.total_roles {
+            SessionStatus::Running {
+                finished: state.finished_roles,
+                total: state.total_roles,
+            }
+        } else if state.role_errors.iter().any(Option::is_some) {
+            SessionStatus::Failed
+        } else {
+            SessionStatus::Complete
+        }
+    }
+
+    /// Aborts the session: runs the owner's abort hook (tearing down the
+    /// session's transport routes, so blocked roles disconnect promptly)
+    /// and marks the session so harvest reports [`SapError::Aborted`]
+    /// unless it already completed.
+    pub fn abort(&self) {
+        let hook = self.shared.on_abort.lock().expect("session lock").take();
+        {
+            let mut state = self.shared.state.lock().expect("session lock");
+            if state.finished_roles < state.total_roles {
+                state.aborted = true;
+            }
+            self.shared.progress.notify_all();
+        }
+        if let Some(hook) = hook {
+            hook();
+        }
+    }
+
+    /// Waits for every role to finish and assembles the outcome. Pass
+    /// `None` to wait indefinitely.
+    ///
+    /// The outcome can be harvested exactly once; later calls (and calls
+    /// after the deadline passes) return an error without consuming
+    /// anything.
+    ///
+    /// # Errors
+    ///
+    /// * The first role error **in role order**, if any role failed.
+    /// * [`SapError::Aborted`] when aborted before completion.
+    /// * [`SapError::Timeout`] when `timeout` elapsed first.
+    /// * [`SapError::Protocol`] when already harvested.
+    pub fn harvest(&self, timeout: Option<Duration>) -> Result<SapOutcome, SapError> {
+        let deadline = timeout.map(|t| Instant::now() + t);
+        let mut state = self.shared.state.lock().expect("session lock");
+        while state.finished_roles < state.total_roles && !state.aborted {
+            match deadline {
+                None => {
+                    state = self.shared.progress.wait(state).expect("session lock");
+                }
+                Some(deadline) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return Err(SapError::Timeout {
+                            waiting: PartyId(u64::MAX),
+                            phase: "session harvest",
+                        });
+                    }
+                    let (guard, _) = self
+                        .shared
+                        .progress
+                        .wait_timeout(state, deadline - now)
+                        .expect("session lock");
+                    state = guard;
+                }
+            }
+        }
+        if state.harvested {
+            return Err(SapError::Protocol("session already harvested".into()));
+        }
+        // The abort verdict wins over role errors: aborting tears down the
+        // session's transport, so the roles' Disconnected cascades are a
+        // consequence, not a cause.
+        if state.aborted {
+            state.harvested = true;
+            return Err(SapError::Aborted);
+        }
+        if let Some(slot) = state.first_error_mut() {
+            let err = slot.take().expect("found Some");
+            state.harvested = true;
+            return Err(err);
+        }
+        // All roles finished cleanly: assemble, preferring loud failure
+        // over silent partial results (these are invariants, not inputs).
+        state.harvested = true;
+        let miner_out = state
+            .miner
+            .take()
+            .ok_or_else(|| SapError::Protocol("miner finished without output".into()))?;
+        let target = state
+            .target
+            .take()
+            .ok_or_else(|| SapError::Protocol("coordinator finished without target".into()))?;
+        let mut reports = Vec::with_capacity(state.reports.len());
+        for (pos, slot) in state.reports.iter_mut().enumerate() {
+            reports.push(slot.take().ok_or_else(|| {
+                SapError::Protocol(format!("provider {pos} finished without report"))
+            })?);
+        }
+        let k = self.shared.k;
+        let unified = Dataset::with_num_classes(
+            miner_out.unified.records().to_vec(),
+            miner_out.unified.labels().to_vec(),
+            self.shared.num_classes.max(miner_out.unified.num_classes()),
+        );
+        Ok(SapOutcome {
+            unified,
+            reports,
+            identifiability: 1.0 / (k - 1) as f64,
+            audit: self.shared.audit.clone(),
+            forwarder_of_slot: miner_out.forwarder_of_slot,
+            relayed_blocks: miner_out.relayed_blocks,
+            target,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn pool_runs_tasks() {
+        let pool = ActorPool::new(2);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let gang: Vec<RoleTask> = (0..2)
+            .map(|_| {
+                let c = Arc::clone(&counter);
+                Box::new(move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                }) as RoleTask
+            })
+            .collect();
+        pool.submit_gang(gang).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while counter.load(Ordering::SeqCst) < 2 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn oversized_gang_is_capacity_error() {
+        let pool = ActorPool::new(2);
+        let gang: Vec<RoleTask> = (0..3).map(|_| Box::new(|| {}) as RoleTask).collect();
+        assert!(matches!(
+            pool.submit_gang(gang),
+            Err(SapError::Capacity {
+                needed: 3,
+                available: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn gangs_are_admitted_whole_never_split() {
+        // Pool of 2; a gang of 2 whose members rendezvous (each blocks
+        // until the other runs). If the pool ever admitted a partial gang
+        // this would deadlock; gang admission makes it finish.
+        let pool = ActorPool::new(2);
+        let barrier = Arc::new(std::sync::Barrier::new(2));
+        let done = Arc::new(AtomicUsize::new(0));
+        let gang: Vec<RoleTask> = (0..2)
+            .map(|_| {
+                let b = Arc::clone(&barrier);
+                let d = Arc::clone(&done);
+                Box::new(move || {
+                    b.wait();
+                    d.fetch_add(1, Ordering::SeqCst);
+                }) as RoleTask
+            })
+            .collect();
+        pool.submit_gang(gang).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while done.load(Ordering::SeqCst) < 2 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(done.load(Ordering::SeqCst), 2, "gang must run together");
+    }
+
+    #[test]
+    fn queued_gang_starts_after_running_gang_finishes() {
+        let pool = ActorPool::new(2);
+        let release = Arc::new(std::sync::Barrier::new(3)); // 2 workers + test
+        let second_ran = Arc::new(AtomicUsize::new(0));
+
+        let first: Vec<RoleTask> = (0..2)
+            .map(|_| {
+                let r = Arc::clone(&release);
+                Box::new(move || {
+                    r.wait();
+                }) as RoleTask
+            })
+            .collect();
+        let second: Vec<RoleTask> = {
+            let s = Arc::clone(&second_ran);
+            vec![Box::new(move || {
+                s.fetch_add(1, Ordering::SeqCst);
+            }) as RoleTask]
+        };
+        pool.submit_gang(first).unwrap();
+        pool.submit_gang(second).unwrap();
+        // While the first gang occupies both workers, the second waits.
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(second_ran.load(Ordering::SeqCst), 0);
+        release.wait();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while second_ran.load(Ordering::SeqCst) == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(second_ran.load(Ordering::SeqCst), 1);
+    }
+}

@@ -1,29 +1,33 @@
-//! Session orchestration: spin up all roles on threads, run the protocol,
-//! collect the outcome.
+//! Session orchestration: run every role of a session, collect the
+//! outcome.
 //!
 //! [`run_session`] is the batteries-included entry point over the
 //! in-memory hub (with optional fault injection). [`run_session_over`] is
 //! the generic spine beneath it: hand it any set of [`Transport`]
-//! endpoints (hub, TCP, fault-wrapped, …) and any [`Codec`], and the same
-//! protocol code runs unchanged — the TCP integration test drives a full
-//! session over localhost sockets through exactly this function.
+//! endpoints (hub, TCP, mux-virtual, fault-wrapped, …) and any [`Codec`],
+//! and the same protocol code runs unchanged. Both are thin wrappers over
+//! [`spawn_session`], which launches the session's roles as a gang on an
+//! [`ActorPool`] and returns a [`SessionHandle`] — the multi-session
+//! building block `sap-server` drives: `N` concurrent sessions share one
+//! fixed pool instead of spawning `N × (k + 1)` dedicated threads.
 
 use crate::audit::AuditLog;
 use crate::coordinator::run_coordinator;
 use crate::error::SapError;
 use crate::link::DEFAULT_BLOCK_ROWS;
 use crate::messages::SlotTag;
-use crate::miner::{run_miner, MinerOutput};
+use crate::miner::run_miner;
 use crate::party::run_provider;
+use crate::runtime::{ActorPool, RoleTask, SessionCollect, SessionHandle, SessionShared};
 use sap_datasets::Dataset;
 use sap_net::codec::{Codec, WireCodec};
 use sap_net::node::Node;
 use sap_net::sim::{FaultConfig, FaultyTransport};
 use sap_net::transport::InMemoryHub;
-use sap_net::{PartyId, Transport};
+use sap_net::{PartyId, SessionId, Transport};
 use sap_perturb::Perturbation;
 use sap_privacy::optimize::OptimizerConfig;
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
 /// Session-wide configuration.
@@ -114,6 +118,9 @@ pub struct SapOutcome {
     /// Which provider forwarded each slot — everything the miner knows about
     /// provenance.
     pub forwarder_of_slot: Vec<(SlotTag, PartyId)>,
+    /// Row blocks the miner received through the anonymizing relay hop
+    /// (feeds the server's `blocks_relayed` metric).
+    pub relayed_blocks: u64,
     /// The unified target space (exposed by the test harness for analysis;
     /// in deployment only providers and the coordinator hold it).
     pub target: Perturbation,
@@ -203,16 +210,15 @@ pub fn run_session(locals: Vec<Dataset>, config: &SapConfig) -> Result<SapOutcom
         Some(faults) => {
             // Same generic path, transports wrapped in the fault injector
             // with a distinct deterministic stream per party.
-            let salted = |salt: u64| FaultConfig {
-                seed: faults.seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15),
-                ..faults
-            };
             let wrapped: Vec<_> = endpoints
                 .into_iter()
                 .enumerate()
-                .map(|(pos, endpoint)| FaultyTransport::new(endpoint, salted(pos as u64 + 1)))
+                .map(|(pos, endpoint)| {
+                    FaultyTransport::new(endpoint, faults.salted_for(pos as u64 + 1))
+                })
                 .collect();
-            let miner_wrapped = FaultyTransport::new(miner_endpoint, salted(0x31));
+            let miner_wrapped =
+                FaultyTransport::new(miner_endpoint, faults.salted_for(FaultConfig::MINER_SALT));
             run_session_over(locals, config, wrapped, miner_wrapped, WireCodec)
         }
     }
@@ -227,6 +233,11 @@ pub fn run_session(locals: Vec<Dataset>, config: &SapConfig) -> Result<SapOutcom
 /// must be able to reach every other (full mesh), as with
 /// [`InMemoryHub`] endpoints or a [`sap_net::tcp::local_mesh`].
 ///
+/// Internally this is [`spawn_session`] on a session-private
+/// [`ActorPool`] of exactly `k + 1` workers, harvested inline — the same
+/// thread budget the old dedicated-thread orchestration used, now
+/// expressed through the pooled runtime a server shares across sessions.
+///
 /// # Errors
 ///
 /// As [`run_session`].
@@ -237,6 +248,47 @@ pub fn run_session_over<T, C>(
     miner_transport: T,
     codec: C,
 ) -> Result<SapOutcome, SapError>
+where
+    T: Transport + 'static,
+    C: Codec,
+{
+    validate_locals(&locals)?;
+    let pool = ActorPool::new(locals.len() + 1);
+    let handle = spawn_session(
+        &pool,
+        SessionId::SOLO,
+        locals,
+        config,
+        provider_transports,
+        miner_transport,
+        codec,
+    )?;
+    handle.harvest(None)
+}
+
+/// Launches every role of one session as a gang on `pool` and returns its
+/// lifecycle handle — the primitive a multi-session server builds on. The
+/// gang starts once the pool has `k + 1` free workers; queued sessions
+/// start FIFO as capacity frees up.
+///
+/// All of the session's nodes are stamped with `session`: over a
+/// [`sap_net::mux::SessionMux`] mesh, that is what isolates this
+/// session's frames from every sibling sharing the physical transports.
+///
+/// # Errors
+///
+/// * [`SapError::TooFewProviders`] / [`SapError::InconsistentInputs`] on
+///   invalid inputs (checked before anything is spawned).
+/// * [`SapError::Capacity`] when `k + 1` exceeds the pool size.
+pub fn spawn_session<T, C>(
+    pool: &ActorPool,
+    session: SessionId,
+    locals: Vec<Dataset>,
+    config: &SapConfig,
+    provider_transports: Vec<T>,
+    miner_transport: T,
+    codec: C,
+) -> Result<SessionHandle, SapError>
 where
     T: Transport + 'static,
     C: Codec,
@@ -256,118 +308,97 @@ where
     let coordinator = providers[k - 1];
     let audit = AuditLog::new();
 
-    // Threads share the locals through `Arc` — the session spawns k roles
+    let shared = Arc::new(SessionShared {
+        state: Mutex::new(SessionCollect {
+            reports: (0..k).map(|_| None).collect(),
+            target: None,
+            miner: None,
+            role_errors: (0..=k).map(|_| None).collect(),
+            finished_roles: 0,
+            total_roles: k + 1,
+            aborted: false,
+            harvested: false,
+        }),
+        progress: Condvar::new(),
+        session,
+        num_classes,
+        k,
+        audit: audit.clone(),
+        on_abort: Mutex::new(None),
+    });
+
+    // Roles share the locals through `Arc` — the session runs k roles
     // without cloning a single `Dataset`.
     let locals: Vec<Arc<Dataset>> = locals.into_iter().map(Arc::new).collect();
-
     let mut transports: Vec<Option<T>> = provider_transports.into_iter().map(Some).collect();
+    let mut gang: Vec<RoleTask> = Vec::with_capacity(k + 1);
 
     // Providers 0..k−1 (all but the coordinator).
-    let mut provider_handles = Vec::new();
     for pos in 0..k - 1 {
         let transport = transports[pos]
             .take()
             .ok_or_else(|| SapError::Protocol("endpoint consumed twice".into()))?;
-        let node = Node::with_codec(transport, codec.clone(), config.session_secret);
+        let node = Node::for_session(transport, codec.clone(), config.session_secret, session);
         let data = Arc::clone(&locals[pos]);
         let cfg = config.clone();
         let audit = audit.clone();
         let pid = providers[pos];
-        provider_handles.push((
-            pid,
-            std::thread::spawn(move || {
-                run_provider(&node, &data, coordinator, MINER_ID, &cfg, &audit)
-            }),
-        ));
+        let shared = Arc::clone(&shared);
+        gang.push(Box::new(move || {
+            shared.run_role(pos, pid, || {
+                let report = run_provider(&node, &data, coordinator, MINER_ID, &cfg, &audit)?;
+                shared.record(|s| s.reports[pos] = Some(report));
+                Ok(())
+            });
+        }));
     }
 
     // Coordinator (last provider).
-    let coord_handle = {
+    {
         let transport = transports[k - 1]
             .take()
             .ok_or_else(|| SapError::Protocol("coordinator endpoint consumed".into()))?;
-        let node = Node::with_codec(transport, codec.clone(), config.session_secret);
+        let node = Node::for_session(transport, codec.clone(), config.session_secret, session);
         let data = Arc::clone(&locals[k - 1]);
         let cfg = config.clone();
         let audit = audit.clone();
         let provider_list = providers.clone();
-        std::thread::spawn(move || {
-            run_coordinator(&node, &data, &provider_list, MINER_ID, &cfg, &audit)
-        })
-    };
+        let shared = Arc::clone(&shared);
+        gang.push(Box::new(move || {
+            shared.run_role(k - 1, coordinator, || {
+                let (report, target) =
+                    run_coordinator(&node, &data, &provider_list, MINER_ID, &cfg, &audit)?;
+                shared.record(|s| {
+                    s.reports[k - 1] = Some(report);
+                    s.target = Some(target);
+                });
+                Ok(())
+            });
+        }));
+    }
 
     // Miner.
-    let miner_handle = {
-        let node = Node::with_codec(miner_transport, codec.clone(), config.session_secret);
+    {
+        let node = Node::for_session(
+            miner_transport,
+            codec.clone(),
+            config.session_secret,
+            session,
+        );
         let cfg = config.clone();
         let audit = audit.clone();
-        std::thread::spawn(move || run_miner(&node, k, coordinator, &cfg, &audit))
-    };
-
-    // Join everything, preferring the first *role* error over join panics.
-    let mut reports: Vec<Option<ProviderReport>> = (0..k).map(|_| None).collect();
-    let mut first_error: Option<SapError> = None;
-    for (pos, (pid, handle)) in provider_handles.into_iter().enumerate() {
-        match handle.join() {
-            Ok(Ok(report)) => reports[pos] = Some(report),
-            Ok(Err(e)) => {
-                first_error.get_or_insert(e);
-            }
-            Err(_) => {
-                first_error.get_or_insert(SapError::PartyPanicked(pid));
-            }
-        }
+        let shared = Arc::clone(&shared);
+        gang.push(Box::new(move || {
+            shared.run_role(k, MINER_ID, || {
+                let out = run_miner(&node, k, coordinator, &cfg, &audit)?;
+                shared.record(|s| s.miner = Some(out));
+                Ok(())
+            });
+        }));
     }
-    let mut target: Option<Perturbation> = None;
-    match coord_handle.join() {
-        Ok(Ok((report, t))) => {
-            reports[k - 1] = Some(report);
-            target = Some(t);
-        }
-        Ok(Err(e)) => {
-            first_error.get_or_insert(e);
-        }
-        Err(_) => {
-            first_error.get_or_insert(SapError::PartyPanicked(coordinator));
-        }
-    }
-    let miner_out: Option<MinerOutput> = match miner_handle.join() {
-        Ok(Ok(out)) => Some(out),
-        Ok(Err(e)) => {
-            first_error.get_or_insert(e);
-            None
-        }
-        Err(_) => {
-            first_error.get_or_insert(SapError::PartyPanicked(MINER_ID));
-            None
-        }
-    };
 
-    if let Some(e) = first_error {
-        return Err(e);
-    }
-    let miner_out = miner_out.expect("no error implies miner output");
-    let target = target.expect("no error implies coordinator output");
-    let reports: Vec<ProviderReport> = reports
-        .into_iter()
-        .map(|r| r.expect("no error implies all reports"))
-        .collect();
-
-    // Harmonize the class count of the unified dataset.
-    let unified = Dataset::with_num_classes(
-        miner_out.unified.records().to_vec(),
-        miner_out.unified.labels().to_vec(),
-        num_classes.max(miner_out.unified.num_classes()),
-    );
-
-    Ok(SapOutcome {
-        unified,
-        reports,
-        identifiability: 1.0 / (k - 1) as f64,
-        audit,
-        forwarder_of_slot: miner_out.forwarder_of_slot,
-        target,
-    })
+    pool.submit_gang(gang)?;
+    Ok(SessionHandle { shared })
 }
 
 #[cfg(test)]

@@ -19,18 +19,36 @@
 //! 14      …     payload
 //! ```
 //!
-//! # Sealed envelope (v2)
+//! # Sealed envelope (v3)
 //!
 //! Each frame is sealed independently under the per-direction channel key:
-//! `nonce (8) ‖ ciphertext ‖ tag (8)`. Unlike the byte-at-a-time legacy
-//! envelope in [`crate::crypto`], the v2 keystream (xorshift64*) is XORed
-//! in 8-byte words and the keyed tag mixes 8-byte words, which is what
-//! makes the chunked pipeline several times faster than the monolithic
-//! one on dataset-sized payloads. Same disclaimer as [`crate::crypto`]:
-//! **this models link encryption, it is not real cryptography.**
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     session id (u64 LE) — plaintext, authenticated
+//! 8       8     nonce (u64 LE)
+//! 16      …     ciphertext (frame header ‖ payload)
+//! len−8   8     tag (u64 LE)
+//! ```
+//!
+//! The session id travels **in the clear** so a [`crate::mux::SessionMux`]
+//! can demultiplex a shared physical mesh into per-session virtual
+//! endpoints without holding any session's key ([`peek_session`] reads it
+//! zero-copy). It is nonetheless **authenticated**: the id is mixed into
+//! both the keystream and the tag derivation, so a frame re-stamped with a
+//! different session id fails to open — one session's frames can never be
+//! replayed into another, even when two sessions share a session secret.
+//!
+//! v3 supersedes the v2 envelope (`nonce ‖ ciphertext ‖ tag`, no session
+//! field); the formats are not interchangeable. As in v2, the keystream
+//! (xorshift64*) is XORed in 8-byte words and the keyed tag mixes 8-byte
+//! words — what makes the chunked pipeline several times faster than the
+//! byte-at-a-time legacy envelope in [`crate::crypto`] on dataset-sized
+//! payloads. Same disclaimer as [`crate::crypto`]: **this models link
+//! encryption, it is not real cryptography.**
 
 use crate::crypto::{ChannelKey, CryptoError};
-use crate::transport::PartyId;
+use crate::transport::{PartyId, SessionId};
 use bytes::Bytes;
 use std::collections::HashMap;
 use std::fmt;
@@ -38,8 +56,8 @@ use std::fmt;
 /// Size of the plaintext frame header.
 pub const FRAME_HEADER_LEN: usize = 14;
 
-/// Sealing overhead per frame (nonce + tag).
-pub const SEAL_OVERHEAD: usize = 16;
+/// Sealing overhead per frame (session id + nonce + tag).
+pub const SEAL_OVERHEAD: usize = 24;
 
 /// Default maximum payload bytes per frame.
 pub const DEFAULT_CHUNK_SIZE: usize = 60 * 1024;
@@ -108,6 +126,15 @@ pub enum FrameError {
     OrphanBlock,
     /// A caller that only handles plain messages received a stream.
     UnexpectedStream,
+    /// A frame stamped for another session reached this endpoint — a
+    /// routing bug or a cross-session injection attempt. Aborts only the
+    /// receiving session, never the process or its siblings.
+    SessionMismatch {
+        /// The session this endpoint belongs to.
+        expected: SessionId,
+        /// The session the frame claimed.
+        got: SessionId,
+    },
 }
 
 impl fmt::Display for FrameError {
@@ -123,6 +150,9 @@ impl fmt::Display for FrameError {
             }
             FrameError::OrphanBlock => write!(f, "stream block without stream header"),
             FrameError::UnexpectedStream => write!(f, "unexpected stream message"),
+            FrameError::SessionMismatch { expected, got } => {
+                write!(f, "frame for {got} delivered to {expected}")
+            }
         }
     }
 }
@@ -191,42 +221,66 @@ fn word_mac(key: u64, nonce: u64, data: &[u8]) -> u64 {
     splitmix(h ^ data.len() as u64)
 }
 
-/// Seals one frame under the channel key: header and payload are encrypted
-/// together; layout `nonce ‖ ciphertext ‖ tag`.
-pub fn seal_frame(key: ChannelKey, nonce: u64, frame: &Frame) -> Bytes {
+/// Mixes the (plaintext) session id into the nonce fed to the keystream
+/// and tag, binding every sealed frame to its session: re-stamping a frame
+/// with another session id invalidates the tag.
+fn envelope_tweak(session: SessionId, nonce: u64) -> u64 {
+    nonce ^ splitmix(session.0 ^ 0x5E55_1014_0000_00D3)
+}
+
+/// Reads the session id off a sealed v3 frame without opening it — the
+/// zero-decode demultiplexing hook used by [`crate::mux::SessionMux`].
+/// Returns `None` when the buffer is too short to be a sealed frame.
+pub fn peek_session(sealed: &[u8]) -> Option<SessionId> {
+    if sealed.len() < 16 + FRAME_HEADER_LEN + 8 {
+        return None;
+    }
+    let raw: [u8; 8] = sealed[..8].try_into().ok()?;
+    Some(SessionId(u64::from_le_bytes(raw)))
+}
+
+/// Seals one frame under the channel key for `session`: header and payload
+/// are encrypted together; layout `session ‖ nonce ‖ ciphertext ‖ tag`.
+pub fn seal_frame(key: ChannelKey, nonce: u64, session: SessionId, frame: &Frame) -> Bytes {
     let plain_len = FRAME_HEADER_LEN + frame.payload.len();
-    let mut out = Vec::with_capacity(8 + plain_len + 8);
+    let mut out = Vec::with_capacity(16 + plain_len + 8);
+    out.extend_from_slice(&session.0.to_le_bytes());
     out.extend_from_slice(&nonce.to_le_bytes());
     out.push(frame.kind.to_byte());
     out.extend_from_slice(&frame.msg_id.to_le_bytes());
     out.extend_from_slice(&frame.seq.to_le_bytes());
     out.push(u8::from(frame.last));
     out.extend_from_slice(&frame.payload);
-    keystream_xor(key.0, nonce, &mut out[8..]);
-    let tag = word_mac(key.0, nonce, &out[8..]);
+    let tweak = envelope_tweak(session, nonce);
+    keystream_xor(key.0, tweak, &mut out[16..]);
+    let tag = word_mac(key.0, tweak, &out[16..]);
     out.extend_from_slice(&tag.to_le_bytes());
     Bytes::from(out)
 }
 
-/// Opens a sealed frame. The payload is a zero-copy slice of the single
-/// decrypted buffer.
+/// Opens a sealed frame, returning the session it was stamped for along
+/// with the frame. The payload is a zero-copy slice of the single
+/// decrypted buffer. The caller decides whether the session matches its
+/// own (see [`FrameError::SessionMismatch`]).
 ///
 /// # Errors
 ///
 /// * [`FrameError::Crypto`] on truncation or tag mismatch.
 /// * [`FrameError::Malformed`] on a bad kind byte or flag.
-pub fn open_frame(key: ChannelKey, sealed: &[u8]) -> Result<Frame, FrameError> {
-    if sealed.len() < 8 + FRAME_HEADER_LEN + 8 {
+pub fn open_frame(key: ChannelKey, sealed: &[u8]) -> Result<(SessionId, Frame), FrameError> {
+    if sealed.len() < 16 + FRAME_HEADER_LEN + 8 {
         return Err(CryptoError::Truncated.into());
     }
-    let nonce = u64::from_le_bytes(sealed[..8].try_into().expect("8 bytes"));
+    let session = SessionId(u64::from_le_bytes(sealed[..8].try_into().expect("8 bytes")));
+    let nonce = u64::from_le_bytes(sealed[8..16].try_into().expect("8 bytes"));
+    let tweak = envelope_tweak(session, nonce);
     let body_end = sealed.len() - 8;
     let expected_tag = u64::from_le_bytes(sealed[body_end..].try_into().expect("8 bytes"));
-    if word_mac(key.0, nonce, &sealed[8..body_end]) != expected_tag {
+    if word_mac(key.0, tweak, &sealed[16..body_end]) != expected_tag {
         return Err(CryptoError::BadTag.into());
     }
-    let mut plain = sealed[8..body_end].to_vec();
-    keystream_xor(key.0, nonce, &mut plain);
+    let mut plain = sealed[16..body_end].to_vec();
+    keystream_xor(key.0, tweak, &mut plain);
 
     let kind = FrameKind::from_byte(plain[0])?;
     let msg_id = u64::from_le_bytes(plain[1..9].try_into().expect("8 bytes"));
@@ -237,13 +291,16 @@ pub fn open_frame(key: ChannelKey, sealed: &[u8]) -> Result<Frame, FrameError> {
         _ => return Err(FrameError::Malformed("bad flags byte")),
     };
     let payload = Bytes::from(plain).slice(FRAME_HEADER_LEN..);
-    Ok(Frame {
-        kind,
-        msg_id,
-        seq,
-        last,
-        payload,
-    })
+    Ok((
+        session,
+        Frame {
+            kind,
+            msg_id,
+            seq,
+            last,
+            payload,
+        },
+    ))
 }
 
 /// Splits an encoded message into control frames whose payloads are
@@ -476,8 +533,9 @@ mod tests {
         for len in [0usize, 1, 7, 8, 9, 63, 64, 65, 4096] {
             let payload: Vec<u8> = (0..len).map(|i| (i * 31) as u8).collect();
             let f = frame(FrameKind::StreamBlock, 42, 3, true, &payload);
-            let sealed = seal_frame(key(), 9, &f);
-            let back = open_frame(key(), &sealed).unwrap();
+            let sealed = seal_frame(key(), 9, SessionId(6), &f);
+            let (session, back) = open_frame(key(), &sealed).unwrap();
+            assert_eq!(session, SessionId(6));
             assert_eq!(back.kind, FrameKind::StreamBlock);
             assert_eq!(back.msg_id, 42);
             assert_eq!(back.seq, 3);
@@ -495,18 +553,40 @@ mod tests {
             true,
             b"sensitive dataset rows here",
         );
-        let sealed = seal_frame(key(), 5, &f);
+        let sealed = seal_frame(key(), 5, SessionId::SOLO, &f);
         assert!(!sealed
             .windows(b"sensitive".len())
             .any(|w| w == b"sensitive"));
     }
 
     #[test]
+    fn peek_session_reads_envelope_without_key() {
+        let f = frame(FrameKind::Control, 1, 0, true, b"payload");
+        let sealed = seal_frame(key(), 5, SessionId(0xBEEF), &f);
+        assert_eq!(peek_session(&sealed), Some(SessionId(0xBEEF)));
+        assert_eq!(peek_session(&sealed[..12]), None);
+    }
+
+    #[test]
+    fn session_id_is_authenticated() {
+        // Re-stamping a sealed frame with a different session id must
+        // invalidate the tag — frames cannot be replayed across sessions.
+        let f = frame(FrameKind::Control, 1, 0, true, b"payload");
+        let sealed = seal_frame(key(), 5, SessionId(1), &f);
+        let mut restamped = sealed.to_vec();
+        restamped[..8].copy_from_slice(&2u64.to_le_bytes());
+        assert!(matches!(
+            open_frame(key(), &restamped).unwrap_err(),
+            FrameError::Crypto(CryptoError::BadTag)
+        ));
+    }
+
+    #[test]
     fn tamper_and_truncation_detected() {
         let f = frame(FrameKind::Control, 1, 0, true, b"payload");
-        let sealed = seal_frame(key(), 5, &f);
+        let sealed = seal_frame(key(), 5, SessionId::SOLO, &f);
         let mut bad = sealed.to_vec();
-        bad[12] ^= 1;
+        bad[20] ^= 1;
         assert!(matches!(
             open_frame(key(), &bad).unwrap_err(),
             FrameError::Crypto(CryptoError::BadTag)
@@ -520,7 +600,7 @@ mod tests {
     #[test]
     fn wrong_key_detected() {
         let f = frame(FrameKind::Control, 1, 0, true, b"payload");
-        let sealed = seal_frame(key(), 5, &f);
+        let sealed = seal_frame(key(), 5, SessionId::SOLO, &f);
         let other = ChannelKey::derive(77, 1, 3);
         assert!(matches!(
             open_frame(other, &sealed).unwrap_err(),
@@ -664,9 +744,9 @@ mod tests {
         // Same key/nonce/plaintext must not produce the legacy envelope's
         // ciphertext (the formats are distinct and non-interchangeable).
         let f = frame(FrameKind::Control, 1, 0, true, b"same plaintext bytes");
-        let v2 = seal_frame(key(), 3, &f);
+        let v3 = seal_frame(key(), 3, SessionId::SOLO, &f);
         let v1 = crate::crypto::seal(key(), 3, b"same plaintext bytes");
-        assert_ne!(&v2[..], &v1[..]);
-        assert!(crate::crypto::open(key(), &v2).is_err());
+        assert_ne!(&v3[..], &v1[..]);
+        assert!(crate::crypto::open(key(), &v3).is_err());
     }
 }

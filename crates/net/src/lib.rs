@@ -9,12 +9,14 @@
 //! ```text
 //!   protocol actors (sap-core)          — generic over Transport + Codec
 //!        │ typed messages / streams
-//!   [`node`]   Node<T, C>               — typed send/recv, stream relay
-//!        │ codec-encoded bytes
+//!   [`node`]   Node<T, C>               — typed send/recv, stream relay,
+//!        │ codec-encoded bytes            session-stamped envelopes
 //!   [`codec`]  Codec: wire | json       — pluggable serialization
 //!        │ encoded message
-//!   [`frame`]  chunked sealed frames    — bounded chunks, per-frame seal
-//!        │ sealed frames (Bytes)
+//!   [`frame`]  chunked sealed frames    — bounded chunks, per-frame seal,
+//!        │ sealed v3 frames (Bytes)       authenticated SessionId stamp
+//!   [`mux`]    SessionMux               — many sessions, one physical mesh
+//!        │ session-routed frames
 //!   [`transport`] / [`tcp`] / [`sim`]   — in-memory hub, TCP, fault inject
 //! ```
 //!
@@ -32,8 +34,11 @@
 //! * [`transport`] — the [`transport::Transport`] trait and the in-memory
 //!   hub implementation over channels, one endpoint per party.
 //! * [`tcp`] — a real TCP backend with the same contract.
+//! * [`mux`] — [`mux::SessionMux`]: demultiplexes one physical endpoint
+//!   into per-session virtual endpoints (bounded queues, unknown-session
+//!   shedding), keyed by the v3 envelope's authenticated session stamp.
 //! * [`sim`] — a fault-injecting transport decorator (drops, duplicates,
-//!   reordering) for failure-injection tests.
+//!   reordering, link latency) for failure-injection tests and benches.
 //! * [`node`] — typed convenience layer: send/receive codec values over
 //!   sealed frames, plus zero-decode stream relays.
 
@@ -44,6 +49,7 @@ pub mod codec;
 pub mod crypto;
 pub mod frame;
 pub mod json;
+pub mod mux;
 pub mod node;
 pub mod sim;
 pub mod tcp;
@@ -51,6 +57,7 @@ pub mod transport;
 pub mod wire;
 
 pub use codec::{Codec, CodecError, JsonCodec, WireCodec};
+pub use mux::{MuxEndpoint, MuxMetrics, SessionMux};
 pub use node::{Node, NodeEvent};
 pub use tcp::TcpTransport;
-pub use transport::{InMemoryHub, PartyId, Transport, TransportError};
+pub use transport::{InMemoryHub, PartyId, SessionId, Transport, TransportError};

@@ -1,0 +1,508 @@
+//! Session multiplexing: one physical mesh, many concurrent sessions.
+//!
+//! A [`SessionMux`] wraps a single physical [`Transport`] endpoint (hub or
+//! TCP) and demultiplexes its inbound traffic into per-session virtual
+//! endpoints ([`MuxEndpoint`]), routed by the plaintext — but
+//! authenticated — session id that every wire-format-v3 sealed frame
+//! carries ([`crate::frame::peek_session`]). The pump thread never opens
+//! an envelope, so demultiplexing costs one 8-byte read per frame and no
+//! session key ever leaves its session.
+//!
+//! # Queueing & backpressure
+//!
+//! Each open session owns a **bounded** inbound queue. When a session's
+//! queue is full the pump briefly applies backpressure (it stalls up to
+//! [`STALL_BUDGET`] waiting for the slow session to drain),
+//! then **sheds the frame** and counts it — one stuck session must not
+//! head-of-line-block every other session sharing the physical link. SAP
+//! has no retransmission, so a shed frame aborts the losing session via
+//! its own timeout; its siblings never notice.
+//!
+//! # The one-garbage-frame DoS, revisited
+//!
+//! The single-session TCP transport documents that any outsider who can
+//! reach the port can abort *the* session with one garbage frame. Under
+//! the mux the blast radius shrinks to exactly one session: a frame
+//! stamped with an **unknown** session id is counted and dropped (the
+//! connection and every live session keep running), and a garbage frame
+//! stamped with a live session id fails to open *in that session only* —
+//! its siblings share nothing with it but the pump thread.
+
+use crate::frame::peek_session;
+use crate::transport::{PartyId, SessionId, Transport, TransportError};
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Default bound on one session's inbound queue, in frames.
+pub const DEFAULT_SESSION_QUEUE: usize = 1024;
+
+/// How long the pump waits on one full session queue before shedding the
+/// frame for that session.
+pub const STALL_BUDGET: Duration = Duration::from_millis(50);
+
+/// Counters a [`SessionMux`] keeps about its traffic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MuxMetrics {
+    /// Frames successfully routed to a session queue.
+    pub frames_routed: u64,
+    /// Frames sent out through this mux (every one a sealed frame).
+    pub frames_sent: u64,
+    /// Bytes sent out through this mux (sealed bytes on the wire).
+    pub bytes_sent: u64,
+    /// Inbound frames dropped because their session id was unknown
+    /// (including frames too short to carry a v3 envelope).
+    pub unknown_session_dropped: u64,
+    /// Inbound frames shed because the owning session's queue stayed full
+    /// past the stall budget.
+    pub shed_frames: u64,
+    /// Sessions opened over the lifetime of the mux.
+    pub sessions_opened: u64,
+}
+
+#[derive(Default)]
+struct MetricCells {
+    frames_routed: AtomicU64,
+    frames_sent: AtomicU64,
+    bytes_sent: AtomicU64,
+    unknown_session_dropped: AtomicU64,
+    shed_frames: AtomicU64,
+    sessions_opened: AtomicU64,
+}
+
+impl MetricCells {
+    fn snapshot(&self) -> MuxMetrics {
+        MuxMetrics {
+            frames_routed: self.frames_routed.load(Ordering::Relaxed),
+            frames_sent: self.frames_sent.load(Ordering::Relaxed),
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            unknown_session_dropped: self.unknown_session_dropped.load(Ordering::Relaxed),
+            shed_frames: self.shed_frames.load(Ordering::Relaxed),
+            sessions_opened: self.sessions_opened.load(Ordering::Relaxed),
+        }
+    }
+}
+
+struct Route {
+    // Distinguishes reincarnations of one session id, so a stale
+    // endpoint's Drop can never tear down a reopened session's route.
+    generation: u64,
+    tx: SyncSender<(PartyId, Bytes)>,
+}
+
+struct MuxShared<T: Transport> {
+    inner: T,
+    routes: Mutex<HashMap<SessionId, Route>>,
+    metrics: MetricCells,
+    queue_depth: usize,
+    next_generation: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+impl<T: Transport> MuxShared<T> {
+    fn remove_route(&self, session: SessionId, generation: Option<u64>) {
+        let mut routes = self.routes.lock();
+        if let Some(route) = routes.get(&session) {
+            if generation.is_none_or(|g| g == route.generation) {
+                routes.remove(&session);
+            }
+        }
+    }
+}
+
+/// Demultiplexes one physical [`Transport`] endpoint into per-session
+/// virtual endpoints. Cheap to clone (all clones share the endpoint).
+pub struct SessionMux<T: Transport + 'static> {
+    shared: Arc<MuxShared<T>>,
+}
+
+impl<T: Transport + 'static> Clone for SessionMux<T> {
+    fn clone(&self) -> Self {
+        SessionMux {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T: Transport + 'static> SessionMux<T> {
+    /// Wraps a physical endpoint with the default per-session queue depth
+    /// and starts the pump thread.
+    pub fn new(inner: T) -> Self {
+        Self::with_queue_depth(inner, DEFAULT_SESSION_QUEUE)
+    }
+
+    /// Wraps a physical endpoint with an explicit per-session inbound
+    /// queue bound and starts the pump thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `queue_depth` is zero.
+    pub fn with_queue_depth(inner: T, queue_depth: usize) -> Self {
+        assert!(queue_depth > 0, "session queue depth must be positive");
+        let shared = Arc::new(MuxShared {
+            inner,
+            routes: Mutex::new(HashMap::new()),
+            metrics: MetricCells::default(),
+            queue_depth,
+            next_generation: AtomicU64::new(1),
+            shutdown: AtomicBool::new(false),
+        });
+        let pump = Arc::clone(&shared);
+        // Pump failures must not take the process down; the thread exits
+        // and every session sees Disconnected. If the spawn itself fails
+        // the mux still works for sends; receives starve and sessions
+        // abort via their timeouts.
+        let _ = std::thread::Builder::new()
+            .name(format!("mux-pump-{}", shared.inner.local_id()))
+            .spawn(move || pump_loop(&pump));
+        SessionMux { shared }
+    }
+
+    /// The physical endpoint's party id (shared by every session lane).
+    pub fn local_id(&self) -> PartyId {
+        self.shared.inner.local_id()
+    }
+
+    /// Opens a virtual endpoint for `session`. Frames stamped with this id
+    /// are routed to (only) the returned endpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError::DuplicateSession`] when the session is
+    /// already open on this mux.
+    pub fn open_session(&self, session: SessionId) -> Result<MuxEndpoint<T>, TransportError> {
+        let (tx, rx) = std::sync::mpsc::sync_channel(self.shared.queue_depth);
+        let generation = self.shared.next_generation.fetch_add(1, Ordering::Relaxed);
+        let mut routes = self.shared.routes.lock();
+        if routes.contains_key(&session) {
+            return Err(TransportError::DuplicateSession(session));
+        }
+        routes.insert(session, Route { generation, tx });
+        self.shared
+            .metrics
+            .sessions_opened
+            .fetch_add(1, Ordering::Relaxed);
+        Ok(MuxEndpoint {
+            session,
+            generation,
+            shared: Arc::clone(&self.shared),
+            inbox: Mutex::new(rx),
+        })
+    }
+
+    /// Closes a session's route. Its endpoint (if still alive) sees
+    /// [`TransportError::Disconnected`] on the next receive — the abort
+    /// lever a server pulls to cancel one session without touching its
+    /// siblings. Frames for the id are henceforth counted as unknown.
+    pub fn close_session(&self, session: SessionId) {
+        self.shared.remove_route(session, None);
+    }
+
+    /// Number of currently open sessions.
+    pub fn open_sessions(&self) -> usize {
+        self.shared.routes.lock().len()
+    }
+
+    /// A snapshot of the mux's traffic counters.
+    pub fn metrics(&self) -> MuxMetrics {
+        self.shared.metrics.snapshot()
+    }
+
+    /// Asks the pump thread to exit (it notices within its poll interval).
+    /// Open sessions stop receiving; in-flight sends still work.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+    }
+}
+
+fn pump_loop<T: Transport>(shared: &MuxShared<T>) {
+    // recv_timeout rather than recv: the poll lets the pump observe
+    // shutdown without requiring the physical transport to disconnect.
+    const POLL: Duration = Duration::from_millis(200);
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        let (from, payload) = match shared.inner.recv_timeout(POLL) {
+            Ok(delivery) => delivery,
+            Err(TransportError::Timeout) => continue,
+            Err(_) => break,
+        };
+        let Some(session) = peek_session(&payload) else {
+            shared
+                .metrics
+                .unknown_session_dropped
+                .fetch_add(1, Ordering::Relaxed);
+            continue;
+        };
+        let route = {
+            let routes = shared.routes.lock();
+            routes.get(&session).map(|r| (r.generation, r.tx.clone()))
+        };
+        let Some((generation, tx)) = route else {
+            shared
+                .metrics
+                .unknown_session_dropped
+                .fetch_add(1, Ordering::Relaxed);
+            continue;
+        };
+        match tx.try_send((from, payload)) {
+            Ok(()) => {
+                shared.metrics.frames_routed.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                // Endpoint dropped without close_session: reap the route.
+                shared.remove_route(session, Some(generation));
+                shared
+                    .metrics
+                    .unknown_session_dropped
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            Err(TrySendError::Full(delivery)) => {
+                // Bounded backpressure, then shed: stall briefly for the
+                // slow session, but never let it block its siblings
+                // indefinitely.
+                let deadline = Instant::now() + STALL_BUDGET;
+                let mut delivery = delivery;
+                loop {
+                    std::thread::sleep(Duration::from_millis(1));
+                    match tx.try_send(delivery) {
+                        Ok(()) => {
+                            shared.metrics.frames_routed.fetch_add(1, Ordering::Relaxed);
+                            break;
+                        }
+                        Err(TrySendError::Disconnected(_)) => {
+                            shared.remove_route(session, Some(generation));
+                            break;
+                        }
+                        Err(TrySendError::Full(back)) if Instant::now() < deadline => {
+                            delivery = back;
+                        }
+                        Err(TrySendError::Full(_)) => {
+                            shared.metrics.shed_frames.fetch_add(1, Ordering::Relaxed);
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // Pump is done (shutdown or physical disconnect): drop every route's
+    // sender so blocked session endpoints see Disconnected immediately
+    // instead of waiting out their protocol timeouts.
+    shared.routes.lock().clear();
+}
+
+/// One session's virtual endpoint over a shared physical transport.
+///
+/// Sends pass straight through to the physical endpoint (payloads are v3
+/// sealed frames that already carry the session stamp); receives drain the
+/// session's bounded queue. Dropping the endpoint closes the session's
+/// route on the mux.
+pub struct MuxEndpoint<T: Transport + 'static> {
+    session: SessionId,
+    generation: u64,
+    shared: Arc<MuxShared<T>>,
+    inbox: Mutex<Receiver<(PartyId, Bytes)>>,
+}
+
+impl<T: Transport + 'static> MuxEndpoint<T> {
+    /// The session this endpoint belongs to.
+    pub fn session(&self) -> SessionId {
+        self.session
+    }
+}
+
+impl<T: Transport + 'static> Transport for MuxEndpoint<T> {
+    fn local_id(&self) -> PartyId {
+        self.shared.inner.local_id()
+    }
+
+    fn send(&self, to: PartyId, payload: Bytes) -> Result<(), TransportError> {
+        let len = payload.len() as u64;
+        self.shared.inner.send(to, payload)?;
+        // Counted only after the physical send succeeds, so bytes_sealed
+        // never reports traffic that failed to reach the wire.
+        self.shared
+            .metrics
+            .bytes_sent
+            .fetch_add(len, Ordering::Relaxed);
+        self.shared
+            .metrics
+            .frames_sent
+            .fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn recv(&self) -> Result<(PartyId, Bytes), TransportError> {
+        self.inbox
+            .lock()
+            .recv()
+            .map_err(|_| TransportError::Disconnected)
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<(PartyId, Bytes), TransportError> {
+        self.inbox
+            .lock()
+            .recv_timeout(timeout)
+            .map_err(|e| match e {
+                RecvTimeoutError::Timeout => TransportError::Timeout,
+                RecvTimeoutError::Disconnected => TransportError::Disconnected,
+            })
+    }
+}
+
+impl<T: Transport + 'static> Drop for MuxEndpoint<T> {
+    fn drop(&mut self) {
+        self.shared
+            .remove_route(self.session, Some(self.generation));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::WireCodec;
+    use crate::node::{Node, NodeError};
+    use crate::transport::InMemoryHub;
+
+    /// Two muxed lanes over one hub, with an endpoint pair per session.
+    fn mux_pair() -> (
+        SessionMux<crate::transport::Endpoint>,
+        SessionMux<crate::transport::Endpoint>,
+    ) {
+        let hub = InMemoryHub::new();
+        (
+            SessionMux::new(hub.endpoint(PartyId(1))),
+            SessionMux::new(hub.endpoint(PartyId(2))),
+        )
+    }
+
+    fn node_for(
+        mux: &SessionMux<crate::transport::Endpoint>,
+        session: SessionId,
+        secret: u64,
+    ) -> Node<MuxEndpoint<crate::transport::Endpoint>> {
+        Node::for_session(
+            mux.open_session(session).unwrap(),
+            WireCodec,
+            secret,
+            session,
+        )
+    }
+
+    const WAIT: Duration = Duration::from_secs(5);
+
+    #[test]
+    fn sessions_interleave_over_one_mesh() {
+        let (m1, m2) = mux_pair();
+        let a1 = node_for(&m1, SessionId(1), 7);
+        let a2 = node_for(&m1, SessionId(2), 7);
+        let b1 = node_for(&m2, SessionId(1), 7);
+        let b2 = node_for(&m2, SessionId(2), 7);
+
+        a1.send_msg(PartyId(2), &10u32).unwrap();
+        a2.send_msg(PartyId(2), &20u32).unwrap();
+        a1.send_msg(PartyId(2), &11u32).unwrap();
+
+        let (_, x1): (PartyId, u32) = b1.recv_msg_timeout(WAIT).unwrap();
+        let (_, x2): (PartyId, u32) = b2.recv_msg_timeout(WAIT).unwrap();
+        let (_, x3): (PartyId, u32) = b1.recv_msg_timeout(WAIT).unwrap();
+        assert_eq!((x1, x2, x3), (10, 20, 11));
+        assert!(m2.metrics().frames_routed >= 3);
+    }
+
+    #[test]
+    fn unknown_session_frames_counted_and_dropped() {
+        let (m1, m2) = mux_pair();
+        let a9 = node_for(&m1, SessionId(9), 7); // not open on m2
+        let b1 = node_for(&m2, SessionId(1), 7);
+
+        a9.send_msg(PartyId(2), &1u32).unwrap();
+        // The live session stays usable after the stray frame.
+        let a1 = node_for(&m1, SessionId(1), 7);
+        a1.send_msg(PartyId(2), &2u32).unwrap();
+        let (_, got): (PartyId, u32) = b1.recv_msg_timeout(WAIT).unwrap();
+        assert_eq!(got, 2);
+        assert_eq!(m2.metrics().unknown_session_dropped, 1);
+    }
+
+    #[test]
+    fn garbage_frame_aborts_only_the_session_it_claims() {
+        let (m1, m2) = mux_pair();
+        let a1 = node_for(&m1, SessionId(1), 7);
+        let a2 = node_for(&m1, SessionId(2), 7);
+        let b1 = node_for(&m2, SessionId(1), 7);
+        let b2 = node_for(&m2, SessionId(2), 7);
+
+        // Hand-craft a garbage frame claiming session 1: long enough to be
+        // a v3 envelope, sealed under no valid key.
+        let mut garbage = vec![0u8; 48];
+        garbage[..8].copy_from_slice(&1u64.to_le_bytes());
+        a1.transport()
+            .send(PartyId(2), Bytes::from(garbage))
+            .unwrap();
+        a2.send_msg(PartyId(2), &99u32).unwrap();
+
+        // Session 1 aborts with a crypto error…
+        let err = b1.recv_msg_timeout::<u32>(WAIT).unwrap_err();
+        assert!(matches!(err, NodeError::Frame(_)), "{err}");
+        // …while session 2 is untouched.
+        let (_, got): (PartyId, u32) = b2.recv_msg_timeout(WAIT).unwrap();
+        assert_eq!(got, 99);
+    }
+
+    #[test]
+    fn full_session_queue_sheds_instead_of_blocking_siblings() {
+        let hub = InMemoryHub::new();
+        let m2 = SessionMux::with_queue_depth(hub.endpoint(PartyId(2)), 2);
+        let m1 = SessionMux::new(hub.endpoint(PartyId(1)));
+        let slow = node_for(&m1, SessionId(1), 7);
+        let fast = node_for(&m1, SessionId(2), 7);
+        let b_slow = m2.open_session(SessionId(1)).unwrap();
+        let b_fast = node_for(&m2, SessionId(2), 7);
+
+        // Overfill session 1's depth-2 queue; nobody drains it.
+        for i in 0..8u32 {
+            slow.send_msg(PartyId(2), &i).unwrap();
+        }
+        // Session 2 still flows.
+        fast.send_msg(PartyId(2), &1234u32).unwrap();
+        let (_, got): (PartyId, u32) = b_fast.recv_msg_timeout(WAIT).unwrap();
+        assert_eq!(got, 1234);
+
+        // Wait out the stall budget for the remaining sheds to resolve.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while m2.metrics().shed_frames == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(m2.metrics().shed_frames > 0, "overflow must shed");
+        drop(b_slow);
+    }
+
+    #[test]
+    fn close_session_disconnects_endpoint() {
+        let (m1, _m2) = mux_pair();
+        let a1 = m1.open_session(SessionId(1)).unwrap();
+        m1.close_session(SessionId(1));
+        assert_eq!(a1.recv().unwrap_err(), TransportError::Disconnected);
+        assert_eq!(m1.open_sessions(), 0);
+        // The id can be reopened after close.
+        assert!(m1.open_session(SessionId(1)).is_ok());
+    }
+
+    #[test]
+    fn duplicate_session_is_typed_error() {
+        let (m1, _m2) = mux_pair();
+        let _a = m1.open_session(SessionId(4)).unwrap();
+        let err = match m1.open_session(SessionId(4)) {
+            Ok(_) => panic!("duplicate session must be rejected"),
+            Err(e) => e,
+        };
+        assert_eq!(err, TransportError::DuplicateSession(SessionId(4)));
+    }
+}

@@ -17,7 +17,7 @@ use crate::crypto::ChannelKey;
 use crate::frame::{
     self, Assembled, Frame, FrameError, FrameKind, Reassembler, DEFAULT_CHUNK_SIZE,
 };
-use crate::transport::{PartyId, Transport, TransportError};
+use crate::transport::{PartyId, SessionId, Transport, TransportError};
 use bytes::Bytes;
 use parking_lot::Mutex;
 use serde::de::DeserializeOwned;
@@ -101,6 +101,7 @@ pub struct Node<T: Transport, C: Codec = WireCodec> {
     transport: T,
     codec: C,
     session_secret: u64,
+    session: SessionId,
     counter: AtomicU64,
     chunk_size: usize,
     recv_state: Mutex<RecvState>,
@@ -108,7 +109,7 @@ pub struct Node<T: Transport, C: Codec = WireCodec> {
 
 impl<T: Transport> Node<T, WireCodec> {
     /// Wraps a transport with the shared session secret and the default
-    /// binary wire codec.
+    /// binary wire codec, in the standalone session ([`SessionId::SOLO`]).
     pub fn new(transport: T, session_secret: u64) -> Self {
         Node::with_codec(transport, WireCodec, session_secret)
     }
@@ -116,12 +117,22 @@ impl<T: Transport> Node<T, WireCodec> {
 
 impl<T: Transport, C: Codec> Node<T, C> {
     /// Wraps a transport with an explicit codec and the session secret
-    /// (all parties of a session derive pairwise channel keys from it).
+    /// (all parties of a session derive pairwise channel keys from it),
+    /// in the standalone session ([`SessionId::SOLO`]).
     pub fn with_codec(transport: T, codec: C, session_secret: u64) -> Self {
+        Node::for_session(transport, codec, session_secret, SessionId::SOLO)
+    }
+
+    /// Wraps a transport for one session of a multiplexed mesh: every
+    /// outgoing frame is stamped (and sealed) for `session`, and inbound
+    /// frames stamped for any other session are rejected with
+    /// [`FrameError::SessionMismatch`].
+    pub fn for_session(transport: T, codec: C, session_secret: u64, session: SessionId) -> Self {
         Node {
             transport,
             codec,
             session_secret,
+            session,
             counter: AtomicU64::new(1),
             chunk_size: DEFAULT_CHUNK_SIZE,
             recv_state: Mutex::new(RecvState {
@@ -129,6 +140,11 @@ impl<T: Transport, C: Codec> Node<T, C> {
                 ready: VecDeque::new(),
             }),
         }
+    }
+
+    /// The session this node's frames are stamped for.
+    pub fn session(&self) -> SessionId {
+        self.session
     }
 
     /// Overrides the maximum frame payload size (testing and tuning).
@@ -165,7 +181,7 @@ impl<T: Transport, C: Codec> Node<T, C> {
     }
 
     fn send_frame(&self, to: PartyId, frame: &Frame) -> Result<(), NodeError> {
-        let sealed = frame::seal_frame(self.send_key(to), self.next_id(), frame);
+        let sealed = frame::seal_frame(self.send_key(to), self.next_id(), self.session, frame);
         self.transport.send(to, sealed)?;
         Ok(())
     }
@@ -242,7 +258,14 @@ impl<T: Transport, C: Codec> Node<T, C> {
                 }
             };
             let key = ChannelKey::derive(self.session_secret, from.0, self.id().0);
-            let frame = frame::open_frame(key, &sealed)?;
+            let (frame_session, frame) = frame::open_frame(key, &sealed)?;
+            if frame_session != self.session {
+                return Err(FrameError::SessionMismatch {
+                    expected: self.session,
+                    got: frame_session,
+                }
+                .into());
+            }
             let mut state = self.recv_state.lock();
             if let Some(assembled) = state.reassembler.feed(from, frame)? {
                 state.ready.push_back((from, assembled));
@@ -432,6 +455,28 @@ mod tests {
             err,
             NodeError::Frame(FrameError::UnexpectedStream)
         ));
+    }
+
+    #[test]
+    fn cross_session_frame_rejected() {
+        // Same secret, different session ids: the frame opens (the stamp
+        // is part of the envelope) but the node rejects the foreign
+        // session before any payload reaches the caller.
+        let hub = InMemoryHub::new();
+        let a = Node::for_session(hub.endpoint(PartyId(1)), WireCodec, 9, SessionId(1));
+        let b = Node::for_session(hub.endpoint(PartyId(2)), WireCodec, 9, SessionId(2));
+        a.send_msg(PartyId(2), &7u32).unwrap();
+        let err = b.recv_msg::<u32>().unwrap_err();
+        assert!(
+            matches!(
+                err,
+                NodeError::Frame(FrameError::SessionMismatch {
+                    expected: SessionId(2),
+                    got: SessionId(1),
+                })
+            ),
+            "{err}"
+        );
     }
 
     #[test]

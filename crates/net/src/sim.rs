@@ -22,6 +22,12 @@ pub struct FaultConfig {
     /// Probability an outgoing message is held back and sent *after* the
     /// next message (pairwise reordering).
     pub delay_prob: f64,
+    /// Synchronous transit latency added to every send — models a WAN
+    /// link, where a blocking send occupies the sender for the link's
+    /// round-trip share. Zero (the default) adds nothing. The server
+    /// throughput bench uses this to measure how much latency a
+    /// multi-session runtime can overlap.
+    pub send_latency: Duration,
     /// Seed for the deterministic fault stream.
     pub seed: u64,
 }
@@ -32,12 +38,29 @@ impl Default for FaultConfig {
             drop_prob: 0.0,
             duplicate_prob: 0.0,
             delay_prob: 0.0,
+            send_latency: Duration::ZERO,
             seed: 0xFA17,
         }
     }
 }
 
 impl FaultConfig {
+    /// The salt conventionally used for the miner endpoint's fault stream
+    /// (providers use `position + 1`).
+    pub const MINER_SALT: u64 = 0x31;
+
+    /// Derives the per-endpoint fault stream for one session role: same
+    /// fault model, seed decorrelated by `salt`. Both the solo session
+    /// runner and the server wrap a session's endpoints through this one
+    /// helper, so a faulted session behaves identically in either.
+    #[must_use]
+    pub fn salted_for(&self, salt: u64) -> FaultConfig {
+        FaultConfig {
+            seed: self.seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            ..*self
+        }
+    }
+
     /// Validates probability bounds.
     ///
     /// # Panics
@@ -126,6 +149,9 @@ impl<T: Transport> Transport for FaultyTransport<T> {
     }
 
     fn send(&self, to: PartyId, payload: Bytes) -> Result<(), TransportError> {
+        if !self.config.send_latency.is_zero() {
+            std::thread::sleep(self.config.send_latency);
+        }
         let mut s = self.state.lock();
         // Release anything held from a previous delayed send *after* this
         // message to realize the reordering.

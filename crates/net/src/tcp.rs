@@ -21,12 +21,22 @@
 //! *Content* authenticity comes from the layer above: every frame is
 //! sealed under the per-direction channel key derived from the session
 //! secret, so a claimed id that does not match the sealing key fails to
-//! open and aborts the session. What an unauthenticated outsider *can*
-//! do is exactly that — send one garbage frame and abort the session
-//! (denial of service), the standard failure mode for SAP, which has no
-//! retransmission and treats every anomaly as a reason to stop. Run the
-//! mesh on a trusted network, as the paper's link-encryption assumption
-//! already requires.
+//! open and aborts the session.
+//!
+//! # Garbage frames in the multi-session world
+//!
+//! In the original one-process-one-session deployment an unauthenticated
+//! outsider could send one garbage frame and abort *the* session — and
+//! with it the process's only work. When the endpoint is shared by many
+//! sessions through a [`crate::mux::SessionMux`], the blast radius is
+//! bounded per session: a frame stamped with an unknown `SessionId` is
+//! counted and dropped without disturbing the connection, and a garbage
+//! frame stamped with a live session aborts **only the session it
+//! claims** — every sibling session on the same socket keeps running.
+//! (A *malformed length prefix* still kills the carrying connection:
+//! there is no way to resynchronize a byte stream after a corrupt
+//! header.) Run the mesh on a trusted network, as the paper's
+//! link-encryption assumption already requires.
 
 use crate::transport::{PartyId, Transport, TransportError};
 use bytes::Bytes;
@@ -56,7 +66,9 @@ pub struct TcpTransport {
     // (connect retries up to CONNECT_RETRY_WINDOW) must not block sends
     // to healthy peers.
     conns: Mutex<HashMap<PartyId, Arc<Mutex<Option<TcpStream>>>>>,
-    inbox: Receiver<(PartyId, Bytes)>,
+    // Behind a mutex solely to make the endpoint `Sync` for the mux pump;
+    // one logical consumer still owns receive ordering.
+    inbox: Mutex<Receiver<(PartyId, Bytes)>>,
     shutdown: Arc<AtomicBool>,
 }
 
@@ -67,7 +79,7 @@ impl TcpTransport {
     ///
     /// Propagates socket errors.
     pub fn bind(id: PartyId) -> std::io::Result<Self> {
-        Self::bind_addr(id, "127.0.0.1:0".parse().expect("static addr"))
+        Self::bind_addr(id, SocketAddr::from(([127, 0, 0, 1], 0)))
     }
 
     /// Binds a listener on an explicit address and starts accepting.
@@ -83,14 +95,13 @@ impl TcpTransport {
         let accept_shutdown = Arc::clone(&shutdown);
         std::thread::Builder::new()
             .name(format!("tcp-accept-{id}"))
-            .spawn(move || accept_loop(&listener, &tx, &accept_shutdown))
-            .expect("spawn accept thread");
+            .spawn(move || accept_loop(&listener, &tx, &accept_shutdown))?;
         Ok(TcpTransport {
             id,
             local_addr,
             peers: Mutex::new(HashMap::new()),
             conns: Mutex::new(HashMap::new()),
-            inbox: rx,
+            inbox: Mutex::new(rx),
             shutdown,
         })
     }
@@ -140,10 +151,11 @@ fn accept_loop(listener: &TcpListener, tx: &Sender<(PartyId, Bytes)>, shutdown: 
             return;
         }
         let tx = tx.clone();
-        std::thread::Builder::new()
+        // A failed reader spawn drops this one connection; the listener —
+        // and every session multiplexed over other connections — lives on.
+        let _ = std::thread::Builder::new()
             .name("tcp-reader".into())
-            .spawn(move || reader_loop(stream, &tx))
-            .expect("spawn reader thread");
+            .spawn(move || reader_loop(stream, &tx));
     }
 }
 
@@ -196,8 +208,12 @@ impl Transport for TcpTransport {
         if stream_slot.is_none() {
             *stream_slot = Some(self.connect(to)?);
         }
-        let stream = stream_slot.as_mut().expect("connected above");
-        let len = u32::try_from(payload.len()).expect("bounded by MAX_PAYLOAD");
+        let Some(stream) = stream_slot.as_mut() else {
+            return Err(TransportError::Disconnected);
+        };
+        let len = u32::try_from(payload.len()).map_err(|_| TransportError::PayloadTooLarge {
+            size: payload.len(),
+        })?;
         let write = stream
             .write_all(&len.to_le_bytes())
             .and_then(|()| stream.write_all(&payload));
@@ -209,14 +225,20 @@ impl Transport for TcpTransport {
     }
 
     fn recv(&self) -> Result<(PartyId, Bytes), TransportError> {
-        self.inbox.recv().map_err(|_| TransportError::Disconnected)
+        self.inbox
+            .lock()
+            .recv()
+            .map_err(|_| TransportError::Disconnected)
     }
 
     fn recv_timeout(&self, timeout: Duration) -> Result<(PartyId, Bytes), TransportError> {
-        self.inbox.recv_timeout(timeout).map_err(|e| match e {
-            RecvTimeoutError::Timeout => TransportError::Timeout,
-            RecvTimeoutError::Disconnected => TransportError::Disconnected,
-        })
+        self.inbox
+            .lock()
+            .recv_timeout(timeout)
+            .map_err(|e| match e {
+                RecvTimeoutError::Timeout => TransportError::Timeout,
+                RecvTimeoutError::Disconnected => TransportError::Disconnected,
+            })
     }
 }
 

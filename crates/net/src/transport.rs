@@ -29,11 +29,38 @@ impl fmt::Display for PartyId {
     }
 }
 
+/// Identifies one protocol session when many share a physical mesh.
+///
+/// Wire-format v3 stamps the session id (in plaintext, but authenticated —
+/// see [`crate::frame`]) on every sealed frame, so a
+/// [`crate::mux::SessionMux`] can demultiplex one physical transport into
+/// per-session virtual endpoints without opening any envelope.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
+pub struct SessionId(pub u64);
+
+impl SessionId {
+    /// The session id of a standalone (non-multiplexed) run. Nodes created
+    /// without an explicit session use this.
+    pub const SOLO: SessionId = SessionId(0);
+}
+
+impl fmt::Display for SessionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "session-{}", self.0)
+    }
+}
+
 /// Transport failures.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TransportError {
     /// The destination party is not registered with the hub.
     UnknownParty(PartyId),
+    /// A party id was registered twice on the same hub or mux.
+    DuplicateParty(PartyId),
+    /// A session id was opened twice on the same mux.
+    DuplicateSession(SessionId),
     /// The peer (or hub) hung up.
     Disconnected,
     /// `recv_timeout` elapsed without a message.
@@ -50,6 +77,8 @@ impl fmt::Display for TransportError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TransportError::UnknownParty(p) => write!(f, "unknown party {p}"),
+            TransportError::DuplicateParty(p) => write!(f, "party {p} registered twice"),
+            TransportError::DuplicateSession(s) => write!(f, "{s} opened twice on one mux"),
             TransportError::Disconnected => write!(f, "transport disconnected"),
             TransportError::Timeout => write!(f, "receive timed out"),
             TransportError::PayloadTooLarge { size } => {
@@ -62,7 +91,11 @@ impl fmt::Display for TransportError {
 impl std::error::Error for TransportError {}
 
 /// Point-to-point message transport for one party.
-pub trait Transport: Send {
+///
+/// `Sync` is part of the contract so a [`crate::mux::SessionMux`] pump
+/// thread can receive on a shared endpoint while session roles send
+/// through it concurrently.
+pub trait Transport: Send + Sync {
     /// This endpoint's identity.
     fn local_id(&self) -> PartyId;
 
@@ -108,17 +141,35 @@ impl InMemoryHub {
     /// # Panics
     ///
     /// Panics if the id is already registered (duplicate identities are a
-    /// harness bug, not a runtime condition).
+    /// harness bug, not a runtime condition). Long-lived runtimes that
+    /// register parties dynamically should use
+    /// [`InMemoryHub::try_endpoint`] instead.
     pub fn endpoint(&self, id: PartyId) -> Endpoint {
+        match self.try_endpoint(id) {
+            Ok(endpoint) => endpoint,
+            Err(_) => panic!("party {id} registered twice"),
+        }
+    }
+
+    /// Registers a party, returning a typed error on duplicate ids instead
+    /// of panicking — the variant a multi-session server wants, where a
+    /// duplicate registration must fail one session, not the process.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError::DuplicateParty`] when `id` is taken.
+    pub fn try_endpoint(&self, id: PartyId) -> Result<Endpoint, TransportError> {
         let (tx, rx) = unbounded();
         let mut routes = self.routes.write();
-        let prev = routes.insert(id, tx);
-        assert!(prev.is_none(), "party {id} registered twice");
-        Endpoint {
+        if routes.contains_key(&id) {
+            return Err(TransportError::DuplicateParty(id));
+        }
+        routes.insert(id, tx);
+        Ok(Endpoint {
             id,
             routes: Arc::clone(&self.routes),
-            inbox: rx,
-        }
+            inbox: parking_lot::Mutex::new(rx),
+        })
     }
 
     /// Removes a party, closing its inbox (subsequent sends to it fail).
@@ -135,10 +186,14 @@ impl InMemoryHub {
 }
 
 /// One party's connection to an [`InMemoryHub`].
+///
+/// The inbox sits behind a mutex solely to make the endpoint `Sync` (the
+/// mux pump receives while roles send); receive ordering is still owned by
+/// one logical consumer.
 pub struct Endpoint {
     id: PartyId,
     routes: Arc<RwLock<HashMap<PartyId, Sender<Inbox>>>>,
-    inbox: Receiver<Inbox>,
+    inbox: parking_lot::Mutex<Receiver<Inbox>>,
 }
 
 impl Transport for Endpoint {
@@ -154,14 +209,20 @@ impl Transport for Endpoint {
     }
 
     fn recv(&self) -> Result<(PartyId, Bytes), TransportError> {
-        self.inbox.recv().map_err(|_| TransportError::Disconnected)
+        self.inbox
+            .lock()
+            .recv()
+            .map_err(|_| TransportError::Disconnected)
     }
 
     fn recv_timeout(&self, timeout: Duration) -> Result<(PartyId, Bytes), TransportError> {
-        self.inbox.recv_timeout(timeout).map_err(|e| match e {
-            RecvTimeoutError::Timeout => TransportError::Timeout,
-            RecvTimeoutError::Disconnected => TransportError::Disconnected,
-        })
+        self.inbox
+            .lock()
+            .recv_timeout(timeout)
+            .map_err(|e| match e {
+                RecvTimeoutError::Timeout => TransportError::Timeout,
+                RecvTimeoutError::Disconnected => TransportError::Disconnected,
+            })
     }
 }
 
@@ -246,5 +307,16 @@ mod tests {
         let hub = InMemoryHub::new();
         let _a = hub.endpoint(PartyId(1));
         let _b = hub.endpoint(PartyId(1));
+    }
+
+    #[test]
+    fn try_endpoint_reports_duplicate_as_typed_error() {
+        let hub = InMemoryHub::new();
+        let _a = hub.try_endpoint(PartyId(1)).unwrap();
+        let err = match hub.try_endpoint(PartyId(1)) {
+            Ok(_) => panic!("duplicate id must be rejected"),
+            Err(e) => e,
+        };
+        assert_eq!(err, TransportError::DuplicateParty(PartyId(1)));
     }
 }

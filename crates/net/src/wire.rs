@@ -9,6 +9,13 @@
 //!
 //! # Wire format specification
 //!
+//! This module specifies the *value encoding* (how a serde value becomes
+//! bytes). The *envelope* those bytes travel in — chunked frames sealed
+//! per direction, **wire format v3**: `session ‖ nonce ‖ ciphertext ‖
+//! tag`, with the authenticated [`crate::transport::SessionId`] stamp
+//! that multiplexes many sessions over one mesh — is specified in
+//! [`crate::frame`]'s module docs.
+//!
 //! All multi-byte values are **little-endian**. Nothing is aligned or
 //! padded; values are concatenated in field/element order.
 //!

@@ -1,0 +1,771 @@
+//! A concurrent SAP service: many sessions, one shared runtime.
+//!
+//! The PODC'07 protocol was reproduced as "one process runs one session".
+//! This crate turns the stack into a *service layer* (in the spirit of
+//! the `pod` service-layer framing in PAPERS.md): a [`SapServer`] owns
+//!
+//! * a **physical mesh** of party-lane endpoints (in-memory hub or real
+//!   TCP sockets), one per provider position plus one for the miner, each
+//!   wrapped in a [`SessionMux`] so every lane carries *all* sessions'
+//!   frames, demultiplexed by the authenticated session stamp of wire
+//!   format v3;
+//! * a **fixed [`ActorPool`]** on which every session's roles run as a
+//!   gang — `N` concurrent sessions share the pool's workers instead of
+//!   spawning `N × (k + 1)` dedicated threads;
+//! * a **session registry** with create / lookup / reap: finished
+//!   sessions are garbage-collected after [`ServerConfig::reap_after`],
+//!   and sessions running past [`ServerConfig::max_session_age`] are
+//!   aborted by the same sweep (timeout-based GC);
+//! * **admission control**: beyond
+//!   `max_concurrent + max_queued` live sessions, [`SapServer::submit`]
+//!   sheds with [`ServerError::Overloaded`] instead of queueing unboundedly;
+//! * a **metrics surface** ([`ServerMetrics`]): sessions
+//!   started/completed/failed/aborted/rejected, relayed row blocks, and
+//!   the lane muxes' frame/byte counters (bytes sent are sealed bytes —
+//!   every payload on the wire is a sealed frame).
+//!
+//! Sessions submitted with the same [`SapConfig`] produce outcomes
+//! byte-identical to a solo [`sap_core::run_session`] run: the runtime
+//! multiplexes transport and threads, never the protocol's randomness.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+use sap_core::runtime::{ActorPool, SessionHandle, SessionStatus};
+use sap_core::session::{spawn_session, SapConfig, SapOutcome, MINER_ID};
+use sap_core::SapError;
+use sap_datasets::Dataset;
+use sap_net::mux::{MuxEndpoint, SessionMux};
+use sap_net::sim::FaultyTransport;
+use sap_net::tcp::{local_mesh, TcpTransport};
+use sap_net::transport::Endpoint;
+use sap_net::{InMemoryHub, PartyId, SessionId, Transport, TransportError, WireCodec};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Server-level failures.
+#[derive(Debug)]
+pub enum ServerError {
+    /// Admission control shed the submission: too many live sessions.
+    Overloaded {
+        /// Live (running or queued) sessions at rejection time.
+        live: usize,
+        /// The configured ceiling (`max_concurrent + max_queued`).
+        limit: usize,
+    },
+    /// The session wants more providers than the server has lanes.
+    TooManyParties {
+        /// Providers requested.
+        requested: usize,
+        /// Provider lanes available.
+        max: usize,
+    },
+    /// No session with that id exists (never created, or reaped).
+    UnknownSession(SessionId),
+    /// The session itself failed (or its submission was invalid).
+    Session(SapError),
+    /// Building the physical mesh failed (socket errors).
+    Mesh(std::io::Error),
+    /// A lane refused the session (duplicate id — a server bug).
+    Transport(TransportError),
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::Overloaded { live, limit } => {
+                write!(f, "server overloaded: {live} live sessions (limit {limit})")
+            }
+            ServerError::TooManyParties { requested, max } => {
+                write!(f, "{requested} providers requested, server has {max} lanes")
+            }
+            ServerError::UnknownSession(id) => write!(f, "unknown {id}"),
+            ServerError::Session(e) => write!(f, "session failed: {e}"),
+            ServerError::Mesh(e) => write!(f, "mesh setup failed: {e}"),
+            ServerError::Transport(e) => write!(f, "lane error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+impl From<SapError> for ServerError {
+    fn from(e: SapError) -> Self {
+        ServerError::Session(e)
+    }
+}
+
+impl From<TransportError> for ServerError {
+    fn from(e: TransportError) -> Self {
+        ServerError::Transport(e)
+    }
+}
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Provider lanes — the largest `k` a session may use.
+    pub max_parties: usize,
+    /// Sessions serviced concurrently before new ones queue.
+    pub max_concurrent: usize,
+    /// Sessions allowed to queue beyond `max_concurrent`; past that,
+    /// submissions shed with [`ServerError::Overloaded`].
+    pub max_queued: usize,
+    /// Worker threads of the shared [`ActorPool`]. `0` sizes the pool to
+    /// service `max_concurrent` sessions of `max_parties` providers:
+    /// `(max_parties + 1) × max_concurrent`.
+    pub worker_threads: usize,
+    /// Per-session inbound queue bound on every lane mux (frames).
+    pub session_queue_depth: usize,
+    /// How long a finished session's registry entry survives before
+    /// [`SapServer::reap`] removes it.
+    pub reap_after: Duration,
+    /// Running sessions older than this are aborted (and then reaped) by
+    /// the GC sweep — the backstop against sessions that hang past every
+    /// protocol timeout.
+    pub max_session_age: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_parties: 8,
+            max_concurrent: 8,
+            max_queued: 16,
+            worker_threads: 0,
+            session_queue_depth: sap_net::mux::DEFAULT_SESSION_QUEUE,
+            reap_after: Duration::from_secs(60),
+            max_session_age: Duration::from_secs(300),
+        }
+    }
+}
+
+impl ServerConfig {
+    fn pool_size(&self) -> usize {
+        if self.worker_threads > 0 {
+            self.worker_threads
+        } else {
+            (self.max_parties + 1) * self.max_concurrent.max(1)
+        }
+    }
+}
+
+/// Aggregated server counters. Sessions are accounted when their end is
+/// first observed (by [`SapServer::wait`] or the reap sweep).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerMetrics {
+    /// Sessions admitted.
+    pub sessions_started: u64,
+    /// Sessions that completed with an outcome.
+    pub sessions_completed: u64,
+    /// Sessions that ended in a protocol/transport error.
+    pub sessions_failed: u64,
+    /// Sessions aborted (explicitly or by the age-based GC).
+    pub sessions_aborted: u64,
+    /// Submissions shed by admission control.
+    pub sessions_rejected: u64,
+    /// Currently registered, unfinished sessions.
+    pub live_sessions: usize,
+    /// Row blocks relayed through the anonymizing hop, summed over
+    /// completed sessions.
+    pub blocks_relayed: u64,
+    /// Bytes sent through the lane muxes — all of them sealed envelope
+    /// bytes (wire format v3).
+    pub bytes_sealed: u64,
+    /// Sealed frames routed to sessions by the lane muxes.
+    pub frames_routed: u64,
+    /// Frames dropped because they carried an unknown session id.
+    pub unknown_session_dropped: u64,
+    /// Frames shed because a session's bounded queue stayed full.
+    pub shed_frames: u64,
+}
+
+struct SessionEntry {
+    handle: SessionHandle,
+    submitted: Instant,
+    finished_at: Option<Instant>,
+    accounted: bool,
+}
+
+#[derive(Default)]
+struct Counters {
+    started: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    aborted: AtomicU64,
+    rejected: AtomicU64,
+    blocks_relayed: AtomicU64,
+}
+
+/// A multi-session SAP service over a shared physical mesh.
+///
+/// Generic over the physical transport: [`SapServer::in_memory`] builds a
+/// hub-backed server (tests, embedding), [`SapServer::local_tcp`] a
+/// localhost-TCP one (the deployment shape). All sessions of one server
+/// share its lanes, its pool, and its metrics.
+pub struct SapServer<T: Transport + 'static> {
+    config: ServerConfig,
+    pool: ActorPool,
+    /// `lanes[i]` carries provider position `i` of every session.
+    lanes: Vec<SessionMux<T>>,
+    miner_lane: SessionMux<T>,
+    registry: Mutex<HashMap<SessionId, SessionEntry>>,
+    next_id: AtomicU64,
+    counters: Counters,
+}
+
+impl SapServer<Endpoint> {
+    /// Builds a server whose mesh is an in-process [`InMemoryHub`].
+    pub fn in_memory(config: ServerConfig) -> Result<Self, ServerError> {
+        let hub = InMemoryHub::new();
+        let mut lanes = Vec::with_capacity(config.max_parties);
+        for pos in 0..config.max_parties {
+            lanes.push(hub.try_endpoint(PartyId(pos as u64))?);
+        }
+        let miner = hub.try_endpoint(MINER_ID)?;
+        Ok(Self::over_lanes(config, lanes, miner))
+    }
+}
+
+impl SapServer<TcpTransport> {
+    /// Builds a server whose mesh is real localhost TCP sockets — one
+    /// listener per lane, fully meshed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors as [`ServerError::Mesh`].
+    pub fn local_tcp(config: ServerConfig) -> Result<Self, ServerError> {
+        let mut ids: Vec<PartyId> = (0..config.max_parties as u64).map(PartyId).collect();
+        ids.push(MINER_ID);
+        let mut mesh = local_mesh(&ids).map_err(ServerError::Mesh)?;
+        let miner = mesh.pop().expect("miner lane");
+        Ok(Self::over_lanes(config, mesh, miner))
+    }
+}
+
+impl<T: Transport + 'static> SapServer<T> {
+    /// Builds a server over caller-supplied lane endpoints. `lanes[i]`
+    /// must have [`Transport::local_id`] `PartyId(i)`; `miner` must be
+    /// reachable from every lane (full mesh).
+    pub fn over_lanes(config: ServerConfig, lanes: Vec<T>, miner: T) -> Self {
+        let depth = config.session_queue_depth;
+        let pool = ActorPool::new(config.pool_size());
+        SapServer {
+            pool,
+            lanes: lanes
+                .into_iter()
+                .map(|t| SessionMux::with_queue_depth(t, depth))
+                .collect(),
+            miner_lane: SessionMux::with_queue_depth(miner, depth),
+            registry: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+            counters: Counters::default(),
+            config,
+        }
+    }
+
+    /// The shared pool's worker count.
+    pub fn pool_capacity(&self) -> usize {
+        self.pool.capacity()
+    }
+
+    fn live_sessions(&self) -> usize {
+        let registry = self.registry.lock().expect("registry lock");
+        registry
+            .values()
+            .filter(|e| matches!(e.handle.poll(), SessionStatus::Running { .. }))
+            .count()
+    }
+
+    /// Submits a session: `locals[i]` is provider `i`'s private dataset
+    /// (the last provider doubles as coordinator), `session_config` the
+    /// per-session protocol settings — including an optional
+    /// [`sap_net::sim::FaultConfig`], applied to *this session's* virtual
+    /// endpoints only.
+    ///
+    /// Returns the registered [`SessionId`]; the session runs (or queues
+    /// for the pool) in the background. Look it up with
+    /// [`SapServer::poll`] / [`SapServer::wait`].
+    ///
+    /// # Errors
+    ///
+    /// * [`ServerError::Overloaded`] when admission control sheds.
+    /// * [`ServerError::TooManyParties`] when `locals` exceeds the lanes.
+    /// * [`ServerError::Session`] on invalid inputs.
+    pub fn submit(
+        &self,
+        locals: Vec<Dataset>,
+        session_config: &SapConfig,
+    ) -> Result<SessionId, ServerError> {
+        let k = locals.len();
+        if k > self.lanes.len() {
+            return Err(ServerError::TooManyParties {
+                requested: k,
+                max: self.lanes.len(),
+            });
+        }
+        // The registry lock is held from the admission check through the
+        // insert: concurrent submits must not both observe the same free
+        // slot (check-then-act race).
+        let mut registry = self.registry.lock().expect("registry lock");
+        let live = registry
+            .values()
+            .filter(|e| matches!(e.handle.poll(), SessionStatus::Running { .. }))
+            .count();
+        let limit = self.config.max_concurrent + self.config.max_queued;
+        if live >= limit {
+            self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(ServerError::Overloaded { live, limit });
+        }
+
+        let id = SessionId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        let open_all = || -> Result<(Vec<MuxEndpoint<T>>, MuxEndpoint<T>), TransportError> {
+            let mut endpoints = Vec::with_capacity(k);
+            for lane in &self.lanes[..k] {
+                endpoints.push(lane.open_session(id)?);
+            }
+            Ok((endpoints, self.miner_lane.open_session(id)?))
+        };
+        let (endpoints, miner_endpoint) = match open_all() {
+            Ok(pair) => pair,
+            Err(e) => {
+                self.close_routes(id, k);
+                return Err(e.into());
+            }
+        };
+
+        // A session with a fault model gets its endpoints wrapped in the
+        // injector; its siblings' traffic never passes through it.
+        let spawned = match session_config.fault_config {
+            None => spawn_session(
+                &self.pool,
+                id,
+                locals,
+                session_config,
+                endpoints,
+                miner_endpoint,
+                WireCodec,
+            ),
+            Some(faults) => {
+                // Same per-position salting as run_session, via the shared
+                // helper — a faulted session draws the identical
+                // deterministic fault stream here and in a solo run.
+                let wrapped: Vec<_> = endpoints
+                    .into_iter()
+                    .enumerate()
+                    .map(|(pos, ep)| FaultyTransport::new(ep, faults.salted_for(pos as u64 + 1)))
+                    .collect();
+                let miner_wrapped = FaultyTransport::new(
+                    miner_endpoint,
+                    faults.salted_for(sap_net::sim::FaultConfig::MINER_SALT),
+                );
+                spawn_session(
+                    &self.pool,
+                    id,
+                    locals,
+                    session_config,
+                    wrapped,
+                    miner_wrapped,
+                    WireCodec,
+                )
+            }
+        };
+        let handle = match spawned {
+            Ok(handle) => handle,
+            Err(e) => {
+                self.close_routes(id, k);
+                return Err(e.into());
+            }
+        };
+
+        // Aborting the session closes its mux routes so blocked roles
+        // disconnect immediately instead of waiting out their timeouts.
+        {
+            let lanes: Vec<SessionMux<T>> = self.lanes[..k].to_vec();
+            let miner_lane = self.miner_lane.clone();
+            handle.set_abort_hook(move || {
+                for lane in &lanes {
+                    lane.close_session(id);
+                }
+                miner_lane.close_session(id);
+            });
+        }
+
+        self.counters.started.fetch_add(1, Ordering::Relaxed);
+        registry.insert(
+            id,
+            SessionEntry {
+                handle,
+                submitted: Instant::now(),
+                finished_at: None,
+                accounted: false,
+            },
+        );
+        Ok(id)
+    }
+
+    fn close_routes(&self, id: SessionId, k: usize) {
+        for lane in &self.lanes[..k] {
+            lane.close_session(id);
+        }
+        self.miner_lane.close_session(id);
+    }
+
+    /// Non-blocking status lookup.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::UnknownSession`] when the id is not registered.
+    pub fn poll(&self, id: SessionId) -> Result<SessionStatus, ServerError> {
+        let registry = self.registry.lock().expect("registry lock");
+        registry
+            .get(&id)
+            .map(|e| e.handle.poll())
+            .ok_or(ServerError::UnknownSession(id))
+    }
+
+    /// Waits for a session and returns its outcome (once). `timeout`
+    /// `None` waits indefinitely.
+    ///
+    /// # Errors
+    ///
+    /// * [`ServerError::UnknownSession`] for unregistered (or reaped) ids.
+    /// * [`ServerError::Session`] carrying the session's own error, the
+    ///   harvest timeout, or [`SapError::Aborted`].
+    pub fn wait(
+        &self,
+        id: SessionId,
+        timeout: Option<Duration>,
+    ) -> Result<SapOutcome, ServerError> {
+        let handle = {
+            let registry = self.registry.lock().expect("registry lock");
+            registry
+                .get(&id)
+                .map(|e| e.handle.clone())
+                .ok_or(ServerError::UnknownSession(id))?
+        };
+        let result = handle.harvest(timeout);
+        match &result {
+            // A harvest deadline is the caller's timeout, not the
+            // session's end — leave the entry unaccounted.
+            Err(SapError::Timeout {
+                phase: "session harvest",
+                ..
+            }) => {}
+            _ => self.finalize(id, &result),
+        }
+        result.map_err(ServerError::Session)
+    }
+
+    /// Aborts a session (idempotent).
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::UnknownSession`] when the id is not registered.
+    pub fn abort(&self, id: SessionId) -> Result<(), ServerError> {
+        let handle = {
+            let registry = self.registry.lock().expect("registry lock");
+            registry
+                .get(&id)
+                .map(|e| e.handle.clone())
+                .ok_or(ServerError::UnknownSession(id))?
+        };
+        handle.abort();
+        Ok(())
+    }
+
+    fn finalize(&self, id: SessionId, result: &Result<SapOutcome, SapError>) {
+        let mut registry = self.registry.lock().expect("registry lock");
+        let Some(entry) = registry.get_mut(&id) else {
+            return;
+        };
+        entry.finished_at.get_or_insert_with(Instant::now);
+        if entry.accounted {
+            return;
+        }
+        entry.accounted = true;
+        match result {
+            Ok(outcome) => {
+                self.counters.completed.fetch_add(1, Ordering::Relaxed);
+                self.counters
+                    .blocks_relayed
+                    .fetch_add(outcome.relayed_blocks, Ordering::Relaxed);
+            }
+            Err(SapError::Aborted) => {
+                self.counters.aborted.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                self.counters.failed.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// The GC sweep: aborts running sessions older than
+    /// [`ServerConfig::max_session_age`], accounts finished-but-unwaited
+    /// sessions, and removes entries finished longer than
+    /// [`ServerConfig::reap_after`] ago. Returns the number of entries
+    /// removed. Call periodically (or before capacity decisions).
+    pub fn reap(&self) -> usize {
+        let now = Instant::now();
+        // Collect handles first: aborting under the registry lock would
+        // deadlock with the abort hook closing mux routes while a pump
+        // blocks on a full queue.
+        let overdue: Vec<SessionHandle> = {
+            let registry = self.registry.lock().expect("registry lock");
+            registry
+                .values()
+                .filter(|e| {
+                    matches!(e.handle.poll(), SessionStatus::Running { .. })
+                        && now.duration_since(e.submitted) > self.config.max_session_age
+                })
+                .map(|e| e.handle.clone())
+                .collect()
+        };
+        for handle in &overdue {
+            handle.abort();
+        }
+
+        let mut registry = self.registry.lock().expect("registry lock");
+        let mut reaped = 0;
+        registry.retain(|_, entry| {
+            let status = entry.handle.poll();
+            if matches!(status, SessionStatus::Running { .. }) {
+                return true;
+            }
+            let finished_at = *entry.finished_at.get_or_insert(now);
+            if !entry.accounted {
+                entry.accounted = true;
+                match status {
+                    SessionStatus::Complete => {
+                        // Completed but never harvested; count it (the
+                        // blocks metric needs the outcome, so it is only
+                        // summed for harvested sessions).
+                        self.counters.completed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    SessionStatus::Aborted => {
+                        self.counters.aborted.fetch_add(1, Ordering::Relaxed);
+                    }
+                    _ => {
+                        self.counters.failed.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            if now.duration_since(finished_at) >= self.config.reap_after {
+                reaped += 1;
+                false
+            } else {
+                true
+            }
+        });
+        reaped
+    }
+
+    /// A snapshot of the server's metrics (session counters plus the lane
+    /// muxes' traffic counters).
+    pub fn metrics(&self) -> ServerMetrics {
+        let mut bytes_sealed = 0;
+        let mut frames_routed = 0;
+        let mut unknown = 0;
+        let mut shed = 0;
+        for lane in self.lanes.iter().chain(std::iter::once(&self.miner_lane)) {
+            let m = lane.metrics();
+            bytes_sealed += m.bytes_sent;
+            frames_routed += m.frames_routed;
+            unknown += m.unknown_session_dropped;
+            shed += m.shed_frames;
+        }
+        ServerMetrics {
+            sessions_started: self.counters.started.load(Ordering::Relaxed),
+            sessions_completed: self.counters.completed.load(Ordering::Relaxed),
+            sessions_failed: self.counters.failed.load(Ordering::Relaxed),
+            sessions_aborted: self.counters.aborted.load(Ordering::Relaxed),
+            sessions_rejected: self.counters.rejected.load(Ordering::Relaxed),
+            live_sessions: self.live_sessions(),
+            blocks_relayed: self.counters.blocks_relayed.load(Ordering::Relaxed),
+            bytes_sealed,
+            frames_routed,
+            unknown_session_dropped: unknown,
+            shed_frames: shed,
+        }
+    }
+}
+
+impl<T: Transport + 'static> Drop for SapServer<T> {
+    fn drop(&mut self) {
+        // Abort everything still running so pool workers unblock, then let
+        // the pool's own Drop join them.
+        let handles: Vec<SessionHandle> = {
+            let registry = self.registry.lock().expect("registry lock");
+            registry.values().map(|e| e.handle.clone()).collect()
+        };
+        for handle in handles {
+            handle.abort();
+        }
+        for lane in &self.lanes {
+            lane.shutdown();
+        }
+        self.miner_lane.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sap_datasets::partition::{partition, PartitionScheme};
+    use sap_datasets::registry::UciDataset;
+
+    fn quick() -> SapConfig {
+        SapConfig {
+            timeout: Duration::from_secs(30),
+            ..SapConfig::quick_test()
+        }
+    }
+
+    fn locals(seed: u64) -> Vec<Dataset> {
+        let pooled = UciDataset::Iris.generate(seed);
+        partition(&pooled, 3, PartitionScheme::Uniform, seed ^ 0x55)
+    }
+
+    #[test]
+    fn single_session_through_server_matches_solo() {
+        let server = SapServer::in_memory(ServerConfig::default()).unwrap();
+        let cfg = quick();
+        let id = server.submit(locals(3), &cfg).unwrap();
+        let outcome = server.wait(id, Some(Duration::from_secs(60))).unwrap();
+        let solo = sap_core::run_session(locals(3), &cfg).unwrap();
+        assert_eq!(outcome.unified, solo.unified);
+        assert_eq!(outcome.forwarder_of_slot, solo.forwarder_of_slot);
+
+        let m = server.metrics();
+        assert_eq!(m.sessions_started, 1);
+        assert_eq!(m.sessions_completed, 1);
+        assert!(m.blocks_relayed > 0);
+        assert!(m.bytes_sealed > 0);
+    }
+
+    #[test]
+    fn too_many_parties_rejected() {
+        let server = SapServer::in_memory(ServerConfig {
+            max_parties: 3,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let pooled = UciDataset::Iris.generate(1);
+        let locals = partition(&pooled, 4, PartitionScheme::Uniform, 2);
+        assert!(matches!(
+            server.submit(locals, &quick()),
+            Err(ServerError::TooManyParties {
+                requested: 4,
+                max: 3
+            })
+        ));
+    }
+
+    #[test]
+    fn admission_control_sheds_when_full() {
+        let server = SapServer::in_memory(ServerConfig {
+            max_concurrent: 1,
+            max_queued: 0,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        // A session that will hang (all frames dropped) holds the slot.
+        let stuck_cfg = SapConfig {
+            fault_config: Some(sap_net::sim::FaultConfig {
+                drop_prob: 1.0,
+                ..Default::default()
+            }),
+            timeout: Duration::from_secs(5),
+            ..SapConfig::quick_test()
+        };
+        let stuck = server.submit(locals(9), &stuck_cfg).unwrap();
+        let err = server.submit(locals(10), &quick()).unwrap_err();
+        assert!(matches!(err, ServerError::Overloaded { live: 1, limit: 1 }));
+        assert_eq!(server.metrics().sessions_rejected, 1);
+
+        // The stuck session times out; its slot frees up.
+        let err = server.wait(stuck, None).unwrap_err();
+        assert!(matches!(
+            err,
+            ServerError::Session(SapError::Timeout { .. })
+        ));
+        assert!(server.submit(locals(11), &quick()).is_ok());
+    }
+
+    #[test]
+    fn abort_cancels_promptly_and_counts() {
+        let server = SapServer::in_memory(ServerConfig::default()).unwrap();
+        let stuck_cfg = SapConfig {
+            fault_config: Some(sap_net::sim::FaultConfig {
+                drop_prob: 1.0,
+                ..Default::default()
+            }),
+            timeout: Duration::from_secs(120),
+            ..SapConfig::quick_test()
+        };
+        let id = server.submit(locals(4), &stuck_cfg).unwrap();
+        server.abort(id).unwrap();
+        let start = Instant::now();
+        let err = server.wait(id, Some(Duration::from_secs(30))).unwrap_err();
+        assert!(
+            matches!(err, ServerError::Session(SapError::Aborted)),
+            "{err}"
+        );
+        assert!(
+            start.elapsed() < Duration::from_secs(30),
+            "abort must not wait out the 120s protocol timeout"
+        );
+        assert_eq!(server.metrics().sessions_aborted, 1);
+    }
+
+    #[test]
+    fn reap_gcs_finished_sessions() {
+        let server = SapServer::in_memory(ServerConfig {
+            reap_after: Duration::ZERO,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let id = server.submit(locals(5), &quick()).unwrap();
+        server.wait(id, None).unwrap();
+        assert_eq!(server.reap(), 1);
+        assert!(matches!(
+            server.poll(id),
+            Err(ServerError::UnknownSession(_))
+        ));
+        // Unknown-session wait after reap.
+        assert!(matches!(
+            server.wait(id, None),
+            Err(ServerError::UnknownSession(_))
+        ));
+    }
+
+    #[test]
+    fn age_gc_aborts_overdue_sessions() {
+        let server = SapServer::in_memory(ServerConfig {
+            max_session_age: Duration::ZERO,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let stuck_cfg = SapConfig {
+            fault_config: Some(sap_net::sim::FaultConfig {
+                drop_prob: 1.0,
+                ..Default::default()
+            }),
+            timeout: Duration::from_secs(120),
+            ..SapConfig::quick_test()
+        };
+        let id = server.submit(locals(6), &stuck_cfg).unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        // First sweep aborts; roles unwind via Disconnected, then a later
+        // sweep (or wait) observes the end.
+        server.reap();
+        let err = server.wait(id, Some(Duration::from_secs(30))).unwrap_err();
+        assert!(
+            matches!(err, ServerError::Session(SapError::Aborted)),
+            "{err}"
+        );
+    }
+}

@@ -17,8 +17,12 @@
 //!   adaptors.
 //! * [`privacy`] — the minimum-privacy-guarantee metric, attack suite,
 //!   randomized perturbation optimizer, and the multiparty risk model.
-//! * [`net`] — sealed in-memory transport with fault injection.
-//! * [`core`] — the Space Adaptation Protocol itself.
+//! * [`net`] — sealed, session-multiplexed transports (hub, TCP) with
+//!   fault injection.
+//! * [`core`] — the Space Adaptation Protocol itself, on a pooled actor
+//!   runtime.
+//! * [`server`] — the concurrent SAP service: session registry, admission
+//!   control, metrics.
 //!
 //! ## One-minute tour
 //!
@@ -45,3 +49,4 @@ pub use sap_linalg as linalg;
 pub use sap_net as net;
 pub use sap_perturb as perturb;
 pub use sap_privacy as privacy;
+pub use sap_server as server;
