@@ -1,0 +1,374 @@
+//! Buffered vs streaming data plane: end-to-end SAP session latency
+//! under an identical simulated WAN link, captured into
+//! `BENCH_stream.json`.
+//!
+//! Both arms run the *same* sessions over real localhost TCP with the
+//! same per-frame link latency ([`FaultConfig::send_latency`]); the only
+//! difference is [`SapConfig::data_plane`]:
+//!
+//! * **buffered** — every role buffers a complete dataset stream before
+//!   touching a row: the relay hop stores all `B` blocks, then forwards
+//!   all `B` blocks — each data hop costs a full `B × latency` on the
+//!   session's critical path.
+//! * **streaming** — the relay pump forwards block `i` while block
+//!   `i + 1` is still in flight, the provider perturbs block `i + 1`
+//!   while block `i` transmits, and the miner decodes blocks as they
+//!   land: consecutive hops pipeline, so the exchange costs roughly one
+//!   hop plus one block instead of the sum of hops.
+//!
+//! Both planes produce byte-identical outcomes (asserted here and
+//! property-tested in `tests/stream_equivalence.rs`), so the speedup is
+//! pure schedule, no semantics.
+//!
+//! The binary exits non-zero when streaming fails to beat buffered by
+//! the scale's required factor — the CI-able regression gate.
+//!
+//! ```text
+//! cargo run -p sap-bench --release --bin stream_overlap -- [--scale quick|full] [out.json]
+//! ```
+
+use sap_core::session::{run_session_over, DataPlane, SapConfig, SapOutcome, MINER_ID};
+use sap_core::SapError;
+use sap_datasets::Dataset;
+use sap_linalg::randn_matrix;
+use sap_net::sim::{FaultConfig, FaultyTransport};
+use sap_net::tcp::local_mesh;
+use sap_net::{PartyId, WireCodec};
+use std::time::{Duration, Instant};
+
+struct Scale {
+    name: &'static str,
+    sessions: u64,
+    providers: usize,
+    records: usize,
+    dim: usize,
+    block_rows: usize,
+    link_latency: Duration,
+    /// The gate: minimum streaming/buffered latency ratio to pass.
+    required_speedup: f64,
+}
+
+const QUICK: Scale = Scale {
+    name: "quick",
+    sessions: 2,
+    providers: 4,
+    records: 960,
+    dim: 8,
+    block_rows: 16,
+    link_latency: Duration::from_millis(3),
+    required_speedup: 1.1,
+};
+
+const FULL: Scale = Scale {
+    name: "full",
+    sessions: 3,
+    providers: 4,
+    records: 2_400,
+    dim: 8,
+    block_rows: 16,
+    link_latency: Duration::from_millis(5),
+    required_speedup: 1.3,
+};
+
+/// The paper's evaluation splits each dataset into *randomly sized*
+/// sub-datasets; this bench pins the skew to its realistic extreme — one
+/// dominant provider holding most of the rows (the last provider, who
+/// doubles as coordinator, stays small). The dominant provider's stream
+/// is the session's critical chain: its receiver must store-and-forward
+/// every block on the buffered plane, and cut through on the streaming
+/// plane.
+fn session_locals(scale: &Scale, seed: u64) -> Vec<Dataset> {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let m = randn_matrix(scale.dim, scale.records, &mut rng);
+    let labels: Vec<usize> = (0..scale.records).map(|i| i % 2).collect();
+    let pooled = Dataset::from_column_matrix(&m, labels, 2);
+
+    let k = scale.providers;
+    let n = scale.records;
+    // Provider 0 holds ~70% of the rows; the rest share the remainder.
+    let big = n * 7 / 10;
+    let small = (n - big) / (k - 1);
+    let mut locals = Vec::with_capacity(k);
+    let mut start = 0;
+    for pos in 0..k {
+        let end = if pos == 0 {
+            start + big
+        } else if pos == k - 1 {
+            n
+        } else {
+            start + small
+        };
+        let records: Vec<Vec<f64>> = (start..end).map(|i| pooled.record(i).to_vec()).collect();
+        let labels: Vec<usize> = (start..end).map(|i| pooled.label(i)).collect();
+        locals.push(Dataset::with_num_classes(records, labels, 2));
+        start = end;
+    }
+    locals
+}
+
+fn session_config(scale: &Scale, seed: u64, plane: DataPlane) -> SapConfig {
+    SapConfig {
+        seed,
+        block_rows: scale.block_rows,
+        data_plane: plane,
+        timeout: Duration::from_secs(300),
+        fault_config: Some(FaultConfig {
+            send_latency: scale.link_latency,
+            ..FaultConfig::default()
+        }),
+        ..SapConfig::quick_test()
+    }
+}
+
+/// One end-to-end session over a fresh TCP mesh with the WAN model on
+/// every endpoint; returns the outcome and its wall-clock latency.
+fn run_session_tcp(
+    scale: &Scale,
+    seed: u64,
+    plane: DataPlane,
+) -> Result<(SapOutcome, f64), SapError> {
+    let mut ids: Vec<PartyId> = (0..scale.providers as u64).map(PartyId).collect();
+    ids.push(MINER_ID);
+    let mut mesh = local_mesh(&ids).expect("bind mesh");
+    let miner = mesh.pop().expect("miner endpoint");
+    let config = session_config(scale, seed, plane);
+    let faults = config.fault_config.expect("latency model set");
+    let providers: Vec<_> = mesh
+        .into_iter()
+        .map(|t| FaultyTransport::new(t, faults))
+        .collect();
+    let miner = FaultyTransport::new(miner, faults);
+    let start = Instant::now();
+    let outcome = run_session_over(
+        session_locals(scale, seed),
+        &config,
+        providers,
+        miner,
+        WireCodec,
+    )?;
+    Ok((outcome, start.elapsed().as_secs_f64()))
+}
+
+struct Arm {
+    total_s: f64,
+    session_s: Vec<f64>,
+    outcomes: Vec<SapOutcome>,
+}
+
+fn run_arm(scale: &Scale, seeds: &[u64], plane: DataPlane) -> Arm {
+    let mut session_s = Vec::new();
+    let mut outcomes = Vec::new();
+    let start = Instant::now();
+    for &seed in seeds {
+        let (outcome, secs) = run_session_tcp(scale, seed, plane).expect("bench session");
+        session_s.push(secs);
+        outcomes.push(outcome);
+    }
+    Arm {
+        total_s: start.elapsed().as_secs_f64(),
+        session_s,
+        outcomes,
+    }
+}
+
+/// The exchange plan is drawn from the session seed, and a uniform
+/// permutation may hand a provider its *own* dataset back. A self-receive
+/// of the dominant stream puts send-then-forward on one thread, which no
+/// schedule can pipeline — the session is latency-invariant by
+/// construction and measures plan luck, not the data plane. The bench
+/// pins the topology it is about: seeds whose dominant stream crosses
+/// parties. Each candidate is probed with a cheap in-memory zero-latency
+/// run, reading the audit ledger's `perturbed-data` edge for provider 0.
+fn pick_cross_party_seeds(scale: &Scale) -> Vec<u64> {
+    let probe_cfg = SapConfig {
+        block_rows: scale.block_rows,
+        data_plane: DataPlane::Streaming,
+        timeout: Duration::from_secs(60),
+        ..SapConfig::quick_test()
+    };
+    let mut seeds = Vec::new();
+    let mut candidate = 0x57E4u64;
+    while (seeds.len() as u64) < scale.sessions {
+        let cfg = SapConfig {
+            seed: candidate,
+            ..probe_cfg.clone()
+        };
+        let outcome =
+            sap_core::run_session(session_locals(scale, candidate), &cfg).expect("probe session");
+        let dominant_crosses = outcome
+            .audit
+            .events()
+            .iter()
+            .any(|e| e.kind == "perturbed-data" && e.from == PartyId(0) && e.to != PartyId(0));
+        if dominant_crosses {
+            seeds.push(candidate);
+        } else {
+            println!("  (seed {candidate:#x} drew a self-receive plan for the dominant provider — skipped)");
+        }
+        candidate += 1;
+    }
+    seeds
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_stream.json");
+    let mut scale = QUICK;
+    // Tuning knobs for exploring the latency/compute trade-off; applied
+    // after the scale preset so flag order never matters.
+    let mut latency_ms: Option<u64> = None;
+    let mut block_rows: Option<usize> = None;
+    let mut records: Option<usize> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = args.next().unwrap_or_default();
+                scale = match v.as_str() {
+                    "quick" => QUICK,
+                    "full" => FULL,
+                    other => {
+                        eprintln!("unknown scale '{other}' (quick|full)");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--latency-ms" => {
+                latency_ms = Some(args.next().unwrap_or_default().parse().expect("latency ms"));
+            }
+            "--block-rows" => {
+                block_rows = Some(args.next().unwrap_or_default().parse().expect("block rows"));
+            }
+            "--records" => {
+                records = Some(args.next().unwrap_or_default().parse().expect("records"));
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag '{flag}' (--scale | --latency-ms | --block-rows | --records | <out.json>)");
+                std::process::exit(2);
+            }
+            path => out_path = path.to_string(),
+        }
+    }
+    if let Some(ms) = latency_ms {
+        scale.link_latency = Duration::from_millis(ms);
+    }
+    if let Some(rows) = block_rows {
+        scale.block_rows = rows;
+    }
+    if let Some(n) = records {
+        scale.records = n;
+    }
+    let scale = &scale;
+
+    let blocks_dominant = (scale.records * 7 / 10).div_ceil(scale.block_rows);
+    println!(
+        "stream_overlap [{}]: {} sessions × ({} providers, {} rows × {} dims, 70% on one provider), {} rows/block (~{} blocks on the dominant chain), link latency {:?}",
+        scale.name,
+        scale.sessions,
+        scale.providers,
+        scale.records,
+        scale.dim,
+        scale.block_rows,
+        blocks_dominant,
+        scale.link_latency,
+    );
+
+    let seeds = pick_cross_party_seeds(scale);
+    let buffered = run_arm(scale, &seeds, DataPlane::Buffered);
+    println!(
+        "  buffered:  {:.3}s total, {:.3}s/session",
+        buffered.total_s,
+        mean(&buffered.session_s)
+    );
+    let streaming = run_arm(scale, &seeds, DataPlane::Streaming);
+    println!(
+        "  streaming: {:.3}s total, {:.3}s/session",
+        streaming.total_s,
+        mean(&streaming.session_s)
+    );
+
+    // Semantics check: the two planes must agree byte-for-byte.
+    for (s, b) in streaming.outcomes.iter().zip(&buffered.outcomes) {
+        assert_eq!(s.unified, b.unified, "data planes diverged");
+        assert_eq!(s.relayed_blocks, b.relayed_blocks);
+    }
+    let pipelined: u64 = streaming
+        .outcomes
+        .iter()
+        .map(|o| o.stream.pipelined_blocks)
+        .sum();
+    let overlap = mean(
+        &streaming
+            .outcomes
+            .iter()
+            .map(|o| o.stream.overlap_ratio())
+            .collect::<Vec<_>>(),
+    );
+    let speedup = mean(&buffered.session_s) / mean(&streaming.session_s);
+    println!(
+        "  end-to-end session speedup: {speedup:.2}x  ({pipelined} blocks pipelined, {:.0}% decode overlap)",
+        overlap * 100.0
+    );
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"stream_overlap\",\n",
+            "  \"scale\": \"{}\",\n",
+            "  \"sessions\": {},\n",
+            "  \"providers_per_session\": {},\n",
+            "  \"records_per_session\": {},\n",
+            "  \"dims\": {},\n",
+            "  \"block_rows\": {},\n",
+            "  \"partition\": \"70% of rows on one dominant provider (paper's randomly-sized splits, pinned to the skewed case)\",\n",
+            "  \"blocks_dominant_chain\": {},\n",
+            "  \"link_latency_ms\": {},\n",
+            "  \"buffered\": {{\n",
+            "    \"model\": \"every role buffers a complete stream before compute; relay is store-and-forward\",\n",
+            "    \"total_s\": {:.6},\n",
+            "    \"mean_session_s\": {:.6}\n",
+            "  }},\n",
+            "  \"streaming\": {{\n",
+            "    \"model\": \"relay pump forwards blocks in flight; perturb/decode/adapt overlap transport I/O\",\n",
+            "    \"total_s\": {:.6},\n",
+            "    \"mean_session_s\": {:.6},\n",
+            "    \"pipelined_blocks\": {},\n",
+            "    \"mean_overlap_ratio\": {:.4}\n",
+            "  }},\n",
+            "  \"end_to_end_session_speedup\": {:.3},\n",
+            "  \"outcomes_byte_identical\": true,\n",
+            "  \"note\": \"identical sessions, TCP mesh, and per-frame link latency in both arms; sessions pin exchange plans whose dominant stream crosses parties (a self-receive plan puts send-then-forward on one thread and is latency-invariant on any data plane); the speedup is the exchange's store-and-forward hops collapsing into a pipeline — pure schedule, no semantic change (see tests/stream_equivalence.rs)\"\n",
+            "}}\n"
+        ),
+        scale.name,
+        scale.sessions,
+        scale.providers,
+        scale.records,
+        scale.dim,
+        scale.block_rows,
+        blocks_dominant,
+        scale.link_latency.as_millis(),
+        buffered.total_s,
+        mean(&buffered.session_s),
+        streaming.total_s,
+        mean(&streaming.session_s),
+        pipelined,
+        overlap,
+        speedup,
+    );
+    std::fs::write(&out_path, json).expect("write BENCH_stream.json");
+    println!("  wrote {out_path}");
+
+    if speedup < scale.required_speedup {
+        eprintln!(
+            "FAIL: streaming end-to-end latency only {speedup:.2}x the buffered path (need {:.2}x)",
+            scale.required_speedup
+        );
+        std::process::exit(1);
+    }
+}

@@ -1,4 +1,4 @@
-//! Cross-validation driver over any [`Model`](crate::Model) family.
+//! Cross-validation driver over any [`Model`] family.
 
 use crate::Model;
 use sap_datasets::split::k_fold;

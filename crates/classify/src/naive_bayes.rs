@@ -4,7 +4,7 @@
 //! distances or inner products (KNN, kernel machines, linear models). Naive
 //! Bayes is **not** in that family: it models each attribute independently,
 //! and a rotation mixes attributes, so its accuracy is *not* preserved under
-//! geometric perturbation. (This is why reference [3] of the brief — Zhang
+//! geometric perturbation. (This is why reference \[3\] of the brief — Zhang
 //! et al.'s SIGKDD'05 scheme — needed a different construction for
 //! Bayes-style classifiers.) The invariance test suite uses this classifier
 //! to demonstrate the boundary of the paper's claim.

@@ -67,9 +67,11 @@ pub mod party;
 pub mod permutation;
 pub mod runtime;
 pub mod session;
+pub mod stream;
 
 pub use error::SapError;
 pub use runtime::{ActorPool, SessionHandle, SessionStatus};
 pub use session::{
-    run_session, run_session_over, spawn_session, ProviderReport, SapConfig, SapOutcome,
+    run_session, run_session_over, spawn_session, DataPlane, ProviderReport, SapConfig, SapOutcome,
 };
+pub use stream::{StreamMonitor, StreamStats};

@@ -21,8 +21,9 @@ use crate::error::SapError;
 use crate::messages::{SapMessage, SlotTag};
 use bytes::Bytes;
 use sap_datasets::Dataset;
-use sap_net::node::{Node, NodeEvent};
+use sap_net::node::{Node, NodeEvent, NodeFlow};
 use sap_net::{Codec, PartyId, SessionId, Transport};
+use sap_perturb::GeometricPerturbation;
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
@@ -73,6 +74,29 @@ pub enum Inbound {
     Msg(SapMessage),
     /// A dataset stream.
     Data(DataStream),
+}
+
+/// One inbound delivery on the **streaming** data plane: stream headers
+/// and blocks surface per frame, the moment they arrive (see
+/// [`recv_flow`]), instead of per fully buffered stream.
+#[derive(Debug)]
+pub enum FlowInbound {
+    /// A control message.
+    Msg(SapMessage),
+    /// A dataset stream opened. `last` marks an empty stream.
+    StreamStart {
+        /// The validated stream header.
+        header: DataHeader,
+        /// `true` when no blocks follow.
+        last: bool,
+    },
+    /// One raw row block of the sender's current stream.
+    StreamBlock {
+        /// The raw block, exactly as sent.
+        bytes: Bytes,
+        /// `true` when this closes the stream.
+        last: bool,
+    },
 }
 
 impl DataStream {
@@ -171,6 +195,42 @@ pub fn relay_stream<T: Transport, C: Codec>(
         .map_err(SapError::from)
 }
 
+/// Receives the next **streaming-mode** delivery within `timeout`:
+/// stream headers and row blocks are delivered per frame, so a role can
+/// relay, decode, or adapt a block while the rest of its stream is still
+/// on the wire.
+///
+/// Stream headers get the same sender-bug session check as
+/// [`recv_message`]. A role must use either this or the buffered
+/// [`recv_message`] consistently — not both mid-stream.
+///
+/// # Errors
+///
+/// As [`recv_message`].
+pub fn recv_flow<T: Transport, C: Codec>(
+    node: &Node<T, C>,
+    timeout: Duration,
+) -> Result<(PartyId, FlowInbound), SapError> {
+    let (from, flow) = node
+        .recv_flow_timeout::<SapMessage, DataHeader>(timeout)
+        .map_err(SapError::from)?;
+    let inbound = match flow {
+        NodeFlow::Msg(msg) => FlowInbound::Msg(msg),
+        NodeFlow::StreamStart { header, last } => {
+            if header.session != node.session() {
+                return Err(SapError::Protocol(format!(
+                    "stream header for {} arrived in {}",
+                    header.session,
+                    node.session()
+                )));
+            }
+            FlowInbound::StreamStart { header, last }
+        }
+        NodeFlow::StreamBlock { block, last } => FlowInbound::StreamBlock { bytes: block, last },
+    };
+    Ok((from, inbound))
+}
+
 /// Receives the next protocol delivery within `timeout`.
 ///
 /// # Errors
@@ -204,7 +264,80 @@ pub fn recv_message<T: Transport, C: Codec>(
     Ok((from, inbound))
 }
 
-fn encode_block(data: &Dataset, start: usize, end: usize) -> Bytes {
+/// Streams a dataset to `to`, perturbing it **one block at a time**: each
+/// row-block of `x` (a `d × N` column matrix) is pushed through
+/// `G(X) = R·X + Ψ + Δ` into a reused scratch buffer, encoded, and handed
+/// to the transport before the next block's math starts — the send-side
+/// compute/I-O overlap of the streaming data plane.
+///
+/// The realized noise `delta` must be sampled up front (exactly as the
+/// buffered path does), so the bytes on the wire are **bit-identical** to
+/// perturbing the whole matrix and calling [`send_dataset`].
+///
+/// # Errors
+///
+/// Returns [`SapError::Messaging`] on codec or transport failure, or
+/// [`SapError::Protocol`] on dimension overflow.
+///
+/// # Panics
+///
+/// Panics when shapes disagree or `block_rows` is zero.
+#[allow(clippy::too_many_arguments)]
+pub fn send_perturbed_dataset<T: Transport, C: Codec>(
+    node: &Node<T, C>,
+    to: PartyId,
+    slot: SlotTag,
+    g: &GeometricPerturbation,
+    x: &sap_linalg::Matrix,
+    delta: &sap_linalg::Matrix,
+    labels: &[usize],
+    num_classes: usize,
+    block_rows: usize,
+) -> Result<(), SapError> {
+    assert!(block_rows > 0, "block_rows must be positive");
+    assert_eq!(x.cols(), labels.len(), "column count != label count");
+    let (dim, n) = (x.rows(), x.cols());
+    let row_size = 4 + dim * 8;
+    let block_rows = block_rows.min((MAX_BLOCK_BYTES / row_size).max(1));
+    let header = DataHeader {
+        session: node.session(),
+        relay: false,
+        slot,
+        rows: n as u64,
+        dim: u32::try_from(dim)
+            .map_err(|_| SapError::Protocol("dimension overflows u32".into()))?,
+        num_classes: u32::try_from(num_classes)
+            .map_err(|_| SapError::Protocol("class count overflows u32".into()))?,
+    };
+    let mut scratch: Vec<f64> = Vec::new();
+    let blocks = (0..n).step_by(block_rows).map(move |start| {
+        let end = (start + block_rows).min(n);
+        g.perturb_records_into(x, delta, start..end, &mut scratch);
+        encode_records_block(&labels[start..end], &scratch)
+    });
+    node.send_stream(to, &header, blocks)
+        .map_err(SapError::from)
+}
+
+/// Encodes one wire block from a record-major value buffer (`labels.len()
+/// × dim` values). Byte-for-byte the layout of [`encode_block`].
+fn encode_records_block(labels: &[usize], values: &[f64]) -> Bytes {
+    let mut out = Vec::with_capacity(4 + labels.len() * 4 + values.len() * 8);
+    out.extend_from_slice(
+        &u32::try_from(labels.len())
+            .expect("block rows fit u32")
+            .to_le_bytes(),
+    );
+    for &label in labels {
+        out.extend_from_slice(&u32::try_from(label).expect("label fits u32").to_le_bytes());
+    }
+    for &v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    Bytes::from(out)
+}
+
+pub(crate) fn encode_block(data: &Dataset, start: usize, end: usize) -> Bytes {
     let rows = end - start;
     let dim = data.dim();
     let mut out = Vec::with_capacity(4 + rows * 4 + rows * dim * 8);
@@ -360,6 +493,74 @@ mod tests {
         assert_eq!(relayed.kind(), "relayed-data");
         assert_eq!(relayed.header.slot, SlotTag(8));
         assert_eq!(relayed.into_dataset().unwrap(), data);
+    }
+
+    #[test]
+    fn perturbed_stream_bytes_identical_to_buffered_path() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let data = dataset(75, 4);
+        let x = data.to_column_matrix();
+        let mut rng = StdRng::seed_from_u64(21);
+        let g = GeometricPerturbation::random(4, 0.05, &mut rng);
+        let (y, delta) = g.perturb(&x, &mut rng);
+        let perturbed = Dataset::from_column_matrix(&y, data.labels().to_vec(), data.num_classes());
+
+        // Buffered: perturb whole matrix, then stream the dataset.
+        let (a, b) = pair();
+        send_dataset(&a, PartyId(2), false, SlotTag(3), &perturbed, 16).unwrap();
+        let (_, inbound) = recv_message(&b, Duration::from_secs(2)).unwrap();
+        let Inbound::Data(buffered) = inbound else {
+            panic!("expected stream");
+        };
+
+        // Streaming: perturb block by block while sending.
+        let (a2, b2) = pair();
+        send_perturbed_dataset(
+            &a2,
+            PartyId(2),
+            SlotTag(3),
+            &g,
+            &x,
+            &delta,
+            data.labels(),
+            data.num_classes(),
+            16,
+        )
+        .unwrap();
+        let (_, inbound) = recv_message(&b2, Duration::from_secs(2)).unwrap();
+        let Inbound::Data(streamed) = inbound else {
+            panic!("expected stream");
+        };
+
+        assert_eq!(streamed.header, buffered.header);
+        assert_eq!(streamed.blocks, buffered.blocks, "wire bytes must match");
+    }
+
+    #[test]
+    fn recv_flow_delivers_blocks_incrementally() {
+        let (a, b) = pair();
+        let data = dataset(30, 3);
+        send_dataset(&a, PartyId(2), false, SlotTag(9), &data, 10).unwrap();
+        let (_, first) = recv_flow(&b, Duration::from_secs(2)).unwrap();
+        let FlowInbound::StreamStart { header, last } = first else {
+            panic!("expected stream start");
+        };
+        assert!(!last);
+        assert_eq!(header.rows, 30);
+        let mut got = 0;
+        loop {
+            let (_, ev) = recv_flow(&b, Duration::from_secs(2)).unwrap();
+            let FlowInbound::StreamBlock { last, .. } = ev else {
+                panic!("expected block");
+            };
+            got += 1;
+            if last {
+                break;
+            }
+        }
+        assert_eq!(got, 3);
     }
 
     #[test]

@@ -14,14 +14,16 @@
 
 use crate::audit::AuditLog;
 use crate::error::SapError;
-use crate::link::{self, DataStream, Inbound};
+use crate::link::{self, DataHeader, DataStream, FlowInbound, Inbound};
 use crate::messages::{SapMessage, SlotTag};
-use crate::session::SapConfig;
+use crate::session::{DataPlane, SapConfig};
+use crate::stream::{AdaptStage, BlockStage, DatasetSink, StreamMonitor, StreamPipeline};
 use sap_datasets::Dataset;
 use sap_net::node::Node;
 use sap_net::{Codec, PartyId, Transport};
 use sap_perturb::SpaceAdaptor;
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// What the miner ends the session with.
 #[derive(Debug, Clone)]
@@ -43,6 +45,24 @@ pub struct MinerOutput {
 /// Returns [`SapError`] on timeout, messaging failure, duplicate slots,
 /// missing adaptors, or dimension mismatches.
 pub fn run_miner<T: Transport, C: Codec>(
+    node: &Node<T, C>,
+    expected_datasets: usize,
+    coordinator: PartyId,
+    config: &SapConfig,
+    audit: &AuditLog,
+    monitor: &StreamMonitor,
+) -> Result<MinerOutput, SapError> {
+    match config.data_plane {
+        DataPlane::Buffered => {
+            run_miner_buffered(node, expected_datasets, coordinator, config, audit)
+        }
+        DataPlane::Streaming => {
+            run_miner_streaming(node, expected_datasets, coordinator, config, audit, monitor)
+        }
+    }
+}
+
+fn run_miner_buffered<T: Transport, C: Codec>(
     node: &Node<T, C>,
     expected_datasets: usize,
     coordinator: PartyId,
@@ -146,6 +166,213 @@ pub fn run_miner<T: Transport, C: Codec>(
     })
 }
 
+/// An inbound stream being decoded as it arrives: its slot, whether an
+/// [`AdaptStage`] is already adapting its blocks in flight, and the
+/// pipeline accumulating the records.
+struct OpenSlot {
+    slot: SlotTag,
+    adapted: bool,
+    pipeline: StreamPipeline<DatasetSink>,
+}
+
+/// A fully received stream's records, awaiting (or already in) the
+/// unified space.
+struct CollectedSlot {
+    forwarder: PartyId,
+    header: DataHeader,
+    sink: DatasetSink,
+    adapted: bool,
+}
+
+/// The streaming miner: decodes each relayed row block the moment it
+/// arrives (overlapping unseal + decode with the exchange still in
+/// flight), and — when the adaptor table got there first — re-bases
+/// blocks into the target space *in flight* through an [`AdaptStage`].
+/// Streams whose adaptor arrives later are adapted at unification with
+/// the identical record-major kernel, so both orderings produce the same
+/// bytes as the buffered miner.
+fn run_miner_streaming<T: Transport, C: Codec>(
+    node: &Node<T, C>,
+    expected_datasets: usize,
+    coordinator: PartyId,
+    config: &SapConfig,
+    audit: &AuditLog,
+    monitor: &StreamMonitor,
+) -> Result<MinerOutput, SapError> {
+    let me = node.id();
+    let mut open: HashMap<PartyId, OpenSlot> = HashMap::new();
+    let mut collected: HashMap<SlotTag, CollectedSlot> = HashMap::new();
+    let mut adaptors: Option<Vec<(SlotTag, SpaceAdaptor)>> = None;
+    let mut relayed_blocks: u64 = 0;
+
+    while collected.len() < expected_datasets || adaptors.is_none() {
+        let (from, event) = link::recv_flow(node, config.timeout)
+            .map_err(|e| e.or_timeout(me, "data & adaptor collection"))?;
+        match event {
+            FlowInbound::Msg(msg) => {
+                audit.record(from, me, &msg);
+                match msg {
+                    SapMessage::AdaptorTable { entries } => {
+                        if from != coordinator {
+                            return Err(SapError::Protocol(format!(
+                                "adaptor table from non-coordinator {from}"
+                            )));
+                        }
+                        if adaptors.replace(entries).is_some() {
+                            return Err(SapError::Protocol("duplicate adaptor table".into()));
+                        }
+                    }
+                    other => {
+                        return Err(SapError::Protocol(format!(
+                            "miner received unexpected {}",
+                            other.kind()
+                        )))
+                    }
+                }
+            }
+            FlowInbound::StreamStart { header, last } => {
+                audit.record_kind(
+                    from,
+                    me,
+                    if header.relay {
+                        "relayed-data"
+                    } else {
+                        "perturbed-data"
+                    },
+                    true,
+                    false,
+                );
+                if !header.relay {
+                    return Err(SapError::Protocol(
+                        "miner received un-relayed perturbed-data".into(),
+                    ));
+                }
+                let slot = header.slot;
+                if collected.contains_key(&slot) || open.values().any(|o| o.slot == slot) {
+                    return Err(SapError::Protocol(format!("duplicate slot {slot:?}")));
+                }
+                // If the adaptor table already arrived, adapt this
+                // stream's blocks in flight.
+                let adaptor = adaptors
+                    .as_ref()
+                    .and_then(|entries| entries.iter().find(|(s, _)| *s == slot))
+                    .map(|(_, a)| a.clone());
+                let mut stages: Vec<Box<dyn BlockStage>> = Vec::new();
+                let mut adapted = false;
+                if let Some(adaptor) = adaptor {
+                    if adaptor.dim() != header.dim as usize {
+                        return Err(SapError::Protocol(format!(
+                            "adaptor dim {} != data dim {} for slot {slot:?}",
+                            adaptor.dim(),
+                            header.dim
+                        )));
+                    }
+                    stages.push(Box::new(AdaptStage::new(adaptor)));
+                    adapted = true;
+                }
+                monitor.stream_opened();
+                let pipeline = StreamPipeline::open(header, stages, DatasetSink::new())?;
+                if last {
+                    // The header declared ≥ 1 row (open() rejects zero)
+                    // but the stream closed with no blocks.
+                    monitor.stream_closed();
+                    return Err(SapError::Protocol(format!(
+                        "empty dataset stream for slot {slot:?} declaring {} rows",
+                        pipeline.header().rows
+                    )));
+                }
+                open.insert(
+                    from,
+                    OpenSlot {
+                        slot,
+                        adapted,
+                        pipeline,
+                    },
+                );
+            }
+            FlowInbound::StreamBlock { bytes, last } => {
+                // Decode (and possibly adapt) now, while the rest of the
+                // exchange is still on the wire — overlapped unless this
+                // is the session's final in-flight data.
+                let overlapped = !last || open.len() > 1;
+                let entry = open.get_mut(&from).ok_or_else(|| {
+                    SapError::Protocol("stream block without an open stream".into())
+                })?;
+                monitor.block_received();
+                relayed_blocks += 1;
+                let t0 = Instant::now();
+                entry.pipeline.push(&bytes)?;
+                monitor.compute(t0.elapsed(), overlapped);
+                if last {
+                    let done = open.remove(&from).expect("entry exists");
+                    monitor.stream_closed();
+                    let header = *done.pipeline.header();
+                    let sink = done.pipeline.finish()?;
+                    collected.insert(
+                        done.slot,
+                        CollectedSlot {
+                            forwarder: from,
+                            header,
+                            sink,
+                            adapted: done.adapted,
+                        },
+                    );
+                }
+            }
+        }
+    }
+    let adaptors = adaptors.expect("loop exits only when set");
+
+    // Unify: adapt any slot whose stream outran the adaptor table, then
+    // assemble in deterministic slot order (identical to the buffered
+    // path's pooling order).
+    let adaptor_of: HashMap<SlotTag, &SpaceAdaptor> =
+        adaptors.iter().map(|(s, a)| (*s, a)).collect();
+    let mut parts: Vec<Dataset> = Vec::with_capacity(expected_datasets);
+    let mut forwarder_of_slot: Vec<(SlotTag, PartyId)> = Vec::new();
+    let mut slots: Vec<SlotTag> = collected.keys().copied().collect();
+    slots.sort();
+    for slot in slots {
+        let entry = collected.remove(&slot).expect("slot key from map");
+        let adaptor = adaptor_of
+            .get(&slot)
+            .ok_or_else(|| SapError::Protocol(format!("no adaptor for slot {slot:?}")))?;
+        if adaptor.dim() != entry.header.dim as usize {
+            return Err(SapError::Protocol(format!(
+                "adaptor dim {} != data dim {} for slot {slot:?}",
+                adaptor.dim(),
+                entry.header.dim
+            )));
+        }
+        let t0 = Instant::now();
+        let mut sink = entry.sink;
+        if !entry.adapted {
+            let mut out = vec![0.0; sink.values.len()];
+            adaptor.adapt_records(&sink.values, &mut out);
+            sink.values = out;
+        }
+        parts.push(sink.into_dataset());
+        monitor.compute(t0.elapsed(), false);
+        forwarder_of_slot.push((slot, entry.forwarder));
+    }
+    let unified = Dataset::concat(&parts);
+
+    link::send_message(
+        node,
+        coordinator,
+        &SapMessage::MiningComplete {
+            unified_records: unified.len() as u64,
+        },
+        config.block_rows,
+    )?;
+
+    Ok(MinerOutput {
+        unified,
+        forwarder_of_slot,
+        relayed_blocks,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -217,7 +444,15 @@ mod tests {
             )
             .unwrap();
 
-        let out = run_miner(&miner_node, 2, PartyId(2), &quick_config(), &audit).unwrap();
+        let out = run_miner(
+            &miner_node,
+            2,
+            PartyId(2),
+            &quick_config(),
+            &audit,
+            &StreamMonitor::new(),
+        )
+        .unwrap();
         assert_eq!(out.unified.len(), 20);
         assert_eq!(out.forwarder_of_slot.len(), 2);
 
@@ -259,7 +494,15 @@ mod tests {
             )
             .unwrap();
         }
-        let err = run_miner(&miner_node, 2, PartyId(2), &quick_config(), &audit).unwrap_err();
+        let err = run_miner(
+            &miner_node,
+            2,
+            PartyId(2),
+            &quick_config(),
+            &audit,
+            &StreamMonitor::new(),
+        )
+        .unwrap_err();
         assert!(err.to_string().contains("duplicate slot"), "{err}");
     }
 
@@ -283,7 +526,15 @@ mod tests {
         coord
             .send_msg(PartyId(100), &SapMessage::AdaptorTable { entries: vec![] })
             .unwrap();
-        let err = run_miner(&miner_node, 1, PartyId(2), &quick_config(), &audit).unwrap_err();
+        let err = run_miner(
+            &miner_node,
+            1,
+            PartyId(2),
+            &quick_config(),
+            &audit,
+            &StreamMonitor::new(),
+        )
+        .unwrap_err();
         assert!(err.to_string().contains("no adaptor"), "{err}");
     }
 
@@ -296,7 +547,15 @@ mod tests {
         impostor
             .send_msg(PartyId(100), &SapMessage::AdaptorTable { entries: vec![] })
             .unwrap();
-        let err = run_miner(&miner_node, 1, PartyId(2), &quick_config(), &audit).unwrap_err();
+        let err = run_miner(
+            &miner_node,
+            1,
+            PartyId(2),
+            &quick_config(),
+            &audit,
+            &StreamMonitor::new(),
+        )
+        .unwrap_err();
         assert!(err.to_string().contains("non-coordinator"), "{err}");
     }
 
@@ -315,7 +574,15 @@ mod tests {
             4,
         )
         .unwrap();
-        let err = run_miner(&miner_node, 1, PartyId(2), &quick_config(), &audit).unwrap_err();
+        let err = run_miner(
+            &miner_node,
+            1,
+            PartyId(2),
+            &quick_config(),
+            &audit,
+            &StreamMonitor::new(),
+        )
+        .unwrap_err();
         assert!(err.to_string().contains("un-relayed"), "{err}");
     }
 
@@ -328,7 +595,15 @@ mod tests {
             timeout: Duration::from_millis(30),
             ..SapConfig::quick_test()
         };
-        let err = run_miner(&miner_node, 1, PartyId(2), &config, &audit).unwrap_err();
+        let err = run_miner(
+            &miner_node,
+            1,
+            PartyId(2),
+            &config,
+            &audit,
+            &StreamMonitor::new(),
+        )
+        .unwrap_err();
         assert!(matches!(err, SapError::Timeout { .. }));
     }
 }

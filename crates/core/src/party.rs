@@ -19,16 +19,20 @@
 
 use crate::audit::AuditLog;
 use crate::error::SapError;
-use crate::link::{self, DataStream, Inbound};
-use crate::messages::SapMessage;
-use crate::session::{ProviderReport, SapConfig};
+use crate::link::{self, DataHeader, DataStream, FlowInbound, Inbound};
+use crate::messages::{SapMessage, SlotTag};
+use crate::session::{DataPlane, ProviderReport, SapConfig};
+use crate::stream::StreamMonitor;
+use bytes::Bytes;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sap_datasets::Dataset;
-use sap_net::node::Node;
+use sap_linalg::Matrix;
+use sap_net::node::{Node, StreamHandle};
 use sap_net::{Codec, PartyId, Transport};
-use sap_perturb::{GeometricPerturbation, SpaceAdaptor};
+use sap_perturb::{GeometricPerturbation, Perturbation, SpaceAdaptor};
 use sap_privacy::optimize::{evaluate_perturbation, optimize};
+use std::collections::{HashMap, VecDeque};
 
 /// Runs the provider role to completion.
 ///
@@ -43,6 +47,7 @@ pub fn run_provider<T: Transport, C: Codec>(
     miner: PartyId,
     config: &SapConfig,
     audit: &AuditLog,
+    monitor: &StreamMonitor,
 ) -> Result<ProviderReport, SapError> {
     let me = node.id();
     let x = data.to_column_matrix();
@@ -52,6 +57,81 @@ pub fn run_provider<T: Transport, C: Codec>(
     let opt = optimize(&x, &config.optimizer, &mut rng);
     let g_local = opt.perturbation.clone();
     let rho_local = opt.privacy_guarantee;
+
+    // Phases 2–4 (setup, own-data send, relay) differ per data plane;
+    // both orderings draw the same RNG stream and put the same bytes on
+    // the wire, so the session outcome is byte-identical either way.
+    let target = match config.data_plane {
+        DataPlane::Buffered => exchange_buffered(
+            node,
+            data,
+            &x,
+            &g_local,
+            coordinator,
+            miner,
+            config,
+            audit,
+            &mut rng,
+        )?,
+        DataPlane::Streaming => exchange_streaming(
+            node,
+            data,
+            &x,
+            &g_local,
+            coordinator,
+            miner,
+            config,
+            audit,
+            monitor,
+            &mut rng,
+        )?,
+    };
+
+    // Phase 5: space adaptor to the coordinator.
+    let adaptor = SpaceAdaptor::between(g_local.base(), &target)
+        .map_err(|e| SapError::Protocol(format!("adaptor construction failed: {e}")))?;
+    link::send_message(
+        node,
+        coordinator,
+        &SapMessage::Adaptor { adaptor },
+        config.block_rows,
+    )?;
+
+    // Phase 6: satisfaction — privacy of my data under the unified space
+    // (target rotation/translation with the inherited noise level).
+    let g_unified = GeometricPerturbation::new(target, g_local.noise());
+    let rho_unified = evaluate_perturbation(&x, &g_unified, &config.optimizer, &mut rng);
+    let satisfaction = if rho_local > 1e-12 {
+        rho_unified / rho_local
+    } else {
+        1.0
+    };
+
+    Ok(ProviderReport {
+        provider: me,
+        rho_local,
+        rho_unified,
+        satisfaction,
+        optimizer_history: opt.history,
+    })
+}
+
+/// Phases 2–4 on the buffered plane: wait for setup (buffering early
+/// streams whole), perturb and send the entire dataset, then relay each
+/// fully received stream.
+#[allow(clippy::too_many_arguments)]
+fn exchange_buffered<T: Transport, C: Codec>(
+    node: &Node<T, C>,
+    data: &Dataset,
+    x: &Matrix,
+    g_local: &GeometricPerturbation,
+    coordinator: PartyId,
+    miner: PartyId,
+    config: &SapConfig,
+    audit: &AuditLog,
+    rng: &mut StdRng,
+) -> Result<Perturbation, SapError> {
+    let me = node.id();
 
     // Phase 2: setup (buffer any early data streams from fast peers).
     let mut pending: Vec<DataStream> = Vec::new();
@@ -103,7 +183,7 @@ pub fn run_provider<T: Transport, C: Codec>(
     }
 
     // Phase 3: perturb and stream own data to the assigned receiver.
-    let (y, _delta) = g_local.perturb(&x, &mut rng);
+    let (y, _delta) = g_local.perturb(x, rng);
     let perturbed = Dataset::from_column_matrix(&y, data.labels().to_vec(), data.num_classes());
     link::send_dataset(
         node,
@@ -145,34 +225,287 @@ pub fn run_provider<T: Transport, C: Codec>(
             }
         }
     }
+    Ok(target)
+}
 
-    // Phase 5: space adaptor to the coordinator.
-    let adaptor = SpaceAdaptor::between(g_local.base(), &target)
-        .map_err(|e| SapError::Protocol(format!("adaptor construction failed: {e}")))?;
-    link::send_message(
-        node,
-        coordinator,
-        &SapMessage::Adaptor { adaptor },
-        config.block_rows,
-    )?;
+/// Phases 2–4 on the streaming plane: one event loop that forwards
+/// incoming row blocks to the miner **as they arrive** (the relay pump),
+/// perturbs the provider's own data block-by-block while sending, and
+/// accepts setup whenever the coordinator's frame lands — the relay hop
+/// is pipelined instead of store-and-forward.
+#[allow(clippy::too_many_arguments)]
+fn exchange_streaming<T: Transport, C: Codec>(
+    node: &Node<T, C>,
+    data: &Dataset,
+    x: &Matrix,
+    g_local: &GeometricPerturbation,
+    coordinator: PartyId,
+    miner: PartyId,
+    config: &SapConfig,
+    audit: &AuditLog,
+    monitor: &StreamMonitor,
+    rng: &mut StdRng,
+) -> Result<Perturbation, SapError> {
+    let me = node.id();
+    let mut pump = RelayPump::new(node, miner, monitor);
+    let mut setup: Option<(Perturbation, SlotTag, PartyId, u32)> = None;
+    let mut sent_own = false;
+    loop {
+        if let Some((_, slot, send_data_to, expect)) = &setup {
+            if !sent_own {
+                // Phase 3, block-streamed: the noise is drawn exactly as
+                // the buffered `perturb` would (same RNG order), but the
+                // affine math runs one block at a time, overlapped with
+                // the transport.
+                let delta = g_local.noise().sample(x.rows(), x.cols(), rng);
+                link::send_perturbed_dataset(
+                    node,
+                    *send_data_to,
+                    *slot,
+                    g_local,
+                    x,
+                    &delta,
+                    data.labels(),
+                    data.num_classes(),
+                    config.block_rows,
+                )?;
+                sent_own = true;
+                continue;
+            }
+            if pump.relayed() >= *expect && pump.idle() {
+                break;
+            }
+        }
+        let phase = if setup.is_some() {
+            "data exchange"
+        } else {
+            "setup"
+        };
+        let (from, event) =
+            link::recv_flow(node, config.timeout).map_err(|e| e.or_timeout(me, phase))?;
+        match event {
+            FlowInbound::Msg(msg) => {
+                audit.record(from, me, &msg);
+                match msg {
+                    SapMessage::Setup {
+                        target,
+                        slot,
+                        send_data_to,
+                        expect_incoming,
+                    } if setup.is_none() => {
+                        if from != coordinator {
+                            return Err(SapError::Protocol(format!(
+                                "setup from non-coordinator {from}"
+                            )));
+                        }
+                        if target.dim() != data.dim() {
+                            return Err(SapError::Protocol(format!(
+                                "target dimension {} != local dimension {}",
+                                target.dim(),
+                                data.dim()
+                            )));
+                        }
+                        setup = Some((target, slot, send_data_to, expect_incoming));
+                    }
+                    other => {
+                        return Err(SapError::Protocol(format!(
+                            "unexpected {} {}",
+                            other.kind(),
+                            if setup.is_some() {
+                                "during data exchange"
+                            } else {
+                                "before setup"
+                            }
+                        )))
+                    }
+                }
+            }
+            FlowInbound::StreamStart { header, last } => {
+                audit.record_kind(
+                    from,
+                    me,
+                    if header.relay {
+                        "relayed-data"
+                    } else {
+                        "perturbed-data"
+                    },
+                    true,
+                    false,
+                );
+                if header.relay {
+                    return Err(SapError::Protocol(
+                        "provider received a relayed-data stream".into(),
+                    ));
+                }
+                pump.start(from, header, last)?;
+            }
+            FlowInbound::StreamBlock { bytes, last } => pump.block(from, bytes, last)?,
+        }
+    }
+    Ok(setup.expect("loop exits only after setup").0)
+}
 
-    // Phase 6: satisfaction — privacy of my data under the unified space
-    // (target rotation/translation with the inherited noise level).
-    let g_unified = GeometricPerturbation::new(target, g_local.noise());
-    let rho_unified = evaluate_perturbation(&x, &g_unified, &config.optimizer, &mut rng);
-    let satisfaction = if rho_local > 1e-12 {
-        rho_unified / rho_local
-    } else {
-        1.0
-    };
+/// State of one inbound stream waiting for (or buffered behind) the
+/// single outbound relay lane to the miner.
+struct PendingRelay {
+    header: DataHeader,
+    blocks: Vec<Bytes>,
+    done: bool,
+}
 
-    Ok(ProviderReport {
-        provider: me,
-        rho_local,
-        rho_unified,
-        satisfaction,
-        optimizer_history: opt.history,
-    })
+/// Forwards inbound dataset streams to the miner block-by-block, while
+/// they are still arriving. One outbound stream per peer may be open at a
+/// time (receivers reassemble per sender), so when several inbound
+/// streams interleave, the first goes through *live* and the rest buffer
+/// until the lane frees — still overlapping their tails once promoted.
+struct RelayPump<'n, T: Transport, C: Codec> {
+    node: &'n Node<T, C>,
+    miner: PartyId,
+    monitor: &'n StreamMonitor,
+    /// The inbound sender whose blocks are being forwarded live, and the
+    /// open outbound stream carrying them.
+    live: Option<(PartyId, StreamHandle)>,
+    /// Senders whose streams wait for the lane, FIFO.
+    waiting: VecDeque<PartyId>,
+    pending: HashMap<PartyId, PendingRelay>,
+    relayed: u32,
+}
+
+impl<'n, T: Transport, C: Codec> RelayPump<'n, T, C> {
+    fn new(node: &'n Node<T, C>, miner: PartyId, monitor: &'n StreamMonitor) -> Self {
+        RelayPump {
+            node,
+            miner,
+            monitor,
+            live: None,
+            waiting: VecDeque::new(),
+            pending: HashMap::new(),
+            relayed: 0,
+        }
+    }
+
+    /// Streams fully forwarded to the miner.
+    fn relayed(&self) -> u32 {
+        self.relayed
+    }
+
+    /// `true` when nothing is being forwarded or waiting.
+    fn idle(&self) -> bool {
+        self.live.is_none() && self.waiting.is_empty()
+    }
+
+    /// An inbound stream opened at this provider.
+    fn start(&mut self, from: PartyId, header: DataHeader, last: bool) -> Result<(), SapError> {
+        self.monitor.stream_opened();
+        // A sender opening a new stream while its previous one is still
+        // queued or live would corrupt the pending buffer (the frame
+        // layer only rejects a new header *mid*-stream). Honest senders
+        // stream once; abort like the other protocol violations.
+        if self.pending.contains_key(&from)
+            || self
+                .live
+                .as_ref()
+                .is_some_and(|(sender, _)| *sender == from)
+        {
+            return Err(SapError::Protocol(format!(
+                "second data stream from {from} while its first is still relaying"
+            )));
+        }
+        if last {
+            // Empty stream (the miner will reject it, but the relay's job
+            // is to forward unchanged).
+            self.monitor.stream_closed();
+        }
+        let relay_header = DataHeader {
+            relay: true,
+            ..header
+        };
+        if self.live.is_none() && self.waiting.is_empty() {
+            if last {
+                self.node.begin_stream(self.miner, &relay_header, true)?;
+                self.relayed += 1;
+            } else {
+                let handle = self.node.begin_stream(self.miner, &relay_header, false)?;
+                self.live = Some((from, handle));
+            }
+        } else {
+            self.pending.insert(
+                from,
+                PendingRelay {
+                    header,
+                    blocks: Vec::new(),
+                    done: last,
+                },
+            );
+            self.waiting.push_back(from);
+        }
+        Ok(())
+    }
+
+    /// One inbound block arrived; forward it live or buffer it.
+    fn block(&mut self, from: PartyId, bytes: Bytes, last: bool) -> Result<(), SapError> {
+        self.monitor.block_received();
+        if last {
+            self.monitor.stream_closed();
+        }
+        if let Some((sender, handle)) = self.live.as_mut() {
+            if *sender == from {
+                self.node.stream_block(handle, bytes, last)?;
+                self.monitor.block_pipelined();
+                if last {
+                    self.live = None;
+                    self.relayed += 1;
+                    self.drain_waiting()?;
+                }
+                return Ok(());
+            }
+        }
+        let pending = self
+            .pending
+            .get_mut(&from)
+            .ok_or_else(|| SapError::Protocol("stream block without an open stream".into()))?;
+        pending.blocks.push(bytes);
+        if last {
+            pending.done = true;
+        }
+        if self.live.is_none() {
+            self.drain_waiting()?;
+        }
+        Ok(())
+    }
+
+    /// Promotes waiting streams onto the free lane: complete ones are
+    /// sent whole; the first incomplete one is flushed and goes live for
+    /// the rest of its blocks.
+    fn drain_waiting(&mut self) -> Result<(), SapError> {
+        while self.live.is_none() {
+            let Some(front) = self.waiting.pop_front() else {
+                break;
+            };
+            let pending = self
+                .pending
+                .remove(&front)
+                .expect("waiting senders have pending state");
+            let relay_header = DataHeader {
+                relay: true,
+                ..pending.header
+            };
+            if pending.done {
+                self.node
+                    .send_stream(self.miner, &relay_header, pending.blocks)?;
+                self.relayed += 1;
+            } else {
+                let mut handle = self.node.begin_stream(self.miner, &relay_header, false)?;
+                for block in pending.blocks {
+                    // None of these is the stream's last block (the
+                    // stream is not done), so the lane stays open.
+                    self.node.stream_block(&mut handle, block, false)?;
+                }
+                self.live = Some((front, handle));
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -229,6 +562,7 @@ mod tests {
                 PartyId(100),
                 &config_p,
                 &audit_p,
+                &StreamMonitor::new(),
             )
         });
 
@@ -310,6 +644,7 @@ mod tests {
             PartyId(100),
             &config,
             &audit,
+            &StreamMonitor::new(),
         )
         .unwrap_err();
         assert!(
@@ -345,6 +680,7 @@ mod tests {
             PartyId(100),
             &config,
             &audit,
+            &StreamMonitor::new(),
         )
         .unwrap_err();
         assert!(matches!(err, SapError::Protocol(_)), "{err}");
@@ -377,9 +713,43 @@ mod tests {
             PartyId(100),
             &config,
             &audit,
+            &StreamMonitor::new(),
         )
         .unwrap_err();
         assert!(err.to_string().contains("dimension"), "{err}");
+    }
+
+    /// A sender opening a second stream while its first still waits for
+    /// the relay lane must abort with a protocol error — never corrupt
+    /// the pending buffer or panic the role.
+    #[test]
+    fn relay_pump_rejects_second_stream_from_queued_sender() {
+        use sap_net::SessionId;
+
+        let hub = InMemoryHub::new();
+        let node = Node::new(hub.endpoint(PartyId(0)), 7);
+        let _miner = hub.endpoint(PartyId(100));
+        let monitor = StreamMonitor::new();
+        let mut pump = RelayPump::new(&node, PartyId(100), &monitor);
+        let header = |slot| DataHeader {
+            session: SessionId::SOLO,
+            relay: false,
+            slot,
+            rows: 8,
+            dim: 2,
+            num_classes: 2,
+        };
+        // Party 1's stream takes the lane; party 2 queues behind it and
+        // finishes its inbound stream while waiting.
+        pump.start(PartyId(1), header(SlotTag(1)), false).unwrap();
+        pump.start(PartyId(2), header(SlotTag(2)), false).unwrap();
+        pump.block(PartyId(2), Bytes::from_static(b"\x01\x00\x00\x00"), true)
+            .unwrap();
+        // Party 2 opens another stream while its first is still queued.
+        let err = pump
+            .start(PartyId(2), header(SlotTag(3)), false)
+            .unwrap_err();
+        assert!(err.to_string().contains("second data stream"), "{err}");
     }
 
     #[test]
@@ -398,6 +768,7 @@ mod tests {
             PartyId(100),
             &config,
             &audit,
+            &StreamMonitor::new(),
         )
         .unwrap_err();
         assert!(err.to_string().contains("relayed-data"), "{err}");

@@ -235,6 +235,7 @@ pub(crate) struct SessionShared {
     pub(crate) num_classes: usize,
     pub(crate) k: usize,
     pub(crate) audit: AuditLog,
+    pub(crate) monitor: crate::stream::StreamMonitor,
     /// Invoked once on abort — the owner's lever for tearing down the
     /// session's transport (e.g. closing its mux routes) so blocked roles
     /// fail fast instead of waiting out their timeouts.
@@ -411,6 +412,7 @@ impl SessionHandle {
             audit: self.shared.audit.clone(),
             forwarder_of_slot: miner_out.forwarder_of_slot,
             relayed_blocks: miner_out.relayed_blocks,
+            stream: self.shared.monitor.snapshot(),
             target,
         })
     }

@@ -19,6 +19,7 @@ use crate::messages::SlotTag;
 use crate::miner::run_miner;
 use crate::party::run_provider;
 use crate::runtime::{ActorPool, RoleTask, SessionCollect, SessionHandle, SessionShared};
+use crate::stream::StreamMonitor;
 use sap_datasets::Dataset;
 use sap_net::codec::{Codec, WireCodec};
 use sap_net::node::Node;
@@ -29,6 +30,24 @@ use sap_perturb::Perturbation;
 use sap_privacy::optimize::OptimizerConfig;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
+
+/// Which data plane a session's roles run on.
+///
+/// Both planes produce **byte-identical** [`SapOutcome`]s (the property
+/// `tests/stream_equivalence.rs` pins); they differ only in *when* work
+/// happens. `Streaming` is the default — `Buffered` is kept as the
+/// reference implementation and for A/B benchmarking
+/// (`stream_overlap`, `BENCH_stream.json`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DataPlane {
+    /// Every role buffers a complete dataset stream before touching a
+    /// row (the pre-PR-3 behavior).
+    Buffered,
+    /// Row blocks are perturbed, relayed, decoded, and adapted **as they
+    /// arrive**, overlapping compute with seal/unseal and transport I/O.
+    #[default]
+    Streaming,
+}
 
 /// Session-wide configuration.
 #[derive(Debug, Clone)]
@@ -46,6 +65,10 @@ pub struct SapConfig {
     pub timeout: Duration,
     /// Rows per dataset stream block (the chunking grain of the exchange).
     pub block_rows: usize,
+    /// Whether roles process dataset streams block-by-block as they
+    /// arrive ([`DataPlane::Streaming`], the default) or buffer whole
+    /// streams first ([`DataPlane::Buffered`]).
+    pub data_plane: DataPlane,
     /// Optional fault model applied to every party's *send* path (chaos
     /// testing). SAP has no retransmission layer, so any lost frame makes
     /// the session abort with a timeout instead of completing — the safety
@@ -62,6 +85,7 @@ impl Default for SapConfig {
             seed: 0xD15E,
             timeout: Duration::from_secs(30),
             block_rows: DEFAULT_BLOCK_ROWS,
+            data_plane: DataPlane::default(),
             fault_config: None,
         }
     }
@@ -84,6 +108,7 @@ impl SapConfig {
             seed: 7,
             timeout: Duration::from_secs(10),
             block_rows: 64,
+            data_plane: DataPlane::default(),
             fault_config: None,
         }
     }
@@ -121,6 +146,10 @@ pub struct SapOutcome {
     /// Row blocks the miner received through the anonymizing relay hop
     /// (feeds the server's `blocks_relayed` metric).
     pub relayed_blocks: u64,
+    /// Streaming data-plane statistics (all zeros on the buffered plane).
+    /// Timing-dependent observability — excluded from the
+    /// streaming/buffered equivalence contract.
+    pub stream: crate::stream::StreamStats,
     /// The unified target space (exposed by the test harness for analysis;
     /// in deployment only providers and the coordinator hold it).
     pub target: Perturbation,
@@ -307,6 +336,7 @@ where
         .collect();
     let coordinator = providers[k - 1];
     let audit = AuditLog::new();
+    let monitor = StreamMonitor::new();
 
     let shared = Arc::new(SessionShared {
         state: Mutex::new(SessionCollect {
@@ -324,6 +354,7 @@ where
         num_classes,
         k,
         audit: audit.clone(),
+        monitor: monitor.clone(),
         on_abort: Mutex::new(None),
     });
 
@@ -344,9 +375,11 @@ where
         let audit = audit.clone();
         let pid = providers[pos];
         let shared = Arc::clone(&shared);
+        let monitor = monitor.clone();
         gang.push(Box::new(move || {
             shared.run_role(pos, pid, || {
-                let report = run_provider(&node, &data, coordinator, MINER_ID, &cfg, &audit)?;
+                let report =
+                    run_provider(&node, &data, coordinator, MINER_ID, &cfg, &audit, &monitor)?;
                 shared.record(|s| s.reports[pos] = Some(report));
                 Ok(())
             });
@@ -388,9 +421,10 @@ where
         let cfg = config.clone();
         let audit = audit.clone();
         let shared = Arc::clone(&shared);
+        let monitor = monitor.clone();
         gang.push(Box::new(move || {
             shared.run_role(k, MINER_ID, || {
-                let out = run_miner(&node, k, coordinator, &cfg, &audit)?;
+                let out = run_miner(&node, k, coordinator, &cfg, &audit, &monitor)?;
                 shared.record(|s| s.miner = Some(out));
                 Ok(())
             });

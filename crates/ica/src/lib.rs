@@ -1,6 +1,6 @@
 //! PCA, whitening, and FastICA.
 //!
-//! The attack model of Chen & Liu's SDM'07 companion paper (reference [2] of
+//! The attack model of Chen & Liu's SDM'07 companion paper (reference \[2\] of
 //! the PODC'07 brief) assumes the adversary runs *independent component
 //! analysis* on the perturbed dataset to undo an unknown rotation: a rotation
 //! mixes the original attributes linearly, and if those attributes are

@@ -19,6 +19,10 @@
 //! * [`orthogonal`] — uniform (Haar) random orthogonal and rotation matrices.
 //! * [`randn`] — Box–Muller standard-normal sampling (the `rand` crate alone
 //!   does not provide Gaussians).
+//! * [`parallel`] — the fixed thread-splitter behind the row-parallel
+//!   kernels (blocked matmul, block perturbation, distance sweeps).
+//! * [`view`] — borrowed [`MatrixView`] windows, the zero-copy currency of
+//!   the streaming data plane's block stages.
 //!
 //! # Conventions
 //!
@@ -49,11 +53,14 @@ pub mod lu;
 pub mod matrix;
 pub mod norms;
 pub mod orthogonal;
+pub mod parallel;
 pub mod qr;
 pub mod rng;
 pub mod svd;
 pub mod vecops;
+pub mod view;
 
 pub use error::{LinalgError, Result};
 pub use matrix::Matrix;
 pub use rng::{randn, randn_matrix, randn_vec};
+pub use view::MatrixView;

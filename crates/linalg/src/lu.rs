@@ -28,7 +28,7 @@ impl LuDecomposition {
     /// # Errors
     ///
     /// Returns [`LinalgError::NotSquare`] for non-square input and
-    /// [`LinalgError::Singular`] when a pivot underflows [`PIVOT_EPS`]
+    /// [`LinalgError::Singular`] when a pivot underflows `1e-12`
     /// relative to the matrix scale.
     pub fn new(a: &Matrix) -> Result<Self> {
         if !a.is_square() {

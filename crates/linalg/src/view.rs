@@ -1,0 +1,145 @@
+//! Borrowed, zero-copy matrix views.
+//!
+//! The streaming data plane hands row-blocks of a dataset through
+//! perturbation, adaptation, and classification stages without
+//! materializing a [`Matrix`] (or any owned allocation) per block.
+//! [`MatrixView`] is the currency those stages trade in: a `rows × cols`
+//! row-major window over a borrowed `&[f64]`, typically a reusable scratch
+//! buffer that a stage refills for every block.
+//!
+//! In the data plane's record-major convention a block of `n` dataset
+//! records with `d` features is an `n × d` view — each **row** is one
+//! record. (The paper-facing [`Matrix`] code keeps the transposed `d × N`
+//! column-per-record convention; the two meet only in the kernels, which
+//! are written to produce bit-identical results either way.)
+
+use crate::matrix::Matrix;
+
+/// A borrowed row-major `rows × cols` view over a flat `f64` slice.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MatrixView<'a> {
+    rows: usize,
+    cols: usize,
+    data: &'a [f64],
+}
+
+impl<'a> MatrixView<'a> {
+    /// Wraps a flat row-major slice as a `rows × cols` view.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `data.len() != rows * cols`.
+    pub fn new(rows: usize, cols: usize, data: &'a [f64]) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "view shape {rows}×{cols} over {} elements",
+            data.len()
+        );
+        MatrixView { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The underlying row-major data.
+    #[inline]
+    pub fn as_slice(&self) -> &'a [f64] {
+        self.data
+    }
+
+    /// Borrows row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `r >= self.rows()`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &'a [f64] {
+        assert!(r < self.rows, "row index {r} out of bounds");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Iterates over the rows as slices.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &'a [f64]> {
+        self.data.chunks_exact(self.cols)
+    }
+
+    /// A sub-view of rows `start..end` (zero-copy — rows are contiguous).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `end > self.rows()` or `start > end`.
+    pub fn row_block(&self, start: usize, end: usize) -> MatrixView<'a> {
+        assert!(start <= end && end <= self.rows, "row block out of bounds");
+        MatrixView {
+            rows: end - start,
+            cols: self.cols,
+            data: &self.data[start * self.cols..end * self.cols],
+        }
+    }
+
+    /// Copies the view into an owned [`Matrix`].
+    pub fn to_matrix(&self) -> Matrix {
+        Matrix::from_vec(self.rows, self.cols, self.data.to_vec()).expect("shape checked")
+    }
+}
+
+impl Matrix {
+    /// Borrows the whole matrix as a [`MatrixView`].
+    pub fn view(&self) -> MatrixView<'_> {
+        MatrixView {
+            rows: self.rows(),
+            cols: self.cols(),
+            data: self.as_slice(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn view_mirrors_matrix() {
+        let m = Matrix::from_fn(3, 4, |r, c| (r * 4 + c) as f64);
+        let v = m.view();
+        assert_eq!(v.rows(), 3);
+        assert_eq!(v.cols(), 4);
+        assert_eq!(v.row(1), m.row(1));
+        assert_eq!(v.to_matrix(), m);
+    }
+
+    #[test]
+    fn row_block_is_zero_copy_window() {
+        let m = Matrix::from_fn(5, 2, |r, c| (10 * r + c) as f64);
+        let b = m.view().row_block(1, 4);
+        assert_eq!(b.rows(), 3);
+        assert_eq!(b.row(0), &[10.0, 11.0]);
+        assert_eq!(b.row(2), &[30.0, 31.0]);
+        assert_eq!(b.as_slice().as_ptr(), m.as_slice()[2..].as_ptr(), "no copy");
+    }
+
+    #[test]
+    fn iter_rows_covers_all() {
+        let m = Matrix::identity(3);
+        let rows: Vec<&[f64]> = m.view().iter_rows().collect();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[2], &[0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "view shape")]
+    fn bad_shape_panics() {
+        let data = [1.0, 2.0, 3.0];
+        let _ = MatrixView::new(2, 2, &data);
+    }
+}

@@ -486,6 +486,114 @@ impl Reassembler {
     pub fn pending_senders(&self) -> usize {
         self.pending.len()
     }
+
+    /// Feeds one frame in **streaming mode**: control messages still
+    /// assemble whole (they are small), but stream frames surface as
+    /// per-frame [`FlowItem`]s the moment they arrive — the hook the
+    /// streaming data plane uses to overlap compute with I/O instead of
+    /// buffering a dataset's every block before delivery.
+    ///
+    /// Continuity (sequence, message id, kind mixing) is enforced exactly
+    /// as in [`Reassembler::feed`]; the only difference is that stream
+    /// blocks are never retained here. A receiver must drive one mode or
+    /// the other consistently for a given sender's stream — mixing
+    /// buffered and streaming receives mid-stream loses blocks.
+    ///
+    /// # Errors
+    ///
+    /// As [`Reassembler::feed`].
+    pub fn feed_streaming(
+        &mut self,
+        from: PartyId,
+        frame: Frame,
+    ) -> Result<Option<FlowItem>, FrameError> {
+        match frame.kind {
+            FrameKind::Control => Ok(self.feed(from, frame)?.map(|assembled| match assembled {
+                Assembled::Message(bytes) => FlowItem::Message(bytes),
+                Assembled::Stream { .. } => unreachable!("control frames never finish a stream"),
+            })),
+            FrameKind::StreamHeader => {
+                if self.pending.contains_key(&from) {
+                    return Err(FrameError::Malformed("frame kind changed mid-message"));
+                }
+                if frame.seq != 0 {
+                    return Err(FrameError::Sequence {
+                        expected: 0,
+                        got: frame.seq,
+                    });
+                }
+                let last = frame.last;
+                if !last {
+                    // Continuity state only; blocks are never buffered in
+                    // streaming mode.
+                    self.pending.insert(
+                        from,
+                        Partial::Stream {
+                            msg_id: frame.msg_id,
+                            next_seq: 1,
+                            header: Bytes::new(),
+                            blocks: Vec::new(),
+                        },
+                    );
+                }
+                Ok(Some(FlowItem::StreamHeader {
+                    header: frame.payload,
+                    last,
+                }))
+            }
+            FrameKind::StreamBlock => match self.pending.remove(&from) {
+                Some(Partial::Stream {
+                    msg_id, next_seq, ..
+                }) => {
+                    check_continuity(msg_id, next_seq, &frame)?;
+                    if !frame.last {
+                        self.pending.insert(
+                            from,
+                            Partial::Stream {
+                                msg_id,
+                                next_seq: next_seq + 1,
+                                header: Bytes::new(),
+                                blocks: Vec::new(),
+                            },
+                        );
+                    }
+                    Ok(Some(FlowItem::StreamBlock {
+                        block: frame.payload,
+                        last: frame.last,
+                    }))
+                }
+                Some(partial) => {
+                    self.pending.insert(from, partial);
+                    Err(FrameError::Malformed("frame kind changed mid-message"))
+                }
+                None => Err(FrameError::OrphanBlock),
+            },
+        }
+    }
+}
+
+/// One streaming-mode delivery from [`Reassembler::feed_streaming`]: the
+/// per-frame granularity the data plane consumes.
+#[derive(Debug)]
+pub enum FlowItem {
+    /// A fully assembled control message (control frames are small and
+    /// still coalesce).
+    Message(Bytes),
+    /// A stream opened: the codec-encoded header. `last` marks an empty
+    /// stream (no blocks follow).
+    StreamHeader {
+        /// Encoded stream header.
+        header: Bytes,
+        /// `true` when the stream carries no blocks.
+        last: bool,
+    },
+    /// One raw stream block, delivered the moment it arrived.
+    StreamBlock {
+        /// The raw block payload, exactly as sent.
+        block: Bytes,
+        /// `true` when this is the stream's final block.
+        last: bool,
+    },
 }
 
 fn check_continuity(msg_id: u64, next_seq: u32, frame: &Frame) -> Result<(), FrameError> {
@@ -737,6 +845,86 @@ mod tests {
                 .unwrap_err(),
             FrameError::Malformed(_)
         ));
+    }
+
+    #[test]
+    fn feed_streaming_surfaces_blocks_immediately() {
+        let mut r = Reassembler::new();
+        let from = PartyId(3);
+        let Some(FlowItem::StreamHeader { header, last }) = r
+            .feed_streaming(from, frame(FrameKind::StreamHeader, 5, 0, false, b"hdr"))
+            .unwrap()
+        else {
+            panic!("expected immediate header");
+        };
+        assert_eq!(&header[..], b"hdr");
+        assert!(!last);
+        let Some(FlowItem::StreamBlock { block, last }) = r
+            .feed_streaming(from, frame(FrameKind::StreamBlock, 5, 1, false, b"b0"))
+            .unwrap()
+        else {
+            panic!("expected immediate block");
+        };
+        assert_eq!(&block[..], b"b0");
+        assert!(!last);
+        // Continuity state is kept, but no blocks are buffered.
+        assert_eq!(r.pending_senders(), 1);
+        let Some(FlowItem::StreamBlock { last, .. }) = r
+            .feed_streaming(from, frame(FrameKind::StreamBlock, 5, 2, true, b"b1"))
+            .unwrap()
+        else {
+            panic!("expected final block");
+        };
+        assert!(last);
+        assert_eq!(r.pending_senders(), 0);
+    }
+
+    #[test]
+    fn feed_streaming_enforces_continuity() {
+        let mut r = Reassembler::new();
+        let from = PartyId(1);
+        assert!(matches!(
+            r.feed_streaming(from, frame(FrameKind::StreamBlock, 2, 1, false, b"z"))
+                .unwrap_err(),
+            FrameError::OrphanBlock
+        ));
+        r.feed_streaming(from, frame(FrameKind::StreamHeader, 3, 0, false, b"h"))
+            .unwrap();
+        assert!(matches!(
+            r.feed_streaming(from, frame(FrameKind::StreamBlock, 3, 5, false, b"b"))
+                .unwrap_err(),
+            FrameError::Sequence {
+                expected: 1,
+                got: 5
+            }
+        ));
+    }
+
+    #[test]
+    fn feed_streaming_handles_control_and_empty_streams() {
+        let mut r = Reassembler::new();
+        let from = PartyId(7);
+        // Control chunks still coalesce.
+        assert!(r
+            .feed_streaming(from, frame(FrameKind::Control, 9, 0, false, b"ab"))
+            .unwrap()
+            .is_none());
+        let Some(FlowItem::Message(bytes)) = r
+            .feed_streaming(from, frame(FrameKind::Control, 9, 1, true, b"cd"))
+            .unwrap()
+        else {
+            panic!("expected message");
+        };
+        assert_eq!(&bytes[..], b"abcd");
+        // An empty stream is just its header, marked last.
+        let Some(FlowItem::StreamHeader { last, .. }) = r
+            .feed_streaming(from, frame(FrameKind::StreamHeader, 10, 0, true, b"h"))
+            .unwrap()
+        else {
+            panic!("expected header");
+        };
+        assert!(last);
+        assert_eq!(r.pending_senders(), 0);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Pluggable, streaming multiparty messaging for the SAP protocol.
 //!
 //! The PODC'07 brief runs between three roles — data providers, a
-//! coordinator, and the mining service provider — and "assume[s] that
+//! coordinator, and the mining service provider — and "assume\[s\] that
 //! encryption is applied before data is transmitted on the network". This
 //! crate supplies the communication substrate those roles run on, as a
 //! layered pipeline in which every layer is swappable:
@@ -58,6 +58,6 @@ pub mod wire;
 
 pub use codec::{Codec, CodecError, JsonCodec, WireCodec};
 pub use mux::{MuxEndpoint, MuxMetrics, SessionMux};
-pub use node::{Node, NodeEvent};
+pub use node::{Node, NodeEvent, NodeFlow, StreamHandle};
 pub use tcp::TcpTransport;
 pub use transport::{InMemoryHub, PartyId, SessionId, Transport, TransportError};

@@ -15,7 +15,7 @@
 use crate::codec::{Codec, CodecError, WireCodec};
 use crate::crypto::ChannelKey;
 use crate::frame::{
-    self, Assembled, Frame, FrameError, FrameKind, Reassembler, DEFAULT_CHUNK_SIZE,
+    self, Assembled, FlowItem, Frame, FrameError, FrameKind, Reassembler, DEFAULT_CHUNK_SIZE,
 };
 use crate::transport::{PartyId, SessionId, Transport, TransportError};
 use bytes::Bytes;
@@ -84,6 +84,61 @@ pub enum NodeEvent<M, H> {
 struct RecvState {
     reassembler: Reassembler,
     ready: VecDeque<(PartyId, Assembled)>,
+    flow_ready: VecDeque<(PartyId, FlowItem)>,
+}
+
+/// One streaming-mode inbound delivery (see [`Node::recv_flow_timeout`]).
+///
+/// Where [`NodeEvent`] hands over a stream only once every block has
+/// arrived, `NodeFlow` surfaces the header and each block the moment they
+/// land — the granularity the streaming data plane overlaps compute and
+/// I/O at.
+#[derive(Debug)]
+pub enum NodeFlow<M, H> {
+    /// An ordinary (fully assembled) message.
+    Msg(M),
+    /// A stream opened. `last` is `true` for an empty stream — no blocks
+    /// will follow.
+    StreamStart {
+        /// The decoded stream header.
+        header: H,
+        /// `true` when the stream carries no blocks.
+        last: bool,
+    },
+    /// One raw stream block, in order, exactly as the sender produced it.
+    StreamBlock {
+        /// The raw block payload.
+        block: Bytes,
+        /// `true` when this is the stream's final block.
+        last: bool,
+    },
+}
+
+/// An in-progress outbound stream opened with [`Node::begin_stream`].
+///
+/// The handle tracks the frame sequence; feed it blocks with
+/// [`Node::stream_block`] and mark the final one with `last = true`. At
+/// most one stream per `(node, peer)` pair may be open at a time —
+/// receivers reassemble per sender, so interleaving two open streams to
+/// the same peer is a framing violation the peer will abort on.
+#[derive(Debug)]
+pub struct StreamHandle {
+    to: PartyId,
+    msg_id: u64,
+    next_seq: u32,
+    finished: bool,
+}
+
+impl StreamHandle {
+    /// The peer this stream is addressed to.
+    pub fn to(&self) -> PartyId {
+        self.to
+    }
+
+    /// `true` once the final block (or an empty header) has been sent.
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
 }
 
 /// A party's typed messaging endpoint, generic over transport and codec.
@@ -138,6 +193,7 @@ impl<T: Transport, C: Codec> Node<T, C> {
             recv_state: Mutex::new(RecvState {
                 reassembler: Reassembler::new(),
                 ready: VecDeque::new(),
+                flow_ready: VecDeque::new(),
             }),
         }
     }
@@ -203,7 +259,9 @@ impl<T: Transport, C: Codec> Node<T, C> {
 
     /// Sends a stream: a typed header frame followed by raw blocks, each
     /// block one sealed frame. Blocks are sent as the iterator yields
-    /// them — the whole payload never exists as one allocation here.
+    /// them — the whole payload never exists as one allocation here, and
+    /// a lazy iterator overlaps producing each block with transmitting
+    /// the previous one.
     ///
     /// # Errors
     ///
@@ -213,34 +271,104 @@ impl<T: Transport, C: Codec> Node<T, C> {
         H: Serialize,
         I: IntoIterator<Item = Bytes>,
     {
+        let mut blocks = blocks.into_iter().peekable();
+        let mut stream = self.begin_stream(to, header, blocks.peek().is_none())?;
+        while let Some(block) = blocks.next() {
+            let last = blocks.peek().is_none();
+            self.stream_block(&mut stream, block, last)?;
+        }
+        Ok(())
+    }
+
+    /// Opens an outbound stream by sending its header frame; blocks
+    /// follow via [`Node::stream_block`]. `empty` marks a stream with no
+    /// blocks (the header frame is then also the last frame).
+    ///
+    /// This is the incremental counterpart of [`Node::send_stream`], used
+    /// by the relay pump to forward blocks of a stream *while it is still
+    /// arriving*. Only one stream per peer may be open at a time (see
+    /// [`StreamHandle`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`Node::send_msg`].
+    pub fn begin_stream<H: Serialize>(
+        &self,
+        to: PartyId,
+        header: &H,
+        empty: bool,
+    ) -> Result<StreamHandle, NodeError> {
         let encoded = Bytes::from(self.codec.encode(header)?);
         let msg_id = self.next_id();
-        let mut blocks = blocks.into_iter().peekable();
         self.send_frame(
             to,
             &Frame {
                 kind: FrameKind::StreamHeader,
                 msg_id,
                 seq: 0,
-                last: blocks.peek().is_none(),
+                last: empty,
                 payload: encoded,
             },
         )?;
-        let mut seq = 1u32;
-        while let Some(block) = blocks.next() {
-            self.send_frame(
-                to,
-                &Frame {
-                    kind: FrameKind::StreamBlock,
-                    msg_id,
-                    seq,
-                    last: blocks.peek().is_none(),
-                    payload: block,
-                },
-            )?;
-            seq += 1;
-        }
+        Ok(StreamHandle {
+            to,
+            msg_id,
+            next_seq: 1,
+            finished: empty,
+        })
+    }
+
+    /// Sends one block on an open stream; `last` closes it.
+    ///
+    /// # Errors
+    ///
+    /// As [`Node::send_msg`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the stream is already finished.
+    pub fn stream_block(
+        &self,
+        stream: &mut StreamHandle,
+        block: Bytes,
+        last: bool,
+    ) -> Result<(), NodeError> {
+        assert!(!stream.finished, "stream already finished");
+        self.send_frame(
+            stream.to,
+            &Frame {
+                kind: FrameKind::StreamBlock,
+                msg_id: stream.msg_id,
+                seq: stream.next_seq,
+                last,
+                payload: block,
+            },
+        )?;
+        stream.next_seq += 1;
+        stream.finished = last;
         Ok(())
+    }
+
+    fn recv_open_frame(&self, deadline: Option<Instant>) -> Result<(PartyId, Frame), NodeError> {
+        let (from, sealed) = match deadline {
+            None => self.transport.recv()?,
+            Some(deadline) => {
+                let remaining = deadline
+                    .checked_duration_since(Instant::now())
+                    .unwrap_or(Duration::ZERO);
+                self.transport.recv_timeout(remaining)?
+            }
+        };
+        let key = ChannelKey::derive(self.session_secret, from.0, self.id().0);
+        let (frame_session, frame) = frame::open_frame(key, &sealed)?;
+        if frame_session != self.session {
+            return Err(FrameError::SessionMismatch {
+                expected: self.session,
+                got: frame_session,
+            }
+            .into());
+        }
+        Ok((from, frame))
     }
 
     fn next_assembled(&self, deadline: Option<Instant>) -> Result<(PartyId, Assembled), NodeError> {
@@ -248,27 +376,23 @@ impl<T: Transport, C: Codec> Node<T, C> {
             if let Some(ready) = self.recv_state.lock().ready.pop_front() {
                 return Ok(ready);
             }
-            let (from, sealed) = match deadline {
-                None => self.transport.recv()?,
-                Some(deadline) => {
-                    let remaining = deadline
-                        .checked_duration_since(Instant::now())
-                        .unwrap_or(Duration::ZERO);
-                    self.transport.recv_timeout(remaining)?
-                }
-            };
-            let key = ChannelKey::derive(self.session_secret, from.0, self.id().0);
-            let (frame_session, frame) = frame::open_frame(key, &sealed)?;
-            if frame_session != self.session {
-                return Err(FrameError::SessionMismatch {
-                    expected: self.session,
-                    got: frame_session,
-                }
-                .into());
-            }
+            let (from, frame) = self.recv_open_frame(deadline)?;
             let mut state = self.recv_state.lock();
             if let Some(assembled) = state.reassembler.feed(from, frame)? {
                 state.ready.push_back((from, assembled));
+            }
+        }
+    }
+
+    fn next_flow(&self, deadline: Option<Instant>) -> Result<(PartyId, FlowItem), NodeError> {
+        loop {
+            if let Some(ready) = self.recv_state.lock().flow_ready.pop_front() {
+                return Ok(ready);
+            }
+            let (from, frame) = self.recv_open_frame(deadline)?;
+            let mut state = self.recv_state.lock();
+            if let Some(item) = state.reassembler.feed_streaming(from, frame)? {
+                state.flow_ready.push_back((from, item));
             }
         }
     }
@@ -311,6 +435,35 @@ impl<T: Transport, C: Codec> Node<T, C> {
     ) -> Result<(PartyId, NodeEvent<M, H>), NodeError> {
         let (from, assembled) = self.next_assembled(Some(Instant::now() + timeout))?;
         Ok((from, self.decode_event(assembled)?))
+    }
+
+    /// Streaming-mode receive with a deadline: delivers stream headers
+    /// and blocks **per frame** as they arrive instead of waiting for the
+    /// whole stream — the receive-side primitive of the streaming data
+    /// plane.
+    ///
+    /// A node must drive either the buffered receives
+    /// ([`Node::recv_event`] family) or this flow receive consistently
+    /// while any sender's stream is in flight; switching modes mid-stream
+    /// loses blocks.
+    ///
+    /// # Errors
+    ///
+    /// As [`Node::recv_event_timeout`].
+    pub fn recv_flow_timeout<M: DeserializeOwned, H: DeserializeOwned>(
+        &self,
+        timeout: Duration,
+    ) -> Result<(PartyId, NodeFlow<M, H>), NodeError> {
+        let (from, item) = self.next_flow(Some(Instant::now() + timeout))?;
+        let flow = match item {
+            FlowItem::Message(bytes) => NodeFlow::Msg(self.codec.decode(&bytes)?),
+            FlowItem::StreamHeader { header, last } => NodeFlow::StreamStart {
+                header: self.codec.decode(&header)?,
+                last,
+            },
+            FlowItem::StreamBlock { block, last } => NodeFlow::StreamBlock { block, last },
+        };
+        Ok((from, flow))
     }
 
     /// Receives the next plain message; a stream here is a protocol error.
@@ -427,6 +580,79 @@ mod tests {
         };
         assert_eq!(header.round, 2);
         assert_eq!(got, blocks);
+    }
+
+    #[test]
+    fn flow_receive_interleaves_with_sending() {
+        // The core of the streaming data plane: a relay can receive block
+        // i, forward it, and only then receive block i+1 — no buffering of
+        // the whole stream anywhere.
+        let hub = InMemoryHub::new();
+        let a = Node::new(hub.endpoint(PartyId(1)), 7);
+        let relay = Node::new(hub.endpoint(PartyId(2)), 7);
+        let c = Node::new(hub.endpoint(PartyId(3)), 7);
+        let blocks: Vec<Bytes> = (0..3u8).map(|i| Bytes::from(vec![i; 8])).collect();
+        a.send_stream(
+            PartyId(2),
+            &Hello {
+                round: 1,
+                body: vec![],
+            },
+            blocks.clone(),
+        )
+        .unwrap();
+
+        let mut out_stream = None;
+        let mut forwarded = 0;
+        loop {
+            let (_, flow) = relay
+                .recv_flow_timeout::<Hello, Hello>(Duration::from_secs(2))
+                .unwrap();
+            match flow {
+                NodeFlow::StreamStart { header, last } => {
+                    assert!(!last);
+                    out_stream = Some(relay.begin_stream(PartyId(3), &header, false).unwrap());
+                }
+                NodeFlow::StreamBlock { block, last } => {
+                    relay
+                        .stream_block(out_stream.as_mut().unwrap(), block, last)
+                        .unwrap();
+                    forwarded += 1;
+                    if last {
+                        break;
+                    }
+                }
+                NodeFlow::Msg(_) => panic!("unexpected message"),
+            }
+        }
+        assert_eq!(forwarded, 3);
+        assert!(out_stream.unwrap().is_finished());
+
+        let (_, event) = c.recv_event::<Hello, Hello>().unwrap();
+        let NodeEvent::Stream { blocks: got, .. } = event else {
+            panic!("expected stream at the far end");
+        };
+        assert_eq!(got, blocks);
+    }
+
+    #[test]
+    fn flow_receive_decodes_messages_too() {
+        let hub = InMemoryHub::new();
+        let a = Node::new(hub.endpoint(PartyId(1)), 7);
+        let b = Node::new(hub.endpoint(PartyId(2)), 7);
+        let msg = Hello {
+            round: 4,
+            body: vec![2.0],
+        };
+        a.send_msg(PartyId(2), &msg).unwrap();
+        let (from, flow) = b
+            .recv_flow_timeout::<Hello, Hello>(Duration::from_secs(2))
+            .unwrap();
+        assert_eq!(from, PartyId(1));
+        let NodeFlow::Msg(got) = flow else {
+            panic!("expected message");
+        };
+        assert_eq!(got, msg);
     }
 
     #[test]

@@ -93,6 +93,52 @@ impl SpaceAdaptor {
         })
     }
 
+    /// Applies the adaptor to a **record-major** block of perturbed
+    /// records (`n × d`, one record per row — the streaming data plane's
+    /// layout), writing the adapted records into `out`.
+    ///
+    /// Large blocks run record-parallel on the
+    /// [`sap_linalg::parallel`] splitter; element accumulation order
+    /// matches [`SpaceAdaptor::apply`] exactly (ascending `k`, zero
+    /// rotation entries skipped, translation added last), so adapting a
+    /// dataset block by block — or record ranges on different threads —
+    /// is bit-identical to one monolithic [`SpaceAdaptor::apply`] call.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `records.len()` is not a multiple of the adaptor
+    /// dimension or `out.len() != records.len()`.
+    pub fn adapt_records(&self, records: &[f64], out: &mut [f64]) {
+        let d = self.dim();
+        assert_eq!(records.len() % d.max(1), 0, "ragged record block");
+        assert_eq!(out.len(), records.len(), "output length mismatch");
+        let n = records.len() / d.max(1);
+        let kernel = |rec0: usize, chunk: &mut [f64]| {
+            for (r, out_rec) in chunk.chunks_exact_mut(d).enumerate() {
+                let rec = &records[(rec0 + r) * d..(rec0 + r + 1) * d];
+                for (i, slot) in out_rec.iter_mut().enumerate() {
+                    let mut acc = 0.0;
+                    for (k, &a) in self.rotation.row(i).iter().enumerate() {
+                        if a == 0.0 {
+                            continue;
+                        }
+                        acc += a * rec[k];
+                    }
+                    *slot = acc + self.translation[i];
+                }
+            }
+        };
+        let flops = n.saturating_mul(d).saturating_mul(d);
+        if sap_linalg::parallel::worth_splitting(flops) && n > 1 {
+            let per = n.div_ceil(sap_linalg::parallel::threads());
+            sap_linalg::parallel::for_each_chunk_mut(out, per * d, |chunk_idx, chunk| {
+                kernel(chunk_idx * per, chunk);
+            });
+        } else {
+            kernel(0, out);
+        }
+    }
+
     /// The complementary noise `Δ_it = R_it·Δᵢ` for a realized source noise
     /// matrix; provided for tests and privacy analysis (the protocol itself
     /// never has access to `Δᵢ`).
@@ -215,6 +261,42 @@ mod tests {
         let x = randn_matrix(4, 20, &mut rng);
         let err = norms::rms_difference(&composed.apply(&x), &a13.apply(&x));
         assert!(err < 1e-8, "composition mismatch {err}");
+    }
+
+    /// Block-wise record-major adaptation must match the monolithic
+    /// column-matrix apply bit-for-bit at any block size.
+    #[test]
+    fn adapt_records_bit_identical_to_apply() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let d = 5;
+        let n = 173;
+        let gi = Perturbation::random(d, &mut rng);
+        let gt = Perturbation::random(d, &mut rng);
+        let adaptor = SpaceAdaptor::between(&gi, &gt).unwrap();
+        let y = randn_matrix(d, n, &mut rng);
+        let reference = adaptor.apply(&y);
+
+        // Record-major copy of y, adapted in uneven blocks.
+        let records: Vec<f64> = (0..n).flat_map(|j| y.column(j)).collect();
+        let mut adapted = vec![0.0; records.len()];
+        for block in [1usize, 7, 64, n + 10] {
+            adapted.iter_mut().for_each(|v| *v = f64::NAN);
+            let mut r0 = 0;
+            while r0 < n {
+                let r1 = (r0 + block).min(n);
+                adaptor.adapt_records(&records[r0 * d..r1 * d], &mut adapted[r0 * d..r1 * d]);
+                r0 = r1;
+            }
+            for j in 0..n {
+                for i in 0..d {
+                    assert_eq!(
+                        adapted[j * d + i].to_bits(),
+                        reference[(i, j)].to_bits(),
+                        "block={block} record={j} feature={i}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

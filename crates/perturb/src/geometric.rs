@@ -76,6 +76,39 @@ impl GeometricPerturbation {
         &affine + delta
     }
 
+    /// Perturbs records `cols` of the `d × N` dataset `x` with the
+    /// realized noise `delta`, filling the reusable scratch `out` with
+    /// `G(x)` **record-major** (`cols.len() × d`; previous contents are
+    /// discarded).
+    ///
+    /// This is the streaming data plane's send-side kernel: a provider
+    /// perturbs one row-block at a time, overlapping the math with the
+    /// transport. Element order matches [`GeometricPerturbation::perturb_with`]
+    /// exactly (`(R·x + Ψ) + Δ`), so the streamed bytes are bit-identical
+    /// to perturbing the whole matrix up front.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any shape mismatch or an out-of-bounds column range.
+    pub fn perturb_records_into(
+        &self,
+        x: &Matrix,
+        delta: &Matrix,
+        cols: std::ops::Range<usize>,
+        out: &mut Vec<f64>,
+    ) {
+        assert_eq!(delta.shape(), x.shape(), "noise shape mismatch");
+        let d = self.dim();
+        let n = x.cols();
+        let start = cols.start;
+        self.base.apply_clean_records_into(x, cols, out);
+        let noise = delta.as_slice();
+        for (pos, v) in out.iter_mut().enumerate() {
+            let (rec, feat) = (pos / d, pos % d);
+            *v += noise[feat * n + (start + rec)];
+        }
+    }
+
     /// Best-effort inversion without the noise realization:
     /// `X̂ = R⁻¹(Y − Ψ)`. The residual is the rotated noise `R⁻¹Δ`.
     ///
@@ -162,6 +195,39 @@ mod tests {
         let x1 = g1.invert_exact(&y1, &delta);
         let x2 = g2.invert_exact(&y2, &delta);
         assert!(x1.approx_eq(&x2, 1e-9));
+    }
+
+    /// Streaming a perturbation block by block must produce the exact
+    /// bytes the monolithic path produces — the send-side half of the
+    /// data-plane equivalence guarantee.
+    #[test]
+    fn perturb_records_bit_identical_to_perturb_with() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let d = 4;
+        let n = 97;
+        let g = GeometricPerturbation::random(d, 0.1, &mut rng);
+        let x = randn_matrix(d, n, &mut rng);
+        let delta = NoiseSpec::new(0.1).sample(d, n, &mut rng);
+        let whole = g.perturb_with(&x, &delta);
+        let mut scratch = Vec::new();
+        for block in [1usize, 13, n, n + 5] {
+            let mut j0 = 0;
+            while j0 < n {
+                let j1 = (j0 + block).min(n);
+                g.perturb_records_into(&x, &delta, j0..j1, &mut scratch);
+                for (r, rec) in scratch.chunks_exact(d).enumerate() {
+                    for (i, v) in rec.iter().enumerate() {
+                        assert_eq!(
+                            v.to_bits(),
+                            whole[(i, j0 + r)].to_bits(),
+                            "block={block} col={} feature={i}",
+                            j0 + r
+                        );
+                    }
+                }
+                j0 = j1;
+            }
+        }
     }
 
     #[test]

@@ -67,7 +67,7 @@ impl Perturbation {
     }
 
     /// Rotation-only perturbation (`t = 0`) — the random-rotation baseline
-    /// of Chen & Liu's ICDM'05 paper (reference [1] of the brief), used by
+    /// of Chen & Liu's ICDM'05 paper (reference \[1\] of the brief), used by
     /// the ablation benches.
     ///
     /// # Panics
@@ -106,6 +106,49 @@ impl Perturbation {
     /// The translation as the paper's `d × N` matrix `Ψ = t·1ᵀ`.
     pub fn translation_matrix(&self, n: usize) -> Matrix {
         Matrix::from_fn(self.dim(), n, |r, _| self.translation[r])
+    }
+
+    /// Applies the affine map to records `cols` of a `d × N` dataset,
+    /// filling `out` with the results **record-major** (one record per
+    /// row, `cols.len() × d`) — the layout the streaming data plane's
+    /// wire blocks use. `out` is a reusable scratch buffer: it is cleared
+    /// first (previous contents are discarded) and never re-allocated
+    /// once its capacity has grown to one block.
+    ///
+    /// Each output element is accumulated exactly like [`Matrix::matmul`]
+    /// restricted to those columns (ascending `k`, zero left-factors
+    /// skipped, translation added last), so streaming a dataset block by
+    /// block produces values **bit-identical** to perturbing the whole
+    /// matrix at once with [`Perturbation::apply_clean`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x.rows() != self.dim()` or `cols.end > x.cols()`.
+    pub fn apply_clean_records_into(
+        &self,
+        x: &Matrix,
+        cols: std::ops::Range<usize>,
+        out: &mut Vec<f64>,
+    ) {
+        let d = self.dim();
+        assert_eq!(x.rows(), d, "dataset dimensionality mismatch");
+        assert!(cols.end <= x.cols(), "column range out of bounds");
+        let n = x.cols();
+        let data = x.as_slice();
+        out.clear();
+        out.reserve(cols.len() * d);
+        for j in cols {
+            for i in 0..d {
+                let mut acc = 0.0;
+                for (k, &a) in self.rotation.row(i).iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    acc += a * data[k * n + j];
+                }
+                out.push(acc + self.translation[i]);
+            }
+        }
     }
 
     /// Applies the affine map to a `d × N` dataset: `R·X + Ψ` (no noise).

@@ -2,7 +2,7 @@
 //! risk model.
 //!
 //! This crate implements the *evaluation* half of the PODC'07 brief and its
-//! SDM'07 companion (reference [2]):
+//! SDM'07 companion (reference \[2\]):
 //!
 //! * [`metric`] — the multi-column **minimum privacy guarantee** `ρ`: the
 //!   worst per-attribute normalized deviation between the original data and

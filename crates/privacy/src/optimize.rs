@@ -1,7 +1,7 @@
 //! The randomized perturbation optimizer.
 //!
 //! "A randomized perturbation optimization algorithm is also developed in
-//! previous work [2] to provide high privacy guarantee with high
+//! previous work \[2\] to provide high privacy guarantee with high
 //! probability (Figure 2)." The algorithm is a randomized search: sample
 //! candidate perturbations, score each by the minimum privacy guarantee
 //! under the attack suite, keep the best. The brief then builds on three

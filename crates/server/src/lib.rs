@@ -27,6 +27,34 @@
 //! Sessions submitted with the same [`SapConfig`] produce outcomes
 //! byte-identical to a solo [`sap_core::run_session`] run: the runtime
 //! multiplexes transport and threads, never the protocol's randomness.
+//!
+//! # Embedding the server
+//!
+//! An application embeds a [`SapServer`] directly — submit sessions
+//! (non-blocking), wait for outcomes, read metrics:
+//!
+//! ```
+//! use sap_core::session::SapConfig;
+//! use sap_datasets::partition::{partition, PartitionScheme};
+//! use sap_datasets::registry::UciDataset;
+//! use sap_server::{SapServer, ServerConfig};
+//!
+//! // An in-process mesh (swap for `SapServer::local_tcp` to serve over
+//! // real sockets — nothing else changes).
+//! let server = SapServer::in_memory(ServerConfig::default()).unwrap();
+//!
+//! // Three providers hold horizontal slices of one dataset.
+//! let pooled = UciDataset::Iris.generate(42);
+//! let locals = partition(&pooled, 3, PartitionScheme::Uniform, 7);
+//!
+//! let id = server.submit(locals, &SapConfig::quick_test()).unwrap();
+//! let outcome = server.wait(id, None).unwrap();
+//! assert_eq!(outcome.unified.len(), pooled.len());
+//!
+//! let metrics = server.metrics();
+//! assert_eq!(metrics.sessions_completed, 1);
+//! assert!(metrics.blocks_relayed > 0);
+//! ```
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
@@ -155,7 +183,7 @@ impl ServerConfig {
 
 /// Aggregated server counters. Sessions are accounted when their end is
 /// first observed (by [`SapServer::wait`] or the reap sweep).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct ServerMetrics {
     /// Sessions admitted.
     pub sessions_started: u64,
@@ -172,6 +200,14 @@ pub struct ServerMetrics {
     /// Row blocks relayed through the anonymizing hop, summed over
     /// completed sessions.
     pub blocks_relayed: u64,
+    /// Row blocks the relay hops forwarded **while their inbound stream
+    /// was still arriving** (the streaming data plane's pipelining),
+    /// summed over completed sessions.
+    pub blocks_pipelined: u64,
+    /// Mean compute/I-O overlap ratio across completed sessions: the
+    /// share of data-plane compute (unseal-side decode + adaptation)
+    /// hidden under stream transfer time. Zero for buffered sessions.
+    pub overlap_ratio_avg: f64,
     /// Bytes sent through the lane muxes — all of them sealed envelope
     /// bytes (wire format v3).
     pub bytes_sealed: u64,
@@ -198,6 +234,11 @@ struct Counters {
     aborted: AtomicU64,
     rejected: AtomicU64,
     blocks_relayed: AtomicU64,
+    blocks_pipelined: AtomicU64,
+    /// Sum of per-session overlap ratios in micro-units (ratio × 1e6),
+    /// over `overlap_sessions` — keeps the aggregate lock-free.
+    overlap_micros_sum: AtomicU64,
+    overlap_sessions: AtomicU64,
 }
 
 /// A multi-session SAP service over a shared physical mesh.
@@ -493,6 +534,16 @@ impl<T: Transport + 'static> SapServer<T> {
                 self.counters
                     .blocks_relayed
                     .fetch_add(outcome.relayed_blocks, Ordering::Relaxed);
+                self.counters
+                    .blocks_pipelined
+                    .fetch_add(outcome.stream.pipelined_blocks, Ordering::Relaxed);
+                let micros = (outcome.stream.overlap_ratio() * 1e6) as u64;
+                self.counters
+                    .overlap_micros_sum
+                    .fetch_add(micros, Ordering::Relaxed);
+                self.counters
+                    .overlap_sessions
+                    .fetch_add(1, Ordering::Relaxed);
             }
             Err(SapError::Aborted) => {
                 self.counters.aborted.fetch_add(1, Ordering::Relaxed);
@@ -577,6 +628,14 @@ impl<T: Transport + 'static> SapServer<T> {
             unknown += m.unknown_session_dropped;
             shed += m.shed_frames;
         }
+        let overlap_sessions = self.counters.overlap_sessions.load(Ordering::Relaxed);
+        let overlap_ratio_avg = if overlap_sessions == 0 {
+            0.0
+        } else {
+            self.counters.overlap_micros_sum.load(Ordering::Relaxed) as f64
+                / 1e6
+                / overlap_sessions as f64
+        };
         ServerMetrics {
             sessions_started: self.counters.started.load(Ordering::Relaxed),
             sessions_completed: self.counters.completed.load(Ordering::Relaxed),
@@ -585,6 +644,8 @@ impl<T: Transport + 'static> SapServer<T> {
             sessions_rejected: self.counters.rejected.load(Ordering::Relaxed),
             live_sessions: self.live_sessions(),
             blocks_relayed: self.counters.blocks_relayed.load(Ordering::Relaxed),
+            blocks_pipelined: self.counters.blocks_pipelined.load(Ordering::Relaxed),
+            overlap_ratio_avg,
             bytes_sealed,
             frames_routed,
             unknown_session_dropped: unknown,
@@ -644,6 +705,13 @@ mod tests {
         assert_eq!(m.sessions_completed, 1);
         assert!(m.blocks_relayed > 0);
         assert!(m.bytes_sealed > 0);
+        // The default data plane streams: relay hops pipeline blocks and
+        // the miner's decode overlaps the exchange.
+        assert!(m.blocks_pipelined > 0, "{m:?}");
+        assert!(
+            m.overlap_ratio_avg >= 0.0 && m.overlap_ratio_avg <= 1.0,
+            "{m:?}"
+        );
     }
 
     #[test]

@@ -15,6 +15,7 @@ use sap_repro::core::audit::AuditLog;
 use sap_repro::core::miner::run_miner;
 use sap_repro::core::session::{run_session, SapConfig};
 use sap_repro::core::SapError;
+use sap_repro::core::StreamMonitor;
 use sap_repro::datasets::normalize::min_max_normalize;
 use sap_repro::datasets::partition::{partition, PartitionScheme};
 use sap_repro::datasets::registry::UciDataset;
@@ -78,7 +79,7 @@ fn lossy_link_to_miner() {
         timeout: Duration::from_millis(100),
         ..SapConfig::quick_test()
     };
-    match run_miner(&node, 3, PartyId(2), &config, &audit) {
+    match run_miner(&node, 3, PartyId(2), &config, &audit, &StreamMonitor::new()) {
         Err(SapError::Timeout { phase, .. }) => {
             println!("lossy network: miner aborted cleanly during '{phase}'");
             println!(

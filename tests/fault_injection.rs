@@ -10,6 +10,7 @@ use sap_repro::core::messages::{SapMessage, SlotTag};
 use sap_repro::core::miner::run_miner;
 use sap_repro::core::session::SapConfig;
 use sap_repro::core::SapError;
+use sap_repro::core::StreamMonitor;
 use sap_repro::datasets::Dataset;
 use sap_repro::net::node::Node;
 use sap_repro::net::sim::{FaultConfig, FaultyTransport};
@@ -56,7 +57,15 @@ fn dropped_frames_time_out_cleanly() {
     );
 
     let audit = AuditLog::new();
-    let err = run_miner(&miner_node, 1, PartyId(2), &quick(100), &audit).unwrap_err();
+    let err = run_miner(
+        &miner_node,
+        1,
+        PartyId(2),
+        &quick(100),
+        &audit,
+        &StreamMonitor::new(),
+    )
+    .unwrap_err();
     assert!(matches!(err, SapError::Timeout { .. }), "{err}");
     // Nothing was recorded as delivered.
     assert!(audit.is_empty());
@@ -74,7 +83,15 @@ fn duplicated_stream_detected_as_duplicate_slot() {
     }
 
     let audit = AuditLog::new();
-    let err = run_miner(&miner_node, 2, PartyId(2), &quick(300), &audit).unwrap_err();
+    let err = run_miner(
+        &miner_node,
+        2,
+        PartyId(2),
+        &quick(300),
+        &audit,
+        &StreamMonitor::new(),
+    )
+    .unwrap_err();
     assert!(err.to_string().contains("duplicate slot"), "{err}");
 }
 
@@ -97,7 +114,15 @@ fn duplicated_frames_detected_as_framing_violation() {
     link::send_dataset(&relay, PartyId(100), true, SlotTag(9), &tiny_dataset(), 8).unwrap();
 
     let audit = AuditLog::new();
-    let err = run_miner(&miner_node, 1, PartyId(2), &quick(300), &audit).unwrap_err();
+    let err = run_miner(
+        &miner_node,
+        1,
+        PartyId(2),
+        &quick(300),
+        &audit,
+        &StreamMonitor::new(),
+    )
+    .unwrap_err();
     assert!(
         matches!(err, SapError::Protocol(_)),
         "duplicated frames must abort as a protocol violation, got {err}"
@@ -187,7 +212,15 @@ fn delayed_relays_still_unify() {
         .unwrap();
 
     let audit = AuditLog::new();
-    let out = run_miner(&miner_node, 2, PartyId(2), &quick(500), &audit).unwrap();
+    let out = run_miner(
+        &miner_node,
+        2,
+        PartyId(2),
+        &quick(500),
+        &audit,
+        &StreamMonitor::new(),
+    )
+    .unwrap();
     assert_eq!(out.unified.len(), 24);
     assert!(relay.transport().fault_counts().2 >= 1, "delay happened");
 }

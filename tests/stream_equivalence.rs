@@ -1,0 +1,131 @@
+//! The streaming data plane's contract: for any dataset, any block size,
+//! and any session shape, the streaming and buffered planes produce
+//! **byte-identical** [`SapOutcome`]s — same unified records (bitwise),
+//! same reports, same forwarders, same relayed block counts. Only the
+//! timing-dependent `stream` statistics may differ.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sap_repro::core::session::{run_session, DataPlane, SapConfig, SapOutcome};
+use sap_repro::datasets::partition::{partition, PartitionScheme};
+use sap_repro::datasets::Dataset;
+use std::time::Duration;
+
+fn random_locals(seed: u64, rows: usize, dim: usize, k: usize) -> Vec<Dataset> {
+    let m = sap_repro::linalg::randn_matrix(dim, rows, &mut StdRng::seed_from_u64(seed));
+    let labels = (0..rows).map(|i| i % 3).collect();
+    let pooled = Dataset::from_column_matrix(&m, labels, 3);
+    partition(&pooled, k, PartitionScheme::Uniform, seed ^ 0xA5)
+}
+
+fn config(seed: u64, block_rows: usize, plane: DataPlane) -> SapConfig {
+    SapConfig {
+        seed,
+        block_rows,
+        data_plane: plane,
+        timeout: Duration::from_secs(30),
+        ..SapConfig::quick_test()
+    }
+}
+
+/// Field-by-field bitwise comparison (the `stream` stats are explicitly
+/// out of the contract — they measure timing, not results).
+fn assert_outcomes_identical(streamed: &SapOutcome, buffered: &SapOutcome) {
+    assert_eq!(
+        streamed.unified, buffered.unified,
+        "unified datasets differ"
+    );
+    assert_eq!(
+        streamed.forwarder_of_slot, buffered.forwarder_of_slot,
+        "forwarder assignments differ"
+    );
+    assert_eq!(
+        streamed.relayed_blocks, buffered.relayed_blocks,
+        "relayed block counts differ"
+    );
+    assert_eq!(streamed.identifiability, buffered.identifiability);
+    assert_eq!(streamed.target, buffered.target, "target spaces differ");
+    assert_eq!(streamed.reports.len(), buffered.reports.len());
+    for (s, b) in streamed.reports.iter().zip(&buffered.reports) {
+        assert_eq!(s.provider, b.provider);
+        assert_eq!(s.rho_local.to_bits(), b.rho_local.to_bits(), "rho_local");
+        assert_eq!(
+            s.rho_unified.to_bits(),
+            b.rho_unified.to_bits(),
+            "rho_unified"
+        );
+        assert_eq!(
+            s.satisfaction.to_bits(),
+            b.satisfaction.to_bits(),
+            "satisfaction"
+        );
+        assert_eq!(s.optimizer_history.len(), b.optimizer_history.len());
+        for (x, y) in s.optimizer_history.iter().zip(&b.optimizer_history) {
+            assert_eq!(x.to_bits(), y.to_bits(), "optimizer history");
+        }
+    }
+}
+
+fn run_both(seed: u64, rows: usize, dim: usize, k: usize, block_rows: usize) {
+    let streamed = run_session(
+        random_locals(seed, rows, dim, k),
+        &config(seed, block_rows, DataPlane::Streaming),
+    )
+    .expect("streaming session");
+    let buffered = run_session(
+        random_locals(seed, rows, dim, k),
+        &config(seed, block_rows, DataPlane::Buffered),
+    )
+    .expect("buffered session");
+    assert_outcomes_identical(&streamed, &buffered);
+    // The streaming run really did pipeline: the relay hop forwarded
+    // blocks before their streams finished (unless blocks were so large
+    // each stream was a single frame).
+    assert!(streamed.stream.blocks_streamed > 0);
+    assert_eq!(buffered.stream.blocks_streamed, 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Random datasets, session shapes, and block sizes: the two planes
+    /// must agree bit-for-bit.
+    #[test]
+    fn planes_agree_on_random_sessions(
+        seed in any::<u64>(),
+        rows in 24usize..100,
+        dim in 2usize..5,
+        k in 3usize..5,
+        block_rows in 1usize..40,
+    ) {
+        run_both(seed, rows, dim, k, block_rows);
+    }
+}
+
+/// The degenerate chunking grains: one row per block (maximum frame
+/// count) and blocks larger than any provider's partition (the whole
+/// dataset in a single block).
+#[test]
+fn edge_block_sizes_agree() {
+    run_both(0xB10C, 40, 3, 3, 1);
+    run_both(0xB10C, 40, 3, 3, 10_000);
+}
+
+/// The streaming plane must pipeline the relay hop when streams span
+/// several blocks: blocks are forwarded while their stream is still
+/// arriving.
+#[test]
+fn streaming_plane_actually_pipelines() {
+    let outcome = run_session(
+        random_locals(7, 96, 4, 4),
+        &config(7, 4, DataPlane::Streaming),
+    )
+    .expect("streaming session");
+    assert!(
+        outcome.stream.pipelined_blocks > 0,
+        "relay pump never forwarded a block in flight: {:?}",
+        outcome.stream
+    );
+    assert!(outcome.stream.max_streams_in_flight >= 1);
+}
