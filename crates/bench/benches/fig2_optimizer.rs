@@ -32,7 +32,13 @@ fn bench_fig2(c: &mut Criterion) {
         };
         group.bench_with_input(BenchmarkId::new("optimize", candidates), &cfg, |b, cfg| {
             let mut rng = StdRng::seed_from_u64(3);
-            b.iter(|| black_box(optimize(&x, cfg, &mut rng).privacy_guarantee));
+            b.iter(|| {
+                black_box(
+                    optimize(&x, cfg, &mut rng)
+                        .expect("valid optimizer config")
+                        .privacy_guarantee,
+                )
+            });
         });
     }
     group.finish();

@@ -28,7 +28,8 @@ fn bench_fig3(c: &mut Criterion) {
             |b, parts| {
                 let mut rng = StdRng::seed_from_u64(4);
                 b.iter(|| {
-                    let est = estimate_bound(&parts[0].to_column_matrix(), &config, 3, &mut rng);
+                    let est = estimate_bound(&parts[0].to_column_matrix(), &config, 3, &mut rng)
+                        .expect("valid optimizer config");
                     black_box(est.optimality_rate())
                 });
             },

@@ -68,7 +68,11 @@ pub fn run(dataset: UciDataset, scale: Scale, seed: u64) -> Fig2Result {
         .map(|_| random_baseline(&x, &config, &mut rng).1)
         .collect();
     let optimized: Vec<f64> = (0..draws)
-        .map(|_| optimize(&x, &config, &mut rng).privacy_guarantee)
+        .map(|_| {
+            optimize(&x, &config, &mut rng)
+                .expect("valid optimizer config")
+                .privacy_guarantee
+        })
         .collect();
     Fig2Result {
         dataset: dataset.name(),

@@ -52,7 +52,9 @@ pub fn run(scale: Scale, seed: u64) -> Vec<Fig3Row> {
                     .iter()
                     .map(|p| {
                         let x = p.to_column_matrix();
-                        estimate_bound(&x, &config, scale.rounds(), &mut rng).optimality_rate()
+                        estimate_bound(&x, &config, scale.rounds(), &mut rng)
+                            .expect("valid optimizer config")
+                            .optimality_rate()
                     })
                     .collect();
                 rows.push(Fig3Row {
@@ -80,10 +82,12 @@ mod tests {
         let config = OptimizerConfig {
             candidates: 4,
             eval_sample: 100,
+            use_ica: false,
             ..OptimizerConfig::default()
         };
         let mut rng = StdRng::seed_from_u64(3);
-        let est = estimate_bound(&parts[0].to_column_matrix(), &config, 3, &mut rng);
+        let est = estimate_bound(&parts[0].to_column_matrix(), &config, 3, &mut rng)
+            .expect("valid optimizer config");
         let rate = est.optimality_rate();
         assert!(
             (0.0..=1.0 + 1e-9).contains(&rate),

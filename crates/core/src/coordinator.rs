@@ -21,7 +21,8 @@ use sap_datasets::Dataset;
 use sap_net::node::Node;
 use sap_net::{Codec, PartyId, Transport};
 use sap_perturb::{GeometricPerturbation, Perturbation, SpaceAdaptor};
-use sap_privacy::optimize::{evaluate_perturbation, optimize};
+use sap_privacy::engine;
+use sap_privacy::optimize::evaluate_perturbation;
 use std::collections::HashMap;
 
 /// Runs the coordinator role (provider duties included) to completion.
@@ -55,9 +56,11 @@ pub fn run_coordinator<T: Transport, C: Codec>(
     let coord_pos = k - 1;
     let mut rng = StdRng::seed_from_u64(config.seed ^ 0xC00D);
 
-    // Provider duty: local optimization on own data.
+    // Provider duty: local optimization on own data, through the staged
+    // parallel engine.
     let x = data.to_column_matrix();
-    let opt = optimize(&x, &config.optimizer, &mut rng);
+    let engine_out = engine::run(&x, &config.optimizer, &mut rng)?;
+    let opt = engine_out.result;
     let g_local = opt.perturbation.clone();
     let rho_local = opt.privacy_guarantee;
 
@@ -225,6 +228,7 @@ pub fn run_coordinator<T: Transport, C: Codec>(
             rho_unified,
             satisfaction,
             optimizer_history: opt.history,
+            optimizer: engine_out.stats,
         },
         target,
     ))

@@ -2,6 +2,7 @@
 
 use sap_net::node::NodeError;
 use sap_net::PartyId;
+use sap_privacy::optimize::OptimizeError;
 use std::fmt;
 
 /// Failures of a SAP session.
@@ -30,6 +31,11 @@ pub enum SapError {
     },
     /// Provider datasets disagree on dimensionality or class count.
     InconsistentInputs(String),
+    /// The session's optimizer configuration is malformed (zero
+    /// candidates, empty dataset). A typed error instead of a panic so a
+    /// bad client config fails *its* session instead of killing a
+    /// server-side role thread.
+    Optimizer(OptimizeError),
     /// The session was aborted by its owner (server shutdown, GC of an
     /// overdue session, or an explicit
     /// [`crate::runtime::SessionHandle::abort`]).
@@ -57,6 +63,7 @@ impl fmt::Display for SapError {
                 write!(f, "SAP needs at least 3 providers, got {got}")
             }
             SapError::InconsistentInputs(what) => write!(f, "inconsistent inputs: {what}"),
+            SapError::Optimizer(e) => write!(f, "optimizer rejected the configuration: {e}"),
             SapError::Aborted => write!(f, "session aborted by its owner"),
             SapError::Capacity { needed, available } => {
                 write!(
@@ -69,6 +76,12 @@ impl fmt::Display for SapError {
 }
 
 impl std::error::Error for SapError {}
+
+impl From<OptimizeError> for SapError {
+    fn from(e: OptimizeError) -> Self {
+        SapError::Optimizer(e)
+    }
+}
 
 impl From<NodeError> for SapError {
     fn from(e: NodeError) -> Self {

@@ -31,7 +31,8 @@ use sap_linalg::Matrix;
 use sap_net::node::{Node, StreamHandle};
 use sap_net::{Codec, PartyId, Transport};
 use sap_perturb::{GeometricPerturbation, Perturbation, SpaceAdaptor};
-use sap_privacy::optimize::{evaluate_perturbation, optimize};
+use sap_privacy::engine;
+use sap_privacy::optimize::evaluate_perturbation;
 use std::collections::{HashMap, VecDeque};
 
 /// Runs the provider role to completion.
@@ -53,8 +54,9 @@ pub fn run_provider<T: Transport, C: Codec>(
     let x = data.to_column_matrix();
     let mut rng = StdRng::seed_from_u64(config.seed ^ me.0.wrapping_mul(0x9E37_79B9_7F4A_7C15));
 
-    // Phase 1: local optimization.
-    let opt = optimize(&x, &config.optimizer, &mut rng);
+    // Phase 1: local optimization through the staged, parallel engine.
+    let engine_out = engine::run(&x, &config.optimizer, &mut rng)?;
+    let opt = engine_out.result;
     let g_local = opt.perturbation.clone();
     let rho_local = opt.privacy_guarantee;
 
@@ -113,6 +115,7 @@ pub fn run_provider<T: Transport, C: Codec>(
         rho_unified,
         satisfaction,
         optimizer_history: opt.history,
+        optimizer: engine_out.stats,
     })
 }
 

@@ -103,6 +103,7 @@ impl SapConfig {
                 known_points: 4,
                 eval_sample: 80,
                 use_ica: false,
+                ..OptimizerConfig::default()
             },
             session_secret: 42,
             seed: 7,
@@ -126,7 +127,12 @@ pub struct ProviderReport {
     /// Satisfaction level `sᵢ = ρᵢᴳ / ρᵢ`.
     pub satisfaction: f64,
     /// Privacy guarantee of every optimizer candidate (for Figure 2).
+    /// Under the staged schedule, pruned candidates carry cheap-stage
+    /// scores (see [`sap_privacy::optimize::OptimizedPerturbation::history`]).
     pub optimizer_history: Vec<f64>,
+    /// Per-stage telemetry of this provider's optimizer run (wall times,
+    /// candidates evaluated/pruned, ICA applications).
+    pub optimizer: sap_privacy::EngineStats,
 }
 
 /// Outcome of a completed session.
@@ -155,28 +161,54 @@ pub struct SapOutcome {
     pub target: Perturbation,
 }
 
+/// Session-wide optimizer telemetry: every provider's engine run summed
+/// up — what `sap-server` folds into its `ServerMetrics` counters
+/// (optimizer wall time, candidates evaluated/pruned).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OptimizerSummary {
+    /// Total optimizer wall time across the session's providers (seconds).
+    pub wall_s: f64,
+    /// Candidates scored by the cheap stage, all providers.
+    pub candidates_evaluated: u64,
+    /// Candidates pruned before the expensive stage, all providers.
+    pub candidates_pruned: u64,
+    /// Survivors on which the ICA reconstruction applied, all providers.
+    pub ica_applied: u64,
+}
+
 impl SapOutcome {
     /// Number of providers `k`.
     pub fn num_providers(&self) -> usize {
         self.reports.len()
     }
 
-    /// Per-provider overall SAP risk (eq. 2 of the brief), using each
-    /// provider's optimizer-history maximum as the empirical bound `b̂`
-    /// (the paper's "maximum privacy guarantee of n-round optimizations",
-    /// with the session's candidate evaluations standing in for the rounds).
-    /// Degenerate histories (all-zero guarantees) yield risk `1.0`.
+    /// Aggregates every provider's optimizer telemetry.
+    pub fn optimizer_summary(&self) -> OptimizerSummary {
+        let mut s = OptimizerSummary::default();
+        for r in &self.reports {
+            s.wall_s += r.optimizer.total_s;
+            s.candidates_evaluated += r.optimizer.candidates as u64;
+            s.candidates_pruned += r.optimizer.pruned as u64;
+            s.ica_applied += r.optimizer.ica_applied as u64;
+        }
+        s
+    }
+
+    /// Per-provider overall SAP risk (eq. 2 of the brief), using the
+    /// best **full-suite** guarantee the provider observed as the
+    /// empirical bound `b̂`: `rho_local` is by construction the maximum
+    /// full-suite score of the optimizer run, and `rho_unified` the
+    /// unified space's full-suite score. The per-candidate history is
+    /// deliberately *not* folded in — under the staged schedule pruned
+    /// candidates carry cheap-stage upper bounds that no full evaluation
+    /// ever measured, which would silently inflate `b̂`.
+    /// Degenerate runs (all-zero guarantees) yield risk `1.0`.
     pub fn risk_summary(&self) -> Vec<f64> {
         let k = self.num_providers();
         self.reports
             .iter()
             .map(|r| {
-                let bound = r
-                    .optimizer_history
-                    .iter()
-                    .copied()
-                    .fold(r.rho_local, f64::max)
-                    .max(r.rho_unified);
+                let bound = r.rho_local.max(r.rho_unified);
                 if bound <= 1e-12 {
                     1.0
                 } else {

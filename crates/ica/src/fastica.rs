@@ -59,6 +59,26 @@ impl FastIca {
         rng: &mut R,
     ) -> Result<Self> {
         let whitener = Whitener::fit(x, config.whiten_eps)?;
+        Self::fit_with_whitener(whitener, x, config, rng)
+    }
+
+    /// Runs FastICA with a caller-supplied whitener instead of fitting one
+    /// from `x` — the reuse hook for evaluating many rotations of the same
+    /// base data, where the whitener comes from a shared
+    /// [`crate::workspace::WhiteningWorkspace`] instead of a per-call
+    /// eigen solve.
+    ///
+    /// # Errors
+    ///
+    /// * Shape errors when `whitener` and `x` disagree on dimensionality.
+    /// * [`LinalgError::NoConvergence`] if the fixed-point iteration does
+    ///   not converge within `config.max_iter` sweeps.
+    pub fn fit_with_whitener<R: rand::Rng + ?Sized>(
+        whitener: Whitener,
+        x: &Matrix,
+        config: &FastIcaConfig,
+        rng: &mut R,
+    ) -> Result<Self> {
         let z = whitener.transform(x)?;
         let k = whitener.rank();
         let n = z.cols() as f64;

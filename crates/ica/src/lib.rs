@@ -14,6 +14,9 @@
 //!   decomposition of the covariance.
 //! * [`whiten::Whitener`] — zero-mean, unit-covariance transform, the
 //!   standard ICA preprocessing step.
+//! * [`workspace::WhiteningWorkspace`] — a cached eigendecomposition that
+//!   mints whiteners for many rotations of the same base data (the
+//!   optimizer's candidate fan-out shares one decomposition).
 //! * [`fastica::FastIca`] — the fixed-point FastICA algorithm with symmetric
 //!   decorrelation and the `tanh` contrast.
 //!
@@ -26,10 +29,12 @@
 pub mod fastica;
 pub mod pca;
 pub mod whiten;
+pub mod workspace;
 
 pub use fastica::FastIca;
 pub use pca::Pca;
 pub use whiten::Whitener;
+pub use workspace::WhiteningWorkspace;
 
 use sap_linalg::Matrix;
 

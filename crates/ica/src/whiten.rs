@@ -60,6 +60,30 @@ impl Whitener {
         Ok(Whitener { mean, w, dewhiten })
     }
 
+    /// Assembles a whitener from precomputed parts: the mean record, the
+    /// `k × d` whitening matrix, and the `d × k` de-whitening matrix.
+    ///
+    /// This is the constructor behind [`crate::workspace::WhiteningWorkspace`]:
+    /// when the eigendecomposition a whitener is built from is already
+    /// known (e.g. shared across many rotations of the same base data),
+    /// the caller supplies the matrices directly instead of paying
+    /// [`Whitener::fit`]'s eigen solve again.
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::ShapeMismatch`] when the three parts disagree on
+    /// `d` or `k`.
+    pub fn from_parts(mean: Vec<f64>, w: Matrix, dewhiten: Matrix) -> Result<Self> {
+        if w.cols() != mean.len() || dewhiten.rows() != mean.len() || dewhiten.cols() != w.rows() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "whitener from parts",
+                lhs: w.shape(),
+                rhs: dewhiten.shape(),
+            });
+        }
+        Ok(Whitener { mean, w, dewhiten })
+    }
+
     /// The mean record subtracted before whitening.
     pub fn mean(&self) -> &[f64] {
         &self.mean

@@ -73,9 +73,31 @@ where
     T: Send,
     F: Fn(usize, &mut [T]) + Sync,
 {
+    for_each_chunk_mut_with(threads(), data, chunk_len, f);
+}
+
+/// [`for_each_chunk_mut`] with an explicit worker count instead of the
+/// process-global [`threads`] setting. `workers` is floored at 1 and
+/// capped at the chunk count; results are bit-identical to the serial
+/// loop for every worker count (each chunk's content depends only on its
+/// index and the shared inputs).
+///
+/// This is the entry point for callers that schedule *tasks* rather than
+/// slices — e.g. the privacy optimizer's candidate fan-out, which needs a
+/// per-run thread override for its serial-vs-parallel equivalence tests —
+/// while [`for_each_chunk_mut`] keeps serving the data-parallel kernels.
+///
+/// # Panics
+///
+/// Panics when `chunk_len` is zero.
+pub fn for_each_chunk_mut_with<T, F>(workers: usize, data: &mut [T], chunk_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
     assert!(chunk_len > 0, "chunk_len must be positive");
     let n_chunks = data.len().div_ceil(chunk_len);
-    let workers = threads().min(n_chunks);
+    let workers = workers.max(1).min(n_chunks);
     if workers <= 1 {
         for (idx, chunk) in data.chunks_mut(chunk_len).enumerate() {
             f(idx, chunk);
@@ -164,5 +186,22 @@ mod tests {
     fn threads_is_positive_and_capped() {
         let t = threads();
         assert!((1..=MAX_THREADS).contains(&t));
+    }
+
+    #[test]
+    fn explicit_worker_counts_are_bit_identical() {
+        let kernel = |idx: usize, chunk: &mut [f64]| {
+            for (i, v) in chunk.iter_mut().enumerate() {
+                let x = (idx * 7 + i) as f64;
+                *v = (x * 0.37).cos() * x.sqrt();
+            }
+        };
+        let mut reference = vec![0.0f64; 701];
+        for_each_chunk_mut_with(1, &mut reference, 7, kernel);
+        for workers in [0usize, 2, 4, 16] {
+            let mut out = vec![0.0f64; 701];
+            for_each_chunk_mut_with(workers, &mut out, 7, kernel);
+            assert_eq!(out, reference, "workers={workers}");
+        }
     }
 }

@@ -41,68 +41,106 @@ impl Default for IcaReconstruction {
     }
 }
 
+impl IcaReconstruction {
+    /// `true` when the attack's preconditions hold: known marginals for
+    /// every attribute and enough records for ICA to be meaningful.
+    fn applies(perturbed: &Matrix, knowledge: &AttackerKnowledge) -> bool {
+        knowledge.attr_stats.len() == perturbed.rows() && perturbed.cols() >= 8
+    }
+
+    /// The attack with a caller-supplied whitener — the staged optimizer
+    /// engine's entry point, where one
+    /// [`sap_ica::workspace::WhiteningWorkspace`] decomposition is shared
+    /// across every candidate rotation and each candidate's whitener is
+    /// minted analytically. Numerically this grants the adversary *exact*
+    /// whitening (a from-scratch fit estimates it from the release), so
+    /// guarantees measured this way are conservative.
+    pub fn estimate_with_whitener(
+        &self,
+        perturbed: &Matrix,
+        knowledge: &AttackerKnowledge,
+        whitener: sap_ica::Whitener,
+    ) -> Option<Matrix> {
+        if !Self::applies(perturbed, knowledge) {
+            return None;
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let ica = FastIca::fit_with_whitener(whitener, perturbed, &self.config, &mut rng).ok()?;
+        let sources = ica.sources(perturbed).ok()?;
+        Some(match_components(&sources, knowledge, perturbed.cols()))
+    }
+}
+
 impl Attack for IcaReconstruction {
     fn name(&self) -> &'static str {
         "ica-reconstruction"
     }
 
     fn estimate(&self, perturbed: &Matrix, knowledge: &AttackerKnowledge) -> Option<Matrix> {
-        let d = perturbed.rows();
-        if knowledge.attr_stats.len() != d || perturbed.cols() < 8 {
+        if !Self::applies(perturbed, knowledge) {
             return None;
         }
         let mut rng = StdRng::seed_from_u64(self.seed);
         let ica = FastIca::fit(perturbed, &self.config, &mut rng).ok()?;
         let sources = ica.sources(perturbed).ok()?;
-        let k = sources.rows();
-
-        // Component statistics.
-        let comp_kurt: Vec<f64> = (0..k).map(|r| excess_kurtosis(sources.row(r))).collect();
-        let comp_skew: Vec<f64> = (0..k).map(|r| skewness(sources.row(r))).collect();
-
-        // Greedy assignment: attributes with the most distinctive
-        // (largest-|kurtosis|) priors pick first.
-        let mut attr_order: Vec<usize> = (0..d).collect();
-        attr_order.sort_by(|&a, &b| {
-            knowledge.attr_stats[b]
-                .kurtosis
-                .abs()
-                .partial_cmp(&knowledge.attr_stats[a].kurtosis.abs())
-                .expect("finite kurtosis")
-        });
-
-        let mut used = vec![false; k];
-        let mut est = Matrix::zeros(d, perturbed.cols());
-        for &j in &attr_order {
-            let prior = &knowledge.attr_stats[j];
-            // Best unused component by kurtosis proximity.
-            let pick = (0..k).filter(|&c| !used[c]).min_by(|&a, &b| {
-                let da = (comp_kurt[a] - prior.kurtosis).abs();
-                let db = (comp_kurt[b] - prior.kurtosis).abs();
-                da.partial_cmp(&db).expect("finite")
-            });
-            let Some(c) = pick else {
-                // Fewer components than attributes (rank-deficient data):
-                // fall back to the prior mean for the unmatched attribute.
-                for col in 0..perturbed.cols() {
-                    est[(j, col)] = prior.mean;
-                }
-                continue;
-            };
-            used[c] = true;
-            // Sign by skewness agreement; sources are unit-variance and
-            // zero-mean, so rescale to the known marginal.
-            let sign = if prior.skewness * comp_skew[c] < 0.0 {
-                -1.0
-            } else {
-                1.0
-            };
-            for col in 0..perturbed.cols() {
-                est[(j, col)] = sign * sources[(c, col)] * prior.std + prior.mean;
-            }
-        }
-        Some(est)
+        Some(match_components(&sources, knowledge, perturbed.cols()))
     }
+}
+
+/// Assigns recovered components to attributes by kurtosis proximity,
+/// fixes signs by skewness agreement, and rescales each component to the
+/// known marginal — the deterministic tail shared by both whitening
+/// paths of the attack.
+fn match_components(sources: &Matrix, knowledge: &AttackerKnowledge, n_cols: usize) -> Matrix {
+    let d = knowledge.attr_stats.len();
+    let k = sources.rows();
+
+    // Component statistics.
+    let comp_kurt: Vec<f64> = (0..k).map(|r| excess_kurtosis(sources.row(r))).collect();
+    let comp_skew: Vec<f64> = (0..k).map(|r| skewness(sources.row(r))).collect();
+
+    // Greedy assignment: attributes with the most distinctive
+    // (largest-|kurtosis|) priors pick first.
+    let mut attr_order: Vec<usize> = (0..d).collect();
+    attr_order.sort_by(|&a, &b| {
+        knowledge.attr_stats[b]
+            .kurtosis
+            .abs()
+            .partial_cmp(&knowledge.attr_stats[a].kurtosis.abs())
+            .expect("finite kurtosis")
+    });
+
+    let mut used = vec![false; k];
+    let mut est = Matrix::zeros(d, n_cols);
+    for &j in &attr_order {
+        let prior = &knowledge.attr_stats[j];
+        // Best unused component by kurtosis proximity.
+        let pick = (0..k).filter(|&c| !used[c]).min_by(|&a, &b| {
+            let da = (comp_kurt[a] - prior.kurtosis).abs();
+            let db = (comp_kurt[b] - prior.kurtosis).abs();
+            da.partial_cmp(&db).expect("finite")
+        });
+        let Some(c) = pick else {
+            // Fewer components than attributes (rank-deficient data):
+            // fall back to the prior mean for the unmatched attribute.
+            for col in 0..n_cols {
+                est[(j, col)] = prior.mean;
+            }
+            continue;
+        };
+        used[c] = true;
+        // Sign by skewness agreement; sources are unit-variance and
+        // zero-mean, so rescale to the known marginal.
+        let sign = if prior.skewness * comp_skew[c] < 0.0 {
+            -1.0
+        } else {
+            1.0
+        };
+        for col in 0..n_cols {
+            est[(j, col)] = sign * sources[(c, col)] * prior.std + prior.mean;
+        }
+    }
+    est
 }
 
 fn skewness(xs: &[f64]) -> f64 {

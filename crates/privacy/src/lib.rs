@@ -14,6 +14,11 @@
 //!   rotations, score each under the attack suite, keep the best. This is
 //!   what produces the "optimized perturbations give higher privacy
 //!   guarantee" distribution of the brief's Figure 2.
+//! * [`engine`] — the staged, parallel candidate-evaluation engine beneath
+//!   the optimizer: deterministic per-candidate RNG streams, a cheap
+//!   attack stage over the whole field, successive-halving pruning, and
+//!   the expensive PCA/ICA stage on the survivors (which makes ICA
+//!   affordable enough to be on by default).
 //! * [`risk`] — the multiparty risk model: source identifiability `πᵢ`,
 //!   satisfaction level `sᵢ`, risk of privacy breach (eq. 1), the SAP risk
 //!   (eq. 2), and the minimum-parties bound behind Figure 4.
@@ -28,11 +33,13 @@
 #![deny(unsafe_code)]
 
 pub mod attack;
+pub mod engine;
 pub mod metric;
 pub mod optimize;
 pub mod risk;
 
 pub use attack::{Attack, AttackSuite, AttackerKnowledge};
+pub use engine::{EngineOutcome, EngineStats};
 pub use metric::{attribute_privacy, minimum_privacy_guarantee};
-pub use optimize::{OptimizedPerturbation, OptimizerConfig};
+pub use optimize::{OptimizeError, OptimizedPerturbation, OptimizerConfig, StagedBudget};
 pub use risk::{min_parties, risk_of_breach, sap_risk, PrivacyProfile};

@@ -10,15 +10,106 @@
 //! * the optimized guarantee `ρᵢ` (best candidate of a run),
 //! * the empirical bound `b̂ = max{ρ^(i)} over n rounds`,
 //! * the optimality rate `O = ρ̄ / b̂`.
+//!
+//! Since the staged-engine refactor, [`optimize`] is a thin wrapper over
+//! [`crate::engine::run`]: candidates are evaluated in parallel on
+//! deterministic per-candidate RNG streams, and a successive-halving
+//! schedule prunes the field on cheap attacks before the expensive
+//! PCA/ICA reconstructions run — which is what makes
+//! [`OptimizerConfig::use_ica`]` = true` the affordable default. See the
+//! engine module docs for the schedule and the determinism rules.
 
-use crate::attack::{AttackSuite, AttackerKnowledge};
 use rand::seq::SliceRandom;
 use rand::Rng;
 use sap_linalg::{vecops, Matrix};
 use sap_perturb::GeometricPerturbation;
+use std::fmt;
+
+/// Failures of the optimizer — all configuration-shaped, all detectable
+/// before any candidate is evaluated. Typed (rather than panicking) so a
+/// malformed client config surfaces as a session error instead of killing
+/// a server-side role thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OptimizeError {
+    /// `candidates == 0`: there is nothing to select a winner from.
+    NoCandidates,
+    /// The dataset has no rows or no columns.
+    EmptyDataset {
+        /// Rows (attributes) of the rejected dataset.
+        rows: usize,
+        /// Columns (records) of the rejected dataset.
+        cols: usize,
+    },
+    /// `rounds == 0` passed to [`estimate_bound`].
+    NoRounds,
+}
+
+impl fmt::Display for OptimizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptimizeError::NoCandidates => write!(f, "optimizer needs at least one candidate"),
+            OptimizeError::EmptyDataset { rows, cols } => {
+                write!(f, "cannot optimize an empty dataset ({rows} x {cols})")
+            }
+            OptimizeError::NoRounds => write!(f, "bound estimation needs at least one round"),
+        }
+    }
+}
+
+impl std::error::Error for OptimizeError {}
+
+/// The staged attack-schedule budget: how aggressively the engine prunes
+/// candidates on cheap attacks before the expensive reconstruction
+/// attacks run.
+///
+/// With staging enabled the engine scores every candidate under the
+/// cheap suite (naive, distance-inference, known-sample), keeps the
+/// top-scoring survivors, and only those pay for the PCA/ICA stage. The
+/// selected candidate's guarantee is always its **full-suite** guarantee;
+/// pruning can only cost optimality (a candidate whose cheap score
+/// undersold it), never correctness — and the cheap-stage winner is
+/// always among the survivors, so the staged selection is never worse
+/// than "evaluate only the cheap winner fully".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StagedBudget {
+    /// Run the two-stage schedule. Disabled, every candidate gets the
+    /// full suite (the reference semantics the equivalence tests pin).
+    pub enabled: bool,
+    /// Fraction of the field that survives to the expensive stage
+    /// (successive halving with one rung; `0.25` keeps the top quarter).
+    pub survivor_fraction: f64,
+    /// Survivor floor: small fields are never pruned below this.
+    pub min_survivors: usize,
+}
+
+impl Default for StagedBudget {
+    fn default() -> Self {
+        StagedBudget {
+            enabled: true,
+            survivor_fraction: 0.25,
+            min_survivors: 4,
+        }
+    }
+}
+
+impl StagedBudget {
+    /// How many of `candidates` survive to the expensive stage. Floored
+    /// at one whenever there are candidates at all — a budget of zero
+    /// survivors (e.g. `min_survivors: 0` with a zero or non-finite
+    /// fraction, both reachable from a client-supplied config) must
+    /// never leave the engine without a winner to select.
+    pub fn survivors(&self, candidates: usize) -> usize {
+        if !self.enabled {
+            return candidates;
+        }
+        let frac = (candidates as f64 * self.survivor_fraction).ceil() as usize;
+        frac.max(self.min_survivors)
+            .clamp(1.min(candidates), candidates)
+    }
+}
 
 /// Configuration of the randomized optimizer.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OptimizerConfig {
     /// Number of random candidates per optimization run.
     pub candidates: usize,
@@ -33,7 +124,16 @@ pub struct OptimizerConfig {
     /// loop cheap.
     pub eval_sample: usize,
     /// Include the (expensive) ICA attack in the evaluation suite.
+    /// Default `true` since the staged engine made it affordable.
     pub use_ica: bool,
+    /// The staged attack-schedule budget (cheap stage → prune →
+    /// expensive stage).
+    pub staged: StagedBudget,
+    /// Worker-thread override for candidate evaluation. `None` (the
+    /// default) uses [`sap_linalg::parallel::threads`], i.e. the machine's
+    /// parallelism capped by `SAP_LINALG_THREADS`; `Some(1)` forces the
+    /// serial path. Results are bit-identical for every setting.
+    pub threads: Option<usize>,
 }
 
 impl Default for OptimizerConfig {
@@ -43,17 +143,9 @@ impl Default for OptimizerConfig {
             noise_sigma: 0.05,
             known_points: 6,
             eval_sample: 300,
-            use_ica: false,
-        }
-    }
-}
-
-impl OptimizerConfig {
-    fn suite(&self) -> AttackSuite {
-        if self.use_ica {
-            AttackSuite::standard()
-        } else {
-            AttackSuite::fast()
+            use_ica: true,
+            staged: StagedBudget::default(),
+            threads: None,
         }
     }
 }
@@ -66,62 +158,42 @@ pub struct OptimizedPerturbation {
     /// Its minimum privacy guarantee under the attack suite.
     pub privacy_guarantee: f64,
     /// Guarantee of every candidate, in sample order (for Figure 2's
-    /// random-vs-optimized distributions).
+    /// random-vs-optimized distributions). Under a staged run, pruned
+    /// candidates carry their cheap-stage score (an upper bound on their
+    /// full-suite guarantee); survivors carry the full-suite score.
     pub history: Vec<f64>,
 }
 
-/// Scores one perturbation on (a subsample of) the data: perturbs it and
-/// runs the attack suite.
+/// Scores one perturbation on (a subsample of) the data under the
+/// engine's scoring model — a thin wrapper over
+/// [`crate::engine::evaluate`], so single-perturbation scores (the
+/// satisfaction ratio, Figure 2's random baseline) are directly
+/// comparable with optimizer candidate scores.
 pub fn evaluate_perturbation<R: Rng + ?Sized>(
     x: &Matrix,
     perturbation: &GeometricPerturbation,
     config: &OptimizerConfig,
     rng: &mut R,
 ) -> f64 {
-    let sample = subsample_columns(x, config.eval_sample, rng);
-    let knowledge = AttackerKnowledge::worst_case(&sample, config.known_points);
-    let (y, _) = perturbation.perturb(&sample, rng);
-    config.suite().privacy_guarantee(&sample, &y, &knowledge)
+    crate::engine::evaluate(x, perturbation, config, rng)
 }
 
 /// Runs the randomized optimizer on a `d × N` dataset: draws
-/// `config.candidates` random perturbations, keeps the one with the highest
-/// minimum privacy guarantee.
+/// `config.candidates` random perturbations, scores each under the staged
+/// attack schedule, keeps the one with the highest minimum privacy
+/// guarantee. This is [`crate::engine::run`] with the per-stage
+/// telemetry dropped.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics when `config.candidates == 0` or the dataset is empty.
+/// [`OptimizeError::NoCandidates`] / [`OptimizeError::EmptyDataset`] on a
+/// malformed configuration or input.
 pub fn optimize<R: Rng + ?Sized>(
     x: &Matrix,
     config: &OptimizerConfig,
     rng: &mut R,
-) -> OptimizedPerturbation {
-    assert!(config.candidates > 0, "need at least one candidate");
-    assert!(x.rows() > 0 && x.cols() > 0, "empty dataset");
-
-    // One evaluation subsample and knowledge bundle shared by the whole run:
-    // candidates must be compared on the same ground.
-    let sample = subsample_columns(x, config.eval_sample, rng);
-    let knowledge = AttackerKnowledge::worst_case(&sample, config.known_points);
-    let suite = config.suite();
-
-    let mut best: Option<(GeometricPerturbation, f64)> = None;
-    let mut history = Vec::with_capacity(config.candidates);
-    for _ in 0..config.candidates {
-        let cand = GeometricPerturbation::random(x.rows(), config.noise_sigma, rng);
-        let (y, _) = cand.perturb(&sample, rng);
-        let rho = suite.privacy_guarantee(&sample, &y, &knowledge);
-        history.push(rho);
-        if best.as_ref().is_none_or(|(_, b)| rho > *b) {
-            best = Some((cand, rho));
-        }
-    }
-    let (perturbation, privacy_guarantee) = best.expect("candidates > 0");
-    OptimizedPerturbation {
-        perturbation,
-        privacy_guarantee,
-        history,
-    }
+) -> Result<OptimizedPerturbation, OptimizeError> {
+    crate::engine::run(x, config, rng).map(|outcome| outcome.result)
 }
 
 /// Statistics of `n` independent optimization rounds — the quantities behind
@@ -152,26 +224,29 @@ impl BoundEstimate {
 /// paper's procedure: "The bound bᵢ is usually estimated empirically by
 /// looking at the maximum privacy guarantee of n-round optimizations."
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics when `rounds == 0`.
+/// [`OptimizeError::NoRounds`] when `rounds == 0`, plus anything
+/// [`optimize`] rejects.
 pub fn estimate_bound<R: Rng + ?Sized>(
     x: &Matrix,
     config: &OptimizerConfig,
     rounds: usize,
     rng: &mut R,
-) -> BoundEstimate {
-    assert!(rounds > 0, "need at least one round");
+) -> Result<BoundEstimate, OptimizeError> {
+    if rounds == 0 {
+        return Err(OptimizeError::NoRounds);
+    }
     let round_guarantees: Vec<f64> = (0..rounds)
-        .map(|_| optimize(x, config, rng).privacy_guarantee)
-        .collect();
+        .map(|_| optimize(x, config, rng).map(|o| o.privacy_guarantee))
+        .collect::<Result<_, _>>()?;
     let bound = vecops::max(&round_guarantees);
     let mean_guarantee = vecops::mean(&round_guarantees);
-    BoundEstimate {
+    Ok(BoundEstimate {
         round_guarantees,
         bound,
         mean_guarantee,
-    }
+    })
 }
 
 /// Draws a random perturbation and scores it — the "random perturbations"
@@ -186,7 +261,7 @@ pub fn random_baseline<R: Rng + ?Sized>(
     (cand, rho)
 }
 
-fn subsample_columns<R: Rng + ?Sized>(x: &Matrix, limit: usize, rng: &mut R) -> Matrix {
+pub(crate) fn subsample_columns<R: Rng + ?Sized>(x: &Matrix, limit: usize, rng: &mut R) -> Matrix {
     if x.cols() <= limit {
         return x.clone();
     }
@@ -218,6 +293,7 @@ mod tests {
             known_points: 4,
             eval_sample: 120,
             use_ica: false,
+            ..OptimizerConfig::default()
         }
     }
 
@@ -225,10 +301,29 @@ mod tests {
     fn optimized_at_least_matches_every_candidate() {
         let x = skewed_data(4, 300, 1);
         let mut rng = StdRng::seed_from_u64(2);
-        let opt = optimize(&x, &quick_config(), &mut rng);
+        let opt = optimize(&x, &quick_config(), &mut rng).unwrap();
         assert_eq!(opt.history.len(), 8);
         let best_in_history = vecops::max(&opt.history);
-        assert!((opt.privacy_guarantee - best_in_history).abs() < 1e-12);
+        // Pruned candidates report cheap-stage scores (upper bounds), so
+        // the winner matches the best *full* score, never exceeds the max.
+        assert!(opt.privacy_guarantee <= best_in_history + 1e-12);
+        assert!(opt.privacy_guarantee.is_finite());
+    }
+
+    #[test]
+    fn unstaged_winner_is_history_maximum() {
+        let x = skewed_data(4, 300, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let cfg = OptimizerConfig {
+            staged: StagedBudget {
+                enabled: false,
+                ..StagedBudget::default()
+            },
+            ..quick_config()
+        };
+        let opt = optimize(&x, &cfg, &mut rng).unwrap();
+        let best_in_history = vecops::max(&opt.history);
+        assert!((opt.privacy_guarantee - best_in_history).abs() < 1e-15);
         assert!(opt.history.iter().all(|&h| h <= opt.privacy_guarantee));
     }
 
@@ -242,7 +337,7 @@ mod tests {
         let mut rand_sum = 0.0;
         let runs = 5;
         for _ in 0..runs {
-            opt_sum += optimize(&x, &cfg, &mut rng).privacy_guarantee;
+            opt_sum += optimize(&x, &cfg, &mut rng).unwrap().privacy_guarantee;
             rand_sum += random_baseline(&x, &cfg, &mut rng).1;
         }
         assert!(
@@ -257,7 +352,7 @@ mod tests {
     fn bound_estimate_consistency() {
         let x = skewed_data(3, 200, 5);
         let mut rng = StdRng::seed_from_u64(6);
-        let est = estimate_bound(&x, &quick_config(), 6, &mut rng);
+        let est = estimate_bound(&x, &quick_config(), 6, &mut rng).unwrap();
         assert_eq!(est.round_guarantees.len(), 6);
         assert!(est.bound >= est.mean_guarantee);
         let rate = est.optimality_rate();
@@ -287,19 +382,69 @@ mod tests {
     fn deterministic_given_seed() {
         let x = skewed_data(3, 200, 9);
         let cfg = quick_config();
-        let a = optimize(&x, &cfg, &mut StdRng::seed_from_u64(10)).privacy_guarantee;
-        let b = optimize(&x, &cfg, &mut StdRng::seed_from_u64(10)).privacy_guarantee;
+        let a = optimize(&x, &cfg, &mut StdRng::seed_from_u64(10))
+            .unwrap()
+            .privacy_guarantee;
+        let b = optimize(&x, &cfg, &mut StdRng::seed_from_u64(10))
+            .unwrap()
+            .privacy_guarantee;
         assert_eq!(a, b);
     }
 
     #[test]
-    #[should_panic(expected = "at least one candidate")]
-    fn zero_candidates_panics() {
+    fn zero_candidates_is_typed_error() {
         let x = skewed_data(2, 50, 11);
         let cfg = OptimizerConfig {
             candidates: 0,
             ..quick_config()
         };
-        let _ = optimize(&x, &cfg, &mut StdRng::seed_from_u64(12));
+        assert_eq!(
+            optimize(&x, &cfg, &mut StdRng::seed_from_u64(12)).unwrap_err(),
+            OptimizeError::NoCandidates
+        );
+    }
+
+    #[test]
+    fn empty_dataset_is_typed_error() {
+        let cfg = quick_config();
+        let err = optimize(&Matrix::zeros(0, 0), &cfg, &mut StdRng::seed_from_u64(13)).unwrap_err();
+        assert!(matches!(err, OptimizeError::EmptyDataset { .. }));
+        assert_eq!(
+            estimate_bound(
+                &skewed_data(2, 50, 14),
+                &cfg,
+                0,
+                &mut StdRng::seed_from_u64(15)
+            )
+            .unwrap_err(),
+            OptimizeError::NoRounds
+        );
+    }
+
+    #[test]
+    fn staged_budget_survivor_counts() {
+        let b = StagedBudget::default();
+        assert_eq!(b.survivors(32), 8);
+        assert_eq!(b.survivors(4), 4);
+        assert_eq!(b.survivors(1), 1);
+        assert_eq!(b.survivors(100), 25);
+        let off = StagedBudget {
+            enabled: false,
+            ..b
+        };
+        assert_eq!(off.survivors(32), 32);
+        // A malformed client budget can never yield zero survivors.
+        let degenerate = StagedBudget {
+            enabled: true,
+            survivor_fraction: 0.0,
+            min_survivors: 0,
+        };
+        assert_eq!(degenerate.survivors(8), 1);
+        assert_eq!(degenerate.survivors(0), 0);
+        let nan = StagedBudget {
+            survivor_fraction: f64::NAN,
+            ..degenerate
+        };
+        assert_eq!(nan.survivors(8), 1);
     }
 }

@@ -208,6 +208,15 @@ pub struct ServerMetrics {
     /// share of data-plane compute (unseal-side decode + adaptation)
     /// hidden under stream transfer time. Zero for buffered sessions.
     pub overlap_ratio_avg: f64,
+    /// Optimizer wall time summed over every provider of every completed
+    /// session (seconds) — the staged engine's per-run total.
+    pub optimizer_wall_s: f64,
+    /// Optimizer candidates scored by the cheap stage, summed over
+    /// completed sessions.
+    pub optimizer_candidates_evaluated: u64,
+    /// Optimizer candidates pruned before the expensive PCA/ICA stage,
+    /// summed over completed sessions.
+    pub optimizer_candidates_pruned: u64,
     /// Bytes sent through the lane muxes — all of them sealed envelope
     /// bytes (wire format v3).
     pub bytes_sealed: u64,
@@ -239,6 +248,10 @@ struct Counters {
     /// over `overlap_sessions` — keeps the aggregate lock-free.
     overlap_micros_sum: AtomicU64,
     overlap_sessions: AtomicU64,
+    /// Optimizer wall time in microseconds (lock-free f64 aggregation).
+    optimizer_wall_micros: AtomicU64,
+    optimizer_candidates: AtomicU64,
+    optimizer_pruned: AtomicU64,
 }
 
 /// A multi-session SAP service over a shared physical mesh.
@@ -544,6 +557,16 @@ impl<T: Transport + 'static> SapServer<T> {
                 self.counters
                     .overlap_sessions
                     .fetch_add(1, Ordering::Relaxed);
+                let opt = outcome.optimizer_summary();
+                self.counters
+                    .optimizer_wall_micros
+                    .fetch_add((opt.wall_s * 1e6) as u64, Ordering::Relaxed);
+                self.counters
+                    .optimizer_candidates
+                    .fetch_add(opt.candidates_evaluated, Ordering::Relaxed);
+                self.counters
+                    .optimizer_pruned
+                    .fetch_add(opt.candidates_pruned, Ordering::Relaxed);
             }
             Err(SapError::Aborted) => {
                 self.counters.aborted.fetch_add(1, Ordering::Relaxed);
@@ -646,6 +669,13 @@ impl<T: Transport + 'static> SapServer<T> {
             blocks_relayed: self.counters.blocks_relayed.load(Ordering::Relaxed),
             blocks_pipelined: self.counters.blocks_pipelined.load(Ordering::Relaxed),
             overlap_ratio_avg,
+            optimizer_wall_s: self.counters.optimizer_wall_micros.load(Ordering::Relaxed) as f64
+                / 1e6,
+            optimizer_candidates_evaluated: self
+                .counters
+                .optimizer_candidates
+                .load(Ordering::Relaxed),
+            optimizer_candidates_pruned: self.counters.optimizer_pruned.load(Ordering::Relaxed),
             bytes_sealed,
             frames_routed,
             unknown_session_dropped: unknown,
@@ -712,6 +742,48 @@ mod tests {
             m.overlap_ratio_avg >= 0.0 && m.overlap_ratio_avg <= 1.0,
             "{m:?}"
         );
+        // Optimizer telemetry: 3 providers × 4 quick-test candidates.
+        assert_eq!(m.optimizer_candidates_evaluated, 12, "{m:?}");
+        assert!(m.optimizer_wall_s > 0.0, "{m:?}");
+        assert_eq!(
+            m.optimizer_candidates_evaluated - m.optimizer_candidates_pruned,
+            outcome
+                .reports
+                .iter()
+                .map(|r| r.optimizer.survivors as u64)
+                .sum::<u64>()
+        );
+    }
+
+    /// A client submitting `candidates: 0` must fail *its* session with a
+    /// typed optimizer error — never panic a pool worker or take the
+    /// server down.
+    #[test]
+    fn malformed_optimizer_config_fails_only_its_session() {
+        let server = SapServer::in_memory(ServerConfig::default()).unwrap();
+        let bad_cfg = SapConfig {
+            optimizer: sap_privacy::OptimizerConfig {
+                candidates: 0,
+                ..sap_privacy::OptimizerConfig::default()
+            },
+            ..quick()
+        };
+        let bad = server.submit(locals(20), &bad_cfg).unwrap();
+        let err = server.wait(bad, Some(Duration::from_secs(60))).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ServerError::Session(SapError::Optimizer(
+                    sap_privacy::OptimizeError::NoCandidates
+                ))
+            ),
+            "{err}"
+        );
+        assert_eq!(server.metrics().sessions_failed, 1);
+
+        // The server keeps serving: a healthy session still completes.
+        let good = server.submit(locals(21), &quick()).unwrap();
+        assert!(server.wait(good, Some(Duration::from_secs(60))).is_ok());
     }
 
     #[test]

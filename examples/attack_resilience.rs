@@ -58,8 +58,9 @@ fn main() {
             known_points: 6,
             eval_sample: 300,
             use_ica: true,
+            ..OptimizerConfig::default()
         };
-        let opt = optimize(&sample, &config, &mut rng);
+        let opt = optimize(&sample, &config, &mut rng).expect("valid optimizer config");
         println!(
             "{sigma:>8.2} {rho_random:>14.3} {:>16.3}",
             opt.privacy_guarantee
