@@ -9,12 +9,11 @@
 //! error, detected from the stream header alone (the payload is never
 //! decoded).
 
-use crate::audit::AuditLog;
 use crate::error::SapError;
 use crate::link::{self, Inbound};
 use crate::messages::{SapMessage, SlotTag};
 use crate::permutation::ExchangePlan;
-use crate::session::{ProviderReport, SapConfig};
+use crate::session::{ProviderReport, RoleCtx};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use sap_datasets::Dataset;
@@ -27,23 +26,27 @@ use std::collections::HashMap;
 
 /// Runs the coordinator role (provider duties included) to completion.
 ///
-/// `providers` lists every provider id in position order; the coordinator
-/// must be the **last** entry (the brief's `DP_k` convention).
+/// `ctx.roster.providers` lists every provider id in position order; the
+/// coordinator must be the **last** entry (the brief's `DP_k`
+/// convention). Every blocking receive observes the session's liveness
+/// regime (deadline token, roster-filtered peer failures).
 ///
 /// # Errors
 ///
-/// Returns [`SapError`] on timeout, messaging failure, or protocol
-/// violations (duplicate/unknown adaptor senders, dimension mismatch).
+/// Returns [`SapError`] on timeout, peer failure, cancellation,
+/// messaging failure, or protocol violations (duplicate/unknown adaptor
+/// senders, dimension mismatch).
 #[allow(clippy::too_many_lines)]
 pub fn run_coordinator<T: Transport, C: Codec>(
     node: &Node<T, C>,
     data: &Dataset,
-    providers: &[PartyId],
-    miner: PartyId,
-    config: &SapConfig,
-    audit: &AuditLog,
+    ctx: &RoleCtx<'_>,
 ) -> Result<(ProviderReport, Perturbation), SapError> {
     let me = node.id();
+    let config = ctx.config;
+    let audit = ctx.audit;
+    let providers = ctx.roster.providers.as_slice();
+    let miner = ctx.roster.miner;
     let k = providers.len();
     if k < 3 {
         return Err(SapError::TooFewProviders { got: k });
@@ -137,8 +140,7 @@ pub fn run_coordinator<T: Transport, C: Codec>(
         .map_err(|e| SapError::Protocol(format!("own adaptor failed: {e}")))?;
     adaptor_of.insert(me, own_adaptor);
     while adaptor_of.len() < k {
-        let (from, inbound) = link::recv_message(node, config.timeout)
-            .map_err(|e| e.or_timeout(me, "adaptor collection"))?;
+        let (from, inbound) = link::recv_message_ctx(node, ctx, "adaptor collection")?;
         match inbound {
             Inbound::Msg(msg) => {
                 audit.record(from, me, &msg);
@@ -188,8 +190,7 @@ pub fn run_coordinator<T: Transport, C: Codec>(
     )?;
 
     // Wait for the miner's completion ack so the session has a clean end.
-    let (from, inbound) = link::recv_message(node, config.timeout)
-        .map_err(|e| e.or_timeout(me, "mining completion"))?;
+    let (from, inbound) = link::recv_message_ctx(node, ctx, "mining completion")?;
     match inbound {
         Inbound::Msg(msg) => {
             audit.record(from, me, &msg);
@@ -237,6 +238,8 @@ pub fn run_coordinator<T: Transport, C: Codec>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::liveness::Roster;
+    use crate::session::{SapConfig, StandaloneCtx};
     use sap_net::transport::InMemoryHub;
     use std::time::Duration;
 
@@ -248,20 +251,16 @@ mod tests {
         Dataset::new(records, labels)
     }
 
+    fn harness(providers: Vec<PartyId>, config: SapConfig) -> StandaloneCtx {
+        StandaloneCtx::new(Roster::new(providers, PartyId(100)), config)
+    }
+
     #[test]
     fn rejects_too_few_providers() {
         let hub = InMemoryHub::new();
         let node = Node::new(hub.endpoint(PartyId(1)), 7);
-        let audit = AuditLog::new();
-        let err = run_coordinator(
-            &node,
-            &tiny_dataset(),
-            &[PartyId(0), PartyId(1)],
-            PartyId(100),
-            &SapConfig::quick_test(),
-            &audit,
-        )
-        .unwrap_err();
+        let sc = harness(vec![PartyId(0), PartyId(1)], SapConfig::quick_test());
+        let err = run_coordinator(&node, &tiny_dataset(), &sc.ctx()).unwrap_err();
         assert!(matches!(err, SapError::TooFewProviders { got: 2 }));
     }
 
@@ -269,16 +268,11 @@ mod tests {
     fn rejects_coordinator_not_last() {
         let hub = InMemoryHub::new();
         let node = Node::new(hub.endpoint(PartyId(0)), 7);
-        let audit = AuditLog::new();
-        let err = run_coordinator(
-            &node,
-            &tiny_dataset(),
-            &[PartyId(0), PartyId(1), PartyId(2)],
-            PartyId(100),
-            &SapConfig::quick_test(),
-            &audit,
-        )
-        .unwrap_err();
+        let sc = harness(
+            vec![PartyId(0), PartyId(1), PartyId(2)],
+            SapConfig::quick_test(),
+        );
+        let err = run_coordinator(&node, &tiny_dataset(), &sc.ctx()).unwrap_err();
         assert!(matches!(err, SapError::Protocol(_)), "{err}");
     }
 
@@ -291,23 +285,17 @@ mod tests {
         let p0 = Node::new(hub.endpoint(PartyId(0)), 7);
         let _p1 = hub.endpoint(PartyId(1));
         let _miner = hub.endpoint(PartyId(100));
-        let audit = AuditLog::new();
-        let config = SapConfig {
-            timeout: Duration::from_millis(500),
-            ..SapConfig::quick_test()
-        };
+        let sc = harness(
+            vec![PartyId(0), PartyId(1), PartyId(2)],
+            SapConfig {
+                timeout: Duration::from_millis(500),
+                ..SapConfig::quick_test()
+            },
+        );
 
         link::send_dataset(&p0, PartyId(2), false, SlotTag(9), &tiny_dataset(), 8).unwrap();
 
-        let err = run_coordinator(
-            &coord_node,
-            &tiny_dataset(),
-            &[PartyId(0), PartyId(1), PartyId(2)],
-            PartyId(100),
-            &config,
-            &audit,
-        )
-        .unwrap_err();
+        let err = run_coordinator(&coord_node, &tiny_dataset(), &sc.ctx()).unwrap_err();
         assert!(
             err.to_string().contains("unexpected perturbed-data"),
             "{err}"
@@ -321,20 +309,14 @@ mod tests {
         let _p0 = hub.endpoint(PartyId(0));
         let _p1 = hub.endpoint(PartyId(1));
         let _miner = hub.endpoint(PartyId(100));
-        let audit = AuditLog::new();
-        let config = SapConfig {
-            timeout: Duration::from_millis(50),
-            ..SapConfig::quick_test()
-        };
-        let err = run_coordinator(
-            &coord_node,
-            &tiny_dataset(),
-            &[PartyId(0), PartyId(1), PartyId(2)],
-            PartyId(100),
-            &config,
-            &audit,
-        )
-        .unwrap_err();
+        let sc = harness(
+            vec![PartyId(0), PartyId(1), PartyId(2)],
+            SapConfig {
+                timeout: Duration::from_millis(50),
+                ..SapConfig::quick_test()
+            },
+        );
+        let err = run_coordinator(&coord_node, &tiny_dataset(), &sc.ctx()).unwrap_err();
         assert!(
             matches!(
                 err,
@@ -344,6 +326,38 @@ mod tests {
                 }
             ),
             "{err}"
+        );
+    }
+
+    #[test]
+    fn cancellation_unwinds_waiting_coordinator() {
+        // A coordinator blocked in adaptor collection observes the
+        // session token's cancellation within a poll slice — long before
+        // its own 30 s receive timeout.
+        let hub = InMemoryHub::new();
+        let coord_node = Node::new(hub.endpoint(PartyId(2)), 7);
+        let _p0 = hub.endpoint(PartyId(0));
+        let _p1 = hub.endpoint(PartyId(1));
+        let _miner = hub.endpoint(PartyId(100));
+        let sc = harness(
+            vec![PartyId(0), PartyId(1), PartyId(2)],
+            SapConfig {
+                timeout: Duration::from_secs(30),
+                ..SapConfig::quick_test()
+            },
+        );
+        let deadline = sc.deadline.clone();
+        let canceller = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(100));
+            deadline.cancel();
+        });
+        let start = std::time::Instant::now();
+        let err = run_coordinator(&coord_node, &tiny_dataset(), &sc.ctx()).unwrap_err();
+        canceller.join().unwrap();
+        assert!(matches!(err, SapError::Cancelled { .. }), "{err}");
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "cancellation must beat the 30 s receive timeout"
         );
     }
 }

@@ -8,12 +8,40 @@ use std::fmt;
 /// Failures of a SAP session.
 #[derive(Debug)]
 pub enum SapError {
-    /// A role timed out waiting for a message — a party crashed or the
-    /// network lost the message for good.
+    /// A role timed out waiting for a message — a party crashed silently
+    /// or the network lost the message for good. When the transport can
+    /// *name* the dead party, sessions fail with the faster, more precise
+    /// [`SapError::PeerFailure`] instead.
     Timeout {
         /// The role that was waiting.
         waiting: PartyId,
         /// Human-readable phase description.
+        phase: &'static str,
+    },
+    /// A peer of this session was detected dead (socket closed, process
+    /// gone, or heartbeats stopped) while a role was waiting on it — the
+    /// typed fast-failure the liveness layer converts hang-forever bugs
+    /// into. Detected in O(heartbeat budget), not O(session timeout).
+    PeerFailure {
+        /// The dead party.
+        party: PartyId,
+        /// The protocol phase the observing role was in.
+        phase: &'static str,
+    },
+    /// The role was cancelled cooperatively because a sibling role of the
+    /// same session already failed (or the owner aborted) — a *cascade*
+    /// error, never the root cause. Harvest reports the first
+    /// non-cascade error of the session in role order.
+    Cancelled {
+        /// The protocol phase the cancelled role was in.
+        phase: &'static str,
+    },
+    /// The session-wide wall-clock budget
+    /// ([`crate::session::SapConfig::session_budget`]) ran out — the
+    /// cooperative replacement for being reclaimed by a server's
+    /// age-based GC sweep minutes later.
+    DeadlineExceeded {
+        /// The protocol phase that exhausted the budget.
         phase: &'static str,
     },
     /// The messaging layer failed (transport, crypto, or codec).
@@ -56,6 +84,18 @@ impl fmt::Display for SapError {
             SapError::Timeout { waiting, phase } => {
                 write!(f, "{waiting} timed out during {phase}")
             }
+            SapError::PeerFailure { party, phase } => {
+                write!(f, "{party} failed during {phase}")
+            }
+            SapError::Cancelled { phase } => {
+                write!(
+                    f,
+                    "role cancelled during {phase} (sibling failed or owner aborted)"
+                )
+            }
+            SapError::DeadlineExceeded { phase } => {
+                write!(f, "session budget exhausted during {phase}")
+            }
             SapError::Messaging(e) => write!(f, "messaging failure: {e}"),
             SapError::Protocol(what) => write!(f, "protocol violation: {what}"),
             SapError::PartyPanicked(p) => write!(f, "{p} panicked"),
@@ -96,21 +136,18 @@ impl From<NodeError> for SapError {
 }
 
 impl SapError {
-    /// Rewrites a receive-path timeout into [`SapError::Timeout`] carrying
-    /// the waiting actor and phase; every other error passes through. The
-    /// actors call this on every blocking receive so timeout reports name
-    /// the protocol phase that starved.
+    // `or_timeout` (the old per-call-site starvation rewriter) is gone:
+    // every blocking role receive now goes through the governed path
+    // (`crate::link::recv_message_ctx` / `recv_flow_ctx`), which owns the
+    // Timeout/PeerDown conversions *and* the roster filtering a bare
+    // rewriter could not apply.
+
+    /// Whether this error is a *cascade* — a consequence of another
+    /// role's failure rather than a root cause. Harvest skips cascades
+    /// when picking the error to report for a failed session.
     #[must_use]
-    pub fn or_timeout(self, who: PartyId, phase: &'static str) -> Self {
-        match self {
-            SapError::Messaging(NodeError::Transport(sap_net::TransportError::Timeout)) => {
-                SapError::Timeout {
-                    waiting: who,
-                    phase,
-                }
-            }
-            other => other,
-        }
+    pub fn is_cascade(&self) -> bool {
+        matches!(self, SapError::Cancelled { .. })
     }
 }
 

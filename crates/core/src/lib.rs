@@ -60,6 +60,7 @@ pub mod audit;
 pub mod coordinator;
 pub mod error;
 pub mod link;
+pub mod liveness;
 pub mod messages;
 pub mod miner;
 pub mod mining;
@@ -70,8 +71,10 @@ pub mod session;
 pub mod stream;
 
 pub use error::SapError;
+pub use liveness::{Deadline, Roster};
 pub use runtime::{ActorPool, SessionHandle, SessionStatus};
 pub use session::{
-    run_session, run_session_over, spawn_session, DataPlane, ProviderReport, SapConfig, SapOutcome,
+    run_session, run_session_over, spawn_session, DataPlane, ProviderReport, RoleCtx, SapConfig,
+    SapOutcome,
 };
 pub use stream::{StreamMonitor, StreamStats};

@@ -18,14 +18,16 @@
 //! growing dataset as it arrives.
 
 use crate::error::SapError;
+use crate::liveness::CANCEL_POLL;
 use crate::messages::{SapMessage, SlotTag};
+use crate::session::RoleCtx;
 use bytes::Bytes;
 use sap_datasets::Dataset;
-use sap_net::node::{Node, NodeEvent, NodeFlow};
-use sap_net::{Codec, PartyId, SessionId, Transport};
+use sap_net::node::{Node, NodeError, NodeEvent, NodeFlow};
+use sap_net::{Codec, PartyId, SessionId, Transport, TransportError};
 use sap_perturb::GeometricPerturbation;
 use serde::{Deserialize, Serialize};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Default number of dataset rows per stream block.
 pub const DEFAULT_BLOCK_ROWS: usize = 256;
@@ -231,6 +233,84 @@ pub fn recv_flow<T: Transport, C: Codec>(
     Ok((from, inbound))
 }
 
+/// Runs one governed blocking receive under a role's liveness regime:
+/// the wait is sliced into [`CANCEL_POLL`] quanta so the role observes
+/// session-wide cancellation and budget expiry within one slice, the
+/// per-receive `ctx.config.timeout` is enforced across slices, and a
+/// transport-reported peer death is either converted into the typed
+/// [`SapError::PeerFailure`] (the dead party is on this session's
+/// roster) or ignored (a stranger's death broadcast on a shared
+/// transport — keep receiving).
+fn recv_governed<R>(
+    ctx: &RoleCtx<'_>,
+    who: PartyId,
+    phase: &'static str,
+    mut attempt: impl FnMut(Duration) -> Result<R, SapError>,
+) -> Result<R, SapError> {
+    let per_recv = Instant::now() + ctx.config.timeout;
+    loop {
+        if ctx.deadline.is_cancelled() {
+            return Err(SapError::Cancelled { phase });
+        }
+        let now = Instant::now();
+        if now >= per_recv {
+            return Err(SapError::Timeout {
+                waiting: who,
+                phase,
+            });
+        }
+        let mut slice = (per_recv - now).min(CANCEL_POLL);
+        if let Some(budget) = ctx.deadline.remaining() {
+            if budget.is_zero() {
+                return Err(SapError::DeadlineExceeded { phase });
+            }
+            slice = slice.min(budget);
+        }
+        match attempt(slice) {
+            Err(SapError::Messaging(NodeError::Transport(TransportError::Timeout))) => {}
+            Err(SapError::Messaging(NodeError::Transport(TransportError::PeerDown(p)))) => {
+                if ctx.roster.contains(p) {
+                    return Err(SapError::PeerFailure { party: p, phase });
+                }
+            }
+            Err(other) => return Err(other),
+            Ok(r) => return Ok(r),
+        }
+    }
+}
+
+/// Receives the next protocol delivery under the session's liveness
+/// regime (cancellation token, session budget, roster-filtered peer
+/// failures) — the role-facing form of [`recv_message`].
+///
+/// # Errors
+///
+/// As [`recv_message`], plus [`SapError::Timeout`] naming `phase` on
+/// per-receive expiry, [`SapError::PeerFailure`] when a roster peer dies,
+/// [`SapError::Cancelled`] on cooperative cancellation, and
+/// [`SapError::DeadlineExceeded`] when the session budget runs out.
+pub fn recv_message_ctx<T: Transport, C: Codec>(
+    node: &Node<T, C>,
+    ctx: &RoleCtx<'_>,
+    phase: &'static str,
+) -> Result<(PartyId, Inbound), SapError> {
+    recv_governed(ctx, node.id(), phase, |slice| recv_message(node, slice))
+}
+
+/// Streaming-mode counterpart of [`recv_message_ctx`]: per-frame
+/// deliveries under the same liveness regime.
+///
+/// # Errors
+///
+/// As [`recv_message_ctx`].
+pub fn recv_flow_ctx<T: Transport, C: Codec>(
+    node: &Node<T, C>,
+    ctx: &RoleCtx<'_>,
+    phase: &'static str,
+) -> Result<(PartyId, FlowInbound), SapError> {
+    recv_governed(ctx, node.id(), phase, |slice| recv_flow(node, slice))
+}
+
 /// Receives the next protocol delivery within `timeout`.
 ///
 /// # Errors
@@ -337,7 +417,15 @@ fn encode_records_block(labels: &[usize], values: &[f64]) -> Bytes {
     Bytes::from(out)
 }
 
-pub(crate) fn encode_block(data: &Dataset, start: usize, end: usize) -> Bytes {
+/// Encodes rows `start..end` of a dataset as one wire row block
+/// (`[rows: u32] [labels] [values]`, see `docs/WIRE.md` §4.1) — the unit
+/// [`send_dataset`] streams. Public for harnesses that drive partial
+/// streams by hand (e.g. the mid-stream peer-death fault tests).
+///
+/// # Panics
+///
+/// Panics when the range is out of bounds or a label exceeds `u32`.
+pub fn encode_block(data: &Dataset, start: usize, end: usize) -> Bytes {
     let rows = end - start;
     let dim = data.dim();
     let mut out = Vec::with_capacity(4 + rows * 4 + rows * dim * 8);

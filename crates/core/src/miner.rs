@@ -12,12 +12,11 @@
 //! miner holds sealed-sized chunks, not duplicate monolithic buffers,
 //! while the exchange is still in flight.
 
-use crate::audit::AuditLog;
 use crate::error::SapError;
 use crate::link::{self, DataHeader, DataStream, FlowInbound, Inbound};
 use crate::messages::{SapMessage, SlotTag};
-use crate::session::{DataPlane, SapConfig};
-use crate::stream::{AdaptStage, BlockStage, DatasetSink, StreamMonitor, StreamPipeline};
+use crate::session::{DataPlane, RoleCtx};
+use crate::stream::{AdaptStage, BlockStage, DatasetSink, StreamPipeline};
 use sap_datasets::Dataset;
 use sap_net::node::Node;
 use sap_net::{Codec, PartyId, Transport};
@@ -38,44 +37,41 @@ pub struct MinerOutput {
     pub relayed_blocks: u64,
 }
 
-/// Runs the miner role to completion.
+/// Runs the miner role to completion, collecting `expected_datasets`
+/// relayed streams (one per provider in a full session). The coordinator
+/// comes from `ctx.roster`, and every blocking receive observes the
+/// session's liveness regime.
 ///
 /// # Errors
 ///
-/// Returns [`SapError`] on timeout, messaging failure, duplicate slots,
-/// missing adaptors, or dimension mismatches.
+/// Returns [`SapError`] on timeout, peer failure, cancellation,
+/// messaging failure, duplicate slots, missing adaptors, or dimension
+/// mismatches.
 pub fn run_miner<T: Transport, C: Codec>(
     node: &Node<T, C>,
     expected_datasets: usize,
-    coordinator: PartyId,
-    config: &SapConfig,
-    audit: &AuditLog,
-    monitor: &StreamMonitor,
+    ctx: &RoleCtx<'_>,
 ) -> Result<MinerOutput, SapError> {
-    match config.data_plane {
-        DataPlane::Buffered => {
-            run_miner_buffered(node, expected_datasets, coordinator, config, audit)
-        }
-        DataPlane::Streaming => {
-            run_miner_streaming(node, expected_datasets, coordinator, config, audit, monitor)
-        }
+    match ctx.config.data_plane {
+        DataPlane::Buffered => run_miner_buffered(node, expected_datasets, ctx),
+        DataPlane::Streaming => run_miner_streaming(node, expected_datasets, ctx),
     }
 }
 
 fn run_miner_buffered<T: Transport, C: Codec>(
     node: &Node<T, C>,
     expected_datasets: usize,
-    coordinator: PartyId,
-    config: &SapConfig,
-    audit: &AuditLog,
+    ctx: &RoleCtx<'_>,
 ) -> Result<MinerOutput, SapError> {
     let me = node.id();
+    let config = ctx.config;
+    let audit = ctx.audit;
+    let coordinator = ctx.roster.coordinator();
     let mut streams: HashMap<SlotTag, (PartyId, DataStream)> = HashMap::new();
     let mut adaptors: Option<Vec<(SlotTag, SpaceAdaptor)>> = None;
 
     while streams.len() < expected_datasets || adaptors.is_none() {
-        let (from, inbound) = link::recv_message(node, config.timeout)
-            .map_err(|e| e.or_timeout(me, "data & adaptor collection"))?;
+        let (from, inbound) = link::recv_message_ctx(node, ctx, "data & adaptor collection")?;
         match inbound {
             Inbound::Data(stream) => {
                 audit.record_kind(from, me, stream.kind(), true, false);
@@ -194,20 +190,20 @@ struct CollectedSlot {
 fn run_miner_streaming<T: Transport, C: Codec>(
     node: &Node<T, C>,
     expected_datasets: usize,
-    coordinator: PartyId,
-    config: &SapConfig,
-    audit: &AuditLog,
-    monitor: &StreamMonitor,
+    ctx: &RoleCtx<'_>,
 ) -> Result<MinerOutput, SapError> {
     let me = node.id();
+    let config = ctx.config;
+    let audit = ctx.audit;
+    let monitor = ctx.monitor;
+    let coordinator = ctx.roster.coordinator();
     let mut open: HashMap<PartyId, OpenSlot> = HashMap::new();
     let mut collected: HashMap<SlotTag, CollectedSlot> = HashMap::new();
     let mut adaptors: Option<Vec<(SlotTag, SpaceAdaptor)>> = None;
     let mut relayed_blocks: u64 = 0;
 
     while collected.len() < expected_datasets || adaptors.is_none() {
-        let (from, event) = link::recv_flow(node, config.timeout)
-            .map_err(|e| e.or_timeout(me, "data & adaptor collection"))?;
+        let (from, event) = link::recv_flow_ctx(node, ctx, "data & adaptor collection")?;
         match event {
             FlowInbound::Msg(msg) => {
                 audit.record(from, me, &msg);
@@ -295,7 +291,7 @@ fn run_miner_streaming<T: Transport, C: Codec>(
                 // exchange is still on the wire — overlapped unless this
                 // is the session's final in-flight data.
                 let overlapped = !last || open.len() > 1;
-                let entry = open.get_mut(&from).ok_or_else(|| {
+                let mut entry = open.remove(&from).ok_or_else(|| {
                     SapError::Protocol("stream block without an open stream".into())
                 })?;
                 monitor.block_received();
@@ -304,19 +300,20 @@ fn run_miner_streaming<T: Transport, C: Codec>(
                 entry.pipeline.push(&bytes)?;
                 monitor.compute(t0.elapsed(), overlapped);
                 if last {
-                    let done = open.remove(&from).expect("entry exists");
                     monitor.stream_closed();
-                    let header = *done.pipeline.header();
-                    let sink = done.pipeline.finish()?;
+                    let header = *entry.pipeline.header();
+                    let sink = entry.pipeline.finish()?;
                     collected.insert(
-                        done.slot,
+                        entry.slot,
                         CollectedSlot {
                             forwarder: from,
                             header,
                             sink,
-                            adapted: done.adapted,
+                            adapted: entry.adapted,
                         },
                     );
+                } else {
+                    open.insert(from, entry);
                 }
             }
         }
@@ -376,6 +373,9 @@ fn run_miner_streaming<T: Transport, C: Codec>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::audit::AuditLog;
+    use crate::liveness::Roster;
+    use crate::session::{SapConfig, StandaloneCtx};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use sap_net::transport::InMemoryHub;
@@ -387,6 +387,17 @@ mod tests {
             timeout: Duration::from_millis(500),
             ..SapConfig::quick_test()
         }
+    }
+
+    /// A miner harness: relay parties 1 and 5, coordinator 2
+    /// (roster-last), miner 100, recording into `audit`.
+    fn harness(config: SapConfig, audit: &AuditLog) -> StandaloneCtx {
+        let mut sc = StandaloneCtx::new(
+            Roster::new(vec![PartyId(1), PartyId(5), PartyId(2)], PartyId(100)),
+            config,
+        );
+        sc.audit = audit.clone();
+        sc
     }
 
     fn tiny_dataset(offset: f64) -> Dataset {
@@ -444,15 +455,7 @@ mod tests {
             )
             .unwrap();
 
-        let out = run_miner(
-            &miner_node,
-            2,
-            PartyId(2),
-            &quick_config(),
-            &audit,
-            &StreamMonitor::new(),
-        )
-        .unwrap();
+        let out = run_miner(&miner_node, 2, &harness(quick_config(), &audit).ctx()).unwrap();
         assert_eq!(out.unified.len(), 20);
         assert_eq!(out.forwarder_of_slot.len(), 2);
 
@@ -494,15 +497,7 @@ mod tests {
             )
             .unwrap();
         }
-        let err = run_miner(
-            &miner_node,
-            2,
-            PartyId(2),
-            &quick_config(),
-            &audit,
-            &StreamMonitor::new(),
-        )
-        .unwrap_err();
+        let err = run_miner(&miner_node, 2, &harness(quick_config(), &audit).ctx()).unwrap_err();
         assert!(err.to_string().contains("duplicate slot"), "{err}");
     }
 
@@ -526,15 +521,7 @@ mod tests {
         coord
             .send_msg(PartyId(100), &SapMessage::AdaptorTable { entries: vec![] })
             .unwrap();
-        let err = run_miner(
-            &miner_node,
-            1,
-            PartyId(2),
-            &quick_config(),
-            &audit,
-            &StreamMonitor::new(),
-        )
-        .unwrap_err();
+        let err = run_miner(&miner_node, 1, &harness(quick_config(), &audit).ctx()).unwrap_err();
         assert!(err.to_string().contains("no adaptor"), "{err}");
     }
 
@@ -547,15 +534,7 @@ mod tests {
         impostor
             .send_msg(PartyId(100), &SapMessage::AdaptorTable { entries: vec![] })
             .unwrap();
-        let err = run_miner(
-            &miner_node,
-            1,
-            PartyId(2),
-            &quick_config(),
-            &audit,
-            &StreamMonitor::new(),
-        )
-        .unwrap_err();
+        let err = run_miner(&miner_node, 1, &harness(quick_config(), &audit).ctx()).unwrap_err();
         assert!(err.to_string().contains("non-coordinator"), "{err}");
     }
 
@@ -574,15 +553,7 @@ mod tests {
             4,
         )
         .unwrap();
-        let err = run_miner(
-            &miner_node,
-            1,
-            PartyId(2),
-            &quick_config(),
-            &audit,
-            &StreamMonitor::new(),
-        )
-        .unwrap_err();
+        let err = run_miner(&miner_node, 1, &harness(quick_config(), &audit).ctx()).unwrap_err();
         assert!(err.to_string().contains("un-relayed"), "{err}");
     }
 
@@ -595,15 +566,7 @@ mod tests {
             timeout: Duration::from_millis(30),
             ..SapConfig::quick_test()
         };
-        let err = run_miner(
-            &miner_node,
-            1,
-            PartyId(2),
-            &config,
-            &audit,
-            &StreamMonitor::new(),
-        )
-        .unwrap_err();
+        let err = run_miner(&miner_node, 1, &harness(config, &audit).ctx()).unwrap_err();
         assert!(matches!(err, SapError::Timeout { .. }));
     }
 }

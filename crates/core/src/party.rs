@@ -17,11 +17,10 @@
 //! The actor is generic over the transport and codec, so the same code
 //! runs over the in-memory hub, the fault injector, and real TCP.
 
-use crate::audit::AuditLog;
 use crate::error::SapError;
 use crate::link::{self, DataHeader, DataStream, FlowInbound, Inbound};
 use crate::messages::{SapMessage, SlotTag};
-use crate::session::{DataPlane, ProviderReport, SapConfig};
+use crate::session::{DataPlane, ProviderReport, RoleCtx};
 use crate::stream::StreamMonitor;
 use bytes::Bytes;
 use rand::rngs::StdRng;
@@ -35,22 +34,24 @@ use sap_privacy::engine;
 use sap_privacy::optimize::evaluate_perturbation;
 use std::collections::{HashMap, VecDeque};
 
-/// Runs the provider role to completion.
+/// Runs the provider role to completion. The [`RoleCtx`] carries the
+/// session's configuration, roster, observability, and liveness regime —
+/// every blocking receive observes the session-wide deadline and fails
+/// fast with [`SapError::PeerFailure`] when a roster peer dies.
 ///
 /// # Errors
 ///
-/// Returns [`SapError`] on timeout, messaging failure, or protocol
-/// violation (wrong message kind, dimension mismatch).
+/// Returns [`SapError`] on timeout, peer failure, cancellation,
+/// messaging failure, or protocol violation (wrong message kind,
+/// dimension mismatch).
 pub fn run_provider<T: Transport, C: Codec>(
     node: &Node<T, C>,
     data: &Dataset,
-    coordinator: PartyId,
-    miner: PartyId,
-    config: &SapConfig,
-    audit: &AuditLog,
-    monitor: &StreamMonitor,
+    ctx: &RoleCtx<'_>,
 ) -> Result<ProviderReport, SapError> {
     let me = node.id();
+    let config = ctx.config;
+    let coordinator = ctx.roster.coordinator();
     let x = data.to_column_matrix();
     let mut rng = StdRng::seed_from_u64(config.seed ^ me.0.wrapping_mul(0x9E37_79B9_7F4A_7C15));
 
@@ -64,29 +65,8 @@ pub fn run_provider<T: Transport, C: Codec>(
     // both orderings draw the same RNG stream and put the same bytes on
     // the wire, so the session outcome is byte-identical either way.
     let target = match config.data_plane {
-        DataPlane::Buffered => exchange_buffered(
-            node,
-            data,
-            &x,
-            &g_local,
-            coordinator,
-            miner,
-            config,
-            audit,
-            &mut rng,
-        )?,
-        DataPlane::Streaming => exchange_streaming(
-            node,
-            data,
-            &x,
-            &g_local,
-            coordinator,
-            miner,
-            config,
-            audit,
-            monitor,
-            &mut rng,
-        )?,
+        DataPlane::Buffered => exchange_buffered(node, data, &x, &g_local, ctx, &mut rng)?,
+        DataPlane::Streaming => exchange_streaming(node, data, &x, &g_local, ctx, &mut rng)?,
     };
 
     // Phase 5: space adaptor to the coordinator.
@@ -122,25 +102,24 @@ pub fn run_provider<T: Transport, C: Codec>(
 /// Phases 2–4 on the buffered plane: wait for setup (buffering early
 /// streams whole), perturb and send the entire dataset, then relay each
 /// fully received stream.
-#[allow(clippy::too_many_arguments)]
 fn exchange_buffered<T: Transport, C: Codec>(
     node: &Node<T, C>,
     data: &Dataset,
     x: &Matrix,
     g_local: &GeometricPerturbation,
-    coordinator: PartyId,
-    miner: PartyId,
-    config: &SapConfig,
-    audit: &AuditLog,
+    ctx: &RoleCtx<'_>,
     rng: &mut StdRng,
 ) -> Result<Perturbation, SapError> {
     let me = node.id();
+    let config = ctx.config;
+    let audit = ctx.audit;
+    let coordinator = ctx.roster.coordinator();
+    let miner = ctx.roster.miner;
 
     // Phase 2: setup (buffer any early data streams from fast peers).
     let mut pending: Vec<DataStream> = Vec::new();
     let (target, my_slot, send_data_to, expect_incoming) = loop {
-        let (from, inbound) =
-            link::recv_message(node, config.timeout).map_err(|e| e.or_timeout(me, "setup"))?;
+        let (from, inbound) = link::recv_message_ctx(node, ctx, "setup")?;
         match inbound {
             Inbound::Msg(msg) => {
                 audit.record(from, me, &msg);
@@ -205,8 +184,7 @@ fn exchange_buffered<T: Transport, C: Codec>(
         relayed += 1;
     }
     while relayed < expect_incoming {
-        let (from, inbound) = link::recv_message(node, config.timeout)
-            .map_err(|e| e.or_timeout(me, "data exchange"))?;
+        let (from, inbound) = link::recv_message_ctx(node, ctx, "data exchange")?;
         match inbound {
             Inbound::Data(stream) if !stream.header.relay => {
                 audit.record_kind(from, me, stream.kind(), true, false);
@@ -236,21 +214,20 @@ fn exchange_buffered<T: Transport, C: Codec>(
 /// perturbs the provider's own data block-by-block while sending, and
 /// accepts setup whenever the coordinator's frame lands — the relay hop
 /// is pipelined instead of store-and-forward.
-#[allow(clippy::too_many_arguments)]
 fn exchange_streaming<T: Transport, C: Codec>(
     node: &Node<T, C>,
     data: &Dataset,
     x: &Matrix,
     g_local: &GeometricPerturbation,
-    coordinator: PartyId,
-    miner: PartyId,
-    config: &SapConfig,
-    audit: &AuditLog,
-    monitor: &StreamMonitor,
+    ctx: &RoleCtx<'_>,
     rng: &mut StdRng,
 ) -> Result<Perturbation, SapError> {
     let me = node.id();
-    let mut pump = RelayPump::new(node, miner, monitor);
+    let config = ctx.config;
+    let audit = ctx.audit;
+    let coordinator = ctx.roster.coordinator();
+    let miner = ctx.roster.miner;
+    let mut pump = RelayPump::new(node, miner, ctx.monitor);
     let mut setup: Option<(Perturbation, SlotTag, PartyId, u32)> = None;
     let mut sent_own = false;
     loop {
@@ -284,8 +261,7 @@ fn exchange_streaming<T: Transport, C: Codec>(
         } else {
             "setup"
         };
-        let (from, event) =
-            link::recv_flow(node, config.timeout).map_err(|e| e.or_timeout(me, phase))?;
+        let (from, event) = link::recv_flow_ctx(node, ctx, phase)?;
         match event {
             FlowInbound::Msg(msg) => {
                 audit.record(from, me, &msg);
@@ -514,10 +490,22 @@ impl<'n, T: Transport, C: Codec> RelayPump<'n, T, C> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::audit::AuditLog;
+    use crate::liveness::Roster;
     use crate::messages::SlotTag;
+    use crate::session::{SapConfig, StandaloneCtx};
     use sap_net::transport::InMemoryHub;
     use sap_perturb::Perturbation;
     use std::time::Duration;
+
+    /// A provider-0 harness: coordinator 1 (roster-last), peer 2,
+    /// miner 100.
+    fn harness(config: SapConfig) -> StandaloneCtx {
+        StandaloneCtx::new(
+            Roster::new(vec![PartyId(0), PartyId(2), PartyId(1)], PartyId(100)),
+            config,
+        )
+    }
 
     fn tiny_dataset() -> Dataset {
         let records: Vec<Vec<f64>> = (0..30)
@@ -558,15 +546,9 @@ mod tests {
         let data_p = data.clone();
         let config_p = config.clone();
         let handle = std::thread::spawn(move || {
-            run_provider(
-                &provider_node,
-                &data_p,
-                PartyId(1),
-                PartyId(100),
-                &config_p,
-                &audit_p,
-                &StreamMonitor::new(),
-            )
+            let mut sc = harness(config_p);
+            sc.audit = audit_p;
+            run_provider(&provider_node, &data_p, &sc.ctx())
         });
 
         // Coordinator sends setup: provider 0 relays one incoming dataset.
@@ -635,21 +617,11 @@ mod tests {
     fn provider_times_out_without_setup() {
         let hub = InMemoryHub::new();
         let provider_node = Node::new(hub.endpoint(PartyId(0)), 7);
-        let audit = AuditLog::new();
-        let config = SapConfig {
+        let sc = harness(SapConfig {
             timeout: Duration::from_millis(30),
             ..SapConfig::quick_test()
-        };
-        let err = run_provider(
-            &provider_node,
-            &tiny_dataset(),
-            PartyId(1),
-            PartyId(100),
-            &config,
-            &audit,
-            &StreamMonitor::new(),
-        )
-        .unwrap_err();
+        });
+        let err = run_provider(&provider_node, &tiny_dataset(), &sc.ctx()).unwrap_err();
         assert!(
             matches!(err, SapError::Timeout { phase: "setup", .. }),
             "{err}"
@@ -661,8 +633,7 @@ mod tests {
         let hub = InMemoryHub::new();
         let provider_node = Node::new(hub.endpoint(PartyId(0)), 7);
         let impostor = Node::new(hub.endpoint(PartyId(5)), 7);
-        let audit = AuditLog::new();
-        let config = quick_config();
+        let sc = harness(quick_config());
 
         let mut rng = StdRng::seed_from_u64(4);
         impostor
@@ -676,16 +647,7 @@ mod tests {
                 },
             )
             .unwrap();
-        let err = run_provider(
-            &provider_node,
-            &tiny_dataset(),
-            PartyId(1),
-            PartyId(100),
-            &config,
-            &audit,
-            &StreamMonitor::new(),
-        )
-        .unwrap_err();
+        let err = run_provider(&provider_node, &tiny_dataset(), &sc.ctx()).unwrap_err();
         assert!(matches!(err, SapError::Protocol(_)), "{err}");
     }
 
@@ -694,8 +656,7 @@ mod tests {
         let hub = InMemoryHub::new();
         let provider_node = Node::new(hub.endpoint(PartyId(0)), 7);
         let coord = Node::new(hub.endpoint(PartyId(1)), 7);
-        let audit = AuditLog::new();
-        let config = quick_config();
+        let sc = harness(quick_config());
 
         let mut rng = StdRng::seed_from_u64(5);
         coord
@@ -709,17 +670,47 @@ mod tests {
                 },
             )
             .unwrap();
-        let err = run_provider(
-            &provider_node,
-            &tiny_dataset(),
-            PartyId(1),
-            PartyId(100),
-            &config,
-            &audit,
-            &StreamMonitor::new(),
-        )
-        .unwrap_err();
+        let err = run_provider(&provider_node, &tiny_dataset(), &sc.ctx()).unwrap_err();
         assert!(err.to_string().contains("dimension"), "{err}");
+    }
+
+    #[test]
+    fn provider_fails_fast_when_roster_peer_dies() {
+        // The provider is blocked waiting for setup on a long timeout;
+        // its coordinator dies. The typed PeerFailure must arrive in
+        // O(detection), not O(timeout) — and a stranger's death first
+        // must be ignored.
+        let hub = InMemoryHub::new();
+        let provider_node = Node::new(hub.endpoint(PartyId(0)), 7);
+        let _coord = hub.endpoint(PartyId(1));
+        let _stranger = hub.endpoint(PartyId(77));
+        let sc = harness(SapConfig {
+            timeout: Duration::from_secs(60),
+            ..SapConfig::quick_test()
+        });
+        let hub_clone = hub.clone();
+        let killer = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            hub_clone.kill(PartyId(77)); // not on the roster: ignored
+            hub_clone.kill(PartyId(1)); // the coordinator: fatal
+        });
+        let start = std::time::Instant::now();
+        let err = run_provider(&provider_node, &tiny_dataset(), &sc.ctx()).unwrap_err();
+        killer.join().unwrap();
+        assert!(
+            matches!(
+                err,
+                SapError::PeerFailure {
+                    party: PartyId(1),
+                    phase: "setup"
+                }
+            ),
+            "{err}"
+        );
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "peer failure must beat the 60 s receive timeout"
+        );
     }
 
     /// A sender opening a second stream while its first still waits for
@@ -760,20 +751,10 @@ mod tests {
         let hub = InMemoryHub::new();
         let provider_node = Node::new(hub.endpoint(PartyId(0)), 7);
         let peer = Node::new(hub.endpoint(PartyId(2)), 7);
-        let audit = AuditLog::new();
-        let config = quick_config();
+        let sc = harness(quick_config());
 
         link::send_dataset(&peer, PartyId(0), true, SlotTag(2), &tiny_dataset(), 8).unwrap();
-        let err = run_provider(
-            &provider_node,
-            &tiny_dataset(),
-            PartyId(1),
-            PartyId(100),
-            &config,
-            &audit,
-            &StreamMonitor::new(),
-        )
-        .unwrap_err();
+        let err = run_provider(&provider_node, &tiny_dataset(), &sc.ctx()).unwrap_err();
         assert!(err.to_string().contains("relayed-data"), "{err}");
     }
 }

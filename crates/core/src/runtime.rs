@@ -23,14 +23,16 @@
 
 use crate::audit::AuditLog;
 use crate::error::SapError;
+use crate::liveness::Deadline;
 use crate::miner::MinerOutput;
 use crate::session::{ProviderReport, SapOutcome};
+use parking_lot::{Condvar, Mutex};
 use sap_datasets::Dataset;
 use sap_net::{PartyId, SessionId};
 use sap_perturb::Perturbation;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// A role task: runs one protocol actor to completion.
@@ -129,7 +131,7 @@ impl ActorPool {
                 available: self.inner.workers,
             });
         }
-        let mut state = self.inner.state.lock().expect("pool lock");
+        let mut state = self.inner.state.lock();
         if state.shutdown {
             return Err(SapError::Aborted);
         }
@@ -140,7 +142,7 @@ impl ActorPool {
 
     /// Sessions currently admitted or queued (in units of tasks).
     pub fn queued_tasks(&self) -> usize {
-        let state = self.inner.state.lock().expect("pool lock");
+        let state = self.inner.state.lock();
         state.pending_gangs.iter().map(Vec::len).sum::<usize>() + state.committed
     }
 }
@@ -148,7 +150,7 @@ impl ActorPool {
 impl Drop for ActorPool {
     fn drop(&mut self) {
         {
-            let mut state = self.inner.state.lock().expect("pool lock");
+            let mut state = self.inner.state.lock();
             state.shutdown = true;
             state.pending_gangs.clear();
             state.ready.clear();
@@ -163,7 +165,7 @@ impl Drop for ActorPool {
 fn worker_loop(inner: &PoolInner) {
     loop {
         let task = {
-            let mut state = inner.state.lock().expect("pool lock");
+            let mut state = inner.state.lock();
             loop {
                 if state.shutdown {
                     return;
@@ -171,11 +173,11 @@ fn worker_loop(inner: &PoolInner) {
                 if let Some(task) = state.ready.pop_front() {
                     break task;
                 }
-                state = inner.work_ready.wait(state).expect("pool lock");
+                state = inner.work_ready.wait(state);
             }
         };
         task();
-        let mut state = inner.state.lock().expect("pool lock");
+        let mut state = inner.state.lock();
         state.committed -= 1;
         inner.promote(&mut state);
     }
@@ -220,11 +222,38 @@ pub(crate) struct SessionCollect {
     pub(crate) total_roles: usize,
     pub(crate) aborted: bool,
     pub(crate) harvested: bool,
+    /// Transports of finished roles, parked here until harvest or abort.
+    /// A role returning must NOT drop its transport while siblings still
+    /// run: over TCP that closes live sockets, and a peer's graceful
+    /// completion would be indistinguishable from its death at the
+    /// liveness layer (EOF ⇒ `PeerDown`). Real crashes still close
+    /// sockets mid-protocol and are detected as before.
+    pub(crate) retained: Vec<Box<dyn std::any::Any + Send>>,
 }
 
 impl SessionCollect {
+    /// The error harvest reports, by root-cause strength:
+    /// [`SapError::PeerFailure`] first (a detected peer death is the
+    /// strongest signal — the dead peer's own role typically errors with
+    /// a secondary `Disconnected` at the same instant, and which role
+    /// records first is a wall-clock race), then the first non-cascade
+    /// error, then cascades ([`SapError::Cancelled`] — roles unwound
+    /// because a sibling already failed). Within each class, role order
+    /// keeps the pick deterministic.
     fn first_error_mut(&mut self) -> Option<&mut Option<SapError>> {
-        self.role_errors.iter_mut().find(|e| e.is_some())
+        let peer_failure = self.role_errors.iter().position(|e| {
+            e.as_ref()
+                .is_some_and(|e| matches!(e, SapError::PeerFailure { .. }))
+        });
+        let root = peer_failure.or_else(|| {
+            self.role_errors
+                .iter()
+                .position(|e| e.as_ref().is_some_and(|e| !e.is_cascade()))
+        });
+        match root {
+            Some(i) => self.role_errors.get_mut(i),
+            None => self.role_errors.iter_mut().find(|e| e.is_some()),
+        }
     }
 }
 
@@ -236,6 +265,11 @@ pub(crate) struct SessionShared {
     pub(crate) k: usize,
     pub(crate) audit: AuditLog,
     pub(crate) monitor: crate::stream::StreamMonitor,
+    /// The session-wide budget/cancellation token every role's blocking
+    /// receives observe. Cancelled the moment any role fails or the
+    /// owner aborts, so siblings unwind cooperatively instead of waiting
+    /// out their own timeouts.
+    pub(crate) deadline: Deadline,
     /// Invoked once on abort — the owner's lever for tearing down the
     /// session's transport (e.g. closing its mux routes) so blocked roles
     /// fail fast instead of waiting out their timeouts.
@@ -244,15 +278,28 @@ pub(crate) struct SessionShared {
 
 impl SessionShared {
     pub(crate) fn record(&self, update: impl FnOnce(&mut SessionCollect)) {
-        let mut state = self.state.lock().expect("session lock");
+        let mut state = self.state.lock();
         update(&mut state);
         state.finished_roles += 1;
         self.progress.notify_all();
     }
 
+    /// Parks a finished role's transport until harvest/abort (see
+    /// [`SessionCollect::retained`]). When the session was already
+    /// harvested (the final role racing a concurrent harvest), the item
+    /// is simply dropped — every role is done by then.
+    pub(crate) fn retain(&self, item: Box<dyn std::any::Any + Send>) {
+        let mut state = self.state.lock();
+        if !state.harvested {
+            state.retained.push(item);
+        }
+    }
+
     /// Runs one role body, recording a panic as [`SapError::PartyPanicked`]
     /// instead of poisoning a pool worker. `role` is the gang position
-    /// (providers by position, coordinator, miner last).
+    /// (providers by position, coordinator, miner last). Any failure
+    /// cancels the session deadline so sibling roles stop waiting for
+    /// messages that will never come.
     pub(crate) fn run_role(
         &self,
         role: usize,
@@ -261,12 +308,18 @@ impl SessionShared {
     ) {
         match catch_unwind(AssertUnwindSafe(body)) {
             Ok(Ok(())) => {}
-            Ok(Err(e)) => self.record(|s| {
-                s.role_errors[role] = Some(e);
-            }),
-            Err(_) => self.record(|s| {
-                s.role_errors[role] = Some(SapError::PartyPanicked(pid));
-            }),
+            Ok(Err(e)) => {
+                self.deadline.cancel();
+                self.record(|s| {
+                    s.role_errors[role] = Some(e);
+                });
+            }
+            Err(_) => {
+                self.deadline.cancel();
+                self.record(|s| {
+                    s.role_errors[role] = Some(SapError::PartyPanicked(pid));
+                });
+            }
         }
     }
 }
@@ -289,12 +342,12 @@ impl SessionHandle {
     /// e.g. closing the session's mux routes so blocked roles see
     /// `Disconnected` immediately instead of waiting out their timeouts.
     pub fn set_abort_hook(&self, hook: impl FnOnce() + Send + 'static) {
-        *self.shared.on_abort.lock().expect("session lock") = Some(Box::new(hook));
+        *self.shared.on_abort.lock() = Some(Box::new(hook));
     }
 
     /// Non-blocking status check.
     pub fn poll(&self) -> SessionStatus {
-        let state = self.shared.state.lock().expect("session lock");
+        let state = self.shared.state.lock();
         if state.harvested {
             SessionStatus::Harvested
         } else if state.aborted {
@@ -311,19 +364,25 @@ impl SessionHandle {
         }
     }
 
-    /// Aborts the session: runs the owner's abort hook (tearing down the
-    /// session's transport routes, so blocked roles disconnect promptly)
-    /// and marks the session so harvest reports [`SapError::Aborted`]
-    /// unless it already completed.
+    /// Aborts the session: cancels its deadline token (so every blocking
+    /// role receive unwinds within one poll slice, on any transport),
+    /// runs the owner's abort hook (tearing down the session's transport
+    /// routes), and marks the session so harvest reports
+    /// [`SapError::Aborted`] unless it already completed.
     pub fn abort(&self) {
-        let hook = self.shared.on_abort.lock().expect("session lock").take();
-        {
-            let mut state = self.shared.state.lock().expect("session lock");
+        self.shared.deadline.cancel();
+        let hook = self.shared.on_abort.lock().take();
+        let retained = {
+            let mut state = self.shared.state.lock();
             if state.finished_roles < state.total_roles {
                 state.aborted = true;
             }
             self.shared.progress.notify_all();
-        }
+            std::mem::take(&mut state.retained)
+        };
+        // Dropped outside the lock: releasing a TCP transport touches
+        // sockets.
+        drop(retained);
         if let Some(hook) = hook {
             hook();
         }
@@ -344,47 +403,51 @@ impl SessionHandle {
     /// * [`SapError::Protocol`] when already harvested.
     pub fn harvest(&self, timeout: Option<Duration>) -> Result<SapOutcome, SapError> {
         let deadline = timeout.map(|t| Instant::now() + t);
-        let mut state = self.shared.state.lock().expect("session lock");
+        let mut state = self.shared.state.lock();
         while state.finished_roles < state.total_roles && !state.aborted {
             match deadline {
                 None => {
-                    state = self.shared.progress.wait(state).expect("session lock");
+                    state = self.shared.progress.wait(state);
                 }
                 Some(deadline) => {
-                    let now = Instant::now();
-                    if now >= deadline {
+                    if Instant::now() >= deadline {
                         return Err(SapError::Timeout {
                             waiting: PartyId(u64::MAX),
                             phase: "session harvest",
                         });
                     }
-                    let (guard, _) = self
-                        .shared
-                        .progress
-                        .wait_timeout(state, deadline - now)
-                        .expect("session lock");
-                    state = guard;
+                    state = self.shared.progress.wait_until(state, deadline);
                 }
             }
         }
         if state.harvested {
             return Err(SapError::Protocol("session already harvested".into()));
         }
+        state.harvested = true;
+        // Parked role transports are released now that the session is
+        // consumed — outside the lock, since dropping a TCP transport
+        // touches sockets.
+        let retained = std::mem::take(&mut state.retained);
+        let result = self.assemble(&mut state);
+        drop(state);
+        drop(retained);
+        result
+    }
+
+    /// Builds the harvest verdict from a finished (or aborted) session's
+    /// collected state. Called exactly once, under the session lock.
+    fn assemble(&self, state: &mut SessionCollect) -> Result<SapOutcome, SapError> {
         // The abort verdict wins over role errors: aborting tears down the
         // session's transport, so the roles' Disconnected cascades are a
         // consequence, not a cause.
         if state.aborted {
-            state.harvested = true;
             return Err(SapError::Aborted);
         }
         if let Some(slot) = state.first_error_mut() {
-            let err = slot.take().expect("found Some");
-            state.harvested = true;
-            return Err(err);
+            return Err(slot.take().expect("found Some"));
         }
         // All roles finished cleanly: assemble, preferring loud failure
         // over silent partial results (these are invariants, not inputs).
-        state.harvested = true;
         let miner_out = state
             .miner
             .take()

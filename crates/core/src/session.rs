@@ -15,11 +15,13 @@ use crate::audit::AuditLog;
 use crate::coordinator::run_coordinator;
 use crate::error::SapError;
 use crate::link::DEFAULT_BLOCK_ROWS;
+use crate::liveness::{Deadline, Roster};
 use crate::messages::SlotTag;
 use crate::miner::run_miner;
 use crate::party::run_provider;
 use crate::runtime::{ActorPool, RoleTask, SessionCollect, SessionHandle, SessionShared};
 use crate::stream::StreamMonitor;
+use parking_lot::{Condvar, Mutex};
 use sap_datasets::Dataset;
 use sap_net::codec::{Codec, WireCodec};
 use sap_net::node::Node;
@@ -28,7 +30,7 @@ use sap_net::transport::InMemoryHub;
 use sap_net::{PartyId, SessionId, Transport};
 use sap_perturb::Perturbation;
 use sap_privacy::optimize::OptimizerConfig;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Which data plane a session's roles run on.
@@ -63,6 +65,13 @@ pub struct SapConfig {
     pub seed: u64,
     /// Per-receive timeout for every role.
     pub timeout: Duration,
+    /// Session-wide wall-clock budget shared by every role (the
+    /// [`crate::liveness::Deadline`] threaded through all blocking
+    /// receives). Generous by design — the per-receive `timeout` catches
+    /// ordinary starvation long before this trips; the budget is the
+    /// cooperative backstop that replaces being reclaimed by a server's
+    /// age GC.
+    pub session_budget: Duration,
     /// Rows per dataset stream block (the chunking grain of the exchange).
     pub block_rows: usize,
     /// Whether roles process dataset streams block-by-block as they
@@ -84,6 +93,7 @@ impl Default for SapConfig {
             session_secret: 0x5A9_u64 ^ 0x1234_5678,
             seed: 0xD15E,
             timeout: Duration::from_secs(30),
+            session_budget: Duration::from_secs(300),
             block_rows: DEFAULT_BLOCK_ROWS,
             data_plane: DataPlane::default(),
             fault_config: None,
@@ -108,6 +118,7 @@ impl SapConfig {
             session_secret: 42,
             seed: 7,
             timeout: Duration::from_secs(10),
+            session_budget: Duration::from_secs(120),
             block_rows: 64,
             data_plane: DataPlane::default(),
             fault_config: None,
@@ -221,6 +232,68 @@ impl SapOutcome {
 
 /// Party id assigned to the miner.
 pub const MINER_ID: PartyId = PartyId(1_000);
+
+/// An owned context bundle for driving a single role **outside**
+/// [`spawn_session`] — protocol test harnesses and standalone drivers.
+/// [`StandaloneCtx::ctx`] borrows it as the [`RoleCtx`] the role
+/// functions take. Defaults to an unbounded deadline (the driver owns
+/// pacing) and fresh audit/monitor handles.
+pub struct StandaloneCtx {
+    /// The session's parties.
+    pub roster: Roster,
+    /// Session configuration.
+    pub config: SapConfig,
+    /// Delivery ledger (cloneable shared handle).
+    pub audit: AuditLog,
+    /// Streaming telemetry (cloneable shared handle).
+    pub monitor: StreamMonitor,
+    /// Budget/cancellation token.
+    pub deadline: Deadline,
+}
+
+impl StandaloneCtx {
+    /// Bundles a roster and config with fresh audit/monitor handles and
+    /// an unbounded deadline.
+    pub fn new(roster: Roster, config: SapConfig) -> Self {
+        StandaloneCtx {
+            roster,
+            config,
+            audit: AuditLog::new(),
+            monitor: StreamMonitor::new(),
+            deadline: Deadline::unbounded(),
+        }
+    }
+
+    /// Borrows the bundle as the [`RoleCtx`] the role functions take.
+    pub fn ctx(&self) -> RoleCtx<'_> {
+        RoleCtx {
+            roster: &self.roster,
+            config: &self.config,
+            audit: &self.audit,
+            monitor: &self.monitor,
+            deadline: &self.deadline,
+        }
+    }
+}
+
+/// Everything a role shares with its session beyond its node and data:
+/// configuration, observability, and the liveness regime (roster +
+/// deadline token). One borrowed bundle instead of a parameter per
+/// concern — every blocking receive in the role loops goes through it
+/// ([`crate::link::recv_message_ctx`] / [`crate::link::recv_flow_ctx`]).
+pub struct RoleCtx<'a> {
+    /// The session's parties (providers in position order, coordinator
+    /// last) plus the miner.
+    pub roster: &'a Roster,
+    /// Session configuration.
+    pub config: &'a SapConfig,
+    /// The shared delivery ledger.
+    pub audit: &'a AuditLog,
+    /// Streaming data-plane telemetry.
+    pub monitor: &'a StreamMonitor,
+    /// The session-wide budget and cancellation token.
+    pub deadline: &'a Deadline,
+}
 
 fn validate_locals(locals: &[Dataset]) -> Result<(usize, usize), SapError> {
     let k = locals.len();
@@ -369,6 +442,11 @@ where
     let coordinator = providers[k - 1];
     let audit = AuditLog::new();
     let monitor = StreamMonitor::new();
+    let roster = Arc::new(Roster::new(providers.clone(), MINER_ID));
+    // One deadline per session: budget from the config, cancelled the
+    // moment any role fails or the owner aborts, observed by every
+    // blocking receive of every role.
+    let deadline = Deadline::after(config.session_budget);
 
     let shared = Arc::new(SessionShared {
         state: Mutex::new(SessionCollect {
@@ -380,6 +458,7 @@ where
             total_roles: k + 1,
             aborted: false,
             harvested: false,
+            retained: Vec::new(),
         }),
         progress: Condvar::new(),
         session,
@@ -387,6 +466,7 @@ where
         k,
         audit: audit.clone(),
         monitor: monitor.clone(),
+        deadline: deadline.clone(),
         on_abort: Mutex::new(None),
     });
 
@@ -408,13 +488,25 @@ where
         let pid = providers[pos];
         let shared = Arc::clone(&shared);
         let monitor = monitor.clone();
+        let roster = Arc::clone(&roster);
+        let deadline = deadline.clone();
         gang.push(Box::new(move || {
             shared.run_role(pos, pid, || {
-                let report =
-                    run_provider(&node, &data, coordinator, MINER_ID, &cfg, &audit, &monitor)?;
+                let ctx = RoleCtx {
+                    roster: &roster,
+                    config: &cfg,
+                    audit: &audit,
+                    monitor: &monitor,
+                    deadline: &deadline,
+                };
+                let report = run_provider(&node, &data, &ctx)?;
                 shared.record(|s| s.reports[pos] = Some(report));
                 Ok(())
             });
+            // Park the transport until harvest: dropping it here would
+            // close live TCP sockets and make this role's graceful
+            // completion look like a peer death to its siblings.
+            shared.retain(Box::new(node));
         }));
     }
 
@@ -427,18 +519,27 @@ where
         let data = Arc::clone(&locals[k - 1]);
         let cfg = config.clone();
         let audit = audit.clone();
-        let provider_list = providers.clone();
         let shared = Arc::clone(&shared);
+        let monitor = monitor.clone();
+        let roster = Arc::clone(&roster);
+        let deadline = deadline.clone();
         gang.push(Box::new(move || {
             shared.run_role(k - 1, coordinator, || {
-                let (report, target) =
-                    run_coordinator(&node, &data, &provider_list, MINER_ID, &cfg, &audit)?;
+                let ctx = RoleCtx {
+                    roster: &roster,
+                    config: &cfg,
+                    audit: &audit,
+                    monitor: &monitor,
+                    deadline: &deadline,
+                };
+                let (report, target) = run_coordinator(&node, &data, &ctx)?;
                 shared.record(|s| {
                     s.reports[k - 1] = Some(report);
                     s.target = Some(target);
                 });
                 Ok(())
             });
+            shared.retain(Box::new(node));
         }));
     }
 
@@ -454,12 +555,22 @@ where
         let audit = audit.clone();
         let shared = Arc::clone(&shared);
         let monitor = monitor.clone();
+        let roster = Arc::clone(&roster);
+        let deadline = deadline.clone();
         gang.push(Box::new(move || {
             shared.run_role(k, MINER_ID, || {
-                let out = run_miner(&node, k, coordinator, &cfg, &audit, &monitor)?;
+                let ctx = RoleCtx {
+                    roster: &roster,
+                    config: &cfg,
+                    audit: &audit,
+                    monitor: &monitor,
+                    deadline: &deadline,
+                };
+                let out = run_miner(&node, k, &ctx)?;
                 shared.record(|s| s.miner = Some(out));
                 Ok(())
             });
+            shared.retain(Box::new(node));
         }));
     }
 

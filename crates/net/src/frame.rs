@@ -239,6 +239,54 @@ pub fn peek_session(sealed: &[u8]) -> Option<SessionId> {
     Some(SessionId(u64::from_le_bytes(raw)))
 }
 
+// ---------------------------------------------------------------------------
+// Liveness (heartbeat) frames
+// ---------------------------------------------------------------------------
+
+/// Magic constant identifying a heartbeat frame behind the
+/// [`SessionId::LIVENESS`] stamp.
+const HEARTBEAT_MAGIC: u64 = 0x4C49_5645_4245_3454; // "LIVEBE4T"
+
+/// Size of a heartbeat frame — exactly the minimum sealed-frame size, so
+/// [`peek_session`] reads its stamp like any other frame's.
+pub const HEARTBEAT_LEN: usize = 16 + FRAME_HEADER_LEN + 8;
+
+/// Encodes a liveness heartbeat from `from` with a monotone `seq`.
+///
+/// Heartbeats are **plaintext** control traffic stamped with the reserved
+/// [`SessionId::LIVENESS`] id: a mux pump consumes them to refresh its
+/// peer-liveness clock without holding any session key, and never routes
+/// them to a session. They are deliberately unauthenticated — forging one
+/// can only *delay* failure detection for a peer that is in fact dead,
+/// never abort or corrupt a session, which matches the trusted-network
+/// assumption the rest of the link layer already makes.
+///
+/// Layout (all little-endian): `LIVENESS session id (8) ‖ magic (8) ‖
+/// sender party id (8) ‖ seq (8) ‖ zero padding to 38 bytes`.
+pub fn encode_heartbeat(from: PartyId, seq: u64) -> Bytes {
+    let mut out = vec![0u8; HEARTBEAT_LEN];
+    out[..8].copy_from_slice(&SessionId::LIVENESS.0.to_le_bytes());
+    out[8..16].copy_from_slice(&HEARTBEAT_MAGIC.to_le_bytes());
+    out[16..24].copy_from_slice(&from.0.to_le_bytes());
+    out[24..32].copy_from_slice(&seq.to_le_bytes());
+    Bytes::from(out)
+}
+
+/// Decodes a heartbeat frame, returning the claimed sender and sequence
+/// number, or `None` when the buffer is not a heartbeat.
+pub fn decode_heartbeat(buf: &[u8]) -> Option<(PartyId, u64)> {
+    if buf.len() != HEARTBEAT_LEN || peek_session(buf) != Some(SessionId::LIVENESS) {
+        return None;
+    }
+    let magic = u64::from_le_bytes(buf[8..16].try_into().ok()?);
+    if magic != HEARTBEAT_MAGIC {
+        return None;
+    }
+    let from = PartyId(u64::from_le_bytes(buf[16..24].try_into().ok()?));
+    let seq = u64::from_le_bytes(buf[24..32].try_into().ok()?);
+    Some((from, seq))
+}
+
 /// Seals one frame under the channel key for `session`: header and payload
 /// are encrypted together; layout `session ‖ nonce ‖ ciphertext ‖ tag`.
 pub fn seal_frame(key: ChannelKey, nonce: u64, session: SessionId, frame: &Frame) -> Bytes {
@@ -925,6 +973,22 @@ mod tests {
         };
         assert!(last);
         assert_eq!(r.pending_senders(), 0);
+    }
+
+    #[test]
+    fn heartbeat_roundtrip_and_rejection() {
+        let hb = encode_heartbeat(PartyId(7), 42);
+        assert_eq!(hb.len(), HEARTBEAT_LEN);
+        assert_eq!(peek_session(&hb), Some(SessionId::LIVENESS));
+        assert_eq!(decode_heartbeat(&hb), Some((PartyId(7), 42)));
+        // Wrong magic, wrong length, and ordinary sealed frames all reject.
+        let mut bad = hb.to_vec();
+        bad[8] ^= 1;
+        assert_eq!(decode_heartbeat(&bad), None);
+        assert_eq!(decode_heartbeat(&hb[..20]), None);
+        let f = frame(FrameKind::Control, 1, 0, true, b"payload");
+        let sealed = seal_frame(key(), 5, SessionId(3), &f);
+        assert_eq!(decode_heartbeat(&sealed), None);
     }
 
     #[test]

@@ -676,8 +676,9 @@ impl Parser<'_> {
         if self.pos == start {
             return err("empty number");
         }
-        let text = std::str::from_utf8(&self.input[start..self.pos])
-            .expect("ascii digits are valid utf-8");
+        let Ok(text) = std::str::from_utf8(&self.input[start..self.pos]) else {
+            return err("non-utf8 bytes in number");
+        };
         // Validate it parses as *some* number now, so errors surface early.
         if text.parse::<f64>().is_err() {
             return err(format!("malformed number `{text}`"));
@@ -885,7 +886,10 @@ impl<'de> de::Deserializer<'de> for ValueDeserializer<'_> {
                 } else if let Ok(v) = text.parse::<u64>() {
                     visitor.visit_u64(v)
                 } else {
-                    visitor.visit_f64(text.parse::<f64>().expect("validated at parse time"))
+                    match text.parse::<f64>() {
+                        Ok(v) => visitor.visit_f64(v),
+                        Err(_) => err(format!("malformed number `{text}`")),
+                    }
                 }
             }
             Value::Str(s) => visitor.visit_str(s),
@@ -914,7 +918,9 @@ impl<'de> de::Deserializer<'de> for ValueDeserializer<'_> {
 
     fn deserialize_f32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, JsonError> {
         let text = self.num_text("f32")?;
-        let v: f32 = text.parse().expect("validated at parse time");
+        let Ok(v) = text.parse::<f32>() else {
+            return err(format!("malformed number `{text}`"));
+        };
         // `parse` saturates out-of-range finite text to infinity; the
         // format has no spelling for non-finite floats, so reject.
         if !v.is_finite() {
@@ -925,16 +931,20 @@ impl<'de> de::Deserializer<'de> for ValueDeserializer<'_> {
 
     fn deserialize_f64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, JsonError> {
         let text = self.num_text("f64")?;
-        visitor.visit_f64(text.parse().expect("validated at parse time"))
+        match text.parse::<f64>() {
+            Ok(v) => visitor.visit_f64(v),
+            Err(_) => err(format!("malformed number `{text}`")),
+        }
     }
 
     fn deserialize_char<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, JsonError> {
-        match self.value {
-            Value::Str(s) if s.chars().count() == 1 => {
-                visitor.visit_char(s.chars().next().expect("one char"))
+        if let Value::Str(s) = self.value {
+            let mut chars = s.chars();
+            if let (Some(c), None) = (chars.next(), chars.next()) {
+                return visitor.visit_char(c);
             }
-            _ => self.mismatch("single-character string"),
         }
+        self.mismatch("single-character string")
     }
 
     fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, JsonError> {

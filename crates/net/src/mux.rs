@@ -27,12 +27,26 @@
 //! connection and every live session keep running), and a garbage frame
 //! stamped with a live session id fails to open *in that session only* —
 //! its siblings share nothing with it but the pump thread.
+//!
+//! # Peer liveness
+//!
+//! With [`SessionMux::start_liveness`] enabled, the mux also runs the
+//! failure-detection plane: a background emitter sends plaintext
+//! heartbeat frames ([`crate::frame::encode_heartbeat`], wire format in
+//! `docs/WIRE.md` §7) to every watched peer, the pump refreshes each
+//! sender's last-seen clock on **any** inbound frame, and a watched peer
+//! silent past `interval × misses` — or one whose death the transport
+//! reports directly ([`TransportError::PeerDown`]) — is declared dead
+//! **once**: every open session receives an in-band `PeerDown` and fails
+//! fast with a typed error at the protocol layer instead of starving
+//! until its timeout. Detection events and their latency surface in
+//! [`MuxMetrics`].
 
-use crate::frame::peek_session;
+use crate::frame::{decode_heartbeat, encode_heartbeat, peek_session};
 use crate::transport::{PartyId, SessionId, Transport, TransportError};
 use bytes::Bytes;
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::Arc;
@@ -44,6 +58,13 @@ pub const DEFAULT_SESSION_QUEUE: usize = 1024;
 /// How long the pump waits on one full session queue before shedding the
 /// frame for that session.
 pub const STALL_BUDGET: Duration = Duration::from_millis(50);
+
+/// Default heartbeat send interval for [`SessionMux::start_liveness`].
+pub const DEFAULT_HEARTBEAT_INTERVAL: Duration = Duration::from_millis(500);
+
+/// Default number of missed heartbeat intervals after which a silent peer
+/// is declared down. The liveness budget is `interval × misses`.
+pub const DEFAULT_LIVENESS_MISSES: u32 = 3;
 
 /// Counters a [`SessionMux`] keeps about its traffic.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -62,6 +83,21 @@ pub struct MuxMetrics {
     pub shed_frames: u64,
     /// Sessions opened over the lifetime of the mux.
     pub sessions_opened: u64,
+    /// Peers this mux declared dead (socket close, hub kill, or missed
+    /// heartbeats).
+    pub peers_down: u64,
+    /// Summed detection latency over every [`MuxMetrics::peers_down`]
+    /// event, in microseconds: how long the peer had been silent when it
+    /// was declared dead (≈ 0 for transport-notified deaths, ≈ the
+    /// liveness budget for heartbeat-detected ones).
+    pub peer_down_latency_us: u64,
+    /// Peers revived after a death verdict — they resumed sending, so
+    /// later sessions (and retries) run against them again.
+    pub peers_recovered: u64,
+    /// Heartbeat frames this mux emitted.
+    pub heartbeats_sent: u64,
+    /// Heartbeat frames this mux's pump consumed.
+    pub heartbeats_seen: u64,
 }
 
 #[derive(Default)]
@@ -72,6 +108,11 @@ struct MetricCells {
     unknown_session_dropped: AtomicU64,
     shed_frames: AtomicU64,
     sessions_opened: AtomicU64,
+    peers_down: AtomicU64,
+    peer_down_latency_us: AtomicU64,
+    peers_recovered: AtomicU64,
+    heartbeats_sent: AtomicU64,
+    heartbeats_seen: AtomicU64,
 }
 
 impl MetricCells {
@@ -83,20 +124,55 @@ impl MetricCells {
             unknown_session_dropped: self.unknown_session_dropped.load(Ordering::Relaxed),
             shed_frames: self.shed_frames.load(Ordering::Relaxed),
             sessions_opened: self.sessions_opened.load(Ordering::Relaxed),
+            peers_down: self.peers_down.load(Ordering::Relaxed),
+            peer_down_latency_us: self.peer_down_latency_us.load(Ordering::Relaxed),
+            peers_recovered: self.peers_recovered.load(Ordering::Relaxed),
+            heartbeats_sent: self.heartbeats_sent.load(Ordering::Relaxed),
+            heartbeats_seen: self.heartbeats_seen.load(Ordering::Relaxed),
         }
     }
+}
+
+/// One item of a session's inbound queue: frames and peer-death events
+/// share the queue so a role blocked in `recv` wakes the moment a peer is
+/// declared dead.
+enum MuxItem {
+    Frame(PartyId, Bytes),
+    PeerDown(PartyId),
 }
 
 struct Route {
     // Distinguishes reincarnations of one session id, so a stale
     // endpoint's Drop can never tear down a reopened session's route.
     generation: u64,
-    tx: SyncSender<(PartyId, Bytes)>,
+    tx: SyncSender<MuxItem>,
+}
+
+/// Peer-liveness bookkeeping, enabled by [`SessionMux::start_liveness`].
+struct Liveness {
+    /// Watched peers and when each was last heard from (any frame counts,
+    /// heartbeats merely cover idle links).
+    last_seen: HashMap<PartyId, Instant>,
+    /// Peers currently under a death verdict. A verdict is declared once
+    /// per death; a peer that resumes sending is revived (removed here),
+    /// and a later death counts as a new event.
+    down: HashSet<PartyId>,
+    /// Heartbeat send interval.
+    interval: Duration,
+    /// Silence budget in intervals before a watched peer is declared dead.
+    misses: u32,
+}
+
+impl Liveness {
+    fn budget(&self) -> Duration {
+        self.interval * self.misses.max(1)
+    }
 }
 
 struct MuxShared<T: Transport> {
     inner: T,
     routes: Mutex<HashMap<SessionId, Route>>,
+    liveness: Mutex<Option<Liveness>>,
     metrics: MetricCells,
     queue_depth: usize,
     next_generation: AtomicU64,
@@ -111,6 +187,161 @@ impl<T: Transport> MuxShared<T> {
                 routes.remove(&session);
             }
         }
+    }
+
+    /// Delivers one item to a session queue with bounded backpressure:
+    /// try-send, stall up to [`STALL_BUDGET`] on a full queue, then shed.
+    fn deliver(
+        &self,
+        session: SessionId,
+        generation: u64,
+        tx: &SyncSender<MuxItem>,
+        item: MuxItem,
+    ) {
+        let routed = matches!(item, MuxItem::Frame(..));
+        match tx.try_send(item) {
+            Ok(()) => {
+                if routed {
+                    self.metrics.frames_routed.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                // Endpoint dropped without close_session: reap the route.
+                self.remove_route(session, Some(generation));
+                self.metrics
+                    .unknown_session_dropped
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            Err(TrySendError::Full(item)) => {
+                // Bounded backpressure, then shed: stall briefly for the
+                // slow session, but never let it block its siblings
+                // indefinitely.
+                let deadline = Instant::now() + STALL_BUDGET;
+                let mut item = item;
+                loop {
+                    std::thread::sleep(Duration::from_millis(1));
+                    match tx.try_send(item) {
+                        Ok(()) => {
+                            if routed {
+                                self.metrics.frames_routed.fetch_add(1, Ordering::Relaxed);
+                            }
+                            break;
+                        }
+                        Err(TrySendError::Disconnected(_)) => {
+                            self.remove_route(session, Some(generation));
+                            break;
+                        }
+                        Err(TrySendError::Full(back)) if Instant::now() < deadline => {
+                            item = back;
+                        }
+                        Err(TrySendError::Full(_)) => {
+                            self.metrics.shed_frames.fetch_add(1, Ordering::Relaxed);
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Declares a peer dead exactly once: counts it, records the silence
+    /// duration as detection latency, and broadcasts an in-band
+    /// [`MuxItem::PeerDown`] to every open session so blocked receivers
+    /// fail fast with [`TransportError::PeerDown`] instead of waiting out
+    /// their protocol timeouts. Sessions that never talk to the peer
+    /// simply ignore the transient error at the protocol layer.
+    ///
+    /// The in-band marker is the *wakeup* path only — it can be shed when
+    /// a session's queue stays full past the stall budget, and sessions
+    /// opened after the declaration never see it. The durable record is
+    /// the liveness `down` set, which every endpoint consults on idle
+    /// receive slices ([`MuxShared::unreported_down`]), so no session can
+    /// permanently miss a death.
+    fn declare_peer_down(&self, peer: PartyId) {
+        {
+            let mut liveness = self.liveness.lock();
+            let silence_us = match liveness.as_mut() {
+                Some(state) => {
+                    if !state.down.insert(peer) {
+                        return; // already declared
+                    }
+                    state
+                        .last_seen
+                        .get(&peer)
+                        .map_or(0, |seen| seen.elapsed().as_micros() as u64)
+                }
+                // Liveness tracking off: transport-notified deaths still
+                // broadcast (latency ~0), but only once per peer requires
+                // the tracker — initialize a bare one.
+                None => {
+                    *liveness = Some(Liveness {
+                        last_seen: HashMap::new(),
+                        down: HashSet::from([peer]),
+                        interval: DEFAULT_HEARTBEAT_INTERVAL,
+                        misses: DEFAULT_LIVENESS_MISSES,
+                    });
+                    0
+                }
+            };
+            self.metrics.peers_down.fetch_add(1, Ordering::Relaxed);
+            self.metrics
+                .peer_down_latency_us
+                .fetch_add(silence_us, Ordering::Relaxed);
+        }
+        let targets: Vec<(SessionId, u64, SyncSender<MuxItem>)> = {
+            let routes = self.routes.lock();
+            routes
+                .iter()
+                .map(|(&s, r)| (s, r.generation, r.tx.clone()))
+                .collect()
+        };
+        for (session, generation, tx) in targets {
+            self.deliver(session, generation, &tx, MuxItem::PeerDown(peer));
+        }
+    }
+
+    /// The durable half of peer-death delivery: returns one declared-dead
+    /// peer this endpoint has not reported yet (recording it in
+    /// `reported`), or `None`. Endpoints call this on idle receive
+    /// slices, which makes death reports survive a shed in-band marker
+    /// and reach sessions opened *after* the declaration — at the cost of
+    /// one liveness-lock peek per idle slice.
+    fn unreported_down(&self, reported: &mut HashSet<PartyId>) -> Option<PartyId> {
+        let liveness = self.liveness.lock();
+        let state = liveness.as_ref()?;
+        let peer = state.down.iter().find(|p| !reported.contains(p)).copied()?;
+        reported.insert(peer);
+        Some(peer)
+    }
+
+    /// Refreshes a watched peer's liveness clock (any inbound traffic
+    /// counts — heartbeats only cover idle links) and reports watched
+    /// peers whose silence exceeded the budget. A frame from a peer in
+    /// the `down` set **revives** it: the death verdict is removed, so
+    /// sessions opened afterwards (e.g. peer-failure retries) run against
+    /// the recovered peer instead of failing on a stale verdict. Sessions
+    /// that already consumed the death keep their typed failure — revival
+    /// is forward-looking only.
+    fn observe_liveness(&self, heard_from: Option<PartyId>) -> Vec<PartyId> {
+        let mut liveness = self.liveness.lock();
+        let Some(state) = liveness.as_mut() else {
+            return Vec::new();
+        };
+        if let Some(peer) = heard_from {
+            if state.down.remove(&peer) {
+                self.metrics.peers_recovered.fetch_add(1, Ordering::Relaxed);
+            }
+            if let Some(seen) = state.last_seen.get_mut(&peer) {
+                *seen = Instant::now();
+            }
+        }
+        let budget = state.budget();
+        state
+            .last_seen
+            .iter()
+            .filter(|(peer, seen)| !state.down.contains(peer) && seen.elapsed() > budget)
+            .map(|(&peer, _)| peer)
+            .collect()
     }
 }
 
@@ -146,6 +377,7 @@ impl<T: Transport + 'static> SessionMux<T> {
         let shared = Arc::new(MuxShared {
             inner,
             routes: Mutex::new(HashMap::new()),
+            liveness: Mutex::new(None),
             metrics: MetricCells::default(),
             queue_depth,
             next_generation: AtomicU64::new(1),
@@ -175,6 +407,11 @@ impl<T: Transport + 'static> SessionMux<T> {
     /// Returns [`TransportError::DuplicateSession`] when the session is
     /// already open on this mux.
     pub fn open_session(&self, session: SessionId) -> Result<MuxEndpoint<T>, TransportError> {
+        if session == SessionId::LIVENESS {
+            // The liveness plane permanently owns this id; frames stamped
+            // with it are pump-consumed heartbeats, never session traffic.
+            return Err(TransportError::DuplicateSession(session));
+        }
         let (tx, rx) = std::sync::mpsc::sync_channel(self.shared.queue_depth);
         let generation = self.shared.next_generation.fetch_add(1, Ordering::Relaxed);
         let mut routes = self.shared.routes.lock();
@@ -191,6 +428,7 @@ impl<T: Transport + 'static> SessionMux<T> {
             generation,
             shared: Arc::clone(&self.shared),
             inbox: Mutex::new(rx),
+            reported_down: Mutex::new(HashSet::new()),
         })
     }
 
@@ -212,26 +450,191 @@ impl<T: Transport + 'static> SessionMux<T> {
         self.shared.metrics.snapshot()
     }
 
-    /// Asks the pump thread to exit (it notices within its poll interval).
-    /// Open sessions stop receiving; in-flight sends still work.
+    /// Asks the pump thread to exit. A loopback wake frame (a heartbeat to
+    /// our own party id) kicks the pump out of its blocking receive so
+    /// teardown completes promptly instead of lagging a full poll tick;
+    /// when the physical transport has no self-route the wake is skipped
+    /// and the poll interval bounds the latency as before. Open sessions
+    /// stop receiving (their endpoints see `Disconnected`); in-flight
+    /// sends still work.
     pub fn shutdown(&self) {
         self.shared.shutdown.store(true, Ordering::Release);
+        let me = self.shared.inner.local_id();
+        let _ = self.shared.inner.send(me, encode_heartbeat(me, 0));
+    }
+
+    /// Starts peer-liveness tracking with the default startup grace of
+    /// one liveness budget (`interval × misses`) — right when every
+    /// watched peer is already up (an in-process server's lanes).
+    /// Deployments where peers may bind late (a TCP mesh coming up in
+    /// any order) should use [`SessionMux::start_liveness_with_grace`]
+    /// and pass at least the transport's connect window.
+    pub fn start_liveness(&self, watch: Vec<PartyId>, interval: Duration, misses: u32) {
+        self.start_liveness_with_grace(watch, interval, misses, interval * misses.max(1));
+    }
+
+    /// Starts peer-liveness tracking: a background emitter sends a
+    /// heartbeat to every peer in `watch` each `interval`, and the pump
+    /// declares any watched peer dead after `misses` intervals of total
+    /// silence (any inbound frame refreshes the clock, so heartbeats only
+    /// matter on idle links). A peer whose death the transport reports
+    /// directly (socket close, hub kill) is declared immediately; a peer
+    /// whose heartbeat *sends* keep failing is declared after `misses`
+    /// consecutive failures (one failure can be a startup race).
+    ///
+    /// No watched peer is declared within `grace` of this call — peers of
+    /// a mesh starting up may bind later than this mux, and the grace
+    /// must cover that window (for TCP, at least the connect window) or
+    /// late binders get falsely declared dead.
+    ///
+    /// On a declared death every open session receives an in-band
+    /// [`TransportError::PeerDown`]; see
+    /// [`MuxMetrics::peers_down`] / [`MuxMetrics::peer_down_latency_us`]
+    /// for the observability side.
+    ///
+    /// Call at most once per mux, before traffic flows. Detection can be
+    /// delayed (never falsified) while the pump is stalling on a full
+    /// session queue — data traffic keeps the healthy peers' clocks
+    /// fresh either way.
+    pub fn start_liveness_with_grace(
+        &self,
+        watch: Vec<PartyId>,
+        interval: Duration,
+        misses: u32,
+        grace: Duration,
+    ) {
+        assert!(!interval.is_zero(), "heartbeat interval must be positive");
+        let me = self.shared.inner.local_id();
+        // Seeding the clocks `grace` into the future suppresses silence
+        // accounting until the mesh had time to come up (Instant::elapsed
+        // saturates to zero for future instants).
+        let seed = Instant::now() + grace.saturating_sub(interval * misses.max(1));
+        {
+            let mut liveness = self.shared.liveness.lock();
+            let state = liveness.get_or_insert_with(|| Liveness {
+                last_seen: HashMap::new(),
+                down: HashSet::new(),
+                interval,
+                misses,
+            });
+            state.interval = interval;
+            state.misses = misses;
+            // Never watch ourselves: nobody heartbeats us on our own
+            // endpoint, so a self-entry would "detect" our own silence.
+            for &peer in watch.iter().filter(|&&p| p != me) {
+                state.last_seen.entry(peer).or_insert(seed);
+            }
+        }
+        let shared = Arc::clone(&self.shared);
+        let _ = std::thread::Builder::new()
+            .name(format!("mux-heartbeat-{}", self.shared.inner.local_id()))
+            .spawn(move || heartbeat_loop(&shared, watch, interval, misses, grace));
+    }
+}
+
+fn heartbeat_loop<T: Transport>(
+    shared: &MuxShared<T>,
+    watch: Vec<PartyId>,
+    interval: Duration,
+    misses: u32,
+    grace: Duration,
+) {
+    let me = shared.inner.local_id();
+    let mut seq = 1u64;
+    let mut gone: HashSet<PartyId> = HashSet::new();
+    let mut consecutive_failures: HashMap<PartyId, u32> = HashMap::new();
+    let grace_end = Instant::now() + grace;
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        // Resume beating peers the pump revived (their death verdict was
+        // withdrawn after they sent again).
+        if !gone.is_empty() {
+            let liveness = shared.liveness.lock();
+            if let Some(state) = liveness.as_ref() {
+                gone.retain(|p| state.down.contains(p));
+            }
+        }
+        for &peer in &watch {
+            if peer == me || gone.contains(&peer) {
+                continue;
+            }
+            // send_liveness, not send: the bounded-latency variant, so a
+            // dead peer's connect window cannot stall this loop long
+            // enough to starve beats to the healthy peers.
+            match shared.inner.send_liveness(peer, encode_heartbeat(me, seq)) {
+                Ok(()) => {
+                    consecutive_failures.remove(&peer);
+                    shared
+                        .metrics
+                        .heartbeats_sent
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                Err(_) => {
+                    // Unreachable from the send side. Failures inside the
+                    // startup grace are expected (the peer may not have
+                    // bound yet) and never counted; afterwards the same
+                    // `misses` budget the receive side uses decides when
+                    // it becomes a death report.
+                    if Instant::now() < grace_end {
+                        continue;
+                    }
+                    let fails = consecutive_failures.entry(peer).or_insert(0);
+                    *fails += 1;
+                    if *fails >= misses.max(1) {
+                        gone.insert(peer);
+                        shared.declare_peer_down(peer);
+                    }
+                }
+            }
+        }
+        seq += 1;
+        std::thread::sleep(interval);
     }
 }
 
 fn pump_loop<T: Transport>(shared: &MuxShared<T>) {
-    // recv_timeout rather than recv: the poll lets the pump observe
-    // shutdown without requiring the physical transport to disconnect.
+    // recv_timeout rather than recv: the poll bounds how stale the
+    // liveness clock check can get, and backstops shutdown when the
+    // loopback wake frame cannot be delivered.
     const POLL: Duration = Duration::from_millis(200);
     loop {
         if shared.shutdown.load(Ordering::Acquire) {
             break;
         }
-        let (from, payload) = match shared.inner.recv_timeout(POLL) {
+        let recv = shared.inner.recv_timeout(POLL);
+        let heard_from = match &recv {
+            Ok((from, _)) => Some(*from),
+            _ => None,
+        };
+        // Any inbound frame refreshes its sender's liveness clock; silent
+        // watched peers past the budget are declared dead here, so
+        // detection latency is O(heartbeat budget + poll tick), not
+        // O(session timeout).
+        for silent in shared.observe_liveness(heard_from) {
+            shared.declare_peer_down(silent);
+        }
+        let (from, payload) = match recv {
             Ok(delivery) => delivery,
             Err(TransportError::Timeout) => continue,
+            Err(TransportError::PeerDown(peer)) => {
+                // The transport itself reported the death (socket close,
+                // hub kill): broadcast and keep pumping for the others.
+                shared.declare_peer_down(peer);
+                continue;
+            }
             Err(_) => break,
         };
+        if decode_heartbeat(&payload).is_some() {
+            // Pure liveness traffic (or the shutdown wake): the clock was
+            // refreshed above; never routed to a session.
+            shared
+                .metrics
+                .heartbeats_seen
+                .fetch_add(1, Ordering::Relaxed);
+            continue;
+        }
         let Some(session) = peek_session(&payload) else {
             shared
                 .metrics
@@ -250,46 +653,7 @@ fn pump_loop<T: Transport>(shared: &MuxShared<T>) {
                 .fetch_add(1, Ordering::Relaxed);
             continue;
         };
-        match tx.try_send((from, payload)) {
-            Ok(()) => {
-                shared.metrics.frames_routed.fetch_add(1, Ordering::Relaxed);
-            }
-            Err(TrySendError::Disconnected(_)) => {
-                // Endpoint dropped without close_session: reap the route.
-                shared.remove_route(session, Some(generation));
-                shared
-                    .metrics
-                    .unknown_session_dropped
-                    .fetch_add(1, Ordering::Relaxed);
-            }
-            Err(TrySendError::Full(delivery)) => {
-                // Bounded backpressure, then shed: stall briefly for the
-                // slow session, but never let it block its siblings
-                // indefinitely.
-                let deadline = Instant::now() + STALL_BUDGET;
-                let mut delivery = delivery;
-                loop {
-                    std::thread::sleep(Duration::from_millis(1));
-                    match tx.try_send(delivery) {
-                        Ok(()) => {
-                            shared.metrics.frames_routed.fetch_add(1, Ordering::Relaxed);
-                            break;
-                        }
-                        Err(TrySendError::Disconnected(_)) => {
-                            shared.remove_route(session, Some(generation));
-                            break;
-                        }
-                        Err(TrySendError::Full(back)) if Instant::now() < deadline => {
-                            delivery = back;
-                        }
-                        Err(TrySendError::Full(_)) => {
-                            shared.metrics.shed_frames.fetch_add(1, Ordering::Relaxed);
-                            break;
-                        }
-                    }
-                }
-            }
-        }
+        shared.deliver(session, generation, &tx, MuxItem::Frame(from, payload));
     }
     // Pump is done (shutdown or physical disconnect): drop every route's
     // sender so blocked session endpoints see Disconnected immediately
@@ -307,13 +671,27 @@ pub struct MuxEndpoint<T: Transport + 'static> {
     session: SessionId,
     generation: u64,
     shared: Arc<MuxShared<T>>,
-    inbox: Mutex<Receiver<(PartyId, Bytes)>>,
+    inbox: Mutex<Receiver<MuxItem>>,
+    /// Peers whose death this endpoint already surfaced (in-band marker
+    /// or idle-slice pickup) — each death is reported at most twice per
+    /// endpoint, never repeatedly.
+    reported_down: Mutex<HashSet<PartyId>>,
 }
 
 impl<T: Transport + 'static> MuxEndpoint<T> {
     /// The session this endpoint belongs to.
     pub fn session(&self) -> SessionId {
         self.session
+    }
+
+    fn pop_item(&self, item: MuxItem) -> Result<(PartyId, Bytes), TransportError> {
+        match item {
+            MuxItem::Frame(from, payload) => Ok((from, payload)),
+            MuxItem::PeerDown(peer) => {
+                self.reported_down.lock().insert(peer);
+                Err(TransportError::PeerDown(peer))
+            }
+        }
     }
 }
 
@@ -339,20 +717,34 @@ impl<T: Transport + 'static> Transport for MuxEndpoint<T> {
     }
 
     fn recv(&self) -> Result<(PartyId, Bytes), TransportError> {
-        self.inbox
-            .lock()
-            .recv()
-            .map_err(|_| TransportError::Disconnected)
+        // Sliced rather than parked forever: each idle slice consults the
+        // durable down set (see recv_timeout), so a blocking receiver
+        // cannot miss a death whose in-band marker was shed.
+        loop {
+            match self.recv_timeout(Duration::from_millis(200)) {
+                Err(TransportError::Timeout) => continue,
+                other => return other,
+            }
+        }
     }
 
     fn recv_timeout(&self, timeout: Duration) -> Result<(PartyId, Bytes), TransportError> {
-        self.inbox
-            .lock()
-            .recv_timeout(timeout)
-            .map_err(|e| match e {
-                RecvTimeoutError::Timeout => TransportError::Timeout,
-                RecvTimeoutError::Disconnected => TransportError::Disconnected,
-            })
+        let popped = self.inbox.lock().recv_timeout(timeout);
+        match popped {
+            Ok(item) => self.pop_item(item),
+            Err(RecvTimeoutError::Disconnected) => Err(TransportError::Disconnected),
+            Err(RecvTimeoutError::Timeout) => {
+                // Idle slice: consult the durable down set, so a death
+                // whose in-band marker was shed — or one declared before
+                // this session opened — still surfaces within one slice.
+                // Checked only after the queue drained dry, preserving
+                // frames-before-marker ordering.
+                match self.shared.unreported_down(&mut self.reported_down.lock()) {
+                    Some(peer) => Err(TransportError::PeerDown(peer)),
+                    None => Err(TransportError::Timeout),
+                }
+            }
+        }
     }
 }
 
@@ -493,6 +885,150 @@ mod tests {
         assert_eq!(m1.open_sessions(), 0);
         // The id can be reopened after close.
         assert!(m1.open_session(SessionId(1)).is_ok());
+    }
+
+    #[test]
+    fn shutdown_wakes_pump_promptly() {
+        // The pump's poll tick is 200 ms; the loopback wake frame must
+        // beat it by a wide margin so teardown never lags a tick.
+        let (m1, _m2) = mux_pair();
+        let a1 = m1.open_session(SessionId(1)).unwrap();
+        let start = Instant::now();
+        m1.shutdown();
+        assert_eq!(a1.recv().unwrap_err(), TransportError::Disconnected);
+        assert!(
+            start.elapsed() < Duration::from_millis(150),
+            "shutdown took {:?}, pump was not woken",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn silent_peer_detected_by_missed_heartbeats() {
+        let (m1, m2) = mux_pair();
+        let interval = Duration::from_millis(25);
+        let misses = 3;
+        // Both sides beat; any regular frame would also refresh the clock.
+        m1.start_liveness(vec![PartyId(2)], interval, misses);
+        m2.start_liveness(vec![PartyId(1)], interval, misses);
+        let a1 = m1.open_session(SessionId(1)).unwrap();
+        std::thread::sleep(interval * 6);
+        assert_eq!(m1.metrics().peers_down, 0, "live peer never declared");
+        assert!(m1.metrics().heartbeats_seen > 0, "beats flowed");
+
+        // Party 2 goes silent (shutdown stops its emitter, but its hub
+        // endpoint stays registered — only the heartbeat absence tells).
+        m2.shutdown();
+        let start = Instant::now();
+        let err = a1.recv_timeout(Duration::from_secs(5)).unwrap_err();
+        assert_eq!(err, TransportError::PeerDown(PartyId(2)));
+        assert!(
+            start.elapsed() < 2 * interval * misses + Duration::from_millis(400),
+            "detection took {:?}, budget is {:?}",
+            start.elapsed(),
+            interval * misses
+        );
+        let m = m1.metrics();
+        assert_eq!(m.peers_down, 1);
+        assert!(
+            m.peer_down_latency_us >= (interval * misses).as_micros() as u64,
+            "latency {} below the silence budget",
+            m.peer_down_latency_us
+        );
+    }
+
+    #[test]
+    fn transport_reported_death_broadcasts_to_every_session() {
+        let hub = InMemoryHub::new();
+        let m2 = SessionMux::new(hub.endpoint(PartyId(2)));
+        let _dead = hub.endpoint(PartyId(1));
+        let a = m2.open_session(SessionId(1)).unwrap();
+        let b = m2.open_session(SessionId(2)).unwrap();
+        hub.kill(PartyId(1));
+        assert_eq!(
+            a.recv_timeout(WAIT).unwrap_err(),
+            TransportError::PeerDown(PartyId(1))
+        );
+        assert_eq!(
+            b.recv_timeout(WAIT).unwrap_err(),
+            TransportError::PeerDown(PartyId(1))
+        );
+        // Declared exactly once, near-zero detection latency, and the
+        // sessions stay open (the error is transient, not a disconnect).
+        assert_eq!(m2.metrics().peers_down, 1);
+        assert_eq!(m2.open_sessions(), 2);
+    }
+
+    #[test]
+    fn late_opened_session_learns_of_prior_death() {
+        // The in-band marker only reaches sessions open at declaration
+        // time (and can be shed under backpressure); the durable down
+        // set must cover everyone else: a session opened *after* the
+        // death still gets the typed failure on its first idle slice.
+        let hub = InMemoryHub::new();
+        let m2 = SessionMux::new(hub.endpoint(PartyId(2)));
+        let _dead = hub.endpoint(PartyId(1));
+        hub.kill(PartyId(1));
+        let deadline = Instant::now() + WAIT;
+        while m2.metrics().peers_down == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(m2.metrics().peers_down, 1);
+
+        let late = m2.open_session(SessionId(9)).unwrap();
+        assert_eq!(
+            late.recv_timeout(Duration::from_millis(200)).unwrap_err(),
+            TransportError::PeerDown(PartyId(1))
+        );
+        // Reported once per endpoint; afterwards idle receives time out
+        // normally instead of replaying the death forever.
+        assert_eq!(
+            late.recv_timeout(Duration::from_millis(50)).unwrap_err(),
+            TransportError::Timeout
+        );
+    }
+
+    #[test]
+    fn recovered_peer_is_not_reported_to_new_sessions() {
+        use crate::frame::encode_heartbeat;
+
+        let hub = InMemoryHub::new();
+        let m2 = SessionMux::new(hub.endpoint(PartyId(2)));
+        let dead = hub.endpoint(PartyId(1));
+        hub.kill(PartyId(1));
+        let deadline = Instant::now() + WAIT;
+        while m2.metrics().peers_down == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        drop(dead);
+
+        // Party 1's process restarts and sends again: the verdict lifts.
+        let revived = hub.endpoint(PartyId(1));
+        revived
+            .send(PartyId(2), encode_heartbeat(PartyId(1), 1))
+            .unwrap();
+        let deadline = Instant::now() + WAIT;
+        while m2.metrics().peers_recovered == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(m2.metrics().peers_recovered, 1);
+
+        // A session opened now (e.g. a peer-failure retry) runs against
+        // the recovered peer instead of failing on the stale verdict.
+        let late = m2.open_session(SessionId(5)).unwrap();
+        assert_eq!(
+            late.recv_timeout(Duration::from_millis(100)).unwrap_err(),
+            TransportError::Timeout
+        );
+    }
+
+    #[test]
+    fn liveness_session_id_is_reserved() {
+        let (m1, _m2) = mux_pair();
+        assert!(matches!(
+            m1.open_session(SessionId::LIVENESS),
+            Err(TransportError::DuplicateSession(SessionId::LIVENESS))
+        ));
     }
 
     #[test]

@@ -38,7 +38,7 @@
 //! header.) Run the mesh on a trusted network, as the paper's
 //! link-encryption assumption already requires.
 
-use crate::transport::{PartyId, Transport, TransportError};
+use crate::transport::{pop_delivery, Delivery, PartyId, Transport, TransportError};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
@@ -47,14 +47,29 @@ use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Upper bound on one sealed payload (64 MiB) — a hard stop against
 /// corrupt or hostile length prefixes.
 pub const MAX_PAYLOAD: usize = 64 * 1024 * 1024;
 
-/// How long `send` keeps retrying to reach a peer that has not bound yet.
-const CONNECT_RETRY_WINDOW: Duration = Duration::from_secs(5);
+/// Default window over which `send` keeps retrying to reach a peer that
+/// has not bound yet (peers may come up in any order).
+pub const DEFAULT_CONNECT_WINDOW: Duration = Duration::from_secs(5);
+
+/// First backoff sleep of the connect retry schedule; doubles per attempt.
+const CONNECT_BACKOFF_FLOOR: Duration = Duration::from_millis(2);
+
+/// Backoff ceiling — retries never sleep longer than this between
+/// attempts, so a late-binding peer is noticed promptly even deep into
+/// the window.
+const CONNECT_BACKOFF_CAP: Duration = Duration::from_millis(250);
+
+/// Connect window for [`Transport::send_liveness`] heartbeat sends — far
+/// shorter than the regular window, so a dead (never-connected) peer
+/// cannot stall a heartbeat emitter long enough to starve beats to
+/// healthy peers.
+const HEARTBEAT_CONNECT_WINDOW: Duration = Duration::from_millis(100);
 
 /// A TCP-backed [`Transport`] endpoint.
 pub struct TcpTransport {
@@ -63,12 +78,13 @@ pub struct TcpTransport {
     peers: Mutex<HashMap<PartyId, SocketAddr>>,
     // Per-peer write locks: the outer map lock is held only to look up or
     // install an entry, never across connect/write — a peer that is down
-    // (connect retries up to CONNECT_RETRY_WINDOW) must not block sends
-    // to healthy peers.
+    // (connect retries up to `connect_window`) must not block sends to
+    // healthy peers.
     conns: Mutex<HashMap<PartyId, Arc<Mutex<Option<TcpStream>>>>>,
     // Behind a mutex solely to make the endpoint `Sync` for the mux pump;
     // one logical consumer still owns receive ordering.
-    inbox: Mutex<Receiver<(PartyId, Bytes)>>,
+    inbox: Mutex<Receiver<Delivery>>,
+    connect_window: Duration,
     shutdown: Arc<AtomicBool>,
 }
 
@@ -102,6 +118,7 @@ impl TcpTransport {
             peers: Mutex::new(HashMap::new()),
             conns: Mutex::new(HashMap::new()),
             inbox: Mutex::new(rx),
+            connect_window: DEFAULT_CONNECT_WINDOW,
             shutdown,
         })
     }
@@ -116,15 +133,29 @@ impl TcpTransport {
         self.peers.lock().insert(peer, addr);
     }
 
-    fn connect(&self, to: PartyId) -> Result<TcpStream, TransportError> {
+    /// Overrides the connect retry window (how long a `send` waits for a
+    /// peer that has not bound yet before failing with
+    /// [`TransportError::ConnectFailed`]).
+    pub fn set_connect_window(&mut self, window: Duration) {
+        self.connect_window = window;
+    }
+
+    /// Connects with exponential backoff: session setup may race peer
+    /// binds, so failures retry with doubling sleeps (2 ms → 250 ms cap)
+    /// until `window` closes, then fail with the typed
+    /// [`TransportError::ConnectFailed`] naming the address and attempt
+    /// count — not a generic disconnect.
+    fn connect(&self, to: PartyId, window: Duration) -> Result<TcpStream, TransportError> {
         let addr = *self
             .peers
             .lock()
             .get(&to)
             .ok_or(TransportError::UnknownParty(to))?;
-        // Retry briefly: session setup may race peer binds.
-        let deadline = std::time::Instant::now() + CONNECT_RETRY_WINDOW;
+        let deadline = Instant::now() + window;
+        let mut backoff = CONNECT_BACKOFF_FLOOR;
+        let mut attempts = 0u32;
         loop {
+            attempts += 1;
             match TcpStream::connect(addr) {
                 Ok(mut stream) => {
                     stream.set_nodelay(true).ok();
@@ -133,16 +164,19 @@ impl TcpTransport {
                         .map_err(|_| TransportError::Disconnected)?;
                     return Ok(stream);
                 }
-                Err(_) if std::time::Instant::now() < deadline => {
-                    std::thread::sleep(Duration::from_millis(10));
+                Err(_) if Instant::now() < deadline => {
+                    std::thread::sleep(
+                        backoff.min(deadline.saturating_duration_since(Instant::now())),
+                    );
+                    backoff = (backoff * 2).min(CONNECT_BACKOFF_CAP);
                 }
-                Err(_) => return Err(TransportError::Disconnected),
+                Err(_) => return Err(TransportError::ConnectFailed { addr, attempts }),
             }
         }
     }
 }
 
-fn accept_loop(listener: &TcpListener, tx: &Sender<(PartyId, Bytes)>, shutdown: &Arc<AtomicBool>) {
+fn accept_loop(listener: &TcpListener, tx: &Sender<Delivery>, shutdown: &Arc<AtomicBool>) {
     loop {
         let Ok((stream, _)) = listener.accept() else {
             return;
@@ -159,7 +193,7 @@ fn accept_loop(listener: &TcpListener, tx: &Sender<(PartyId, Bytes)>, shutdown: 
     }
 }
 
-fn reader_loop(mut stream: TcpStream, tx: &Sender<(PartyId, Bytes)>) {
+fn reader_loop(mut stream: TcpStream, tx: &Sender<Delivery>) {
     let mut id_buf = [0u8; 8];
     if stream.read_exact(&mut id_buf).is_err() {
         return;
@@ -168,18 +202,33 @@ fn reader_loop(mut stream: TcpStream, tx: &Sender<(PartyId, Bytes)>) {
     let mut len_buf = [0u8; 4];
     loop {
         if stream.read_exact(&mut len_buf).is_err() {
-            return; // peer closed
+            // EOF or read error on an identified connection: the peer's
+            // process closed its socket (crash, exit, or teardown).
+            // Surface a typed in-band PeerDown so a receiver blocked on
+            // this endpoint fails fast instead of starving until its
+            // protocol timeout.
+            let _ = tx.send(Delivery::PeerDown(from));
+            return;
         }
         let len = u32::from_le_bytes(len_buf) as usize;
         if len > MAX_PAYLOAD {
+            // A corrupt/hostile length prefix kills the carrying
+            // connection (no resynchronizing a byte stream) — surface the
+            // same typed in-band marker as the EOF paths so receivers
+            // fail fast instead of starving until their timeout.
             let _ = stream.shutdown(Shutdown::Both);
+            let _ = tx.send(Delivery::PeerDown(from));
             return;
         }
         let mut payload = vec![0u8; len];
         if stream.read_exact(&mut payload).is_err() {
+            let _ = tx.send(Delivery::PeerDown(from));
             return;
         }
-        if tx.send((from, Bytes::from(payload))).is_err() {
+        if tx
+            .send(Delivery::Frame(from, Bytes::from(payload)))
+            .is_err()
+        {
             return; // endpoint dropped
         }
     }
@@ -191,22 +240,85 @@ impl Transport for TcpTransport {
     }
 
     fn send(&self, to: PartyId, payload: Bytes) -> Result<(), TransportError> {
+        self.send_within(to, payload, self.connect_window)
+    }
+
+    fn send_liveness(&self, to: PartyId, payload: Bytes) -> Result<(), TransportError> {
+        // Heartbeats must never stall the emitter: neither in a dead
+        // peer's connect retry (the short window below) nor behind the
+        // per-peer write lock while a *regular* send sits in its own
+        // full connect window (try_lock). A contended lock means the
+        // link is being actively worked this instant, so skipping the
+        // beat is sound — data frames refresh the remote watchdog too.
+        let slot = self.conn_slot(to);
+        let Some(stream_slot) = slot.try_lock() else {
+            return Ok(());
+        };
+        self.write_locked(
+            to,
+            payload,
+            stream_slot,
+            HEARTBEAT_CONNECT_WINDOW.min(self.connect_window),
+        )
+    }
+
+    fn recv(&self) -> Result<(PartyId, Bytes), TransportError> {
+        self.inbox
+            .lock()
+            .recv()
+            .map_err(|_| TransportError::Disconnected)
+            .and_then(pop_delivery)
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<(PartyId, Bytes), TransportError> {
+        self.inbox
+            .lock()
+            .recv_timeout(timeout)
+            .map_err(|e| match e {
+                RecvTimeoutError::Timeout => TransportError::Timeout,
+                RecvTimeoutError::Disconnected => TransportError::Disconnected,
+            })
+            .and_then(pop_delivery)
+    }
+}
+
+impl TcpTransport {
+    fn conn_slot(&self, to: PartyId) -> Arc<Mutex<Option<TcpStream>>> {
+        Arc::clone(
+            self.conns
+                .lock()
+                .entry(to)
+                .or_insert_with(|| Arc::new(Mutex::new(None))),
+        )
+    }
+
+    fn send_within(
+        &self,
+        to: PartyId,
+        payload: Bytes,
+        window: Duration,
+    ) -> Result<(), TransportError> {
+        // Connect lazily and write under the per-peer lock only; frames to
+        // one peer stay contiguous while other peers proceed in parallel.
+        let slot = self.conn_slot(to);
+        let stream_slot = slot.lock();
+        self.write_locked(to, payload, stream_slot, window)
+    }
+
+    fn write_locked(
+        &self,
+        to: PartyId,
+        payload: Bytes,
+        mut stream_slot: std::sync::MutexGuard<'_, Option<TcpStream>>,
+        window: Duration,
+    ) -> Result<(), TransportError> {
         if payload.len() > MAX_PAYLOAD {
             return Err(TransportError::PayloadTooLarge {
                 size: payload.len(),
             });
         }
-        let slot = Arc::clone(
-            self.conns
-                .lock()
-                .entry(to)
-                .or_insert_with(|| Arc::new(Mutex::new(None))),
-        );
-        // Connect lazily and write under the per-peer lock only; frames to
-        // one peer stay contiguous while other peers proceed in parallel.
-        let mut stream_slot = slot.lock();
         if stream_slot.is_none() {
-            *stream_slot = Some(self.connect(to)?);
+            *stream_slot = Some(self.connect(to, window)?);
         }
         let Some(stream) = stream_slot.as_mut() else {
             return Err(TransportError::Disconnected);
@@ -222,23 +334,6 @@ impl Transport for TcpTransport {
             return Err(TransportError::Disconnected);
         }
         Ok(())
-    }
-
-    fn recv(&self) -> Result<(PartyId, Bytes), TransportError> {
-        self.inbox
-            .lock()
-            .recv()
-            .map_err(|_| TransportError::Disconnected)
-    }
-
-    fn recv_timeout(&self, timeout: Duration) -> Result<(PartyId, Bytes), TransportError> {
-        self.inbox
-            .lock()
-            .recv_timeout(timeout)
-            .map_err(|e| match e {
-                RecvTimeoutError::Timeout => TransportError::Timeout,
-                RecvTimeoutError::Disconnected => TransportError::Disconnected,
-            })
     }
 }
 
@@ -349,5 +444,48 @@ mod tests {
             t.recv_timeout(Duration::from_millis(20)).unwrap_err(),
             TransportError::Timeout
         );
+    }
+
+    #[test]
+    fn unreachable_peer_fails_with_typed_connect_error() {
+        // Reserve a port nobody listens on by binding and dropping.
+        let dead_addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let mut t = TcpTransport::bind(PartyId(1)).unwrap();
+        t.set_connect_window(Duration::from_millis(120));
+        t.register_peer(PartyId(2), dead_addr);
+        let start = std::time::Instant::now();
+        let err = t.send(PartyId(2), Bytes::from_static(b"x")).unwrap_err();
+        let TransportError::ConnectFailed { addr, attempts } = err else {
+            panic!("expected ConnectFailed, got {err}");
+        };
+        assert_eq!(addr, dead_addr);
+        // Exponential backoff: a 120 ms window at 2/4/8/… ms sleeps makes
+        // several attempts but far fewer than the old 10 ms busy-loop's 12.
+        assert!(attempts >= 2, "backoff retried ({attempts} attempts)");
+        assert!(
+            start.elapsed() >= Duration::from_millis(100),
+            "the whole window was used"
+        );
+    }
+
+    #[test]
+    fn peer_socket_close_surfaces_peer_down() {
+        let mesh = local_mesh(&[PartyId(1), PartyId(2)]).unwrap();
+        let (a, b) = {
+            let mut it = mesh.into_iter();
+            (it.next().unwrap(), it.next().unwrap())
+        };
+        a.send(PartyId(2), Bytes::from_static(b"hello")).unwrap();
+        let (_, payload) = b.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(&payload[..], b"hello");
+        // Party 1's process "dies": dropping the transport closes its
+        // sockets, and party 2's blocked receive fails fast with the
+        // typed peer-down instead of waiting out a timeout.
+        drop(a);
+        let err = b.recv_timeout(Duration::from_secs(5)).unwrap_err();
+        assert_eq!(err, TransportError::PeerDown(PartyId(1)));
     }
 }

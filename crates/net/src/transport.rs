@@ -10,6 +10,7 @@ use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::fmt;
+use std::net::SocketAddr;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -44,6 +45,12 @@ impl SessionId {
     /// The session id of a standalone (non-multiplexed) run. Nodes created
     /// without an explicit session use this.
     pub const SOLO: SessionId = SessionId(0);
+
+    /// Reserved session id stamped on liveness (heartbeat) frames — never
+    /// a real session. A [`crate::mux::SessionMux`] pump consumes frames
+    /// stamped with it instead of routing them (see [`crate::frame`]'s
+    /// heartbeat functions), and refuses to open a session under it.
+    pub const LIVENESS: SessionId = SessionId(u64::MAX);
 }
 
 impl fmt::Display for SessionId {
@@ -63,6 +70,21 @@ pub enum TransportError {
     DuplicateSession(SessionId),
     /// The peer (or hub) hung up.
     Disconnected,
+    /// A specific peer was detected dead — its process exited, its socket
+    /// closed, or its heartbeats stopped. Unlike [`TransportError::Timeout`]
+    /// (which says only "nothing arrived"), this names the failed party so
+    /// the protocol layer can fail the session with a typed peer-failure
+    /// instead of a generic starvation timeout. The error is *transient*:
+    /// a receiver may keep receiving from other peers afterwards.
+    PeerDown(PartyId),
+    /// Connecting to a peer's listener failed for the whole backoff
+    /// window — the peer never bound, or its process is gone.
+    ConnectFailed {
+        /// The address that refused every attempt.
+        addr: SocketAddr,
+        /// Connection attempts made before giving up.
+        attempts: u32,
+    },
     /// `recv_timeout` elapsed without a message.
     Timeout,
     /// The payload exceeds the transport's size limit (e.g. a stream
@@ -80,6 +102,10 @@ impl fmt::Display for TransportError {
             TransportError::DuplicateParty(p) => write!(f, "party {p} registered twice"),
             TransportError::DuplicateSession(s) => write!(f, "{s} opened twice on one mux"),
             TransportError::Disconnected => write!(f, "transport disconnected"),
+            TransportError::PeerDown(p) => write!(f, "peer {p} is down"),
+            TransportError::ConnectFailed { addr, attempts } => {
+                write!(f, "connect to {addr} failed after {attempts} attempts")
+            }
             TransportError::Timeout => write!(f, "receive timed out"),
             TransportError::PayloadTooLarge { size } => {
                 write!(f, "payload of {size} bytes exceeds the transport limit")
@@ -106,6 +132,22 @@ pub trait Transport: Send + Sync {
     /// Returns [`TransportError::UnknownParty`] / `Disconnected`.
     fn send(&self, to: PartyId, payload: Bytes) -> Result<(), TransportError>;
 
+    /// Best-effort, **bounded-latency** send for liveness traffic
+    /// (heartbeats). Defaults to [`Transport::send`]; transports whose
+    /// send can block for a long connect window (TCP retries a peer that
+    /// has not bound yet for seconds) must override this with a
+    /// short-window variant — a heartbeat emitter iterates its peers
+    /// sequentially, and one dead peer stalling the loop would starve
+    /// beats to healthy peers and falsely trip *their* watchdogs.
+    ///
+    /// # Errors
+    ///
+    /// As [`Transport::send`]; failures here mean "unreachable right
+    /// now", which liveness layers should count, not instantly act on.
+    fn send_liveness(&self, to: PartyId, payload: Bytes) -> Result<(), TransportError> {
+        self.send(to, payload)
+    }
+
     /// Blocks until a message arrives.
     ///
     /// # Errors
@@ -122,7 +164,26 @@ pub trait Transport: Send + Sync {
     fn recv_timeout(&self, timeout: Duration) -> Result<(PartyId, Bytes), TransportError>;
 }
 
-type Inbox = (PartyId, Bytes);
+/// One in-band inbox item: a payload, or a liveness event about a peer.
+/// Markers travel through the same channel as frames so a receiver blocked
+/// in `recv` wakes up the moment a peer is declared dead — no side channel
+/// to poll.
+#[derive(Debug, Clone)]
+pub(crate) enum Delivery {
+    /// An ordinary payload from a peer.
+    Frame(PartyId, Bytes),
+    /// The named peer was detected dead.
+    PeerDown(PartyId),
+}
+
+pub(crate) fn pop_delivery(d: Delivery) -> Result<(PartyId, Bytes), TransportError> {
+    match d {
+        Delivery::Frame(from, payload) => Ok((from, payload)),
+        Delivery::PeerDown(p) => Err(TransportError::PeerDown(p)),
+    }
+}
+
+type Inbox = Delivery;
 
 /// An in-memory message hub connecting any number of endpoints.
 #[derive(Clone, Default)]
@@ -177,6 +238,30 @@ impl InMemoryHub {
         self.routes.write().remove(&id);
     }
 
+    /// Kills a party: removes it like [`InMemoryHub::disconnect`] **and**
+    /// notifies every surviving endpoint with an in-band
+    /// [`TransportError::PeerDown`] marker — the hub analogue of a process
+    /// crash closing its TCP sockets. Receivers blocked in `recv` wake
+    /// immediately with the typed failure instead of starving until their
+    /// protocol timeout.
+    pub fn kill(&self, id: PartyId) {
+        let mut routes = self.routes.write();
+        if !routes.contains_key(&id) {
+            return;
+        }
+        // Notify survivors *before* dropping the dead party's route: its
+        // own endpoint (and any mux pump on it) sees Disconnected only
+        // after every survivor already has the typed marker queued,
+        // narrowing the race between the typed failure and the secondary
+        // disconnect cascade.
+        for (&party, tx) in routes.iter() {
+            if party != id {
+                let _ = tx.send(Delivery::PeerDown(id));
+            }
+        }
+        routes.remove(&id);
+    }
+
     /// Currently registered parties.
     pub fn parties(&self) -> Vec<PartyId> {
         let mut v: Vec<PartyId> = self.routes.read().keys().copied().collect();
@@ -204,7 +289,7 @@ impl Transport for Endpoint {
     fn send(&self, to: PartyId, payload: Bytes) -> Result<(), TransportError> {
         let routes = self.routes.read();
         let tx = routes.get(&to).ok_or(TransportError::UnknownParty(to))?;
-        tx.send((self.id, payload))
+        tx.send(Delivery::Frame(self.id, payload))
             .map_err(|_| TransportError::Disconnected)
     }
 
@@ -213,6 +298,7 @@ impl Transport for Endpoint {
             .lock()
             .recv()
             .map_err(|_| TransportError::Disconnected)
+            .and_then(pop_delivery)
     }
 
     fn recv_timeout(&self, timeout: Duration) -> Result<(PartyId, Bytes), TransportError> {
@@ -223,6 +309,7 @@ impl Transport for Endpoint {
                 RecvTimeoutError::Timeout => TransportError::Timeout,
                 RecvTimeoutError::Disconnected => TransportError::Disconnected,
             })
+            .and_then(pop_delivery)
     }
 }
 
@@ -283,6 +370,28 @@ mod tests {
         hub.disconnect(PartyId(2));
         assert!(a.send(PartyId(2), Bytes::new()).is_err());
         assert_eq!(hub.parties(), vec![PartyId(1)]);
+    }
+
+    #[test]
+    fn kill_notifies_survivors_in_band() {
+        let hub = InMemoryHub::new();
+        let a = hub.endpoint(PartyId(1));
+        let b = hub.endpoint(PartyId(2));
+        let _c = hub.endpoint(PartyId(3));
+        // A frame sent before the kill is delivered first, then the
+        // marker, then traffic from survivors keeps flowing.
+        a.send(PartyId(2), Bytes::from_static(b"pre")).unwrap();
+        hub.kill(PartyId(1));
+        assert_eq!(&b.recv().unwrap().1[..], b"pre");
+        assert_eq!(
+            b.recv_timeout(Duration::from_secs(1)).unwrap_err(),
+            TransportError::PeerDown(PartyId(1))
+        );
+        // The endpoint stays usable for surviving peers.
+        _c.send(PartyId(2), Bytes::from_static(b"post")).unwrap();
+        assert_eq!(&b.recv().unwrap().1[..], b"post");
+        // Killing an unknown id is a no-op.
+        hub.kill(PartyId(9));
     }
 
     #[test]

@@ -132,6 +132,18 @@ impl From<TransportError> for ServerError {
     }
 }
 
+/// What a server does when a session dies of a **peer failure** (a party
+/// process detected dead mid-session, [`SapError::PeerFailure`]): how
+/// many times [`SapServer::wait`] transparently re-runs the session with
+/// its stored inputs before surfacing the failure. Retries consume fresh
+/// wire session ids; the client-facing id never changes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Automatic re-runs per session (0 — the default — disables retry
+    /// and the per-session input retention it requires).
+    pub max_retries: u32,
+}
+
 /// Server configuration.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
@@ -152,9 +164,23 @@ pub struct ServerConfig {
     /// [`SapServer::reap`] removes it.
     pub reap_after: Duration,
     /// Running sessions older than this are aborted (and then reaped) by
-    /// the GC sweep — the backstop against sessions that hang past every
-    /// protocol timeout.
+    /// the GC sweep. With the liveness layer this is a last-resort
+    /// backstop: peer deaths surface as typed
+    /// [`SapError::PeerFailure`]s within the heartbeat budget, and the
+    /// per-session [`sap_core::session::SapConfig::session_budget`]
+    /// unwinds overlong sessions cooperatively long before this sweeps.
     pub max_session_age: Duration,
+    /// Heartbeat interval of the lane liveness plane
+    /// ([`sap_net::mux::SessionMux::start_liveness`]); `Duration::ZERO`
+    /// disables lane heartbeats (peer deaths are then detected only when
+    /// the transport reports them, e.g. a socket close).
+    pub heartbeat_interval: Duration,
+    /// Missed-interval budget before a silent lane peer is declared dead;
+    /// detection latency is at most `heartbeat_interval × liveness_misses`
+    /// plus one pump poll tick.
+    pub liveness_misses: u32,
+    /// Recovery policy for sessions killed by a peer failure.
+    pub retry_policy: RetryPolicy,
 }
 
 impl Default for ServerConfig {
@@ -167,6 +193,9 @@ impl Default for ServerConfig {
             session_queue_depth: sap_net::mux::DEFAULT_SESSION_QUEUE,
             reap_after: Duration::from_secs(60),
             max_session_age: Duration::from_secs(300),
+            heartbeat_interval: sap_net::mux::DEFAULT_HEARTBEAT_INTERVAL,
+            liveness_misses: sap_net::mux::DEFAULT_LIVENESS_MISSES,
+            retry_policy: RetryPolicy::default(),
         }
     }
 }
@@ -226,6 +255,23 @@ pub struct ServerMetrics {
     pub unknown_session_dropped: u64,
     /// Frames shed because a session's bounded queue stayed full.
     pub shed_frames: u64,
+    /// Lane peers declared dead by the liveness plane (socket close, hub
+    /// kill, or missed heartbeats), summed over every lane mux.
+    pub peer_failures_detected: u64,
+    /// Mean detection latency over those events, in seconds: how long a
+    /// peer had been silent when it was declared dead (≈ 0 for
+    /// transport-notified deaths, ≈ the heartbeat budget for
+    /// heartbeat-detected ones).
+    pub peer_detection_latency_avg_s: f64,
+    /// Sessions transparently re-run after a peer failure under
+    /// [`ServerConfig::retry_policy`].
+    pub sessions_retried: u64,
+}
+
+struct RetryState {
+    locals: Vec<Dataset>,
+    config: SapConfig,
+    remaining: u32,
 }
 
 struct SessionEntry {
@@ -233,6 +279,14 @@ struct SessionEntry {
     submitted: Instant,
     finished_at: Option<Instant>,
     accounted: bool,
+    /// The owner called [`SapServer::abort`] (or the age GC did): the
+    /// verdict outlives the current handle, so a peer-failure retry
+    /// racing the abort cannot resurrect the session under a fresh
+    /// handle the abort never saw.
+    aborted: bool,
+    /// Stored inputs for peer-failure retries (`None` when the policy is
+    /// off — the server then never retains client datasets past spawn).
+    retry: Option<RetryState>,
 }
 
 #[derive(Default)]
@@ -242,6 +296,7 @@ struct Counters {
     failed: AtomicU64,
     aborted: AtomicU64,
     rejected: AtomicU64,
+    retried: AtomicU64,
     blocks_relayed: AtomicU64,
     blocks_pipelined: AtomicU64,
     /// Sum of per-session overlap ratios in micro-units (ratio × 1e6),
@@ -307,13 +362,41 @@ impl<T: Transport + 'static> SapServer<T> {
     pub fn over_lanes(config: ServerConfig, lanes: Vec<T>, miner: T) -> Self {
         let depth = config.session_queue_depth;
         let pool = ActorPool::new(config.pool_size());
+        let lanes: Vec<SessionMux<T>> = lanes
+            .into_iter()
+            .map(|t| SessionMux::with_queue_depth(t, depth))
+            .collect();
+        let miner_lane = SessionMux::with_queue_depth(miner, depth);
+        // The lane liveness plane: every lane heartbeats every other lane
+        // and watches for silence, so a dead party process is detected in
+        // O(heartbeat budget) and every session that involved it fails
+        // with a typed PeerFailure instead of hanging until the age GC.
+        if !config.heartbeat_interval.is_zero() {
+            let roster: Vec<PartyId> = lanes
+                .iter()
+                .map(SessionMux::local_id)
+                .chain(std::iter::once(miner_lane.local_id()))
+                .collect();
+            // Startup grace at least the TCP connect window: lanes of a
+            // real mesh may bind in any order, and a late binder must
+            // not be declared dead before it had a chance to come up.
+            // Transport-reported deaths (socket close, hub kill) bypass
+            // the grace and are declared immediately.
+            let grace = (config.heartbeat_interval * config.liveness_misses.max(1))
+                .max(sap_net::tcp::DEFAULT_CONNECT_WINDOW);
+            for lane in lanes.iter().chain(std::iter::once(&miner_lane)) {
+                lane.start_liveness_with_grace(
+                    roster.clone(),
+                    config.heartbeat_interval,
+                    config.liveness_misses,
+                    grace,
+                );
+            }
+        }
         SapServer {
             pool,
-            lanes: lanes
-                .into_iter()
-                .map(|t| SessionMux::with_queue_depth(t, depth))
-                .collect(),
-            miner_lane: SessionMux::with_queue_depth(miner, depth),
+            lanes,
+            miner_lane,
             registry: Mutex::new(HashMap::new()),
             next_id: AtomicU64::new(1),
             counters: Counters::default(),
@@ -376,6 +459,39 @@ impl<T: Transport + 'static> SapServer<T> {
         }
 
         let id = SessionId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        let retry = (self.config.retry_policy.max_retries > 0).then(|| RetryState {
+            locals: locals.clone(),
+            config: session_config.clone(),
+            remaining: self.config.retry_policy.max_retries,
+        });
+        let handle = self.wire_session(id, locals, session_config)?;
+
+        self.counters.started.fetch_add(1, Ordering::Relaxed);
+        registry.insert(
+            id,
+            SessionEntry {
+                handle,
+                submitted: Instant::now(),
+                finished_at: None,
+                accounted: false,
+                aborted: false,
+                retry,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Opens mux routes for `id` on the first `locals.len()` lanes (plus
+    /// the miner lane), spawns the session gang, and installs the abort
+    /// hook that tears those routes down. Shared by [`SapServer::submit`]
+    /// and peer-failure retries.
+    fn wire_session(
+        &self,
+        id: SessionId,
+        locals: Vec<Dataset>,
+        session_config: &SapConfig,
+    ) -> Result<SessionHandle, ServerError> {
+        let k = locals.len();
         let open_all = || -> Result<(Vec<MuxEndpoint<T>>, MuxEndpoint<T>), TransportError> {
             let mut endpoints = Vec::with_capacity(k);
             for lane in &self.lanes[..k] {
@@ -447,18 +563,61 @@ impl<T: Transport + 'static> SapServer<T> {
                 miner_lane.close_session(id);
             });
         }
+        Ok(handle)
+    }
 
-        self.counters.started.fetch_add(1, Ordering::Relaxed);
-        registry.insert(
-            id,
-            SessionEntry {
-                handle,
-                submitted: Instant::now(),
-                finished_at: None,
-                accounted: false,
-            },
-        );
-        Ok(id)
+    /// Consumes one retry of a peer-failed session: respawns it under a
+    /// fresh wire session id with the stored inputs, swapping the new
+    /// handle into the client-facing registry entry. Returns `false`
+    /// when the entry has no retries left (or retry is off).
+    fn try_retry(&self, public_id: SessionId) -> bool {
+        let (locals, cfg) = {
+            let mut registry = self.registry.lock().expect("registry lock");
+            let Some(entry) = registry.get_mut(&public_id) else {
+                return false;
+            };
+            if entry.aborted {
+                // The owner gave up on this session; a retry racing the
+                // abort must not resurrect it.
+                return false;
+            }
+            let Some(retry) = entry.retry.as_mut() else {
+                return false;
+            };
+            if retry.remaining == 0 {
+                return false;
+            }
+            retry.remaining -= 1;
+            (retry.locals.clone(), retry.config.clone())
+        };
+        let wire_id = SessionId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        match self.wire_session(wire_id, locals, &cfg) {
+            Ok(handle) => {
+                let installed = {
+                    let mut registry = self.registry.lock().expect("registry lock");
+                    match registry.get_mut(&public_id) {
+                        Some(entry) if !entry.aborted => {
+                            entry.handle = handle.clone();
+                            entry.finished_at = None;
+                            entry.accounted = false;
+                            true
+                        }
+                        // Aborted or reaped while the replacement
+                        // spawned: do not install a session the abort
+                        // (or the reaper) never saw.
+                        _ => false,
+                    }
+                };
+                if installed {
+                    self.counters.retried.fetch_add(1, Ordering::Relaxed);
+                    true
+                } else {
+                    handle.abort();
+                    false
+                }
+            }
+            Err(_) => false,
+        }
     }
 
     fn close_routes(&self, id: SessionId, k: usize) {
@@ -484,6 +643,11 @@ impl<T: Transport + 'static> SapServer<T> {
     /// Waits for a session and returns its outcome (once). `timeout`
     /// `None` waits indefinitely.
     ///
+    /// Under a non-zero [`ServerConfig::retry_policy`], a session that
+    /// dies of a [`SapError::PeerFailure`] is transparently re-run with
+    /// its stored inputs (up to the policy's budget) before the failure
+    /// is surfaced; the caller's `timeout` spans the retries.
+    ///
     /// # Errors
     ///
     /// * [`ServerError::UnknownSession`] for unregistered (or reaped) ids.
@@ -494,38 +658,46 @@ impl<T: Transport + 'static> SapServer<T> {
         id: SessionId,
         timeout: Option<Duration>,
     ) -> Result<SapOutcome, ServerError> {
-        let handle = {
-            let registry = self.registry.lock().expect("registry lock");
-            registry
-                .get(&id)
-                .map(|e| e.handle.clone())
-                .ok_or(ServerError::UnknownSession(id))?
-        };
-        let result = handle.harvest(timeout);
-        match &result {
-            // A harvest deadline is the caller's timeout, not the
-            // session's end — leave the entry unaccounted.
-            Err(SapError::Timeout {
-                phase: "session harvest",
-                ..
-            }) => {}
-            _ => self.finalize(id, &result),
+        let overall = timeout.map(|t| Instant::now() + t);
+        loop {
+            let handle = {
+                let registry = self.registry.lock().expect("registry lock");
+                registry
+                    .get(&id)
+                    .map(|e| e.handle.clone())
+                    .ok_or(ServerError::UnknownSession(id))?
+            };
+            let remaining = overall.map(|d| d.saturating_duration_since(Instant::now()));
+            let result = handle.harvest(remaining);
+            match &result {
+                // A harvest deadline is the caller's timeout, not the
+                // session's end — leave the entry unaccounted.
+                Err(SapError::Timeout {
+                    phase: "session harvest",
+                    ..
+                }) => {}
+                Err(SapError::PeerFailure { .. }) if self.try_retry(id) => continue,
+                _ => self.finalize(id, &result),
+            }
+            return result.map_err(ServerError::Session);
         }
-        result.map_err(ServerError::Session)
     }
 
-    /// Aborts a session (idempotent).
+    /// Aborts a session (idempotent). The verdict is recorded on the
+    /// registry entry as well as the running handle, so a peer-failure
+    /// retry racing this call cannot resurrect the session.
     ///
     /// # Errors
     ///
     /// [`ServerError::UnknownSession`] when the id is not registered.
     pub fn abort(&self, id: SessionId) -> Result<(), ServerError> {
         let handle = {
-            let registry = self.registry.lock().expect("registry lock");
-            registry
-                .get(&id)
-                .map(|e| e.handle.clone())
-                .ok_or(ServerError::UnknownSession(id))?
+            let mut registry = self.registry.lock().expect("registry lock");
+            let entry = registry
+                .get_mut(&id)
+                .ok_or(ServerError::UnknownSession(id))?;
+            entry.aborted = true;
+            entry.handle.clone()
         };
         handle.abort();
         Ok(())
@@ -588,14 +760,19 @@ impl<T: Transport + 'static> SapServer<T> {
         // deadlock with the abort hook closing mux routes while a pump
         // blocks on a full queue.
         let overdue: Vec<SessionHandle> = {
-            let registry = self.registry.lock().expect("registry lock");
+            let mut registry = self.registry.lock().expect("registry lock");
             registry
-                .values()
+                .values_mut()
                 .filter(|e| {
                     matches!(e.handle.poll(), SessionStatus::Running { .. })
                         && now.duration_since(e.submitted) > self.config.max_session_age
                 })
-                .map(|e| e.handle.clone())
+                .map(|e| {
+                    // Recorded on the entry too, so a racing peer-failure
+                    // retry cannot resurrect the overdue session.
+                    e.aborted = true;
+                    e.handle.clone()
+                })
                 .collect()
         };
         for handle in &overdue {
@@ -644,12 +821,16 @@ impl<T: Transport + 'static> SapServer<T> {
         let mut frames_routed = 0;
         let mut unknown = 0;
         let mut shed = 0;
+        let mut peers_down = 0;
+        let mut down_latency_us = 0;
         for lane in self.lanes.iter().chain(std::iter::once(&self.miner_lane)) {
             let m = lane.metrics();
             bytes_sealed += m.bytes_sent;
             frames_routed += m.frames_routed;
             unknown += m.unknown_session_dropped;
             shed += m.shed_frames;
+            peers_down += m.peers_down;
+            down_latency_us += m.peer_down_latency_us;
         }
         let overlap_sessions = self.counters.overlap_sessions.load(Ordering::Relaxed);
         let overlap_ratio_avg = if overlap_sessions == 0 {
@@ -680,6 +861,13 @@ impl<T: Transport + 'static> SapServer<T> {
             frames_routed,
             unknown_session_dropped: unknown,
             shed_frames: shed,
+            peer_failures_detected: peers_down,
+            peer_detection_latency_avg_s: if peers_down == 0 {
+                0.0
+            } else {
+                down_latency_us as f64 / 1e6 / peers_down as f64
+            },
+            sessions_retried: self.counters.retried.load(Ordering::Relaxed),
         }
     }
 }
@@ -828,10 +1016,10 @@ mod tests {
 
         // The stuck session times out; its slot frees up.
         let err = server.wait(stuck, None).unwrap_err();
-        assert!(matches!(
-            err,
-            ServerError::Session(SapError::Timeout { .. })
-        ));
+        assert!(
+            matches!(err, ServerError::Session(SapError::Timeout { .. })),
+            "{err}"
+        );
         assert!(server.submit(locals(11), &quick()).is_ok());
     }
 

@@ -11,11 +11,10 @@
 //! cargo run --example failure_injection --release
 //! ```
 
-use sap_repro::core::audit::AuditLog;
+use sap_repro::core::liveness::Roster;
 use sap_repro::core::miner::run_miner;
-use sap_repro::core::session::{run_session, SapConfig};
+use sap_repro::core::session::{run_session, SapConfig, StandaloneCtx};
 use sap_repro::core::SapError;
-use sap_repro::core::StreamMonitor;
 use sap_repro::datasets::normalize::min_max_normalize;
 use sap_repro::datasets::partition::{partition, PartitionScheme};
 use sap_repro::datasets::registry::UciDataset;
@@ -74,12 +73,16 @@ fn lossy_link_to_miner() {
         },
     );
     let node = Node::new(faulty, 42);
-    let audit = AuditLog::new();
     let config = SapConfig {
         timeout: Duration::from_millis(100),
         ..SapConfig::quick_test()
     };
-    match run_miner(&node, 3, PartyId(2), &config, &audit, &StreamMonitor::new()) {
+    // Expect 3 relayed streams (providers 0, 1 with coordinator 2).
+    let sc = StandaloneCtx::new(
+        Roster::new(vec![PartyId(0), PartyId(1), PartyId(2)], PartyId(1_000)),
+        config,
+    );
+    match run_miner(&node, 3, &sc.ctx()) {
         Err(SapError::Timeout { phase, .. }) => {
             println!("lossy network: miner aborted cleanly during '{phase}'");
             println!(

@@ -23,11 +23,66 @@ impl<T> Mutex<T> {
         self.0.lock().unwrap_or_else(sync::PoisonError::into_inner)
     }
 
+    /// Attempts the lock without blocking; `None` when contended.
+    /// Poisoning is ignored like [`Mutex::lock`].
+    pub fn try_lock(&self) -> Option<sync::MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(guard) => Some(guard),
+            Err(sync::TryLockError::Poisoned(poisoned)) => Some(poisoned.into_inner()),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
     /// Consumes the mutex, returning the inner value.
     pub fn into_inner(self) -> T {
         self.0
             .into_inner()
             .unwrap_or_else(sync::PoisonError::into_inner)
+    }
+}
+
+/// A condition variable whose waits never return `Result`s (poisoning is
+/// ignored, matching the lock shims). The guard-consuming call shape
+/// follows `std`; the workspace's pooled runtime waits through it.
+#[derive(Debug, Default)]
+pub struct Condvar(sync::Condvar);
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub fn new() -> Self {
+        Condvar(sync::Condvar::new())
+    }
+
+    /// Wakes one waiter.
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wakes every waiter.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+
+    /// Blocks until notified, ignoring poisoning.
+    pub fn wait<'a, T>(&self, guard: sync::MutexGuard<'a, T>) -> sync::MutexGuard<'a, T> {
+        self.0
+            .wait(guard)
+            .unwrap_or_else(sync::PoisonError::into_inner)
+    }
+
+    /// Blocks until notified or `deadline` passes, ignoring poisoning.
+    /// Callers re-check their predicate (and the clock) on wake, so no
+    /// timed-out flag is surfaced.
+    pub fn wait_until<'a, T>(
+        &self,
+        guard: sync::MutexGuard<'a, T>,
+        deadline: std::time::Instant,
+    ) -> sync::MutexGuard<'a, T> {
+        let timeout = deadline.saturating_duration_since(std::time::Instant::now());
+        match self.0.wait_timeout(guard, timeout) {
+            Ok((guard, _)) => guard,
+            Err(poisoned) => poisoned.into_inner().0,
+        }
     }
 }
 
