@@ -171,11 +171,21 @@ pub fn send_dataset<T: Transport, C: Codec>(
         num_classes: u32::try_from(data.num_classes())
             .map_err(|_| SapError::Protocol("class count overflows u32".into()))?,
     };
-    let blocks = (0..data.len())
-        .step_by(block_rows)
-        .map(|start| encode_block(data, start, (start + block_rows).min(data.len())));
-    node.send_stream(to, &header, blocks)
-        .map_err(SapError::from)
+    let n = data.len();
+    let mut stream = node
+        .begin_stream(to, &header, n == 0)
+        .map_err(SapError::from)?;
+    let mut start = 0;
+    while start < n {
+        let end = (start + block_rows).min(n);
+        node.stream_block_with(&mut stream, 4 + (end - start) * row_size, end == n, |out| {
+            encode_block_into(data, start, end, out);
+            Ok(())
+        })
+        .map_err(SapError::from)?;
+        start = end;
+    }
+    Ok(())
 }
 
 /// Forwards a received stream to `to` under the relay kind **without
@@ -389,20 +399,29 @@ pub fn send_perturbed_dataset<T: Transport, C: Codec>(
         num_classes: u32::try_from(num_classes)
             .map_err(|_| SapError::Protocol("class count overflows u32".into()))?,
     };
+    let mut stream = node
+        .begin_stream(to, &header, n == 0)
+        .map_err(SapError::from)?;
     let mut scratch: Vec<f64> = Vec::new();
-    let blocks = (0..n).step_by(block_rows).map(move |start| {
+    let mut start = 0;
+    while start < n {
         let end = (start + block_rows).min(n);
         g.perturb_records_into(x, delta, start..end, &mut scratch);
-        encode_records_block(&labels[start..end], &scratch)
-    });
-    node.send_stream(to, &header, blocks)
-        .map_err(SapError::from)
+        node.stream_block_with(&mut stream, 4 + (end - start) * row_size, end == n, |out| {
+            encode_records_block_into(&labels[start..end], &scratch, out);
+            Ok(())
+        })
+        .map_err(SapError::from)?;
+        start = end;
+    }
+    Ok(())
 }
 
-/// Encodes one wire block from a record-major value buffer (`labels.len()
-/// × dim` values). Byte-for-byte the layout of [`encode_block`].
-fn encode_records_block(labels: &[usize], values: &[f64]) -> Bytes {
-    let mut out = Vec::with_capacity(4 + labels.len() * 4 + values.len() * 8);
+/// Appends one wire block from a record-major value buffer (`labels.len()
+/// × dim` values) to `out`. Byte-for-byte the layout of
+/// [`encode_block_into`].
+fn encode_records_block_into(labels: &[usize], values: &[f64], out: &mut Vec<u8>) {
+    out.reserve(4 + labels.len() * 4 + values.len() * 8);
     out.extend_from_slice(
         &u32::try_from(labels.len())
             .expect("block rows fit u32")
@@ -414,21 +433,20 @@ fn encode_records_block(labels: &[usize], values: &[f64]) -> Bytes {
     for &v in values {
         out.extend_from_slice(&v.to_le_bytes());
     }
-    Bytes::from(out)
 }
 
-/// Encodes rows `start..end` of a dataset as one wire row block
-/// (`[rows: u32] [labels] [values]`, see `docs/WIRE.md` §4.1) — the unit
-/// [`send_dataset`] streams. Public for harnesses that drive partial
-/// streams by hand (e.g. the mid-stream peer-death fault tests).
+/// Appends rows `start..end` of a dataset as one wire row block
+/// (`[rows: u32] [labels] [values]`, see `docs/WIRE.md` §4.1) to `out` —
+/// the sink [`send_dataset`] encodes each block through, straight into
+/// the pooled sealed frame buffer.
 ///
 /// # Panics
 ///
 /// Panics when the range is out of bounds or a label exceeds `u32`.
-pub fn encode_block(data: &Dataset, start: usize, end: usize) -> Bytes {
+pub fn encode_block_into(data: &Dataset, start: usize, end: usize, out: &mut Vec<u8>) {
     let rows = end - start;
     let dim = data.dim();
-    let mut out = Vec::with_capacity(4 + rows * 4 + rows * dim * 8);
+    out.reserve(4 + rows * 4 + rows * dim * 8);
     out.extend_from_slice(
         &u32::try_from(rows)
             .expect("block rows fit u32")
@@ -446,6 +464,19 @@ pub fn encode_block(data: &Dataset, start: usize, end: usize) -> Bytes {
             out.extend_from_slice(&v.to_le_bytes());
         }
     }
+}
+
+/// Encodes rows `start..end` of a dataset as one standalone wire row
+/// block. Public for harnesses that drive partial streams by hand (e.g.
+/// the mid-stream peer-death fault tests); the send paths use
+/// [`encode_block_into`] instead.
+///
+/// # Panics
+///
+/// As [`encode_block_into`].
+pub fn encode_block(data: &Dataset, start: usize, end: usize) -> Bytes {
+    let mut out = Vec::new();
+    encode_block_into(data, start, end, &mut out);
     Bytes::from(out)
 }
 

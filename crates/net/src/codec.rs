@@ -103,6 +103,25 @@ pub trait Codec: Clone + Send + Sync + 'static {
     ///
     /// Returns [`CodecError`] on malformed, truncated, or trailing input.
     fn decode<M: DeserializeOwned>(&self, bytes: &[u8]) -> Result<M, CodecError>;
+
+    /// Encodes a value by **appending** its bytes to `out` — typically a
+    /// pooled frame buffer the caller is assembling a sealed envelope in.
+    ///
+    /// The default implementation round-trips through [`encode`] and
+    /// copies; sink-capable codecs (like [`WireCodec`], whose format is
+    /// generic over `std::io::Write`) override it to serialize straight
+    /// into `out` with no intermediate allocation.
+    ///
+    /// [`encode`]: Codec::encode
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] for values the format cannot represent.
+    fn encode_into<M: Serialize>(&self, msg: &M, out: &mut Vec<u8>) -> Result<(), CodecError> {
+        let bytes = self.encode(msg)?;
+        out.extend_from_slice(&bytes);
+        Ok(())
+    }
 }
 
 /// The default codec: the compact, non-self-describing binary format of
@@ -121,6 +140,10 @@ impl Codec for WireCodec {
 
     fn decode<M: DeserializeOwned>(&self, bytes: &[u8]) -> Result<M, CodecError> {
         wire::from_bytes(bytes).map_err(CodecError::Wire)
+    }
+
+    fn encode_into<M: Serialize>(&self, msg: &M, out: &mut Vec<u8>) -> Result<(), CodecError> {
+        wire::to_writer(msg, out).map_err(CodecError::Wire)
     }
 }
 
@@ -174,6 +197,22 @@ mod tests {
             let bytes = WireCodec.encode(&p).unwrap();
             let back: Probe = WireCodec.decode(&bytes).unwrap();
             assert_eq!(back, p);
+        }
+    }
+
+    #[test]
+    fn encode_into_appends_identical_bytes() {
+        for p in probes() {
+            let direct = WireCodec.encode(&p).unwrap();
+            let mut sink = vec![0xAA, 0xBB];
+            WireCodec.encode_into(&p, &mut sink).unwrap();
+            assert_eq!(&sink[..2], &[0xAA, 0xBB], "must append, not overwrite");
+            assert_eq!(&sink[2..], &direct[..]);
+
+            // The default (copy-through) path must agree byte-for-byte too.
+            let mut json_sink = Vec::new();
+            JsonCodec.encode_into(&p, &mut json_sink).unwrap();
+            assert_eq!(json_sink, JsonCodec.encode(&p).unwrap());
         }
     }
 

@@ -14,7 +14,7 @@
 //!   [`codec`]  Codec: wire | json       — pluggable serialization
 //!        │ encoded message
 //!   [`frame`]  chunked sealed frames    — bounded chunks, per-frame seal,
-//!        │ sealed v3 frames (Bytes)       authenticated SessionId stamp
+//!        │ sealed v4 frames (Bytes)       authenticated SessionId stamp
 //!   [`mux`]    SessionMux               — many sessions, one physical mesh
 //!        │ session-routed frames
 //!   [`transport`] / [`tcp`] / [`sim`]   — in-memory hub, TCP, fault inject
@@ -33,10 +33,16 @@
 //!   and neither is the frame envelope; they model the interface.
 //! * [`transport`] — the [`transport::Transport`] trait and the in-memory
 //!   hub implementation over channels, one endpoint per party.
-//! * [`tcp`] — a real TCP backend with the same contract.
+//! * [`tcp`] — a real TCP backend with the same contract: blocking
+//!   thread-per-connection ([`tcp::TcpTransport`]) kept as the
+//!   equivalence reference, fronted by [`tcp::TcpLane`] which defaults to
+//!   the reactor.
+//! * [`reactor`] — the readiness-driven TCP backend: one reactor thread
+//!   multiplexing every lane over the vendored epoll/poll shim, pooled
+//!   frame buffers, and coalesced vectored writes.
 //! * [`mux`] — [`mux::SessionMux`]: demultiplexes one physical endpoint
 //!   into per-session virtual endpoints (bounded queues, unknown-session
-//!   shedding), keyed by the v3 envelope's authenticated session stamp.
+//!   shedding), keyed by the v4 envelope's authenticated session stamp.
 //! * [`sim`] — a fault-injecting transport decorator (drops, duplicates,
 //!   reordering, link latency) for failure-injection tests and benches.
 //! * [`node`] — typed convenience layer: send/receive codec values over
@@ -51,6 +57,8 @@ pub mod frame;
 pub mod json;
 pub mod mux;
 pub mod node;
+pub mod pool;
+pub mod reactor;
 pub mod sim;
 pub mod tcp;
 pub mod transport;
@@ -59,5 +67,6 @@ pub mod wire;
 pub use codec::{Codec, CodecError, JsonCodec, WireCodec};
 pub use mux::{MuxEndpoint, MuxMetrics, SessionMux};
 pub use node::{Node, NodeEvent, NodeFlow, StreamHandle};
-pub use tcp::TcpTransport;
+pub use reactor::{ReactorStats, ReactorTransport};
+pub use tcp::{Backend, TcpLane, TcpTransport};
 pub use transport::{InMemoryHub, PartyId, SessionId, Transport, TransportError};

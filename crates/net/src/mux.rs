@@ -624,6 +624,14 @@ fn pump_loop<T: Transport>(shared: &MuxShared<T>) {
                 shared.declare_peer_down(peer);
                 continue;
             }
+            Err(TransportError::OversizeFrame { from, .. }) => {
+                // The peer's connection was dropped over a protocol
+                // violation — its frames stop arriving, so treat it as a
+                // death: sessions talking to it fail fast, siblings keep
+                // running.
+                shared.declare_peer_down(from);
+                continue;
+            }
             Err(_) => break,
         };
         if decode_heartbeat(&payload).is_some() {

@@ -1,13 +1,16 @@
 //! Typed, sealed, frame-based messaging on top of a [`Transport`].
 //!
 //! A [`Node`] owns a transport endpoint, a pluggable [`Codec`], and the
-//! session secret. Every outgoing message is codec-encoded, split into
-//! [`crate::frame`] chunks (zero-copy slices of one encode buffer), and
-//! each chunk sealed under the per-direction channel key. Large payloads
-//! can instead travel as *streams* — a typed header plus raw blocks — via
-//! [`Node::send_stream`]; receivers get the blocks back exactly as sent,
-//! so a relay can forward them without decoding (the SAP anonymizing hop
-//! does exactly that).
+//! session secret. Every outgoing message is codec-encoded once into a
+//! pooled scratch buffer (see [`crate::pool`]), split into bounded
+//! [`crate::frame`] chunks, and each chunk sealed **directly into a
+//! pooled envelope buffer** under the per-direction channel key. Large
+//! payloads can instead travel as *streams* — a typed header plus raw
+//! blocks — via [`Node::send_stream`]; receivers get the blocks back
+//! exactly as sent, so a relay can forward them without decoding (the SAP
+//! anonymizing hop does exactly that). Sink-capable producers can skip
+//! the intermediate block allocation entirely with
+//! [`Node::stream_block_with`].
 //!
 //! This is the layer the protocol actors in `sap-core` talk to; they are
 //! generic over both the transport and the codec.
@@ -15,8 +18,10 @@
 use crate::codec::{Codec, CodecError, WireCodec};
 use crate::crypto::ChannelKey;
 use crate::frame::{
-    self, Assembled, FlowItem, Frame, FrameError, FrameKind, Reassembler, DEFAULT_CHUNK_SIZE,
+    self, Assembled, FlowItem, Frame, FrameError, FrameKind, FrameMeta, Reassembler,
+    DEFAULT_CHUNK_SIZE,
 };
+use crate::pool;
 use crate::transport::{PartyId, SessionId, Transport, TransportError};
 use bytes::Bytes;
 use parking_lot::Mutex;
@@ -236,25 +241,72 @@ impl<T: Transport, C: Codec> Node<T, C> {
         self.counter.fetch_add(1, Ordering::Relaxed)
     }
 
-    fn send_frame(&self, to: PartyId, frame: &Frame) -> Result<(), NodeError> {
-        let sealed = frame::seal_frame(self.send_key(to), self.next_id(), self.session, frame);
+    /// Seals one frame, generating its payload straight into the pooled
+    /// sealed buffer, and hands it to the transport.
+    fn seal_and_send<F>(
+        &self,
+        to: PartyId,
+        meta: FrameMeta,
+        size_hint: usize,
+        write_payload: F,
+    ) -> Result<(), NodeError>
+    where
+        F: FnOnce(&mut Vec<u8>) -> Result<(), NodeError>,
+    {
+        let sealed = frame::seal_frame_with(
+            self.send_key(to),
+            self.next_id(),
+            self.session,
+            meta,
+            size_hint,
+            write_payload,
+        )?;
         self.transport.send(to, sealed)?;
         Ok(())
     }
 
     /// Encodes, chunks, seals, and sends a message.
     ///
+    /// The message is codec-encoded once into a pooled scratch buffer and
+    /// each chunk is sealed directly into a pooled envelope buffer — no
+    /// per-frame allocation on the steady-state path.
+    ///
     /// # Errors
     ///
     /// Returns [`NodeError::Codec`] on serialization failure or
     /// [`NodeError::Transport`] on delivery failure.
     pub fn send_msg<M: Serialize>(&self, to: PartyId, msg: &M) -> Result<(), NodeError> {
-        let encoded = Bytes::from(self.codec.encode(msg)?);
-        let msg_id = self.next_id();
-        for frame in frame::split_message(msg_id, encoded, self.chunk_size) {
-            self.send_frame(to, &frame)?;
+        let pool = pool::global();
+        let mut scratch = pool.acquire(self.chunk_size.min(DEFAULT_CHUNK_SIZE));
+        if let Err(e) = self.codec.encode_into(msg, &mut scratch) {
+            pool.recycle_vec(scratch);
+            return Err(e.into());
         }
-        Ok(())
+        let msg_id = self.next_id();
+        let total = scratch.len();
+        let mut seq: u32 = 0;
+        let mut start = 0;
+        loop {
+            let end = (start + self.chunk_size).min(total);
+            let last = end == total;
+            let meta = FrameMeta {
+                kind: FrameKind::Control,
+                msg_id,
+                seq,
+                last,
+            };
+            let chunk = &scratch[start..end];
+            let sent = self.seal_and_send(to, meta, chunk.len(), |out| {
+                out.extend_from_slice(chunk);
+                Ok(())
+            });
+            if last || sent.is_err() {
+                pool.recycle_vec(scratch);
+                return sent;
+            }
+            start = end;
+            seq += 1;
+        }
     }
 
     /// Sends a stream: a typed header frame followed by raw blocks, each
@@ -298,18 +350,17 @@ impl<T: Transport, C: Codec> Node<T, C> {
         header: &H,
         empty: bool,
     ) -> Result<StreamHandle, NodeError> {
-        let encoded = Bytes::from(self.codec.encode(header)?);
         let msg_id = self.next_id();
-        self.send_frame(
-            to,
-            &Frame {
-                kind: FrameKind::StreamHeader,
-                msg_id,
-                seq: 0,
-                last: empty,
-                payload: encoded,
-            },
-        )?;
+        let meta = FrameMeta {
+            kind: FrameKind::StreamHeader,
+            msg_id,
+            seq: 0,
+            last: empty,
+        };
+        let codec = &self.codec;
+        self.seal_and_send(to, meta, 256, |out| {
+            codec.encode_into(header, out).map_err(NodeError::Codec)
+        })?;
         Ok(StreamHandle {
             to,
             msg_id,
@@ -333,17 +384,47 @@ impl<T: Transport, C: Codec> Node<T, C> {
         block: Bytes,
         last: bool,
     ) -> Result<(), NodeError> {
+        self.stream_block_with(stream, block.len(), last, |out| {
+            out.extend_from_slice(&block);
+            Ok(())
+        })
+    }
+
+    /// Sends one block on an open stream, generating its payload
+    /// **directly into the pooled sealed buffer**: `write_payload` (a
+    /// codec sink, a row-block encoder, …) appends the block's bytes to
+    /// the buffer the transport will hand to the socket, so the block
+    /// never exists as a separate allocation. `size_hint` pre-sizes the
+    /// buffer (a loose estimate is fine); `last` closes the stream.
+    ///
+    /// # Errors
+    ///
+    /// As [`Node::send_msg`]; a `write_payload` failure surfaces as
+    /// [`NodeError::Codec`] and nothing is sent.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the stream is already finished.
+    pub fn stream_block_with<F>(
+        &self,
+        stream: &mut StreamHandle,
+        size_hint: usize,
+        last: bool,
+        write_payload: F,
+    ) -> Result<(), NodeError>
+    where
+        F: FnOnce(&mut Vec<u8>) -> Result<(), CodecError>,
+    {
         assert!(!stream.finished, "stream already finished");
-        self.send_frame(
-            stream.to,
-            &Frame {
-                kind: FrameKind::StreamBlock,
-                msg_id: stream.msg_id,
-                seq: stream.next_seq,
-                last,
-                payload: block,
-            },
-        )?;
+        let meta = FrameMeta {
+            kind: FrameKind::StreamBlock,
+            msg_id: stream.msg_id,
+            seq: stream.next_seq,
+            last,
+        };
+        self.seal_and_send(stream.to, meta, size_hint, |out| {
+            write_payload(out).map_err(NodeError::Codec)
+        })?;
         stream.next_seq += 1;
         stream.finished = last;
         Ok(())
@@ -360,7 +441,7 @@ impl<T: Transport, C: Codec> Node<T, C> {
             }
         };
         let key = ChannelKey::derive(self.session_secret, from.0, self.id().0);
-        let (frame_session, frame) = frame::open_frame(key, &sealed)?;
+        let (frame_session, frame) = frame::open_frame_recycling(key, sealed)?;
         if frame_session != self.session {
             return Err(FrameError::SessionMismatch {
                 expected: self.session,

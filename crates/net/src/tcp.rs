@@ -58,18 +58,24 @@ pub const MAX_PAYLOAD: usize = 64 * 1024 * 1024;
 pub const DEFAULT_CONNECT_WINDOW: Duration = Duration::from_secs(5);
 
 /// First backoff sleep of the connect retry schedule; doubles per attempt.
-const CONNECT_BACKOFF_FLOOR: Duration = Duration::from_millis(2);
+/// Shared with the reactor backend so both retry identically.
+pub(crate) const CONNECT_BACKOFF_FLOOR: Duration = Duration::from_millis(2);
 
 /// Backoff ceiling — retries never sleep longer than this between
 /// attempts, so a late-binding peer is noticed promptly even deep into
 /// the window.
-const CONNECT_BACKOFF_CAP: Duration = Duration::from_millis(250);
+pub(crate) const CONNECT_BACKOFF_CAP: Duration = Duration::from_millis(250);
 
 /// Connect window for [`Transport::send_liveness`] heartbeat sends — far
 /// shorter than the regular window, so a dead (never-connected) peer
 /// cannot stall a heartbeat emitter long enough to starve beats to
 /// healthy peers.
-const HEARTBEAT_CONNECT_WINDOW: Duration = Duration::from_millis(100);
+pub(crate) const HEARTBEAT_CONNECT_WINDOW: Duration = Duration::from_millis(100);
+
+/// Upper bound on the *up-front* payload buffer acquisition in the read
+/// path. A frame claiming more grows incrementally with bytes actually
+/// received — the claimed length caps the read, never the allocation.
+const PAYLOAD_ACQUIRE_CAP: usize = 128 * 1024;
 
 /// A TCP-backed [`Transport`] endpoint.
 pub struct TcpTransport {
@@ -214,16 +220,25 @@ fn reader_loop(mut stream: TcpStream, tx: &Sender<Delivery>) {
         if len > MAX_PAYLOAD {
             // A corrupt/hostile length prefix kills the carrying
             // connection (no resynchronizing a byte stream) — surface the
-            // same typed in-band marker as the EOF paths so receivers
-            // fail fast instead of starving until their timeout.
+            // typed oversize marker so the receiver fails that peer's
+            // session with [`TransportError::OversizeFrame`] instead of a
+            // generic peer-down.
             let _ = stream.shutdown(Shutdown::Both);
-            let _ = tx.send(Delivery::PeerDown(from));
+            let _ = tx.send(Delivery::Oversize(from, len));
             return;
         }
-        let mut payload = vec![0u8; len];
-        if stream.read_exact(&mut payload).is_err() {
-            let _ = tx.send(Delivery::PeerDown(from));
-            return;
+        // The claimed length bounds the *read*, never the allocation: a
+        // pooled buffer of capped initial capacity grows only with bytes
+        // actually received, so an attacker claiming (a legal) 64 MiB pays
+        // for the bytes itself instead of reserving our memory up front.
+        let mut payload = crate::pool::global().acquire(len.min(PAYLOAD_ACQUIRE_CAP));
+        match (&mut stream).take(len as u64).read_to_end(&mut payload) {
+            Ok(n) if n == len => {}
+            _ => {
+                crate::pool::global().recycle_vec(payload);
+                let _ = tx.send(Delivery::PeerDown(from));
+                return;
+            }
         }
         if tx
             .send(Delivery::Frame(from, Bytes::from(payload)))
@@ -350,32 +365,172 @@ impl Drop for TcpTransport {
     }
 }
 
+/// Which TCP backend serves an endpoint: the readiness-driven reactor
+/// (default) or the thread-per-connection blocking implementation kept as
+/// the equivalence reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// One reactor thread multiplexing every lane
+    /// ([`crate::reactor::ReactorTransport`]).
+    Reactor,
+    /// Thread-per-connection blocking I/O ([`TcpTransport`]).
+    Threaded,
+}
+
+impl Backend {
+    /// Reads `SAP_NET_BACKEND` (`threaded` selects the blocking backend;
+    /// anything else — including unset — selects the reactor).
+    pub fn from_env() -> Backend {
+        match std::env::var("SAP_NET_BACKEND") {
+            Ok(v) if v == "threaded" => Backend::Threaded,
+            _ => Backend::Reactor,
+        }
+    }
+
+    /// Stable lowercase name for logs and bench output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Reactor => "reactor",
+            Backend::Threaded => "threaded",
+        }
+    }
+}
+
+/// One TCP endpoint served by either backend. The two speak an identical
+/// wire protocol, so lanes of different backends interoperate freely
+/// within one mesh; which one a [`local_mesh`] builds is chosen by
+/// [`Backend::from_env`].
+pub enum TcpLane {
+    /// A thread-per-connection blocking endpoint.
+    Threaded(TcpTransport),
+    /// A readiness-driven reactor endpoint.
+    Reactor(crate::reactor::ReactorTransport),
+}
+
+impl TcpLane {
+    /// Binds one endpoint of the given backend on an ephemeral localhost
+    /// port.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket/poller setup failures.
+    pub fn bind(id: PartyId, backend: Backend) -> std::io::Result<TcpLane> {
+        match backend {
+            Backend::Threaded => TcpTransport::bind(id).map(TcpLane::Threaded),
+            Backend::Reactor => crate::reactor::ReactorTransport::bind(id).map(TcpLane::Reactor),
+        }
+    }
+
+    /// Which backend serves this lane.
+    pub fn backend(&self) -> Backend {
+        match self {
+            TcpLane::Threaded(_) => Backend::Threaded,
+            TcpLane::Reactor(_) => Backend::Reactor,
+        }
+    }
+
+    /// The bound listen address.
+    pub fn local_addr(&self) -> SocketAddr {
+        match self {
+            TcpLane::Threaded(t) => t.local_addr(),
+            TcpLane::Reactor(r) => r.local_addr(),
+        }
+    }
+
+    /// Registers where a peer listens. Must happen before sending to it.
+    pub fn register_peer(&self, peer: PartyId, addr: SocketAddr) {
+        match self {
+            TcpLane::Threaded(t) => t.register_peer(peer, addr),
+            TcpLane::Reactor(r) => r.register_peer(peer, addr),
+        }
+    }
+
+    /// Overrides the connect retry window (how long a send waits for a
+    /// peer that has not bound yet before failing with
+    /// [`TransportError::ConnectFailed`]).
+    pub fn set_connect_window(&mut self, window: Duration) {
+        match self {
+            TcpLane::Threaded(t) => t.set_connect_window(window),
+            TcpLane::Reactor(r) => r.set_connect_window(window),
+        }
+    }
+}
+
+impl Transport for TcpLane {
+    fn local_id(&self) -> PartyId {
+        match self {
+            TcpLane::Threaded(t) => t.local_id(),
+            TcpLane::Reactor(r) => r.local_id(),
+        }
+    }
+
+    fn send(&self, to: PartyId, payload: Bytes) -> Result<(), TransportError> {
+        match self {
+            TcpLane::Threaded(t) => t.send(to, payload),
+            TcpLane::Reactor(r) => r.send(to, payload),
+        }
+    }
+
+    fn send_liveness(&self, to: PartyId, payload: Bytes) -> Result<(), TransportError> {
+        match self {
+            TcpLane::Threaded(t) => t.send_liveness(to, payload),
+            TcpLane::Reactor(r) => r.send_liveness(to, payload),
+        }
+    }
+
+    fn recv(&self) -> Result<(PartyId, Bytes), TransportError> {
+        match self {
+            TcpLane::Threaded(t) => t.recv(),
+            TcpLane::Reactor(r) => r.recv(),
+        }
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<(PartyId, Bytes), TransportError> {
+        match self {
+            TcpLane::Threaded(t) => t.recv_timeout(timeout),
+            TcpLane::Reactor(r) => r.recv_timeout(timeout),
+        }
+    }
+}
+
 /// Builds a fully meshed set of TCP endpoints on localhost, one per party,
 /// with every peer address pre-registered — the TCP analogue of
-/// registering every party on an [`crate::transport::InMemoryHub`].
+/// registering every party on an [`crate::transport::InMemoryHub`]. The
+/// backend comes from [`Backend::from_env`]: the reactor unless
+/// `SAP_NET_BACKEND=threaded`.
 ///
 /// # Errors
 ///
 /// Propagates socket errors.
-pub fn local_mesh(ids: &[PartyId]) -> std::io::Result<Vec<TcpTransport>> {
-    let transports: Vec<TcpTransport> = ids
+pub fn local_mesh(ids: &[PartyId]) -> std::io::Result<Vec<TcpLane>> {
+    local_mesh_with(ids, Backend::from_env())
+}
+
+/// [`local_mesh`] with an explicit backend — equivalence tests pin each
+/// side instead of inheriting the environment.
+///
+/// # Errors
+///
+/// Propagates socket errors.
+pub fn local_mesh_with(ids: &[PartyId], backend: Backend) -> std::io::Result<Vec<TcpLane>> {
+    let lanes: Vec<TcpLane> = ids
         .iter()
-        .map(|&id| TcpTransport::bind(id))
+        .map(|&id| TcpLane::bind(id, backend))
         .collect::<std::io::Result<_>>()?;
-    let addrs: Vec<(PartyId, SocketAddr)> = transports
+    let addrs: Vec<(PartyId, SocketAddr)> = lanes
         .iter()
         .map(|t| (t.local_id(), t.local_addr()))
         .collect();
-    for transport in &transports {
+    for lane in &lanes {
         for &(peer, addr) in &addrs {
             // Self is registered too: the in-memory hub allows a party to
             // send to itself (the SAP exchange plan may assign a provider
             // as its own receiver), so the TCP mesh must as well — it
             // simply loops through the local listener.
-            transport.register_peer(peer, addr);
+            lane.register_peer(peer, addr);
         }
     }
-    Ok(transports)
+    Ok(lanes)
 }
 
 #[cfg(test)]
@@ -469,6 +624,41 @@ mod tests {
             start.elapsed() >= Duration::from_millis(100),
             "the whole window was used"
         );
+    }
+
+    #[test]
+    fn oversize_length_claim_surfaces_typed_error_without_allocation() {
+        let t = TcpTransport::bind(PartyId(2)).unwrap();
+        let mut rogue = TcpStream::connect(t.local_addr()).unwrap();
+        rogue.write_all(&7u64.to_le_bytes()).unwrap();
+        // Claim ~4 GiB. The reader must reject on the prefix alone —
+        // never allocating the claim — and name the offender.
+        rogue.write_all(&u32::MAX.to_le_bytes()).unwrap();
+        let err = t.recv_timeout(Duration::from_secs(5)).unwrap_err();
+        assert_eq!(
+            err,
+            TransportError::OversizeFrame {
+                from: PartyId(7),
+                claimed: u32::MAX as usize
+            }
+        );
+    }
+
+    #[test]
+    fn both_backends_roundtrip_via_explicit_mesh() {
+        for backend in [Backend::Threaded, Backend::Reactor] {
+            let mesh = local_mesh_with(&[PartyId(1), PartyId(2)], backend).unwrap();
+            let (a, b) = {
+                let mut it = mesh.into_iter();
+                (it.next().unwrap(), it.next().unwrap())
+            };
+            assert_eq!(a.backend(), backend);
+            a.send(PartyId(2), Bytes::from_static(b"either way"))
+                .unwrap();
+            let (from, payload) = b.recv_timeout(Duration::from_secs(5)).unwrap();
+            assert_eq!(from, PartyId(1));
+            assert_eq!(&payload[..], b"either way");
+        }
     }
 
     #[test]

@@ -93,6 +93,18 @@ pub enum TransportError {
         /// Offending payload size in bytes.
         size: usize,
     },
+    /// A peer's length prefix claimed a frame over
+    /// [`crate::tcp::MAX_PAYLOAD`]. The claimed buffer was **never
+    /// allocated**; the offending connection was dropped. Like
+    /// [`TransportError::PeerDown`] this is transient and names the
+    /// party, so the protocol layer can fail that peer's session with a
+    /// typed error while siblings keep running.
+    OversizeFrame {
+        /// The peer whose connection claimed the oversize frame.
+        from: PartyId,
+        /// The claimed length in bytes.
+        claimed: usize,
+    },
 }
 
 impl fmt::Display for TransportError {
@@ -109,6 +121,12 @@ impl fmt::Display for TransportError {
             TransportError::Timeout => write!(f, "receive timed out"),
             TransportError::PayloadTooLarge { size } => {
                 write!(f, "payload of {size} bytes exceeds the transport limit")
+            }
+            TransportError::OversizeFrame { from, claimed } => {
+                write!(
+                    f,
+                    "{from} claimed an oversize frame of {claimed} bytes; connection dropped"
+                )
             }
         }
     }
@@ -174,12 +192,16 @@ pub(crate) enum Delivery {
     Frame(PartyId, Bytes),
     /// The named peer was detected dead.
     PeerDown(PartyId),
+    /// The named peer claimed a frame over the size limit; its connection
+    /// was dropped without allocating the claim.
+    Oversize(PartyId, usize),
 }
 
 pub(crate) fn pop_delivery(d: Delivery) -> Result<(PartyId, Bytes), TransportError> {
     match d {
         Delivery::Frame(from, payload) => Ok((from, payload)),
         Delivery::PeerDown(p) => Err(TransportError::PeerDown(p)),
+        Delivery::Oversize(from, claimed) => Err(TransportError::OversizeFrame { from, claimed }),
     }
 }
 

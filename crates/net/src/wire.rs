@@ -1,4 +1,4 @@
-//! A compact binary serde codec — the format behind
+//! A compact varint binary serde codec — the format behind
 //! [`crate::codec::WireCodec`], the default of the pluggable codec layer.
 //!
 //! The offline dependency set includes `serde` but no serde *format*
@@ -7,40 +7,50 @@
 //! is non-self-describing, `deserialize_any` is unsupported — which is
 //! fine for the derive-generated message types the protocol exchanges.
 //!
-//! # Wire format specification
+//! # Wire format specification (value encoding v2, wire v4)
 //!
 //! This module specifies the *value encoding* (how a serde value becomes
 //! bytes). The *envelope* those bytes travel in — chunked frames sealed
-//! per direction, **wire format v3**: `session ‖ nonce ‖ ciphertext ‖
+//! per direction, **wire format v4**: `session ‖ nonce ‖ ciphertext ‖
 //! tag`, with the authenticated [`crate::transport::SessionId`] stamp
 //! that multiplexes many sessions over one mesh — is specified in
 //! [`crate::frame`]'s module docs.
 //!
-//! All multi-byte values are **little-endian**. Nothing is aligned or
-//! padded; values are concatenated in field/element order.
+//! Encoding is generic over any [`std::io::Write`] sink, so values can be
+//! serialized straight into a pooled socket buffer with no intermediate
+//! `Vec` ([`to_writer`]); decoding reads from an in-memory cursor the
+//! same way a `BufRead` front-end would hand out bytes. Nothing is
+//! aligned or padded; values are concatenated in field/element order.
+//!
+//! Unsigned integers use **LEB128 varints** (7 value bits per byte,
+//! little groups first, high bit = continuation, max 10 bytes for
+//! `u64`); signed integers are **zigzag-mapped** (`(n << 1) ^ (n >> 63)`)
+//! then varint-encoded so small negative values stay small on the wire.
 //!
 //! | data-model shape | encoding |
 //! |---|---|
 //! | `bool` | 1 byte: `0x00` false, `0x01` true (other values reject) |
-//! | `u8`/`i8` … `u64`/`i64` | fixed-width LE, no varint |
-//! | `usize`/`isize` | as `u64`/`i64` |
-//! | `f32`/`f64` | IEEE-754 bits, LE |
-//! | `char` | Unicode scalar as `u32` (invalid code points reject) |
-//! | `str`/`String` | `u64` byte length ‖ UTF-8 bytes |
-//! | bytes | `u64` length ‖ raw bytes |
+//! | `u8`/`i8` | 1 raw byte |
+//! | `u16`/`u32`/`u64`/`usize` | LEB128 varint |
+//! | `i16`/`i32`/`i64`/`isize` | zigzag ‖ LEB128 varint |
+//! | `f32`/`f64` | IEEE-754 bits, fixed-width LE |
+//! | `char` | Unicode scalar as varint (invalid code points reject) |
+//! | `str`/`String` | varint byte length ‖ UTF-8 bytes |
+//! | bytes | varint length ‖ raw bytes |
 //! | `Option<T>` | 1 byte tag (`0x00` none / `0x01` some) ‖ value if some |
 //! | `()` / unit struct | zero bytes |
-//! | sequence (`Vec`, slice) | `u64` element count ‖ elements |
-//! | map | `u64` entry count ‖ (key ‖ value)\* |
+//! | sequence (`Vec`, slice) | varint element count ‖ elements |
+//! | map | varint entry count ‖ (key ‖ value)\* |
 //! | tuple / tuple struct / struct | fields in declaration order, no count |
 //! | newtype struct | the inner value |
-//! | enum variant | `u32` variant index ‖ payload (if any) |
+//! | enum variant | varint variant index ‖ payload (if any) |
 //!
-//! Decoding requires the input to be **fully consumed**; trailing bytes are
-//! an error ([`WireError::TrailingBytes`]), truncated input is
-//! [`WireError::UnexpectedEof`]. This makes the format suitable for the
-//! framing layer's length-delimited chunks: any split or corruption is
-//! caught at the first decode.
+//! Decoding requires the input to be **fully consumed**; trailing bytes
+//! are an error ([`WireError::TrailingBytes`]), truncated input is
+//! [`WireError::UnexpectedEof`], and a varint that overflows its target
+//! width rejects. This makes the format suitable for the framing layer's
+//! length-delimited chunks: any split or corruption is caught at the
+//! first decode.
 //!
 //! # Example
 //!
@@ -52,6 +62,7 @@
 //!
 //! let msg = Ping { seq: 7, note: "hello".into() };
 //! let bytes = sap_net::wire::to_bytes(&msg).unwrap();
+//! assert_eq!(bytes.len(), 1 + 1 + 5); // varint seq ‖ varint len ‖ "hello"
 //! let back: Ping = sap_net::wire::from_bytes(&bytes).unwrap();
 //! assert_eq!(back, msg);
 //! ```
@@ -59,6 +70,7 @@
 use serde::de::{self, DeserializeOwned, Visitor};
 use serde::ser::{self, Serialize};
 use std::fmt;
+use std::io::Write;
 
 /// Errors produced by the wire codec.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -70,12 +82,15 @@ pub enum WireError {
     /// Trailing bytes after a complete value.
     TrailingBytes,
     /// An invalid encoding was encountered (bad bool/option tag, bad UTF-8,
-    /// bad char).
+    /// bad char, varint overflow).
     InvalidEncoding(&'static str),
     /// The format is non-self-describing; `deserialize_any` is unsupported.
     NotSelfDescribing,
     /// Sequences must know their length up front.
     UnknownLength,
+    /// The output sink reported an I/O error (impossible for in-memory
+    /// buffers; surfaces when encoding straight into a writer).
+    Io(String),
 }
 
 impl fmt::Display for WireError {
@@ -89,11 +104,18 @@ impl fmt::Display for WireError {
                 write!(f, "wire format is not self-describing (deserialize_any)")
             }
             WireError::UnknownLength => write!(f, "sequence length must be known"),
+            WireError::Io(m) => write!(f, "sink error: {m}"),
         }
     }
 }
 
 impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e.to_string())
+    }
+}
 
 impl ser::Error for WireError {
     fn custom<T: fmt::Display>(msg: T) -> Self {
@@ -107,16 +129,122 @@ impl de::Error for WireError {
     }
 }
 
-/// Serializes a value to bytes.
+// ---------------------------------------------------------------------------
+// Varint primitives (shared with the framing layer and exercised directly
+// by the property tests).
+// ---------------------------------------------------------------------------
+
+/// Maximum encoded size of a `u64` LEB128 varint.
+pub const MAX_UVARINT_LEN: usize = 10;
+
+/// Appends the LEB128 varint encoding of `v` to any `Write` sink.
+///
+/// # Errors
+///
+/// Propagates the sink's I/O error (infallible for `Vec<u8>`).
+pub fn write_uvarint<W: Write>(out: &mut W, mut v: u64) -> std::io::Result<()> {
+    let mut buf = [0u8; MAX_UVARINT_LEN];
+    let mut n = 0;
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf[n] = byte;
+            n += 1;
+            break;
+        }
+        buf[n] = byte | 0x80;
+        n += 1;
+    }
+    out.write_all(&buf[..n])
+}
+
+/// Appends the LEB128 varint encoding of `v` to a byte vector — the
+/// infallible convenience form of [`write_uvarint`] the framing layer
+/// uses when packing headers into pooled buffers.
+pub fn put_uvarint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Number of bytes [`write_uvarint`] emits for `v`.
+pub fn uvarint_len(v: u64) -> usize {
+    if v == 0 {
+        1
+    } else {
+        (64 - v.leading_zeros() as usize).div_ceil(7)
+    }
+}
+
+/// Reads a LEB128 varint from the front of `input`, advancing it past the
+/// consumed bytes.
+///
+/// # Errors
+///
+/// [`WireError::UnexpectedEof`] when the input ends mid-varint;
+/// [`WireError::InvalidEncoding`] when the value overflows 64 bits.
+pub fn read_uvarint(input: &mut &[u8]) -> Result<u64, WireError> {
+    let mut v = 0u64;
+    for i in 0..MAX_UVARINT_LEN {
+        let Some(&byte) = input.get(i) else {
+            return Err(WireError::UnexpectedEof);
+        };
+        if i == MAX_UVARINT_LEN - 1 && byte > 1 {
+            // Tenth byte may only carry bit 63 and no continuation.
+            return Err(WireError::InvalidEncoding("varint overflow"));
+        }
+        v |= u64::from(byte & 0x7F) << (7 * i);
+        if byte & 0x80 == 0 {
+            *input = &input[i + 1..];
+            return Ok(v);
+        }
+    }
+    Err(WireError::InvalidEncoding("varint too long"))
+}
+
+/// Zigzag-maps a signed integer so small magnitudes (either sign) become
+/// small unsigned varints: 0 → 0, -1 → 1, 1 → 2, -2 → 3, …
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+/// Serializes a value to a fresh byte vector.
 ///
 /// # Errors
 ///
 /// Returns [`WireError`] for unserializable values (e.g. sequences of
 /// unknown length).
 pub fn to_bytes<T: Serialize>(value: &T) -> Result<Vec<u8>, WireError> {
-    let mut ser = WireSerializer { out: Vec::new() };
-    value.serialize(&mut ser)?;
-    Ok(ser.out)
+    let mut out = Vec::new();
+    to_writer(value, &mut out)?;
+    Ok(out)
+}
+
+/// Serializes a value straight into any `Write` sink — a pooled frame
+/// buffer, a socket buffer, a hasher — with no intermediate allocation.
+///
+/// # Errors
+///
+/// Returns [`WireError`] for unserializable values or sink I/O failures.
+pub fn to_writer<T: Serialize, W: Write>(value: &T, out: &mut W) -> Result<(), WireError> {
+    let mut ser = WireSerializer { out };
+    value.serialize(&mut ser)
 }
 
 /// Deserializes a value from bytes, requiring the input to be fully
@@ -134,90 +262,82 @@ pub fn from_bytes<T: DeserializeOwned>(bytes: &[u8]) -> Result<T, WireError> {
     Ok(value)
 }
 
-struct WireSerializer {
-    out: Vec<u8>,
+struct WireSerializer<'w, W: Write> {
+    out: &'w mut W,
 }
 
-impl WireSerializer {
-    fn put_len(&mut self, len: usize) {
-        self.out.extend_from_slice(&(len as u64).to_le_bytes());
+impl<W: Write> WireSerializer<'_, W> {
+    fn put(&mut self, bytes: &[u8]) -> Result<(), WireError> {
+        self.out.write_all(bytes)?;
+        Ok(())
+    }
+
+    fn put_uvarint(&mut self, v: u64) -> Result<(), WireError> {
+        write_uvarint(self.out, v)?;
+        Ok(())
     }
 }
 
-impl<'a> ser::Serializer for &'a mut WireSerializer {
+impl<'a, 'w, W: Write> ser::Serializer for &'a mut WireSerializer<'w, W> {
     type Ok = ();
     type Error = WireError;
-    type SerializeSeq = Compound<'a>;
-    type SerializeTuple = Compound<'a>;
-    type SerializeTupleStruct = Compound<'a>;
-    type SerializeTupleVariant = Compound<'a>;
-    type SerializeMap = Compound<'a>;
-    type SerializeStruct = Compound<'a>;
-    type SerializeStructVariant = Compound<'a>;
+    type SerializeSeq = Compound<'a, 'w, W>;
+    type SerializeTuple = Compound<'a, 'w, W>;
+    type SerializeTupleStruct = Compound<'a, 'w, W>;
+    type SerializeTupleVariant = Compound<'a, 'w, W>;
+    type SerializeMap = Compound<'a, 'w, W>;
+    type SerializeStruct = Compound<'a, 'w, W>;
+    type SerializeStructVariant = Compound<'a, 'w, W>;
 
     fn serialize_bool(self, v: bool) -> Result<(), WireError> {
-        self.out.push(u8::from(v));
-        Ok(())
+        self.put(&[u8::from(v)])
     }
     fn serialize_i8(self, v: i8) -> Result<(), WireError> {
-        self.out.extend_from_slice(&v.to_le_bytes());
-        Ok(())
+        self.put(&v.to_le_bytes())
     }
     fn serialize_i16(self, v: i16) -> Result<(), WireError> {
-        self.out.extend_from_slice(&v.to_le_bytes());
-        Ok(())
+        self.put_uvarint(zigzag(i64::from(v)))
     }
     fn serialize_i32(self, v: i32) -> Result<(), WireError> {
-        self.out.extend_from_slice(&v.to_le_bytes());
-        Ok(())
+        self.put_uvarint(zigzag(i64::from(v)))
     }
     fn serialize_i64(self, v: i64) -> Result<(), WireError> {
-        self.out.extend_from_slice(&v.to_le_bytes());
-        Ok(())
+        self.put_uvarint(zigzag(v))
     }
     fn serialize_u8(self, v: u8) -> Result<(), WireError> {
-        self.out.push(v);
-        Ok(())
+        self.put(&[v])
     }
     fn serialize_u16(self, v: u16) -> Result<(), WireError> {
-        self.out.extend_from_slice(&v.to_le_bytes());
-        Ok(())
+        self.put_uvarint(u64::from(v))
     }
     fn serialize_u32(self, v: u32) -> Result<(), WireError> {
-        self.out.extend_from_slice(&v.to_le_bytes());
-        Ok(())
+        self.put_uvarint(u64::from(v))
     }
     fn serialize_u64(self, v: u64) -> Result<(), WireError> {
-        self.out.extend_from_slice(&v.to_le_bytes());
-        Ok(())
+        self.put_uvarint(v)
     }
     fn serialize_f32(self, v: f32) -> Result<(), WireError> {
-        self.out.extend_from_slice(&v.to_le_bytes());
-        Ok(())
+        self.put(&v.to_le_bytes())
     }
     fn serialize_f64(self, v: f64) -> Result<(), WireError> {
-        self.out.extend_from_slice(&v.to_le_bytes());
-        Ok(())
+        self.put(&v.to_le_bytes())
     }
     fn serialize_char(self, v: char) -> Result<(), WireError> {
-        self.serialize_u32(v as u32)
+        self.put_uvarint(u64::from(u32::from(v)))
     }
     fn serialize_str(self, v: &str) -> Result<(), WireError> {
-        self.put_len(v.len());
-        self.out.extend_from_slice(v.as_bytes());
-        Ok(())
+        self.put_uvarint(v.len() as u64)?;
+        self.put(v.as_bytes())
     }
     fn serialize_bytes(self, v: &[u8]) -> Result<(), WireError> {
-        self.put_len(v.len());
-        self.out.extend_from_slice(v);
-        Ok(())
+        self.put_uvarint(v.len() as u64)?;
+        self.put(v)
     }
     fn serialize_none(self) -> Result<(), WireError> {
-        self.out.push(0);
-        Ok(())
+        self.put(&[0])
     }
     fn serialize_some<T: ?Sized + Serialize>(self, value: &T) -> Result<(), WireError> {
-        self.out.push(1);
+        self.put(&[1])?;
         value.serialize(self)
     }
     fn serialize_unit(self) -> Result<(), WireError> {
@@ -232,7 +352,7 @@ impl<'a> ser::Serializer for &'a mut WireSerializer {
         variant_index: u32,
         _variant: &'static str,
     ) -> Result<(), WireError> {
-        self.serialize_u32(variant_index)
+        self.put_uvarint(u64::from(variant_index))
     }
     fn serialize_newtype_struct<T: ?Sized + Serialize>(
         self,
@@ -248,22 +368,22 @@ impl<'a> ser::Serializer for &'a mut WireSerializer {
         _variant: &'static str,
         value: &T,
     ) -> Result<(), WireError> {
-        self.serialize_u32(variant_index)?;
+        self.put_uvarint(u64::from(variant_index))?;
         value.serialize(self)
     }
-    fn serialize_seq(self, len: Option<usize>) -> Result<Compound<'a>, WireError> {
+    fn serialize_seq(self, len: Option<usize>) -> Result<Compound<'a, 'w, W>, WireError> {
         let len = len.ok_or(WireError::UnknownLength)?;
-        self.put_len(len);
+        self.put_uvarint(len as u64)?;
         Ok(Compound { ser: self })
     }
-    fn serialize_tuple(self, _len: usize) -> Result<Compound<'a>, WireError> {
+    fn serialize_tuple(self, _len: usize) -> Result<Compound<'a, 'w, W>, WireError> {
         Ok(Compound { ser: self })
     }
     fn serialize_tuple_struct(
         self,
         _name: &'static str,
         _len: usize,
-    ) -> Result<Compound<'a>, WireError> {
+    ) -> Result<Compound<'a, 'w, W>, WireError> {
         Ok(Compound { ser: self })
     }
     fn serialize_tuple_variant(
@@ -272,16 +392,20 @@ impl<'a> ser::Serializer for &'a mut WireSerializer {
         variant_index: u32,
         _variant: &'static str,
         _len: usize,
-    ) -> Result<Compound<'a>, WireError> {
-        self.serialize_u32(variant_index)?;
+    ) -> Result<Compound<'a, 'w, W>, WireError> {
+        self.put_uvarint(u64::from(variant_index))?;
         Ok(Compound { ser: self })
     }
-    fn serialize_map(self, len: Option<usize>) -> Result<Compound<'a>, WireError> {
+    fn serialize_map(self, len: Option<usize>) -> Result<Compound<'a, 'w, W>, WireError> {
         let len = len.ok_or(WireError::UnknownLength)?;
-        self.put_len(len);
+        self.put_uvarint(len as u64)?;
         Ok(Compound { ser: self })
     }
-    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<Compound<'a>, WireError> {
+    fn serialize_struct(
+        self,
+        _name: &'static str,
+        _len: usize,
+    ) -> Result<Compound<'a, 'w, W>, WireError> {
         Ok(Compound { ser: self })
     }
     fn serialize_struct_variant(
@@ -290,8 +414,8 @@ impl<'a> ser::Serializer for &'a mut WireSerializer {
         variant_index: u32,
         _variant: &'static str,
         _len: usize,
-    ) -> Result<Compound<'a>, WireError> {
-        self.serialize_u32(variant_index)?;
+    ) -> Result<Compound<'a, 'w, W>, WireError> {
+        self.put_uvarint(u64::from(variant_index))?;
         Ok(Compound { ser: self })
     }
     fn is_human_readable(&self) -> bool {
@@ -300,13 +424,13 @@ impl<'a> ser::Serializer for &'a mut WireSerializer {
 }
 
 /// Compound serializer shared by all length-known aggregates.
-pub struct Compound<'a> {
-    ser: &'a mut WireSerializer,
+pub struct Compound<'a, 'w, W: Write> {
+    ser: &'a mut WireSerializer<'w, W>,
 }
 
 macro_rules! impl_compound {
     ($trait:ident, $method:ident) => {
-        impl<'a> ser::$trait for Compound<'a> {
+        impl<W: Write> ser::$trait for Compound<'_, '_, W> {
             type Ok = ();
             type Error = WireError;
             fn $method<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), WireError> {
@@ -324,7 +448,7 @@ impl_compound!(SerializeTuple, serialize_element);
 impl_compound!(SerializeTupleStruct, serialize_field);
 impl_compound!(SerializeTupleVariant, serialize_field);
 
-impl<'a> ser::SerializeMap for Compound<'a> {
+impl<W: Write> ser::SerializeMap for Compound<'_, '_, W> {
     type Ok = ();
     type Error = WireError;
     fn serialize_key<T: ?Sized + Serialize>(&mut self, key: &T) -> Result<(), WireError> {
@@ -338,7 +462,7 @@ impl<'a> ser::SerializeMap for Compound<'a> {
     }
 }
 
-impl<'a> ser::SerializeStruct for Compound<'a> {
+impl<W: Write> ser::SerializeStruct for Compound<'_, '_, W> {
     type Ok = ();
     type Error = WireError;
     fn serialize_field<T: ?Sized + Serialize>(
@@ -353,7 +477,7 @@ impl<'a> ser::SerializeStruct for Compound<'a> {
     }
 }
 
-impl<'a> ser::SerializeStructVariant for Compound<'a> {
+impl<W: Write> ser::SerializeStructVariant for Compound<'_, '_, W> {
     type Ok = ();
     type Error = WireError;
     fn serialize_field<T: ?Sized + Serialize>(
@@ -368,6 +492,9 @@ impl<'a> ser::SerializeStructVariant for Compound<'a> {
     }
 }
 
+/// In-memory byte cursor the deserializer reads from — the `BufRead`-style
+/// counterpart of the `Write` sink: `take` hands out a filled view and
+/// consumes it in one step.
 struct WireDeserializer<'de> {
     input: &'de [u8],
 }
@@ -382,9 +509,12 @@ impl<'de> WireDeserializer<'de> {
         Ok(head)
     }
 
+    fn get_uvarint(&mut self) -> Result<u64, WireError> {
+        read_uvarint(&mut self.input)
+    }
+
     fn get_len(&mut self) -> Result<usize, WireError> {
-        let raw = self.take(8)?;
-        let len = u64::from_le_bytes(raw.try_into().expect("8 bytes"));
+        let len = self.get_uvarint()?;
         usize::try_from(len).map_err(|_| WireError::InvalidEncoding("length overflow"))
     }
 }
@@ -394,6 +524,26 @@ macro_rules! de_fixed {
         fn $method<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
             let raw = self.take($n)?;
             visitor.$visit(<$ty>::from_le_bytes(raw.try_into().expect("fixed width")))
+        }
+    };
+}
+
+macro_rules! de_uvarint {
+    ($method:ident, $visit:ident, $ty:ty) => {
+        fn $method<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
+            let v = self.get_uvarint()?;
+            let v = <$ty>::try_from(v).map_err(|_| WireError::InvalidEncoding("varint range"))?;
+            visitor.$visit(v)
+        }
+    };
+}
+
+macro_rules! de_ivarint {
+    ($method:ident, $visit:ident, $ty:ty) => {
+        fn $method<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
+            let v = unzigzag(self.get_uvarint()?);
+            let v = <$ty>::try_from(v).map_err(|_| WireError::InvalidEncoding("varint range"))?;
+            visitor.$visit(v)
         }
     };
 }
@@ -414,22 +564,29 @@ impl<'de> de::Deserializer<'de> for &mut WireDeserializer<'de> {
     }
 
     de_fixed!(deserialize_i8, visit_i8, i8, 1);
-    de_fixed!(deserialize_i16, visit_i16, i16, 2);
-    de_fixed!(deserialize_i32, visit_i32, i32, 4);
-    de_fixed!(deserialize_i64, visit_i64, i64, 8);
-    de_fixed!(deserialize_u16, visit_u16, u16, 2);
-    de_fixed!(deserialize_u32, visit_u32, u32, 4);
-    de_fixed!(deserialize_u64, visit_u64, u64, 8);
+    de_ivarint!(deserialize_i16, visit_i16, i16);
+    de_ivarint!(deserialize_i32, visit_i32, i32);
+    de_uvarint!(deserialize_u16, visit_u16, u16);
+    de_uvarint!(deserialize_u32, visit_u32, u32);
     de_fixed!(deserialize_f32, visit_f32, f32, 4);
     de_fixed!(deserialize_f64, visit_f64, f64, 8);
+
+    fn deserialize_i64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
+        visitor.visit_i64(unzigzag(self.get_uvarint()?))
+    }
+
+    fn deserialize_u64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
+        let v = self.get_uvarint()?;
+        visitor.visit_u64(v)
+    }
 
     fn deserialize_u8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
         visitor.visit_u8(self.take(1)?[0])
     }
 
     fn deserialize_char<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
-        let raw = self.take(4)?;
-        let code = u32::from_le_bytes(raw.try_into().expect("4 bytes"));
+        let code = self.get_uvarint()?;
+        let code = u32::try_from(code).map_err(|_| WireError::InvalidEncoding("char"))?;
         let c = char::from_u32(code).ok_or(WireError::InvalidEncoding("char"))?;
         visitor.visit_char(c)
     }
@@ -554,7 +711,7 @@ struct Counted<'a, 'de> {
     remaining: usize,
 }
 
-impl<'a, 'de> de::SeqAccess<'de> for Counted<'a, 'de> {
+impl<'de> de::SeqAccess<'de> for Counted<'_, 'de> {
     type Error = WireError;
 
     fn next_element_seed<T: de::DeserializeSeed<'de>>(
@@ -573,7 +730,7 @@ impl<'a, 'de> de::SeqAccess<'de> for Counted<'a, 'de> {
     }
 }
 
-impl<'a, 'de> de::MapAccess<'de> for Counted<'a, 'de> {
+impl<'de> de::MapAccess<'de> for Counted<'_, 'de> {
     type Error = WireError;
 
     fn next_key_seed<K: de::DeserializeSeed<'de>>(
@@ -603,7 +760,7 @@ struct EnumReader<'a, 'de> {
     de: &'a mut WireDeserializer<'de>,
 }
 
-impl<'a, 'de> de::EnumAccess<'de> for EnumReader<'a, 'de> {
+impl<'de> de::EnumAccess<'de> for EnumReader<'_, 'de> {
     type Error = WireError;
     type Variant = Self;
 
@@ -611,14 +768,14 @@ impl<'a, 'de> de::EnumAccess<'de> for EnumReader<'a, 'de> {
         self,
         seed: V,
     ) -> Result<(V::Value, Self), WireError> {
-        let raw = self.de.take(4)?;
-        let index = u32::from_le_bytes(raw.try_into().expect("4 bytes"));
+        let raw = self.de.get_uvarint()?;
+        let index = u32::try_from(raw).map_err(|_| WireError::InvalidEncoding("variant index"))?;
         let value = seed.deserialize(de::value::U32Deserializer::<WireError>::new(index))?;
         Ok((value, self))
     }
 }
 
-impl<'a, 'de> de::VariantAccess<'de> for EnumReader<'a, 'de> {
+impl<'de> de::VariantAccess<'de> for EnumReader<'_, 'de> {
     type Error = WireError;
 
     fn unit_variant(self) -> Result<(), WireError> {
@@ -669,6 +826,7 @@ mod tests {
         roundtrip(65535u16);
         roundtrip(4_000_000_000u32);
         roundtrip(u64::MAX);
+        roundtrip(i64::MIN);
         roundtrip(1.5f32);
         roundtrip(-0.123456789f64);
         roundtrip('λ');
@@ -740,7 +898,8 @@ mod tests {
 
     #[test]
     fn truncated_input_errors() {
-        let bytes = to_bytes(&12345u64).unwrap();
+        let bytes = to_bytes(&u64::MAX).unwrap();
+        assert_eq!(bytes.len(), 10);
         let short = &bytes[..4];
         assert_eq!(
             from_bytes::<u64>(short).unwrap_err(),
@@ -768,9 +927,7 @@ mod tests {
 
     #[test]
     fn bad_utf8_errors() {
-        let mut bytes = Vec::new();
-        bytes.extend_from_slice(&2u64.to_le_bytes());
-        bytes.extend_from_slice(&[0xFF, 0xFE]);
+        let bytes = vec![2u8, 0xFF, 0xFE];
         assert!(matches!(
             from_bytes::<String>(&bytes).unwrap_err(),
             WireError::InvalidEncoding(_)
@@ -779,8 +936,83 @@ mod tests {
 
     #[test]
     fn encoding_is_compact() {
-        // u64 is exactly 8 bytes; a 3-element vec of u8 is 8 (len) + 3.
-        assert_eq!(to_bytes(&0u64).unwrap().len(), 8);
-        assert_eq!(to_bytes(&vec![1u8, 2, 3]).unwrap().len(), 11);
+        // Small unsigned ints are a single byte; a 3-element vec of u8 is
+        // 1 (varint len) + 3; floats stay fixed width.
+        assert_eq!(to_bytes(&0u64).unwrap().len(), 1);
+        assert_eq!(to_bytes(&127u64).unwrap().len(), 1);
+        assert_eq!(to_bytes(&128u64).unwrap().len(), 2);
+        assert_eq!(to_bytes(&vec![1u8, 2, 3]).unwrap().len(), 4);
+        assert_eq!(to_bytes(&1.0f64).unwrap().len(), 8);
+        assert_eq!(to_bytes(&-1i64).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn varint_boundaries() {
+        for (v, len) in [
+            (0u64, 1),
+            (127, 1),
+            (128, 2),
+            ((1 << 14) - 1, 2),
+            (1 << 14, 3),
+            (u64::MAX, 10),
+        ] {
+            let mut out = Vec::new();
+            write_uvarint(&mut out, v).unwrap();
+            assert_eq!(out.len(), len, "encoded length of {v}");
+            assert_eq!(uvarint_len(v), len, "uvarint_len of {v}");
+            let mut input = out.as_slice();
+            assert_eq!(read_uvarint(&mut input).unwrap(), v);
+            assert!(input.is_empty());
+            let mut put = Vec::new();
+            put_uvarint(&mut put, v);
+            assert_eq!(put, out, "put_uvarint parity for {v}");
+        }
+    }
+
+    #[test]
+    fn varint_overflow_rejects() {
+        // 11 continuation bytes: too long.
+        let long = [0x80u8; 11];
+        assert!(matches!(
+            read_uvarint(&mut &long[..]).unwrap_err(),
+            WireError::InvalidEncoding(_)
+        ));
+        // Tenth byte carrying more than bit 63: overflow.
+        let mut over = [0x80u8; 10];
+        over[9] = 0x02;
+        assert!(matches!(
+            read_uvarint(&mut &over[..]).unwrap_err(),
+            WireError::InvalidEncoding(_)
+        ));
+        // Truncated mid-varint: EOF.
+        let cut = [0x80u8; 3];
+        assert_eq!(
+            read_uvarint(&mut &cut[..]).unwrap_err(),
+            WireError::UnexpectedEof
+        );
+    }
+
+    #[test]
+    fn zigzag_maps_small_magnitudes_small() {
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+        assert_eq!(zigzag(i64::MIN), u64::MAX);
+        for v in [0i64, -1, 1, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn to_writer_matches_to_bytes() {
+        let value = Nested {
+            id: 300,
+            name: "sink".into(),
+            values: vec![1.0, 2.0, 3.0],
+            flag: None,
+        };
+        let mut sink = Vec::with_capacity(64);
+        to_writer(&value, &mut sink).unwrap();
+        assert_eq!(sink, to_bytes(&value).unwrap());
     }
 }

@@ -65,7 +65,7 @@ use sap_core::SapError;
 use sap_datasets::Dataset;
 use sap_net::mux::{MuxEndpoint, SessionMux};
 use sap_net::sim::FaultyTransport;
-use sap_net::tcp::{local_mesh, TcpTransport};
+use sap_net::tcp::{local_mesh, TcpLane};
 use sap_net::transport::Endpoint;
 use sap_net::{InMemoryHub, PartyId, SessionId, Transport, TransportError, WireCodec};
 use std::collections::HashMap;
@@ -339,7 +339,7 @@ impl SapServer<Endpoint> {
     }
 }
 
-impl SapServer<TcpTransport> {
+impl SapServer<TcpLane> {
     /// Builds a server whose mesh is real localhost TCP sockets — one
     /// listener per lane, fully meshed.
     ///

@@ -108,13 +108,66 @@ proptest! {
     }
 
     /// An out-of-range enum tag at the head of a wire message errors.
+    /// Since wire v4 the tag is a varint, so the rogue tag is stamped as
+    /// a varint too, replacing the legitimate one.
     #[test]
-    fn bad_wire_variant_tag_errors(tag in 6u32..u32::MAX) {
-        let mut bytes = WireCodec
+    fn bad_wire_variant_tag_errors(tag in 6u64..u64::MAX) {
+        use sap_repro::net::wire::{put_uvarint, read_uvarint};
+        let encoded = WireCodec
             .encode(&SapMessage::MiningComplete { unified_records: 1 })
             .unwrap();
-        bytes[..4].copy_from_slice(&tag.to_le_bytes());
+        let mut rest = encoded.as_slice();
+        read_uvarint(&mut rest).expect("variant tag varint at the head");
+        let mut bytes = Vec::new();
+        put_uvarint(&mut bytes, tag);
+        bytes.extend_from_slice(rest);
         prop_assert!(WireCodec.decode::<SapMessage>(&bytes).is_err());
+    }
+
+    /// The v4 varint primitive round-trips at every width boundary and at
+    /// arbitrary values, via both the `Vec` and the `io::Write` paths.
+    #[test]
+    fn uvarint_roundtrips_everywhere(v in any::<u64>()) {
+        use sap_repro::net::wire::{
+            put_uvarint, read_uvarint, uvarint_len, write_uvarint,
+        };
+        let boundaries = [
+            0u64,
+            (1 << 7) - 1,
+            1 << 7,
+            (1 << 7) + 1,
+            (1 << 14) - 1,
+            1 << 14,
+            (1 << 14) + 1,
+            u64::MAX,
+        ];
+        for v in boundaries.into_iter().chain(std::iter::once(v)) {
+            let mut put = Vec::new();
+            put_uvarint(&mut put, v);
+            let mut wrote = Vec::new();
+            write_uvarint(&mut wrote, v).unwrap();
+            prop_assert_eq!(&put, &wrote);
+            prop_assert_eq!(put.len(), uvarint_len(v));
+            let mut input = put.as_slice();
+            prop_assert_eq!(read_uvarint(&mut input).unwrap(), v);
+            prop_assert!(input.is_empty(), "decode consumes exactly the varint");
+        }
+    }
+
+    /// Signed values survive the zigzag + varint pipeline, and small
+    /// magnitudes of either sign stay single-byte on the wire.
+    #[test]
+    fn zigzag_varint_roundtrips(v in any::<i64>()) {
+        use sap_repro::net::wire::{put_uvarint, read_uvarint, unzigzag, zigzag};
+        for v in [v, 0, -1, 1, i64::MIN, i64::MAX] {
+            let mut buf = Vec::new();
+            put_uvarint(&mut buf, zigzag(v));
+            let mut input = buf.as_slice();
+            prop_assert_eq!(unzigzag(read_uvarint(&mut input).unwrap()), v);
+            if (-64..64).contains(&v) {
+                prop_assert_eq!(buf.len(), 1);
+            }
+        }
     }
 
     /// Arbitrary byte soup never decodes into a message silently.

@@ -77,6 +77,23 @@ impl Bytes {
     pub fn to_vec(&self) -> Vec<u8> {
         self.as_ref().to_vec()
     }
+
+    /// Recovers the backing `Vec<u8>` without copying, when this handle
+    /// is the sole owner of the allocation and views all of it.
+    ///
+    /// Returns the buffer back as `Err` otherwise (other clones alive,
+    /// or this handle is a sub-slice). Buffer pools use this to recycle
+    /// frame allocations once the last reference drops.
+    pub fn try_into_vec(self) -> Result<Vec<u8>, Bytes> {
+        if self.start != 0 || self.end != self.data.len() {
+            return Err(self);
+        }
+        let Bytes { data, start, end } = self;
+        match Arc::try_unwrap(data) {
+            Ok(v) => Ok(v),
+            Err(data) => Err(Bytes { data, start, end }),
+        }
+    }
 }
 
 impl From<Vec<u8>> for Bytes {
@@ -154,6 +171,19 @@ mod tests {
         assert_eq!(Arc::strong_count(&b.data), 2);
         let s2 = s.slice(1..);
         assert_eq!(&s2[..], &[3, 4]);
+    }
+
+    #[test]
+    fn try_into_vec_requires_sole_full_ownership() {
+        let b = Bytes::from(vec![1u8, 2, 3]);
+        let clone = b.clone();
+        let b = b.try_into_vec().expect_err("clone alive");
+        drop(clone);
+        let sub = b.slice(1..);
+        let sub = sub.try_into_vec().expect_err("sub-slice");
+        assert_eq!(&sub[..], &[2, 3]);
+        drop(sub);
+        assert_eq!(b.try_into_vec().expect("sole owner"), vec![1, 2, 3]);
     }
 
     #[test]

@@ -1,0 +1,730 @@
+//! Minimal vendored readiness-polling shim (offline build).
+//!
+//! The workspace builds with no registry access, so the small slice of
+//! `mio`/`polling`-style functionality the reactor transport needs is
+//! implemented here directly over raw syscalls: an edge-triggered
+//! `epoll(7)` backend on Linux, a portable level-triggered `poll(2)`
+//! fallback for other unixes (also selectable at runtime via
+//! `SAP_POLLER=poll` so both paths stay tested on Linux), and a
+//! pipe-based [`Waker`] for cross-thread wakeups.
+//!
+//! This is the **only** crate in the workspace that contains `unsafe`
+//! code: every other crate (including the reactor itself) denies it, so
+//! the syscall surface stays auditable in one file. The API is shaped so
+//! callers cannot misuse the raw file descriptors: they hand in borrowed
+//! fds of sockets they own and get typed [`Event`]s back.
+//!
+//! Semantics contract for callers (documented once, relied on by the
+//! reactor's state machines):
+//!
+//! - The epoll backend is **edge-triggered**; [`Poller::modify`] re-arms
+//!   delivery if the condition currently holds. The poll backend is
+//!   level-triggered. Code that (a) drains reads until `WouldBlock` and
+//!   (b) only keeps write interest while it has queued bytes is correct
+//!   under both disciplines.
+//! - Tokens are caller-chosen `usize` values echoed back verbatim.
+//! - Dropping a [`Poller`] closes its OS resources; registered fds stay
+//!   owned (and closed) by the caller.
+
+#![deny(missing_docs)]
+#![cfg(unix)]
+
+use std::collections::HashMap;
+use std::io;
+use std::os::unix::io::RawFd;
+use std::time::Duration;
+
+/// Which readiness directions a registration cares about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when the fd becomes readable (or the peer hung up).
+    pub read: bool,
+    /// Wake when the fd becomes writable.
+    pub write: bool,
+}
+
+impl Interest {
+    /// Read-only interest.
+    pub const READ: Interest = Interest {
+        read: true,
+        write: false,
+    };
+    /// Write-only interest.
+    pub const WRITE: Interest = Interest {
+        read: false,
+        write: true,
+    };
+    /// Both directions.
+    pub const BOTH: Interest = Interest {
+        read: true,
+        write: true,
+    };
+}
+
+/// One readiness notification, translated out of the OS representation.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The token supplied at registration time.
+    pub token: usize,
+    /// The fd is readable (includes EOF: a read will not block).
+    pub readable: bool,
+    /// The fd is writable.
+    pub writable: bool,
+    /// Peer closed its end (`EPOLLHUP`/`EPOLLRDHUP`/`POLLHUP`).
+    pub hangup: bool,
+    /// Error condition pending on the fd (`EPOLLERR`/`POLLERR`).
+    pub error: bool,
+}
+
+/// Which OS mechanism a [`Poller`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// Linux `epoll(7)`, edge-triggered.
+    Epoll,
+    /// Portable `poll(2)`, level-triggered, registration set kept in
+    /// userspace and rebuilt per wait.
+    Poll,
+}
+
+impl BackendKind {
+    /// Stable lowercase name for logs and bench output.
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::Epoll => "epoll",
+            BackendKind::Poll => "poll",
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Raw syscall surface. Everything unsafe lives below this line.
+// ---------------------------------------------------------------------------
+
+mod ffi {
+    #![allow(non_camel_case_types)]
+    use std::os::raw::{c_int, c_void};
+
+    // epoll_event carries a 32-bit mask plus a 64-bit user datum; on
+    // x86-64 the kernel ABI packs it to 12 bytes.
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    #[derive(Clone, Copy)]
+    pub struct epoll_event {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub struct pollfd {
+        pub fd: c_int,
+        pub events: i16,
+        pub revents: i16,
+    }
+
+    pub const EPOLL_CLOEXEC: c_int = 0o2000000;
+    pub const EPOLL_CTL_ADD: c_int = 1;
+    pub const EPOLL_CTL_DEL: c_int = 2;
+    pub const EPOLL_CTL_MOD: c_int = 3;
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+    pub const EPOLLRDHUP: u32 = 0x2000;
+    pub const EPOLLET: u32 = 1 << 31;
+
+    pub const POLLIN: i16 = 0x001;
+    pub const POLLOUT: i16 = 0x004;
+    pub const POLLERR: i16 = 0x008;
+    pub const POLLHUP: i16 = 0x010;
+
+    pub const O_NONBLOCK: c_int = 0o4000;
+    pub const O_CLOEXEC: c_int = 0o2000000;
+
+    extern "C" {
+        #[cfg(target_os = "linux")]
+        pub fn epoll_create1(flags: c_int) -> c_int;
+        #[cfg(target_os = "linux")]
+        pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut epoll_event) -> c_int;
+        #[cfg(target_os = "linux")]
+        pub fn epoll_wait(
+            epfd: c_int,
+            events: *mut epoll_event,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+
+        pub fn poll(fds: *mut pollfd, nfds: u64, timeout: c_int) -> c_int;
+
+        #[cfg(target_os = "linux")]
+        pub fn pipe2(fds: *mut c_int, flags: c_int) -> c_int;
+        #[cfg(not(target_os = "linux"))]
+        pub fn pipe(fds: *mut c_int) -> c_int;
+        #[cfg(not(target_os = "linux"))]
+        pub fn fcntl(fd: c_int, cmd: c_int, arg: c_int) -> c_int;
+
+        pub fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+        pub fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+        pub fn close(fd: c_int) -> c_int;
+        pub fn setsockopt(
+            fd: c_int,
+            level: c_int,
+            optname: c_int,
+            optval: *const c_void,
+            optlen: u32,
+        ) -> c_int;
+    }
+
+    #[cfg(target_os = "linux")]
+    pub const SOL_SOCKET: c_int = 1;
+    #[cfg(target_os = "linux")]
+    pub const SO_SNDBUF: c_int = 7;
+    #[cfg(target_os = "linux")]
+    pub const SO_RCVBUF: c_int = 8;
+    #[cfg(not(target_os = "linux"))]
+    pub const SOL_SOCKET: c_int = 0xffff;
+    #[cfg(not(target_os = "linux"))]
+    pub const SO_SNDBUF: c_int = 0x1001;
+    #[cfg(not(target_os = "linux"))]
+    pub const SO_RCVBUF: c_int = 0x1002;
+}
+
+/// Converts a `-1` syscall return into the thread's `errno` as `io::Error`.
+fn cvt(ret: i32) -> io::Result<i32> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+fn cvt_len(ret: isize) -> io::Result<usize> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret as usize)
+    }
+}
+
+/// Rounds a timeout up to whole milliseconds for the syscall interface,
+/// clamping to the `c_int` range. `None` means wait forever (-1).
+fn timeout_millis(timeout: Option<Duration>) -> i32 {
+    match timeout {
+        None => -1,
+        Some(d) => {
+            let ms = d.as_nanos().div_ceil(1_000_000);
+            if ms > i32::MAX as u128 {
+                i32::MAX
+            } else {
+                ms as i32
+            }
+        }
+    }
+}
+
+/// Requests kernel send/receive buffer sizes for a socket (`SO_SNDBUF` /
+/// `SO_RCVBUF`). The kernel may clamp the request to its configured
+/// maximums (and on Linux doubles the value for bookkeeping); this is a
+/// best-effort throughput knob, not a guarantee. Std's `TcpStream` does
+/// not expose these options, which is why the syscall lives in this
+/// crate's audited unsafe surface.
+pub fn set_socket_buffers(fd: RawFd, send_bytes: usize, recv_bytes: usize) -> io::Result<()> {
+    for (opt, bytes) in [(ffi::SO_SNDBUF, send_bytes), (ffi::SO_RCVBUF, recv_bytes)] {
+        let val = i32::try_from(bytes).unwrap_or(i32::MAX);
+        #[allow(unsafe_code)]
+        cvt(unsafe {
+            ffi::setsockopt(
+                fd,
+                ffi::SOL_SOCKET,
+                opt,
+                (&val as *const i32).cast(),
+                std::mem::size_of::<i32>() as u32,
+            )
+        })?;
+    }
+    Ok(())
+}
+
+const MAX_EVENTS: usize = 256;
+
+#[derive(Debug, Clone, Copy)]
+struct PollReg {
+    token: usize,
+    interest: Interest,
+}
+
+enum Backend {
+    #[cfg(target_os = "linux")]
+    Epoll {
+        epfd: RawFd,
+    },
+    Poll {
+        regs: HashMap<RawFd, PollReg>,
+    },
+}
+
+/// A readiness queue: register fds with an [`Interest`] and a token, then
+/// [`wait`](Poller::wait) for [`Event`]s.
+///
+/// All methods take `&mut self`; the owning reactor thread is the only
+/// user. Cross-thread wakeups go through [`Waker`], which is `Sync`.
+pub struct Poller {
+    backend: Backend,
+    #[cfg(target_os = "linux")]
+    ep_buf: Vec<ffi::epoll_event>,
+}
+
+impl Poller {
+    /// Opens a poller with the best backend for this platform: epoll on
+    /// Linux (unless `SAP_POLLER=poll` forces the fallback), poll(2)
+    /// elsewhere.
+    pub fn new() -> io::Result<Poller> {
+        let force_poll = std::env::var("SAP_POLLER").is_ok_and(|v| v == "poll");
+        if force_poll {
+            Poller::with_backend(BackendKind::Poll)
+        } else {
+            #[cfg(target_os = "linux")]
+            {
+                Poller::with_backend(BackendKind::Epoll)
+            }
+            #[cfg(not(target_os = "linux"))]
+            {
+                Poller::with_backend(BackendKind::Poll)
+            }
+        }
+    }
+
+    /// Opens a poller with an explicit backend (tests exercise both on
+    /// Linux). Requesting [`BackendKind::Epoll`] off Linux returns
+    /// `Unsupported`.
+    pub fn with_backend(kind: BackendKind) -> io::Result<Poller> {
+        match kind {
+            BackendKind::Poll => Ok(Poller {
+                backend: Backend::Poll {
+                    regs: HashMap::new(),
+                },
+                #[cfg(target_os = "linux")]
+                ep_buf: Vec::new(),
+            }),
+            #[cfg(target_os = "linux")]
+            BackendKind::Epoll => {
+                #[allow(unsafe_code)]
+                let epfd = cvt(unsafe { ffi::epoll_create1(ffi::EPOLL_CLOEXEC) })?;
+                Ok(Poller {
+                    backend: Backend::Epoll { epfd },
+                    ep_buf: vec![ffi::epoll_event { events: 0, data: 0 }; MAX_EVENTS],
+                })
+            }
+            #[cfg(not(target_os = "linux"))]
+            BackendKind::Epoll => Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "epoll backend requires Linux",
+            )),
+        }
+    }
+
+    /// Which backend this poller runs on.
+    pub fn backend(&self) -> BackendKind {
+        match self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll { .. } => BackendKind::Epoll,
+            Backend::Poll { .. } => BackendKind::Poll,
+        }
+    }
+
+    /// Registers `fd` for `interest`, tagging events with `token`.
+    /// The caller keeps ownership of the fd and must keep it open until
+    /// [`deregister`](Poller::deregister) or drop of the poller.
+    pub fn register(&mut self, fd: RawFd, token: usize, interest: Interest) -> io::Result<()> {
+        match &mut self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll { epfd } => ep_ctl(*epfd, ffi::EPOLL_CTL_ADD, fd, token, interest),
+            Backend::Poll { regs } => {
+                regs.insert(fd, PollReg { token, interest });
+                Ok(())
+            }
+        }
+    }
+
+    /// Updates `interest`/`token` for an already registered fd. On the
+    /// epoll backend this also re-arms edge delivery if the condition
+    /// currently holds.
+    pub fn modify(&mut self, fd: RawFd, token: usize, interest: Interest) -> io::Result<()> {
+        match &mut self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll { epfd } => ep_ctl(*epfd, ffi::EPOLL_CTL_MOD, fd, token, interest),
+            Backend::Poll { regs } => {
+                regs.insert(fd, PollReg { token, interest });
+                Ok(())
+            }
+        }
+    }
+
+    /// Removes a registration. Safe to call for fds that were never
+    /// registered (reports the OS error on epoll, no-op on poll).
+    pub fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+        match &mut self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll { epfd } => {
+                let mut ev = ffi::epoll_event { events: 0, data: 0 };
+                #[allow(unsafe_code)]
+                cvt(unsafe { ffi::epoll_ctl(*epfd, ffi::EPOLL_CTL_DEL, fd, &mut ev) })?;
+                Ok(())
+            }
+            Backend::Poll { regs } => {
+                regs.remove(&fd);
+                Ok(())
+            }
+        }
+    }
+
+    /// Blocks until at least one event arrives or the timeout elapses,
+    /// appending translated events to `events` (which is cleared first).
+    /// A signal interruption (`EINTR`) returns `Ok` with zero events so
+    /// callers just loop.
+    pub fn wait(&mut self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+        events.clear();
+        let ms = timeout_millis(timeout);
+        match &mut self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll { epfd } => {
+                let buf = &mut self.ep_buf;
+                #[allow(unsafe_code)]
+                let n = unsafe { ffi::epoll_wait(*epfd, buf.as_mut_ptr(), buf.len() as i32, ms) };
+                let n = match cvt(n) {
+                    Ok(n) => n as usize,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => 0,
+                    Err(e) => return Err(e),
+                };
+                for raw in buf.iter().take(n) {
+                    let mask = { raw.events };
+                    let token = { raw.data } as usize;
+                    events.push(Event {
+                        token,
+                        readable: mask & (ffi::EPOLLIN | ffi::EPOLLRDHUP | ffi::EPOLLHUP) != 0,
+                        writable: mask & ffi::EPOLLOUT != 0,
+                        hangup: mask & (ffi::EPOLLHUP | ffi::EPOLLRDHUP) != 0,
+                        error: mask & ffi::EPOLLERR != 0,
+                    });
+                }
+                Ok(())
+            }
+            Backend::Poll { regs } => {
+                let mut fds: Vec<ffi::pollfd> = regs
+                    .iter()
+                    .map(|(&fd, reg)| ffi::pollfd {
+                        fd,
+                        events: (if reg.interest.read { ffi::POLLIN } else { 0 })
+                            | (if reg.interest.write { ffi::POLLOUT } else { 0 }),
+                        revents: 0,
+                    })
+                    .collect();
+                #[allow(unsafe_code)]
+                let n = unsafe { ffi::poll(fds.as_mut_ptr(), fds.len() as u64, ms) };
+                match cvt(n) {
+                    Ok(_) => {}
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => return Ok(()),
+                    Err(e) => return Err(e),
+                }
+                for pfd in &fds {
+                    if pfd.revents == 0 {
+                        continue;
+                    }
+                    let Some(reg) = regs.get(&pfd.fd) else {
+                        continue;
+                    };
+                    events.push(Event {
+                        token: reg.token,
+                        readable: pfd.revents & (ffi::POLLIN | ffi::POLLHUP) != 0,
+                        writable: pfd.revents & ffi::POLLOUT != 0,
+                        hangup: pfd.revents & ffi::POLLHUP != 0,
+                        error: pfd.revents & ffi::POLLERR != 0,
+                    });
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(target_os = "linux")]
+fn ep_ctl(epfd: RawFd, op: i32, fd: RawFd, token: usize, interest: Interest) -> io::Result<()> {
+    let mut mask = ffi::EPOLLET | ffi::EPOLLRDHUP;
+    if interest.read {
+        mask |= ffi::EPOLLIN;
+    }
+    if interest.write {
+        mask |= ffi::EPOLLOUT;
+    }
+    let mut ev = ffi::epoll_event {
+        events: mask,
+        data: token as u64,
+    };
+    #[allow(unsafe_code)]
+    cvt(unsafe { ffi::epoll_ctl(epfd, op, fd, &mut ev) })?;
+    Ok(())
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        #[cfg(target_os = "linux")]
+        if let Backend::Epoll { epfd } = self.backend {
+            #[allow(unsafe_code)]
+            unsafe {
+                ffi::close(epfd)
+            };
+        }
+    }
+}
+
+impl std::fmt::Debug for Poller {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Poller")
+            .field("backend", &self.backend().name())
+            .finish()
+    }
+}
+
+/// Cross-thread wakeup channel: a non-blocking pipe whose read end is
+/// registered in the poller. Any thread may call [`wake`](Waker::wake);
+/// the reactor drains pending tokens with [`drain`](Waker::drain) when
+/// its wait returns with the waker's token.
+pub struct Waker {
+    read_fd: RawFd,
+    write_fd: RawFd,
+}
+
+impl Waker {
+    /// Creates the pipe and registers its read end under `token`.
+    pub fn new(poller: &mut Poller, token: usize) -> io::Result<Waker> {
+        let mut fds = [0i32; 2];
+        #[cfg(target_os = "linux")]
+        {
+            #[allow(unsafe_code)]
+            cvt(unsafe { ffi::pipe2(fds.as_mut_ptr(), ffi::O_NONBLOCK | ffi::O_CLOEXEC) })?;
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            const F_SETFL: i32 = 4;
+            #[allow(unsafe_code)]
+            cvt(unsafe { ffi::pipe(fds.as_mut_ptr()) })?;
+            for fd in fds {
+                #[allow(unsafe_code)]
+                cvt(unsafe { ffi::fcntl(fd, F_SETFL, ffi::O_NONBLOCK) })?;
+            }
+        }
+        let waker = Waker {
+            read_fd: fds[0],
+            write_fd: fds[1],
+        };
+        poller.register(waker.read_fd, token, Interest::READ)?;
+        Ok(waker)
+    }
+
+    /// Makes the poller's next (or current) wait return. Never blocks: if
+    /// the pipe is already full the pending byte already guarantees a
+    /// wakeup, so the error is ignored.
+    pub fn wake(&self) {
+        let byte = [1u8];
+        #[allow(unsafe_code)]
+        unsafe {
+            ffi::write(self.write_fd, byte.as_ptr().cast(), 1)
+        };
+    }
+
+    /// Empties the pipe so the next wait blocks again. Call whenever the
+    /// waker's token shows up in an event. Returns how many bytes were
+    /// pending (0 is fine: wakeups may coalesce).
+    pub fn drain(&self) -> usize {
+        let mut total = 0usize;
+        let mut buf = [0u8; 64];
+        loop {
+            #[allow(unsafe_code)]
+            let r = unsafe { ffi::read(self.read_fd, buf.as_mut_ptr().cast(), buf.len()) };
+            match cvt_len(r) {
+                Ok(0) => break,
+                Ok(n) => total += n,
+                Err(_) => break,
+            }
+        }
+        total
+    }
+}
+
+// The pipe fds are only written (wake) or read (drain), both of which are
+// atomic syscalls on O_NONBLOCK pipes — safe from any thread.
+#[allow(unsafe_code)]
+unsafe impl Send for Waker {}
+#[allow(unsafe_code)]
+unsafe impl Sync for Waker {}
+
+impl Drop for Waker {
+    fn drop(&mut self) {
+        #[allow(unsafe_code)]
+        unsafe {
+            ffi::close(self.write_fd);
+            ffi::close(self.read_fd);
+        }
+    }
+}
+
+impl std::fmt::Debug for Waker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Waker").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read as _, Write as _};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::unix::io::AsRawFd;
+
+    #[test]
+    fn timeout_rounds_up_and_clamps() {
+        assert_eq!(timeout_millis(None), -1);
+        assert_eq!(timeout_millis(Some(Duration::ZERO)), 0);
+        assert_eq!(timeout_millis(Some(Duration::from_micros(1))), 1);
+        assert_eq!(timeout_millis(Some(Duration::from_millis(250))), 250);
+        assert_eq!(timeout_millis(Some(Duration::from_secs(1 << 40))), i32::MAX);
+    }
+
+    fn kinds() -> Vec<BackendKind> {
+        let mut v = vec![BackendKind::Poll];
+        if cfg!(target_os = "linux") {
+            v.push(BackendKind::Epoll);
+        }
+        v
+    }
+
+    #[test]
+    fn readable_socket_fires_event_on_all_backends() {
+        for kind in kinds() {
+            let mut poller = Poller::with_backend(kind).expect("poller");
+            assert_eq!(poller.backend(), kind);
+
+            let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+            let addr = listener.local_addr().expect("addr");
+            let mut client = TcpStream::connect(addr).expect("connect");
+            let (server, _) = listener.accept().expect("accept");
+            server.set_nonblocking(true).expect("nonblock");
+
+            poller
+                .register(server.as_raw_fd(), 7, Interest::READ)
+                .expect("register");
+
+            let mut events = Vec::new();
+            // Nothing readable yet.
+            poller
+                .wait(&mut events, Some(Duration::from_millis(10)))
+                .expect("wait");
+            assert!(events.iter().all(|e| e.token != 7 || !e.readable));
+
+            client.write_all(b"ping").expect("write");
+            poller
+                .wait(&mut events, Some(Duration::from_secs(5)))
+                .expect("wait");
+            let ev = events.iter().find(|e| e.token == 7).expect("event");
+            assert!(ev.readable);
+
+            let mut sink = [0u8; 8];
+            let mut s = &server;
+            let n = s.read(&mut sink).expect("read");
+            assert_eq!(&sink[..n], b"ping");
+
+            poller.deregister(server.as_raw_fd()).expect("deregister");
+        }
+    }
+
+    #[test]
+    fn socket_buffers_can_be_tuned() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let client = TcpStream::connect(listener.local_addr().expect("addr")).expect("connect");
+        set_socket_buffers(client.as_raw_fd(), 1 << 20, 1 << 20).expect("setsockopt");
+        // A bad fd reports the OS error instead of panicking.
+        assert!(set_socket_buffers(-1, 4096, 4096).is_err());
+    }
+
+    #[test]
+    fn hangup_is_reported() {
+        for kind in kinds() {
+            let mut poller = Poller::with_backend(kind).expect("poller");
+            let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+            let addr = listener.local_addr().expect("addr");
+            let client = TcpStream::connect(addr).expect("connect");
+            let (server, _) = listener.accept().expect("accept");
+            server.set_nonblocking(true).expect("nonblock");
+            poller
+                .register(server.as_raw_fd(), 3, Interest::READ)
+                .expect("register");
+
+            drop(client);
+            let mut events = Vec::new();
+            poller
+                .wait(&mut events, Some(Duration::from_secs(5)))
+                .expect("wait");
+            let ev = events.iter().find(|e| e.token == 3).expect("event");
+            // EOF must at least look readable (read returns 0); most
+            // platforms also flag hangup.
+            assert!(ev.readable || ev.hangup);
+        }
+    }
+
+    #[test]
+    fn waker_wakes_a_parked_wait_from_another_thread() {
+        for kind in kinds() {
+            let mut poller = Poller::with_backend(kind).expect("poller");
+            let waker = std::sync::Arc::new(Waker::new(&mut poller, 0).expect("waker"));
+            let w2 = std::sync::Arc::clone(&waker);
+            let t = std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(50));
+                w2.wake();
+            });
+            let mut events = Vec::new();
+            let start = std::time::Instant::now();
+            poller
+                .wait(&mut events, Some(Duration::from_secs(10)))
+                .expect("wait");
+            assert!(start.elapsed() < Duration::from_secs(9), "woke early");
+            assert!(events.iter().any(|e| e.token == 0 && e.readable));
+            assert!(waker.drain() >= 1);
+            // Drained: next wait times out quietly.
+            poller
+                .wait(&mut events, Some(Duration::from_millis(5)))
+                .expect("wait");
+            assert!(events.iter().all(|e| e.token != 0));
+            t.join().expect("join");
+        }
+    }
+
+    #[test]
+    fn write_interest_toggles() {
+        for kind in kinds() {
+            let mut poller = Poller::with_backend(kind).expect("poller");
+            let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+            let addr = listener.local_addr().expect("addr");
+            let client = TcpStream::connect(addr).expect("connect");
+            let (_server, _) = listener.accept().expect("accept");
+            client.set_nonblocking(true).expect("nonblock");
+
+            poller
+                .register(client.as_raw_fd(), 11, Interest::BOTH)
+                .expect("register");
+            let mut events = Vec::new();
+            poller
+                .wait(&mut events, Some(Duration::from_secs(5)))
+                .expect("wait");
+            assert!(events.iter().any(|e| e.token == 11 && e.writable));
+
+            // Drop write interest: an idle socket generates no events.
+            poller
+                .modify(client.as_raw_fd(), 11, Interest::READ)
+                .expect("modify");
+            poller
+                .wait(&mut events, Some(Duration::from_millis(20)))
+                .expect("wait");
+            assert!(events.iter().all(|e| e.token != 11 || !e.writable));
+        }
+    }
+}
