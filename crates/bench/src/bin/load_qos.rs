@@ -1,0 +1,665 @@
+//! Open-loop load harness for the `SapServer` QoS gang scheduler,
+//! captured into `BENCH_load.json`.
+//!
+//! Four main arms, all at **equal offered load** (the same precomputed
+//! arrival schedule per arrival model, replayed against both policies):
+//!
+//! * `{fifo,qos} × {poisson,bursty}` — thousands of short sessions
+//!   (80% interactive / 20% batch, batch sessions ~6× heavier) submitted
+//!   open-loop (at their scheduled arrival instants, regardless of
+//!   completions) against one in-memory [`SapServer`] whose pool fits
+//!   exactly one gang — the clean single-server queue. The generator
+//!   reports exact per-class end-to-end p50/p90/p99/p999 from raw
+//!   samples, plus the server's own per-class queue-wait/service
+//!   histograms and scheduler counters.
+//!
+//! The arrival rate is **calibrated at runtime**: a serial warmup
+//! measures per-class service times, and λ is set for a target
+//! utilization of the mixed workload — so the offered load tracks the
+//! machine instead of hard-coding one box's timings.
+//!
+//! A separate **shed probe** pressures deadline-aware admission: a long
+//! batch blocker occupies the pool while sessions with tiny budgets
+//! queue behind it. Under QoS they are shed at admission
+//! (`AdmissionShed`, no role ever runs); under FIFO they are admitted
+//! anyway and burn gang slots on guaranteed `DeadlineExceeded` failures.
+//!
+//! Headline + CI gates (exit non-zero on violation):
+//!
+//! * interactive p99 under QoS ≤ the FIFO baseline at equal offered load
+//!   (both arrival models);
+//! * FIFO arms never shed (`sessions_shed == 0`), and the generous-budget
+//!   QoS main arms shed nothing either (shed-rate sanity: shedding
+//!   requires a provably unmeetable budget);
+//! * the QoS shed probe sheds, the FIFO probe does not.
+//!
+//! ```text
+//! cargo run -p sap-bench --release --bin load_qos -- [--scale quick|full] [out.json]
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+use sap_bench::stats::{summarize, Summary};
+use sap_core::runtime::{QosClass, SchedPolicy, SchedulerConfig};
+use sap_core::session::SapConfig;
+use sap_core::SapError;
+use sap_datasets::partition::{partition, PartitionScheme};
+use sap_datasets::Dataset;
+use sap_linalg::randn_matrix;
+use sap_net::transport::Endpoint;
+use sap_net::SessionId;
+use sap_server::{SapServer, ServerConfig, ServerError, ServerMetrics};
+use std::time::{Duration, Instant};
+
+const PROVIDERS: usize = 3;
+const INTERACTIVE_SHARE: f64 = 0.8;
+const UTILIZATION: f64 = 0.85;
+
+struct Scale {
+    name: &'static str,
+    /// Sessions per arrival schedule (each schedule runs twice: FIFO+QoS).
+    sessions: usize,
+    interactive_records: usize,
+    batch_records: usize,
+    dim: usize,
+    calibration_runs: usize,
+    probe_sessions: usize,
+}
+
+const QUICK: Scale = Scale {
+    name: "quick",
+    sessions: 160,
+    interactive_records: 72,
+    batch_records: 2_400,
+    dim: 6,
+    calibration_runs: 4,
+    probe_sessions: 12,
+};
+
+const FULL: Scale = Scale {
+    name: "full",
+    sessions: 1_000,
+    interactive_records: 72,
+    batch_records: 2_400,
+    dim: 6,
+    calibration_runs: 8,
+    probe_sessions: 24,
+};
+
+#[derive(Clone, Copy)]
+struct Arrival {
+    at: Duration,
+    class: QosClass,
+    seed: u64,
+}
+
+fn records_of(scale: &Scale, class: QosClass) -> usize {
+    match class {
+        QosClass::Interactive => scale.interactive_records,
+        QosClass::Batch => scale.batch_records,
+    }
+}
+
+fn gen_locals(scale: &Scale, class: QosClass, seed: u64) -> Vec<Dataset> {
+    let records = records_of(scale, class);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let m = randn_matrix(scale.dim, records, &mut rng);
+    let labels = (0..records).map(|i| i % 2).collect();
+    let pooled = Dataset::from_column_matrix(&m, labels, 2);
+    partition(&pooled, PROVIDERS, PartitionScheme::Uniform, seed ^ 0x77)
+}
+
+fn session_config(class: QosClass, seed: u64, budget: Duration) -> SapConfig {
+    let mut cfg = SapConfig {
+        seed,
+        qos: class,
+        session_budget: budget,
+        timeout: Duration::from_secs(60),
+        ..SapConfig::quick_test()
+    };
+    if class == QosClass::Batch {
+        // Batch sessions are the heavy tail: a bigger optimizer sweep on
+        // a bigger dataset, so one batch gang occupying the pool is a
+        // real head-of-line block for the interactive sessions behind it.
+        cfg.optimizer.candidates = 16;
+        cfg.optimizer.eval_sample = 600;
+    }
+    cfg
+}
+
+fn server(scale: &Scale, policy: SchedPolicy) -> SapServer<Endpoint> {
+    SapServer::in_memory(ServerConfig {
+        max_parties: PROVIDERS,
+        // Server-level admission must never be the bottleneck here: the
+        // experiment's queue is the pool's gang queue.
+        max_concurrent: scale.sessions + scale.probe_sessions + 8,
+        max_queued: scale.sessions + scale.probe_sessions + 8,
+        // Pool fits exactly one gang: the clean single-server queue.
+        worker_threads: PROVIDERS + 1,
+        heartbeat_interval: Duration::ZERO,
+        reap_after: Duration::from_secs(3600),
+        max_session_age: Duration::from_secs(3600),
+        scheduler: SchedulerConfig {
+            policy,
+            ..SchedulerConfig::default()
+        },
+        ..ServerConfig::default()
+    })
+    .expect("in-memory server")
+}
+
+/// Serial warmup: mean service time per class on an idle server.
+fn calibrate(scale: &Scale) -> (f64, f64) {
+    let srv = server(scale, SchedPolicy::Qos);
+    let mut per_class = [0.0f64; 2];
+    for (slot, class) in [QosClass::Interactive, QosClass::Batch]
+        .into_iter()
+        .enumerate()
+    {
+        let mut total = 0.0;
+        for i in 0..scale.calibration_runs {
+            let seed = 0xCA11 + (slot * 100 + i) as u64;
+            let start = Instant::now();
+            let id = srv
+                .submit(
+                    gen_locals(scale, class, seed),
+                    &session_config(class, seed, Duration::from_secs(60)),
+                )
+                .expect("calibration submit");
+            srv.wait(id, Some(Duration::from_secs(60)))
+                .expect("calibration session");
+            total += start.elapsed().as_secs_f64();
+        }
+        per_class[slot] = total / scale.calibration_runs as f64;
+    }
+    (per_class[0], per_class[1])
+}
+
+/// The arrival schedule of one arrival model — shared verbatim by the
+/// FIFO and QoS runs of that model (equal offered load by construction).
+fn schedule(scale: &Scale, bursty: bool, lambda: f64, seed: u64) -> Vec<Arrival> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut arrivals = Vec::with_capacity(scale.sessions);
+    let mut t = 0.0f64;
+    // Bursty: groups of 8 arrive together, gaps scaled to the same mean
+    // rate — identical offered load, spikier queue.
+    let burst = if bursty { 8 } else { 1 };
+    let mut in_burst = 0;
+    for i in 0..scale.sessions {
+        if in_burst == 0 {
+            let u: f64 = rng.next_f64();
+            t += -(1.0 - u).ln() / lambda * burst as f64;
+            in_burst = burst;
+        }
+        in_burst -= 1;
+        let class = if rng.random_bool(1.0 - INTERACTIVE_SHARE) {
+            QosClass::Batch
+        } else {
+            QosClass::Interactive
+        };
+        arrivals.push(Arrival {
+            at: Duration::from_secs_f64(t),
+            class,
+            seed: 0x10AD ^ (i as u64) << 4,
+        });
+    }
+    arrivals
+}
+
+struct ClassResult {
+    e2e: Summary,
+    completed: usize,
+    shed: usize,
+    errors: usize,
+}
+
+struct ArmResult {
+    interactive: ClassResult,
+    batch: ClassResult,
+    duration_s: f64,
+    metrics: ServerMetrics,
+}
+
+/// Replays one arrival schedule against one policy, open-loop: sessions
+/// are submitted at their scheduled instants no matter how far behind
+/// the server is, and completions are observed by polling so a slow
+/// session never delays the measurement of a fast one.
+fn run_arm(
+    scale: &Scale,
+    policy: SchedPolicy,
+    arrivals: &[Arrival],
+    budget: Duration,
+) -> ArmResult {
+    let srv = server(scale, policy);
+    // Pre-generate every session's inputs so the submitter stays on
+    // schedule (dataset generation is off the clock).
+    let prepared: Vec<(Vec<Dataset>, SapConfig)> = arrivals
+        .iter()
+        .map(|a| {
+            (
+                gen_locals(scale, a.class, a.seed),
+                session_config(a.class, a.seed, budget),
+            )
+        })
+        .collect();
+
+    struct Outstanding {
+        id: SessionId,
+        class: QosClass,
+        scheduled: Instant,
+    }
+    let mut samples: [Vec<f64>; 2] = [Vec::new(), Vec::new()];
+    let mut shed = [0usize; 2];
+    let mut errors = [0usize; 2];
+    let mut completed = [0usize; 2];
+
+    let start = Instant::now();
+    let (tx, rx) = std::sync::mpsc::channel::<Outstanding>();
+    let wall = std::thread::scope(|scope| {
+        let srv = &srv;
+        scope.spawn(move || {
+            for (arrival, (locals, cfg)) in arrivals.iter().zip(prepared) {
+                let scheduled = start + arrival.at;
+                if let Some(wait) = scheduled.checked_duration_since(Instant::now()) {
+                    std::thread::sleep(wait);
+                }
+                let id = srv.submit(locals, &cfg).expect("open-loop submit");
+                tx.send(Outstanding {
+                    id,
+                    class: arrival.class,
+                    scheduled,
+                })
+                .expect("collector alive");
+            }
+            // Dropping tx tells the collector the schedule is exhausted.
+        });
+
+        let mut outstanding: Vec<Outstanding> = Vec::new();
+        let mut submitter_done = false;
+        loop {
+            // Drain newly submitted sessions without blocking the poll
+            // cadence.
+            loop {
+                match rx.try_recv() {
+                    Ok(o) => outstanding.push(o),
+                    Err(std::sync::mpsc::TryRecvError::Empty) => break,
+                    Err(std::sync::mpsc::TryRecvError::Disconnected) => {
+                        submitter_done = true;
+                        break;
+                    }
+                }
+            }
+            let mut i = 0;
+            while i < outstanding.len() {
+                let status = srv.poll(outstanding[i].id).expect("registered session");
+                if matches!(status, sap_core::SessionStatus::Running { .. }) {
+                    i += 1;
+                    continue;
+                }
+                let done = outstanding.swap_remove(i);
+                let latency = done.scheduled.elapsed().as_secs_f64();
+                let slot = done.class.index();
+                match srv.wait(done.id, Some(Duration::from_secs(10))) {
+                    Ok(_) => {
+                        completed[slot] += 1;
+                        samples[slot].push(latency);
+                    }
+                    Err(ServerError::Session(SapError::AdmissionShed { .. })) => {
+                        shed[slot] += 1;
+                    }
+                    Err(_) => {
+                        errors[slot] += 1;
+                    }
+                }
+            }
+            if submitter_done && outstanding.is_empty() {
+                break;
+            }
+            std::thread::sleep(Duration::from_micros(500));
+        }
+        start.elapsed().as_secs_f64()
+    });
+
+    let metrics = srv.metrics();
+    let class_result = |slot: usize| ClassResult {
+        e2e: summarize(&samples[slot]),
+        completed: completed[slot],
+        shed: shed[slot],
+        errors: errors[slot],
+    };
+    ArmResult {
+        interactive: class_result(0),
+        batch: class_result(1),
+        duration_s: wall,
+        metrics,
+    }
+}
+
+struct ProbeResult {
+    shed: usize,
+    completed: usize,
+    failed: usize,
+    duration_s: f64,
+}
+
+/// Deadline-shed pressure test: a long batch blocker holds the pool
+/// while `probe_sessions` tiny-budget sessions queue behind it.
+fn run_probe(scale: &Scale, policy: SchedPolicy) -> ProbeResult {
+    let srv = server(scale, policy);
+    let start = Instant::now();
+    let blocker_seed = 0xB10C;
+    let blocker = srv
+        .submit(
+            gen_locals(scale, QosClass::Batch, blocker_seed),
+            &session_config(QosClass::Batch, blocker_seed, Duration::from_secs(60)),
+        )
+        .expect("probe blocker");
+    // Give the blocker time to be admitted; the probes' budgets expire
+    // while it still occupies every worker.
+    std::thread::sleep(Duration::from_millis(10));
+    let ids: Vec<SessionId> = (0..scale.probe_sessions)
+        .map(|i| {
+            let seed = 0x9808 + i as u64;
+            srv.submit(
+                gen_locals(scale, QosClass::Interactive, seed),
+                &session_config(QosClass::Interactive, seed, Duration::from_millis(5)),
+            )
+            .expect("probe submit")
+        })
+        .collect();
+    srv.wait(blocker, Some(Duration::from_secs(60)))
+        .expect("probe blocker completes");
+    let (mut shed, mut completed, mut failed) = (0usize, 0usize, 0usize);
+    for id in ids {
+        match srv.wait(id, Some(Duration::from_secs(60))) {
+            Ok(_) => completed += 1,
+            Err(ServerError::Session(SapError::AdmissionShed { .. })) => shed += 1,
+            Err(_) => failed += 1,
+        }
+    }
+    ProbeResult {
+        shed,
+        completed,
+        failed,
+        duration_s: start.elapsed().as_secs_f64(),
+    }
+}
+
+fn class_json(label: &str, r: &ClassResult, wait_p99_s: f64, service_p50_s: f64) -> String {
+    format!(
+        concat!(
+            "      \"{}\": {{\n",
+            "        \"completed\": {},\n",
+            "        \"shed\": {},\n",
+            "        \"errors\": {},\n",
+            "        \"e2e_mean_s\": {:.6},\n",
+            "        \"e2e_p50_s\": {:.6},\n",
+            "        \"e2e_p90_s\": {:.6},\n",
+            "        \"e2e_p99_s\": {:.6},\n",
+            "        \"e2e_p999_s\": {:.6},\n",
+            "        \"e2e_max_s\": {:.6},\n",
+            "        \"queue_wait_p99_s\": {:.6},\n",
+            "        \"service_p50_s\": {:.6}\n",
+            "      }}"
+        ),
+        label,
+        r.completed,
+        r.shed,
+        r.errors,
+        r.e2e.mean,
+        r.e2e.p50,
+        r.e2e.p90,
+        r.e2e.p99,
+        r.e2e.p999,
+        r.e2e.max,
+        wait_p99_s,
+        service_p50_s,
+    )
+}
+
+fn arm_json(name: &str, arm: &ArmResult, lambda: f64) -> String {
+    let hist = &arm.metrics.latency_histogram;
+    format!(
+        concat!(
+            "    \"{}\": {{\n",
+            "      \"offered_lambda_per_s\": {:.3},\n",
+            "      \"duration_s\": {:.3},\n",
+            "      \"gangs_promoted\": {},\n",
+            "      \"task_steals\": {},\n",
+            "      \"sessions_shed\": {},\n",
+            "{},\n",
+            "{}\n",
+            "    }}"
+        ),
+        name,
+        lambda,
+        arm.duration_s,
+        arm.metrics.gangs_promoted,
+        arm.metrics.task_steals,
+        arm.metrics.sessions_shed,
+        class_json(
+            "interactive",
+            &arm.interactive,
+            hist.interactive.queue_wait.p99().as_secs_f64(),
+            hist.interactive.service.p50().as_secs_f64(),
+        ),
+        class_json(
+            "batch",
+            &arm.batch,
+            hist.batch.queue_wait.p99().as_secs_f64(),
+            hist.batch.service.p50().as_secs_f64(),
+        ),
+    )
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_load.json");
+    let mut scale = &QUICK;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = args.next().unwrap_or_default();
+                scale = match v.as_str() {
+                    "quick" => &QUICK,
+                    "full" => &FULL,
+                    other => {
+                        eprintln!("unknown scale '{other}' (quick|full)");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            path => out_path = path.to_string(),
+        }
+    }
+
+    println!(
+        "load_qos [{}]: {} sessions/arm × 4 arms, {}/{} interactive/batch records, {} providers",
+        scale.name, scale.sessions, scale.interactive_records, scale.batch_records, PROVIDERS,
+    );
+
+    let (service_i, service_b) = calibrate(scale);
+    let mixed = INTERACTIVE_SHARE * service_i + (1.0 - INTERACTIVE_SHARE) * service_b;
+    let lambda = UTILIZATION / mixed;
+    // Generous budget for the main arms: nothing should shed — the
+    // measured contrast is pure scheduling, and shed-rate sanity (QoS
+    // sheds only provably unmeetable budgets) is a gate below.
+    let budget = Duration::from_secs(120);
+    println!(
+        "  calibration: interactive {:.1}ms, batch {:.1}ms, mixed {:.1}ms -> lambda {lambda:.1}/s (target utilization {UTILIZATION})",
+        service_i * 1e3,
+        service_b * 1e3,
+        mixed * 1e3
+    );
+
+    let poisson = schedule(scale, false, lambda, 0x5EED_0001);
+    let bursty = schedule(scale, true, lambda, 0x5EED_0002);
+
+    let mut arms: Vec<(&str, ArmResult)> = Vec::new();
+    for (model, arrivals) in [("poisson", &poisson), ("bursty", &bursty)] {
+        for policy in [SchedPolicy::Fifo, SchedPolicy::Qos] {
+            let tag = match policy {
+                SchedPolicy::Fifo => "fifo",
+                SchedPolicy::Qos => "qos",
+            };
+            let arm = run_arm(scale, policy, arrivals, budget);
+            println!(
+                "  {tag}_{model}: {:.1}s wall, interactive p50 {:.1}ms p99 {:.1}ms | batch p99 {:.1}ms | shed {} errors {}",
+                arm.duration_s,
+                arm.interactive.e2e.p50 * 1e3,
+                arm.interactive.e2e.p99 * 1e3,
+                arm.batch.e2e.p99 * 1e3,
+                arm.metrics.sessions_shed,
+                arm.interactive.errors + arm.batch.errors,
+            );
+            arms.push((
+                match (tag, model) {
+                    ("fifo", "poisson") => "fifo_poisson",
+                    ("qos", "poisson") => "qos_poisson",
+                    ("fifo", "bursty") => "fifo_bursty",
+                    _ => "qos_bursty",
+                },
+                arm,
+            ));
+        }
+    }
+
+    let probe_qos = run_probe(scale, SchedPolicy::Qos);
+    let probe_fifo = run_probe(scale, SchedPolicy::Fifo);
+    println!(
+        "  shed probe: qos shed {}/{} in {:.2}s | fifo shed {} (deadline-failed {}) in {:.2}s",
+        probe_qos.shed,
+        scale.probe_sessions,
+        probe_qos.duration_s,
+        probe_fifo.shed,
+        probe_fifo.failed,
+        probe_fifo.duration_s,
+    );
+
+    let arm_of = |name: &str| &arms.iter().find(|(n, _)| *n == name).expect("arm ran").1;
+    let headline: Vec<(&str, f64, f64)> = vec![
+        (
+            "poisson",
+            arm_of("fifo_poisson").interactive.e2e.p99,
+            arm_of("qos_poisson").interactive.e2e.p99,
+        ),
+        (
+            "bursty",
+            arm_of("fifo_bursty").interactive.e2e.p99,
+            arm_of("qos_bursty").interactive.e2e.p99,
+        ),
+    ];
+    for (model, fifo_p99, qos_p99) in &headline {
+        println!(
+            "  headline [{model}]: interactive p99 fifo {:.1}ms -> qos {:.1}ms ({:.2}x)",
+            fifo_p99 * 1e3,
+            qos_p99 * 1e3,
+            fifo_p99 / qos_p99.max(1e-9),
+        );
+    }
+
+    let arm_sections: Vec<String> = arms
+        .iter()
+        .map(|(name, arm)| arm_json(name, arm, lambda))
+        .collect();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"load_qos\",\n",
+            "  \"scale\": \"{}\",\n",
+            "  \"sessions_per_arm\": {},\n",
+            "  \"providers_per_session\": {},\n",
+            "  \"interactive_share\": {},\n",
+            "  \"utilization_target\": {},\n",
+            "  \"interactive_records\": {},\n",
+            "  \"batch_records\": {},\n",
+            "  \"calibration\": {{\n",
+            "    \"interactive_service_mean_s\": {:.6},\n",
+            "    \"batch_service_mean_s\": {:.6},\n",
+            "    \"offered_lambda_per_s\": {:.3}\n",
+            "  }},\n",
+            "  \"arms\": {{\n",
+            "{}\n",
+            "  }},\n",
+            "  \"shed_probe\": {{\n",
+            "    \"probe_sessions\": {},\n",
+            "    \"qos\": {{ \"shed\": {}, \"completed\": {}, \"failed\": {}, \"duration_s\": {:.3} }},\n",
+            "    \"fifo\": {{ \"shed\": {}, \"completed\": {}, \"failed\": {}, \"duration_s\": {:.3} }}\n",
+            "  }},\n",
+            "  \"headline\": {{\n",
+            "    \"fifo_interactive_p99_s\": {:.6},\n",
+            "    \"qos_interactive_p99_s\": {:.6},\n",
+            "    \"improvement\": {:.3}\n",
+            "  }},\n",
+            "  \"note\": \"open-loop arrivals, identical schedules per arrival model across policies (equal offered load); e2e latency is scheduled-arrival to completion from raw samples; queue-wait/service quantiles come from the server's log-scale histograms; the shed probe pressures deadline-aware admission with provably unmeetable budgets\"\n",
+            "}}\n"
+        ),
+        scale.name,
+        scale.sessions,
+        PROVIDERS,
+        INTERACTIVE_SHARE,
+        UTILIZATION,
+        scale.interactive_records,
+        scale.batch_records,
+        service_i,
+        service_b,
+        lambda,
+        arm_sections.join(",\n"),
+        scale.probe_sessions,
+        probe_qos.shed,
+        probe_qos.completed,
+        probe_qos.failed,
+        probe_qos.duration_s,
+        probe_fifo.shed,
+        probe_fifo.completed,
+        probe_fifo.failed,
+        probe_fifo.duration_s,
+        headline[0].1,
+        headline[0].2,
+        headline[0].1 / headline[0].2.max(1e-9),
+    );
+    std::fs::write(&out_path, json).expect("write BENCH_load.json");
+    println!("  wrote {out_path}");
+
+    // CI gates.
+    let mut failed = false;
+    for (model, fifo_p99, qos_p99) in &headline {
+        if qos_p99 > fifo_p99 {
+            eprintln!(
+                "FAIL [{model}]: QoS interactive p99 {:.1}ms above the FIFO baseline {:.1}ms at equal offered load",
+                qos_p99 * 1e3,
+                fifo_p99 * 1e3
+            );
+            failed = true;
+        }
+    }
+    for (name, arm) in &arms {
+        if name.starts_with("fifo") && arm.metrics.sessions_shed > 0 {
+            eprintln!("FAIL [{name}]: FIFO policy must never shed");
+            failed = true;
+        }
+        if name.starts_with("qos") && arm.metrics.sessions_shed > 0 {
+            eprintln!(
+                "FAIL [{name}]: QoS shed {} sessions despite generous budgets (shed must require a provably unmeetable budget)",
+                arm.metrics.sessions_shed
+            );
+            failed = true;
+        }
+        let errors = arm.interactive.errors + arm.batch.errors;
+        if errors > 0 {
+            eprintln!("FAIL [{name}]: {errors} sessions errored under clean load");
+            failed = true;
+        }
+    }
+    if probe_qos.shed == 0 {
+        eprintln!("FAIL [probe]: QoS shed nothing under provably unmeetable budgets");
+        failed = true;
+    }
+    if probe_fifo.shed > 0 {
+        eprintln!("FAIL [probe]: FIFO probe shed {} sessions", probe_fifo.shed);
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -28,6 +28,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use sap_bench::stats::{summarize, time};
 use sap_core::session::{run_session_over, SapConfig, MINER_ID};
 use sap_core::SapError;
 use sap_datasets::partition::{partition, PartitionScheme};
@@ -152,15 +153,24 @@ fn main() {
         scale.link_latency
     );
 
-    // Serial baseline: sessions one after another, fresh mesh each.
+    // Serial baseline: sessions one after another, fresh mesh each. Each
+    // session is timed individually so the baseline also yields a
+    // per-session latency distribution.
     let serial_start = Instant::now();
-    for i in 0..scale.sessions {
-        run_serial_session(scale, 0xBE5C + i).expect("serial session");
-    }
+    let serial_samples: Vec<f64> = (0..scale.sessions)
+        .map(|i| {
+            let (result, secs) = time(|| run_serial_session(scale, 0xBE5C + i));
+            result.expect("serial session");
+            secs
+        })
+        .collect();
     let serial_s = serial_start.elapsed().as_secs_f64();
+    let serial_lat = summarize(&serial_samples);
     println!(
-        "  serial:     {serial_s:.3}s  ({:.2} sessions/s)",
-        scale.sessions as f64 / serial_s
+        "  serial:     {serial_s:.3}s  ({:.2} sessions/s, per-session p50 {:.3}s p99 {:.3}s)",
+        scale.sessions as f64 / serial_s,
+        serial_lat.p50,
+        serial_lat.p99
     );
 
     // Concurrent arm: same sessions through one SapServer.
@@ -170,21 +180,21 @@ fn main() {
         ..ServerConfig::default()
     })
     .expect("bind server lanes");
-    let concurrent_start = Instant::now();
-    let ids: Vec<_> = (0..scale.sessions)
-        .map(|i| {
-            server
-                .submit(
-                    session_locals(scale, 0xBE5C + i),
-                    &session_config(scale, 0xBE5C + i),
-                )
-                .expect("admit session")
-        })
-        .collect();
-    for id in ids {
-        server.wait(id, None).expect("concurrent session");
-    }
-    let concurrent_s = concurrent_start.elapsed().as_secs_f64();
+    let (_, concurrent_s) = time(|| {
+        let ids: Vec<_> = (0..scale.sessions)
+            .map(|i| {
+                server
+                    .submit(
+                        session_locals(scale, 0xBE5C + i),
+                        &session_config(scale, 0xBE5C + i),
+                    )
+                    .expect("admit session")
+            })
+            .collect();
+        for id in ids {
+            server.wait(id, None).expect("concurrent session");
+        }
+    });
     let metrics = server.metrics();
     println!(
         "  concurrent: {concurrent_s:.3}s  ({:.2} sessions/s, pool {} workers)",
@@ -211,7 +221,9 @@ fn main() {
             "    \"model\": \"one process = one session: fresh TCP mesh per session, run, teardown\",\n",
             "    \"total_s\": {:.6},\n",
             "    \"sessions_per_s\": {:.3},\n",
-            "    \"rows_per_s\": {:.1}\n",
+            "    \"rows_per_s\": {:.1},\n",
+            "    \"session_p50_s\": {:.6},\n",
+            "    \"session_p99_s\": {:.6}\n",
             "  }},\n",
             "  \"concurrent\": {{\n",
             "    \"model\": \"one SapServer: shared session-muxed TCP lanes + fixed actor pool\",\n",
@@ -240,6 +252,8 @@ fn main() {
         serial_s,
         scale.sessions as f64 / serial_s,
         total_rows as f64 / serial_s,
+        serial_lat.p50,
+        serial_lat.p99,
         concurrent_s,
         scale.sessions as f64 / concurrent_s,
         total_rows as f64 / concurrent_s,

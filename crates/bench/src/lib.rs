@@ -25,6 +25,7 @@ pub mod fig3;
 pub mod fig4;
 pub mod fig5_fig6;
 pub mod report;
+pub mod stats;
 
 /// Shared experiment scale knobs. `quick` keeps everything a few seconds per
 /// figure (CI-friendly); `full` approximates the paper's round counts.

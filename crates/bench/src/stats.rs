@@ -1,0 +1,106 @@
+//! Shared measurement helpers for the bench binaries: wall-clock timing,
+//! nearest-rank percentiles, and sample summaries.
+//!
+//! Every bench bin used to hand-roll its own mean/percentile arithmetic;
+//! this module is the one copy they share (`load_qos`,
+//! `server_throughput`). Percentiles are **nearest-rank on the raw
+//! samples** — exact, unlike the server's fixed-bucket
+//! `LatencyHistogram`, which trades resolution for O(1) recording on the
+//! hot path. Benches hold all samples anyway, so they report the exact
+//! quantiles.
+
+use std::time::Instant;
+
+/// Nearest-rank percentile (`q` in `0.0 ..= 1.0`) of an **ascending
+/// sorted** slice. Zero when empty.
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Five-number-plus summary of a sample set.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Median (nearest rank).
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// 99.9th percentile.
+    pub p999: f64,
+}
+
+/// Summarizes a sample set (any order; zeros when empty).
+pub fn summarize(samples: &[f64]) -> Summary {
+    if samples.is_empty() {
+        return Summary::default();
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    Summary {
+        count: sorted.len(),
+        mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
+        min: sorted[0],
+        max: sorted[sorted.len() - 1],
+        p50: percentile(&sorted, 0.50),
+        p90: percentile(&sorted, 0.90),
+        p99: percentile(&sorted, 0.99),
+        p999: percentile(&sorted, 0.999),
+    }
+}
+
+/// Runs `f`, returning its result and the elapsed wall clock in seconds.
+pub fn time<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let start = Instant::now();
+    let result = f();
+    (result, start.elapsed().as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_matches_nearest_rank() {
+        let sorted: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&sorted, 0.50), 50.0);
+        assert_eq!(percentile(&sorted, 0.99), 99.0);
+        assert_eq!(percentile(&sorted, 1.0), 100.0);
+        assert_eq!(percentile(&sorted, 0.0), 1.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn summarize_is_order_independent_and_monotone() {
+        let mut samples: Vec<f64> = (1..=1000).map(|i| i as f64).collect();
+        samples.reverse();
+        let s = summarize(&samples);
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 1000.0);
+        assert!((s.mean - 500.5).abs() < 1e-9);
+        assert!(s.p50 <= s.p90 && s.p90 <= s.p99 && s.p99 <= s.p999);
+        // Nearest rank: ceil(0.999 * 1000) = 999 → the 999th sample.
+        assert_eq!(s.p999, 999.0);
+        assert!(s.p999 <= s.max);
+    }
+
+    #[test]
+    fn time_measures_nonnegative_wall_clock() {
+        let (value, secs) = time(|| 41 + 1);
+        assert_eq!(value, 42);
+        assert!(secs >= 0.0);
+    }
+}

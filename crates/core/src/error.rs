@@ -4,6 +4,7 @@ use sap_net::node::NodeError;
 use sap_net::PartyId;
 use sap_privacy::optimize::OptimizeError;
 use std::fmt;
+use std::time::Duration;
 
 /// Failures of a SAP session.
 #[derive(Debug)]
@@ -68,6 +69,19 @@ pub enum SapError {
     /// overdue session, or an explicit
     /// [`crate::runtime::SessionHandle::abort`]).
     Aborted,
+    /// Deadline-aware admission shed the session while it was still
+    /// queued: its remaining [`crate::session::SapConfig::session_budget`]
+    /// provably could not cover even the fastest gang service time the
+    /// pool has observed, so running it would only burn a gang slot on a
+    /// guaranteed [`SapError::DeadlineExceeded`]. No role ever ran.
+    AdmissionShed {
+        /// Time the session spent queued before being shed.
+        waited: Duration,
+        /// Deadline budget remaining at shed time (zero when expired).
+        remaining: Duration,
+        /// The optimistic service bound the budget could not cover.
+        floor: Duration,
+    },
     /// The session's role gang does not fit the worker pool — a sizing
     /// error caught at spawn, before any role runs.
     Capacity {
@@ -105,6 +119,17 @@ impl fmt::Display for SapError {
             SapError::InconsistentInputs(what) => write!(f, "inconsistent inputs: {what}"),
             SapError::Optimizer(e) => write!(f, "optimizer rejected the configuration: {e}"),
             SapError::Aborted => write!(f, "session aborted by its owner"),
+            SapError::AdmissionShed {
+                waited,
+                remaining,
+                floor,
+            } => {
+                write!(
+                    f,
+                    "session shed at admission after queueing {waited:?}: \
+                     {remaining:?} budget left vs {floor:?} observed service floor"
+                )
+            }
             SapError::Capacity { needed, available } => {
                 write!(
                     f,

@@ -72,7 +72,10 @@ pub mod stream;
 
 pub use error::SapError;
 pub use liveness::{Deadline, Roster};
-pub use runtime::{ActorPool, SessionHandle, SessionStatus};
+pub use runtime::{
+    ActorPool, Gang, QosClass, SchedPolicy, SchedStats, SchedulerConfig, SessionHandle,
+    SessionStatus, SessionTimings, ShedInfo,
+};
 pub use session::{
     run_session, run_session_over, spawn_session, DataPlane, ProviderReport, RoleCtx, SapConfig,
     SapOutcome,

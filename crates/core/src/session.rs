@@ -19,7 +19,7 @@ use crate::liveness::{Deadline, Roster};
 use crate::messages::SlotTag;
 use crate::miner::run_miner;
 use crate::party::run_provider;
-use crate::runtime::{ActorPool, RoleTask, SessionCollect, SessionHandle, SessionShared};
+use crate::runtime::{ActorPool, Gang, QosClass, SessionCollect, SessionHandle, SessionShared};
 use crate::stream::StreamMonitor;
 use parking_lot::{Condvar, Mutex};
 use sap_datasets::Dataset;
@@ -83,6 +83,11 @@ pub struct SapConfig {
     /// the session abort with a timeout instead of completing — the safety
     /// property the failure-injection tests assert.
     pub fault_config: Option<FaultConfig>,
+    /// Scheduling class of the session's gang
+    /// ([`QosClass::Interactive`] by default): interactive gangs are
+    /// admitted with strict priority over queued batch gangs; batch gangs
+    /// age into the interactive queue instead of starving.
+    pub qos: QosClass,
 }
 
 impl Default for SapConfig {
@@ -97,6 +102,7 @@ impl Default for SapConfig {
             block_rows: DEFAULT_BLOCK_ROWS,
             data_plane: DataPlane::default(),
             fault_config: None,
+            qos: QosClass::default(),
         }
     }
 }
@@ -122,6 +128,7 @@ impl SapConfig {
             block_rows: 64,
             data_plane: DataPlane::default(),
             fault_config: None,
+            qos: QosClass::default(),
         }
     }
 }
@@ -403,7 +410,9 @@ where
 /// Launches every role of one session as a gang on `pool` and returns its
 /// lifecycle handle — the primitive a multi-session server builds on. The
 /// gang starts once the pool has `k + 1` free workers; queued sessions
-/// start FIFO as capacity frees up.
+/// start in QoS order (class priority with batch aging) as capacity
+/// frees up, and a queued session whose budget provably can no longer be
+/// met is shed with [`SapError::AdmissionShed`].
 ///
 /// All of the session's nodes are stamped with `session`: over a
 /// [`sap_net::mux::SessionMux`] mesh, that is what isolates this
@@ -457,7 +466,11 @@ where
             finished_roles: 0,
             total_roles: k + 1,
             aborted: false,
+            shed: None,
             harvested: false,
+            queue_wait: None,
+            admitted_at: None,
+            finished_at: None,
             retained: Vec::new(),
         }),
         progress: Condvar::new(),
@@ -474,7 +487,7 @@ where
     // without cloning a single `Dataset`.
     let locals: Vec<Arc<Dataset>> = locals.into_iter().map(Arc::new).collect();
     let mut transports: Vec<Option<T>> = provider_transports.into_iter().map(Some).collect();
-    let mut gang: Vec<RoleTask> = Vec::with_capacity(k + 1);
+    let mut gang = Gang::new(config.qos);
 
     // Providers 0..k−1 (all but the coordinator).
     for pos in 0..k - 1 {
@@ -490,7 +503,7 @@ where
         let monitor = monitor.clone();
         let roster = Arc::clone(&roster);
         let deadline = deadline.clone();
-        gang.push(Box::new(move || {
+        gang.push(move || {
             shared.run_role(pos, pid, || {
                 let ctx = RoleCtx {
                     roster: &roster,
@@ -507,7 +520,7 @@ where
             // close live TCP sockets and make this role's graceful
             // completion look like a peer death to its siblings.
             shared.retain(Box::new(node));
-        }));
+        });
     }
 
     // Coordinator (last provider).
@@ -523,7 +536,7 @@ where
         let monitor = monitor.clone();
         let roster = Arc::clone(&roster);
         let deadline = deadline.clone();
-        gang.push(Box::new(move || {
+        gang.push(move || {
             shared.run_role(k - 1, coordinator, || {
                 let ctx = RoleCtx {
                     roster: &roster,
@@ -540,7 +553,7 @@ where
                 Ok(())
             });
             shared.retain(Box::new(node));
-        }));
+        });
     }
 
     // Miner.
@@ -557,7 +570,7 @@ where
         let monitor = monitor.clone();
         let roster = Arc::clone(&roster);
         let deadline = deadline.clone();
-        gang.push(Box::new(move || {
+        gang.push(move || {
             shared.run_role(k, MINER_ID, || {
                 let ctx = RoleCtx {
                     roster: &roster,
@@ -571,10 +584,41 @@ where
                 Ok(())
             });
             shared.retain(Box::new(node));
-        }));
+        });
     }
 
-    pool.submit_gang(gang)?;
+    // Scheduler wiring: the gang checks the session's own deadline at
+    // admission time, reports its queue wait when admitted, and — if
+    // shed — cancels the deadline, marks the session, and runs the
+    // owner's abort hook so any transport routes opened for the session
+    // are torn down even though no role ever ran.
+    gang.set_deadline(deadline.clone());
+    {
+        let shared = Arc::clone(&shared);
+        gang.set_on_admit(move |waited| {
+            let mut state = shared.state.lock();
+            state.queue_wait = Some(waited);
+            state.admitted_at = Some(std::time::Instant::now());
+        });
+    }
+    {
+        let shared = Arc::clone(&shared);
+        gang.set_on_shed(move |info| {
+            shared.deadline.cancel();
+            let hook = shared.on_abort.lock().take();
+            {
+                let mut state = shared.state.lock();
+                state.queue_wait = Some(info.waited);
+                state.shed = Some(info);
+            }
+            shared.progress.notify_all();
+            if let Some(hook) = hook {
+                hook();
+            }
+        });
+    }
+
+    pool.submit(gang)?;
     Ok(SessionHandle { shared })
 }
 

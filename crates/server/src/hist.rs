@@ -1,0 +1,220 @@
+//! Fixed-bucket log-scale latency histograms for the metrics surface.
+//!
+//! The vendored-only workspace has no `hdrhistogram`; this is the small
+//! fixed-footprint equivalent the server needs: 64 buckets spanning
+//! sub-microsecond to ~hours at **2 buckets per octave** (≈41% relative
+//! bucket width, so a p99 read is within ~√2 of the true value —
+//! tail-latency resolution, not a timing oracle). Recording is O(1) with
+//! no allocation; a [`LatencyHistogram`] is plain `Copy` data so
+//! [`crate::ServerMetrics`] snapshots stay lock-free to read after the
+//! one snapshot clone.
+
+use sap_core::runtime::QosClass;
+use std::time::Duration;
+
+const BUCKETS: usize = 64;
+
+/// A fixed 64-bucket log-scale histogram of durations (2 buckets per
+/// octave of microseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum_us: u64,
+    max_us: u64,
+}
+
+impl Default for LatencyHistogram {
+    // Derived `Default` needs `Default for [u64; 64]`, which std only
+    // provides for arrays up to 32.
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum_us: 0,
+            max_us: 0,
+        }
+    }
+}
+
+fn bucket_of(us: u64) -> usize {
+    if us <= 1 {
+        0
+    } else {
+        ((2.0 * (us as f64).log2()).floor() as usize).min(BUCKETS - 1)
+    }
+}
+
+/// Upper bound of bucket `i` in microseconds: `2^((i+1)/2)`.
+fn upper_bound_us(i: usize) -> f64 {
+    2f64.powf((i + 1) as f64 / 2.0)
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, sample: Duration) {
+        let us = sample.as_micros().min(u64::MAX as u128) as u64;
+        self.buckets[bucket_of(us)] += 1;
+        self.count += 1;
+        self.sum_us = self.sum_us.saturating_add(us);
+        self.max_us = self.max_us.max(us);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The largest recorded sample.
+    pub fn max(&self) -> Duration {
+        Duration::from_micros(self.max_us)
+    }
+
+    /// Mean of the recorded samples (exact — from the running sum, not
+    /// the buckets). Zero when empty.
+    pub fn mean(&self) -> Duration {
+        match self.sum_us.checked_div(self.count) {
+            Some(mean_us) => Duration::from_micros(mean_us),
+            None => Duration::ZERO,
+        }
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) as the upper bound of the bucket
+    /// holding that rank, clamped to the observed maximum. Zero when
+    /// empty.
+    pub fn percentile(&self, q: f64) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let us = upper_bound_us(i).min(self.max_us as f64);
+                return Duration::from_micros(us as u64);
+            }
+        }
+        Duration::from_micros(self.max_us)
+    }
+
+    /// Median (see [`LatencyHistogram::percentile`]).
+    pub fn p50(&self) -> Duration {
+        self.percentile(0.50)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> Duration {
+        self.percentile(0.99)
+    }
+
+    /// 99.9th percentile.
+    pub fn p999(&self) -> Duration {
+        self.percentile(0.999)
+    }
+}
+
+/// Queue-wait and service-time histograms of one scheduling class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClassLatency {
+    /// Submit → gang admission (time spent queued; includes shed
+    /// sessions' submit → shed wait).
+    pub queue_wait: LatencyHistogram,
+    /// Gang admission → last role finished.
+    pub service: LatencyHistogram,
+}
+
+/// Per-class session latency histograms
+/// ([`crate::ServerMetrics::latency_histogram`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionLatency {
+    /// Sessions submitted as [`QosClass::Interactive`].
+    pub interactive: ClassLatency,
+    /// Sessions submitted as [`QosClass::Batch`].
+    pub batch: ClassLatency,
+}
+
+impl SessionLatency {
+    /// The class's histograms.
+    pub fn class(&self, class: QosClass) -> &ClassLatency {
+        match class {
+            QosClass::Interactive => &self.interactive,
+            QosClass::Batch => &self.batch,
+        }
+    }
+
+    /// Mutable access to the class's histograms.
+    pub fn class_mut(&mut self, class: QosClass) -> &mut ClassLatency {
+        match class {
+            QosClass::Interactive => &mut self.interactive,
+            QosClass::Batch => &mut self.batch,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reads_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p50(), Duration::ZERO);
+        assert_eq!(h.p999(), Duration::ZERO);
+        assert_eq!(h.mean(), Duration::ZERO);
+    }
+
+    #[test]
+    fn percentiles_are_monotone_and_bounded() {
+        let mut h = LatencyHistogram::new();
+        for ms in 1..=1000u64 {
+            h.record(Duration::from_millis(ms));
+        }
+        assert_eq!(h.count(), 1000);
+        let (p50, p99, p999) = (h.p50(), h.p99(), h.p999());
+        assert!(p50 <= p99 && p99 <= p999, "{p50:?} {p99:?} {p999:?}");
+        assert!(p999 <= h.max());
+        // Log-scale buckets: the read is within one bucket width (√2) of
+        // the true quantile, which here is ~500ms / ~990ms / ~999ms.
+        assert!(p50 >= Duration::from_millis(350) && p50 <= Duration::from_millis(750));
+        assert!(p99 >= Duration::from_millis(700));
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::from_micros(777));
+        assert_eq!(h.p50(), h.p999());
+        assert!(h.p50() <= h.max());
+        assert_eq!(h.mean(), Duration::from_micros(777));
+    }
+
+    #[test]
+    fn extreme_samples_clamp_into_end_buckets() {
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::ZERO);
+        h.record(Duration::from_secs(1_000_000_000));
+        assert_eq!(h.count(), 2);
+        assert!(h.percentile(1.0) <= h.max());
+    }
+
+    #[test]
+    fn class_selector_routes_to_the_right_histogram() {
+        let mut l = SessionLatency::default();
+        l.class_mut(QosClass::Interactive)
+            .queue_wait
+            .record(Duration::from_millis(1));
+        l.class_mut(QosClass::Batch)
+            .service
+            .record(Duration::from_millis(2));
+        assert_eq!(l.class(QosClass::Interactive).queue_wait.count(), 1);
+        assert_eq!(l.class(QosClass::Interactive).service.count(), 0);
+        assert_eq!(l.class(QosClass::Batch).service.count(), 1);
+    }
+}

@@ -19,10 +19,19 @@
 //! * **admission control**: beyond
 //!   `max_concurrent + max_queued` live sessions, [`SapServer::submit`]
 //!   sheds with [`ServerError::Overloaded`] instead of queueing unboundedly;
+//! * **QoS scheduling**: sessions carry a
+//!   [`sap_core::runtime::QosClass`] on their [`SapConfig`]; the pool
+//!   admits interactive gangs with strict priority over batch ones
+//!   (batch gangs age into the interactive queue instead of starving),
+//!   sheds queued sessions whose `session_budget` provably cannot be met
+//!   ([`SapError::AdmissionShed`]), and work-steals role tasks across
+//!   its workers;
 //! * a **metrics surface** ([`ServerMetrics`]): sessions
-//!   started/completed/failed/aborted/rejected, relayed row blocks, and
-//!   the lane muxes' frame/byte counters (bytes sent are sealed bytes —
-//!   every payload on the wire is a sealed frame).
+//!   started/completed/failed/aborted/rejected/shed, per-class
+//!   queue-wait and service-time histograms with p50/p99/p999
+//!   ([`SessionLatency`]), scheduler promotion/steal counters, relayed
+//!   row blocks, and the lane muxes' frame/byte counters (bytes sent are
+//!   sealed bytes — every payload on the wire is a sealed frame).
 //!
 //! Sessions submitted with the same [`SapConfig`] produce outcomes
 //! byte-identical to a solo [`sap_core::run_session`] run: the runtime
@@ -59,7 +68,13 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
-use sap_core::runtime::{ActorPool, SessionHandle, SessionStatus};
+mod hist;
+
+pub use hist::{ClassLatency, LatencyHistogram, SessionLatency};
+
+use sap_core::runtime::{
+    ActorPool, QosClass, SchedulerConfig, SessionHandle, SessionStatus, SessionTimings,
+};
 use sap_core::session::{spawn_session, SapConfig, SapOutcome, MINER_ID};
 use sap_core::SapError;
 use sap_datasets::Dataset;
@@ -181,6 +196,11 @@ pub struct ServerConfig {
     pub liveness_misses: u32,
     /// Recovery policy for sessions killed by a peer failure.
     pub retry_policy: RetryPolicy,
+    /// The shared pool's admission scheduler: QoS class queues with batch
+    /// aging and deadline-aware shedding by default;
+    /// [`sap_core::runtime::SchedPolicy::Fifo`] restores the pre-QoS
+    /// arrival-order admission (the `load_qos` bench baseline).
+    pub scheduler: SchedulerConfig,
 }
 
 impl Default for ServerConfig {
@@ -196,6 +216,7 @@ impl Default for ServerConfig {
             heartbeat_interval: sap_net::mux::DEFAULT_HEARTBEAT_INTERVAL,
             liveness_misses: sap_net::mux::DEFAULT_LIVENESS_MISSES,
             retry_policy: RetryPolicy::default(),
+            scheduler: SchedulerConfig::default(),
         }
     }
 }
@@ -266,6 +287,23 @@ pub struct ServerMetrics {
     /// Sessions transparently re-run after a peer failure under
     /// [`ServerConfig::retry_policy`].
     pub sessions_retried: u64,
+    /// Sessions shed by deadline-aware admission while queued — their
+    /// budget provably could not be met, so no role ever ran
+    /// ([`SapError::AdmissionShed`]).
+    pub sessions_shed: u64,
+    /// Batch gangs promoted to the interactive queue by aging (the
+    /// pool's anti-starvation counter).
+    pub gangs_promoted: u64,
+    /// Role tasks a pool worker stole from a sibling's run queue.
+    pub task_steals: u64,
+    /// Role tasks of sessions still queued for gang admission.
+    pub pool_queued_tasks: usize,
+    /// Role tasks admitted to the pool and not yet finished.
+    pub pool_running_tasks: usize,
+    /// Per-class queue-wait and service-time histograms with
+    /// p50/p99/p999 extraction ([`SessionLatency`]). Samples are recorded
+    /// when a session's end is accounted.
+    pub latency_histogram: SessionLatency,
 }
 
 struct RetryState {
@@ -276,6 +314,10 @@ struct RetryState {
 
 struct SessionEntry {
     handle: SessionHandle,
+    /// Scheduling class the session was submitted under — keyed here so
+    /// accounting can route its timings to the right histograms even
+    /// after retries swap the handle.
+    class: QosClass,
     submitted: Instant,
     finished_at: Option<Instant>,
     accounted: bool,
@@ -297,6 +339,7 @@ struct Counters {
     aborted: AtomicU64,
     rejected: AtomicU64,
     retried: AtomicU64,
+    shed: AtomicU64,
     blocks_relayed: AtomicU64,
     blocks_pipelined: AtomicU64,
     /// Sum of per-session overlap ratios in micro-units (ratio × 1e6),
@@ -324,6 +367,8 @@ pub struct SapServer<T: Transport + 'static> {
     registry: Mutex<HashMap<SessionId, SessionEntry>>,
     next_id: AtomicU64,
     counters: Counters,
+    /// Per-class latency histograms (lock order: registry → latency).
+    latency: Mutex<SessionLatency>,
 }
 
 impl SapServer<Endpoint> {
@@ -361,7 +406,7 @@ impl<T: Transport + 'static> SapServer<T> {
     /// reachable from every lane (full mesh).
     pub fn over_lanes(config: ServerConfig, lanes: Vec<T>, miner: T) -> Self {
         let depth = config.session_queue_depth;
-        let pool = ActorPool::new(config.pool_size());
+        let pool = ActorPool::with_config(config.pool_size(), config.scheduler);
         let lanes: Vec<SessionMux<T>> = lanes
             .into_iter()
             .map(|t| SessionMux::with_queue_depth(t, depth))
@@ -400,6 +445,7 @@ impl<T: Transport + 'static> SapServer<T> {
             registry: Mutex::new(HashMap::new()),
             next_id: AtomicU64::new(1),
             counters: Counters::default(),
+            latency: Mutex::new(SessionLatency::default()),
             config,
         }
     }
@@ -471,6 +517,7 @@ impl<T: Transport + 'static> SapServer<T> {
             id,
             SessionEntry {
                 handle,
+                class: session_config.qos,
                 submitted: Instant::now(),
                 finished_at: None,
                 accounted: false,
@@ -562,6 +609,12 @@ impl<T: Transport + 'static> SapServer<T> {
                 }
                 miner_lane.close_session(id);
             });
+        }
+        // Deadline-aware admission may have shed the gang during the
+        // submit, before the abort hook above existed — the shed callback
+        // then found no hook to run, so close the routes here.
+        if matches!(handle.poll(), SessionStatus::Shed) {
+            self.close_routes(id, k);
         }
         Ok(handle)
     }
@@ -713,6 +766,7 @@ impl<T: Transport + 'static> SapServer<T> {
             return;
         }
         entry.accounted = true;
+        Self::record_latency(&self.latency, entry.class, entry.handle.timings());
         match result {
             Ok(outcome) => {
                 self.counters.completed.fetch_add(1, Ordering::Relaxed);
@@ -743,9 +797,29 @@ impl<T: Transport + 'static> SapServer<T> {
             Err(SapError::Aborted) => {
                 self.counters.aborted.fetch_add(1, Ordering::Relaxed);
             }
+            Err(SapError::AdmissionShed { .. }) => {
+                self.counters.shed.fetch_add(1, Ordering::Relaxed);
+            }
             Err(_) => {
                 self.counters.failed.fetch_add(1, Ordering::Relaxed);
             }
+        }
+    }
+
+    /// Folds one accounted session's scheduler timings into the per-class
+    /// histograms. Shed sessions contribute a queue-wait sample only —
+    /// they never had a service phase.
+    fn record_latency(latency: &Mutex<SessionLatency>, class: QosClass, timings: SessionTimings) {
+        if timings.queue_wait.is_none() && timings.service.is_none() {
+            return;
+        }
+        let mut latency = latency.lock().expect("latency lock");
+        let class = latency.class_mut(class);
+        if let Some(wait) = timings.queue_wait {
+            class.queue_wait.record(wait);
+        }
+        if let Some(service) = timings.service {
+            class.service.record(service);
         }
     }
 
@@ -789,6 +863,7 @@ impl<T: Transport + 'static> SapServer<T> {
             let finished_at = *entry.finished_at.get_or_insert(now);
             if !entry.accounted {
                 entry.accounted = true;
+                Self::record_latency(&self.latency, entry.class, entry.handle.timings());
                 match status {
                     SessionStatus::Complete => {
                         // Completed but never harvested; count it (the
@@ -798,6 +873,9 @@ impl<T: Transport + 'static> SapServer<T> {
                     }
                     SessionStatus::Aborted => {
                         self.counters.aborted.fetch_add(1, Ordering::Relaxed);
+                    }
+                    SessionStatus::Shed => {
+                        self.counters.shed.fetch_add(1, Ordering::Relaxed);
                     }
                     _ => {
                         self.counters.failed.fetch_add(1, Ordering::Relaxed);
@@ -817,6 +895,7 @@ impl<T: Transport + 'static> SapServer<T> {
     /// A snapshot of the server's metrics (session counters plus the lane
     /// muxes' traffic counters).
     pub fn metrics(&self) -> ServerMetrics {
+        let sched = self.pool.stats();
         let mut bytes_sealed = 0;
         let mut frames_routed = 0;
         let mut unknown = 0;
@@ -868,6 +947,12 @@ impl<T: Transport + 'static> SapServer<T> {
                 down_latency_us as f64 / 1e6 / peers_down as f64
             },
             sessions_retried: self.counters.retried.load(Ordering::Relaxed),
+            sessions_shed: self.counters.shed.load(Ordering::Relaxed),
+            gangs_promoted: sched.gangs_promoted,
+            task_steals: sched.task_steals,
+            pool_queued_tasks: sched.queued_tasks,
+            pool_running_tasks: sched.running_tasks,
+            latency_histogram: *self.latency.lock().expect("latency lock"),
         }
     }
 }

@@ -15,7 +15,7 @@
 # validated at spawn).
 set -euo pipefail
 
-LIMIT="${1:-36}"
+LIMIT="${1:-35}"
 
 cd "$(dirname "$0")/.."
 total=0
