@@ -1,0 +1,272 @@
+//! Fleet scale-out: aggregate session throughput at 1 → 2 → 4 nodes,
+//! captured into `BENCH_fleet.json`.
+//!
+//! Every scale point runs the **same** session schedule (one fixed,
+//! `--seed`-overridable seed drives every per-session data/protocol
+//! seed) against a [`Fleet`] of 1, 2, then 4 nodes. Sessions are
+//! latency-dominated — each party mesh simulates a WAN link
+//! ([`FaultConfig::send_latency`]) — and each node's worker pool holds
+//! exactly one gang, so a single node runs sessions back-to-back.
+//! Scaling out multiplies the gangs running at once; since the wall
+//! clock is link-latency bubbles, not CPU, aggregate sessions/s rises
+//! with node count even on a small machine.
+//!
+//! Sessions are submitted through round-robin gateways and placed by
+//! the hash ring, so the measurement includes cross-node registration
+//! forwarding — the scale-out price, not just its payoff.
+//!
+//! The binary exits non-zero when the 2-node aggregate falls below the
+//! 1-node aggregate — the CI regression gate (`--scale quick`).
+//!
+//! ```text
+//! cargo run -p sap-bench --release --bin fleet_scale -- [--scale quick|full] [--seed N] [out.json]
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sap_core::session::SapConfig;
+use sap_datasets::partition::{partition, PartitionScheme};
+use sap_datasets::Dataset;
+use sap_fleet::{Fleet, FleetConfig};
+use sap_linalg::randn_matrix;
+use sap_net::sim::FaultConfig;
+use sap_server::ServerConfig;
+use std::time::{Duration, Instant};
+
+struct Scale {
+    name: &'static str,
+    sessions: u64,
+    providers: usize,
+    records: usize,
+    dim: usize,
+    block_rows: usize,
+    link_latency: Duration,
+}
+
+const QUICK: Scale = Scale {
+    name: "quick",
+    sessions: 8,
+    providers: 3,
+    records: 240,
+    dim: 6,
+    block_rows: 16,
+    link_latency: Duration::from_millis(3),
+};
+
+const FULL: Scale = Scale {
+    name: "full",
+    sessions: 16,
+    providers: 4,
+    records: 960,
+    dim: 8,
+    block_rows: 32,
+    link_latency: Duration::from_millis(5),
+};
+
+const NODE_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn session_locals(scale: &Scale, seed: u64) -> Vec<Dataset> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let m = randn_matrix(scale.dim, scale.records, &mut rng);
+    let labels = (0..scale.records).map(|i| i % 2).collect();
+    let pooled = Dataset::from_column_matrix(&m, labels, 2);
+    partition(
+        &pooled,
+        scale.providers,
+        PartitionScheme::Uniform,
+        seed ^ 0x77,
+    )
+}
+
+fn session_config(scale: &Scale, seed: u64) -> SapConfig {
+    SapConfig {
+        seed,
+        block_rows: scale.block_rows,
+        timeout: Duration::from_secs(300),
+        fault_config: Some(FaultConfig {
+            send_latency: scale.link_latency,
+            ..FaultConfig::default()
+        }),
+        ..SapConfig::quick_test()
+    }
+}
+
+struct Point {
+    nodes: usize,
+    total_s: f64,
+    sessions_per_s: f64,
+    forwarded: u64,
+    replaced: u64,
+    frames_forwarded: u64,
+}
+
+fn run_point(scale: &Scale, nodes: usize, session_seeds: &[u64]) -> Point {
+    let fleet = Fleet::in_memory(FleetConfig {
+        nodes,
+        server: ServerConfig {
+            max_parties: scale.providers,
+            max_concurrent: session_seeds.len(),
+            // One gang per node: scale-out, not a bigger pool, is the
+            // only source of parallelism being measured.
+            worker_threads: scale.providers + 1,
+            ..ServerConfig::default()
+        },
+        ..FleetConfig::default()
+    })
+    .expect("build fleet");
+
+    let start = Instant::now();
+    let ids: Vec<_> = session_seeds
+        .iter()
+        .map(|&seed| {
+            fleet
+                .submit(session_locals(scale, seed), &session_config(scale, seed))
+                .expect("admit session")
+        })
+        .collect();
+    for id in ids {
+        fleet.wait(id, None).expect("fleet session");
+    }
+    let total_s = start.elapsed().as_secs_f64();
+
+    let m = fleet.metrics();
+    assert_eq!(m.sessions_completed, session_seeds.len() as u64);
+    assert_eq!(m.sessions_failed, 0);
+    Point {
+        nodes,
+        total_s,
+        sessions_per_s: session_seeds.len() as f64 / total_s,
+        forwarded: m.registrations_forwarded,
+        replaced: m.registrations_replaced,
+        frames_forwarded: m.frames_forwarded,
+    }
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_fleet.json");
+    let mut scale = &QUICK;
+    let mut schedule_seed = 0xF1EE5u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = args.next().unwrap_or_default();
+                scale = match v.as_str() {
+                    "quick" => &QUICK,
+                    "full" => &FULL,
+                    other => {
+                        eprintln!("unknown scale '{other}' (quick|full)");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--seed" => {
+                let v = args.next().unwrap_or_default();
+                schedule_seed = match v.parse() {
+                    Ok(s) => s,
+                    Err(_) => {
+                        eprintln!("--seed takes a u64, got '{v}'");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            path => out_path = path.to_string(),
+        }
+    }
+
+    // One fixed seed derives the whole schedule, identical at every
+    // scale point: same sessions, same bytes, only the node count moves.
+    let mut schedule_rng = StdRng::seed_from_u64(schedule_seed);
+    let session_seeds: Vec<u64> = (0..scale.sessions)
+        .map(|_| schedule_rng.next_u64())
+        .collect();
+
+    println!(
+        "fleet_scale [{}]: {} sessions × ({} providers, {} rows × {} dims), link latency {:?}",
+        scale.name, scale.sessions, scale.providers, scale.records, scale.dim, scale.link_latency
+    );
+
+    let points: Vec<Point> = NODE_COUNTS
+        .iter()
+        .map(|&n| {
+            let p = run_point(scale, n, &session_seeds);
+            println!(
+                "  {} node{}: {:.3}s  ({:.2} sessions/s, {} forwarded, {} frames relayed)",
+                p.nodes,
+                if p.nodes == 1 { " " } else { "s" },
+                p.total_s,
+                p.sessions_per_s,
+                p.forwarded,
+                p.frames_forwarded
+            );
+            p
+        })
+        .collect();
+
+    let monotone = points
+        .windows(2)
+        .all(|w| w[1].sessions_per_s >= w[0].sessions_per_s);
+    let speedup_2 = points[1].sessions_per_s / points[0].sessions_per_s;
+    let speedup_4 = points[2].sessions_per_s / points[0].sessions_per_s;
+    println!(
+        "  scale-out: 2 nodes {speedup_2:.2}x, 4 nodes {speedup_4:.2}x (monotone: {monotone})"
+    );
+
+    let point_json: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                concat!(
+                    "    {{\n",
+                    "      \"nodes\": {},\n",
+                    "      \"total_s\": {:.6},\n",
+                    "      \"sessions_per_s\": {:.3},\n",
+                    "      \"registrations_forwarded\": {},\n",
+                    "      \"registrations_replaced\": {},\n",
+                    "      \"frames_forwarded\": {}\n",
+                    "    }}"
+                ),
+                p.nodes, p.total_s, p.sessions_per_s, p.forwarded, p.replaced, p.frames_forwarded
+            )
+        })
+        .collect();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"fleet_scale\",\n",
+            "  \"scale\": \"{}\",\n",
+            "  \"schedule_seed\": {},\n",
+            "  \"sessions\": {},\n",
+            "  \"providers_per_session\": {},\n",
+            "  \"records_per_session\": {},\n",
+            "  \"dims\": {},\n",
+            "  \"link_latency_ms\": {},\n",
+            "  \"points\": [\n{}\n  ],\n",
+            "  \"speedup_2_nodes\": {:.3},\n",
+            "  \"speedup_4_nodes\": {:.3},\n",
+            "  \"monotone\": {},\n",
+            "  \"note\": \"identical latency-dominated session schedule at every point; one gang-sized worker pool per node, so aggregate throughput measures scale-out (including cross-node registration forwarding), not pool growth\"\n",
+            "}}\n"
+        ),
+        scale.name,
+        schedule_seed,
+        scale.sessions,
+        scale.providers,
+        scale.records,
+        scale.dim,
+        scale.link_latency.as_millis(),
+        point_json.join(",\n"),
+        speedup_2,
+        speedup_4,
+        monotone,
+    );
+    std::fs::write(&out_path, json).expect("write BENCH_fleet.json");
+    println!("  wrote {out_path}");
+
+    // CI gate: a 2-node fleet slower than a single node means the
+    // forwarding/membership machinery ate the scale-out.
+    if speedup_2 < 1.0 {
+        eprintln!("FAIL: 2-node aggregate throughput below the 1-node baseline ({speedup_2:.2}x)");
+        std::process::exit(1);
+    }
+}

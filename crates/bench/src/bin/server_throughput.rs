@@ -23,11 +23,11 @@
 //! below the serial baseline — the CI regression gate.
 //!
 //! ```text
-//! cargo run -p sap-bench --release --bin server_throughput -- [--scale quick|full] [out.json]
+//! cargo run -p sap-bench --release --bin server_throughput -- [--scale quick|full] [--seed N] [out.json]
 //! ```
 
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use sap_bench::stats::{summarize, time};
 use sap_core::session::{run_session_over, SapConfig, MINER_ID};
 use sap_core::SapError;
@@ -124,6 +124,7 @@ fn run_serial_session(scale: &Scale, seed: u64) -> Result<(), SapError> {
 fn main() {
     let mut out_path = String::from("BENCH_server.json");
     let mut scale = &QUICK;
+    let mut schedule_seed = 0xBE5Cu64;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -138,9 +139,28 @@ fn main() {
                     }
                 };
             }
+            "--seed" => {
+                let v = args.next().unwrap_or_default();
+                schedule_seed = match v.parse() {
+                    Ok(s) => s,
+                    Err(_) => {
+                        eprintln!("--seed takes a u64, got '{v}'");
+                        std::process::exit(2);
+                    }
+                };
+            }
             path => out_path = path.to_string(),
         }
     }
+
+    // The whole session schedule — every per-session data/protocol seed,
+    // in both arms — derives from one fixed (CLI-overridable) seed drawn
+    // up front. The two arms can then never drift apart, and reruns are
+    // exactly reproducible: same seed, same sessions, same bytes.
+    let mut schedule_rng = StdRng::seed_from_u64(schedule_seed);
+    let session_seeds: Vec<u64> = (0..scale.sessions)
+        .map(|_| schedule_rng.next_u64())
+        .collect();
 
     let total_rows = scale.records as u64 * scale.sessions;
     println!(
@@ -157,9 +177,10 @@ fn main() {
     // session is timed individually so the baseline also yields a
     // per-session latency distribution.
     let serial_start = Instant::now();
-    let serial_samples: Vec<f64> = (0..scale.sessions)
-        .map(|i| {
-            let (result, secs) = time(|| run_serial_session(scale, 0xBE5C + i));
+    let serial_samples: Vec<f64> = session_seeds
+        .iter()
+        .map(|&seed| {
+            let (result, secs) = time(|| run_serial_session(scale, seed));
             result.expect("serial session");
             secs
         })
@@ -181,13 +202,11 @@ fn main() {
     })
     .expect("bind server lanes");
     let (_, concurrent_s) = time(|| {
-        let ids: Vec<_> = (0..scale.sessions)
-            .map(|i| {
+        let ids: Vec<_> = session_seeds
+            .iter()
+            .map(|&seed| {
                 server
-                    .submit(
-                        session_locals(scale, 0xBE5C + i),
-                        &session_config(scale, 0xBE5C + i),
-                    )
+                    .submit(session_locals(scale, seed), &session_config(scale, seed))
                     .expect("admit session")
             })
             .collect();
@@ -210,6 +229,7 @@ fn main() {
             "{{\n",
             "  \"bench\": \"server_throughput\",\n",
             "  \"scale\": \"{}\",\n",
+            "  \"schedule_seed\": {},\n",
             "  \"sessions\": {},\n",
             "  \"providers_per_session\": {},\n",
             "  \"records_per_session\": {},\n",
@@ -242,6 +262,7 @@ fn main() {
             "}}\n"
         ),
         scale.name,
+        schedule_seed,
         scale.sessions,
         scale.providers,
         scale.records,

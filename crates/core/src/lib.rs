@@ -66,6 +66,7 @@ pub mod miner;
 pub mod mining;
 pub mod party;
 pub mod permutation;
+pub mod placement;
 pub mod runtime;
 pub mod session;
 pub mod stream;

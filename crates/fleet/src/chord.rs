@@ -1,0 +1,681 @@
+//! An executable model of Chord-style ring maintenance, checked against
+//! the invariants of Zave's *How to Make Chord Correct* (PAPERS.md).
+//!
+//! The live fleet keeps a full membership view per node (every node
+//! shares one liveness plane, so joins, leaves, and deaths reach
+//! everyone), and its placement ring is the ideal one —
+//! [`crate::ring::HashRing`] over the alive set. What has to be
+//! *proven* is the decentralized repair protocol such a view converges
+//! by when nodes learn of churn at different times: joins start as
+//! appendages, successor lists heal around crashed members, and
+//! predecessor pointers rectify. This module models exactly that
+//! protocol — per-node successor lists and predecessor pointers with
+//! Chord's stabilize / rectify / flush rules — and exposes Zave's
+//! invariants as executable checkers:
+//!
+//! 1. **At most one ring** — the first-live-successor graph has exactly
+//!    one cycle ([`Violation::MultipleRings`]).
+//! 2. **Ordered ring** — walking the cycle visits identifiers in
+//!    rotated ascending order ([`Violation::UnorderedRing`]).
+//! 3. **Connected appendages** — every node reaches the cycle by
+//!    following successors; a node with no live successor is
+//!    disconnected ([`Violation::Disconnected`]).
+//! 4. **One owner per key** — after stabilization every key has
+//!    exactly one owner (the successor of its point), and lookup from
+//!    every start agrees ([`Violation::OwnerMismatch`],
+//!    [`Violation::LookupMismatch`]).
+//!
+//! `tests/fleet_ring.rs` drives randomized join/leave/crash/lookup
+//! histories through [`run_history`] and, on failure, shrinks to a
+//! minimal violating history with [`shrink_history`] (the vendored
+//! proptest shim does not shrink).
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Successor-list length `r`. Zave's safety assumption: fewer than `r`
+/// members crash between stabilization rounds; otherwise a node can
+/// lose every successor it knows and the ring disconnects — a real
+/// Chord limitation, not a model artifact. [`ChordModel::crash`]
+/// refuses exactly the crashes that assumption excludes.
+pub const SUCCESSOR_LIST_LEN: usize = 3;
+
+/// One step of a membership history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChordOp {
+    /// A node with this ring identifier joins (via a lookup through any
+    /// current member), starting as an appendage of the ring.
+    Join(u64),
+    /// A member announces its departure; every node purges it at once
+    /// (the fleet broadcasts `Leave` before shutting a node down).
+    Leave(u64),
+    /// A member vanishes silently (`kill -9`); survivors keep stale
+    /// pointers to it until stabilization flushes them.
+    Crash(u64),
+    /// Run stabilization to a fixpoint, then require full convergence
+    /// (all four invariants, including single ownership).
+    Stabilize,
+    /// Record a key for the ownership checks that follow every
+    /// stabilization.
+    Lookup(u64),
+}
+
+/// A violation of one of Zave's invariants, or a refusal to converge.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    /// A node's successor list holds no live member: the node fell off
+    /// the ring (more than `r − 1` crashes between stabilizations).
+    Disconnected {
+        /// The stranded node.
+        node: u64,
+    },
+    /// The first-live-successor graph has more than one cycle.
+    MultipleRings {
+        /// Number of distinct cycles found.
+        count: usize,
+    },
+    /// The unique cycle visits identifiers out of (rotated) order.
+    UnorderedRing {
+        /// The cycle, rotated to start at its smallest identifier.
+        cycle: Vec<u64>,
+    },
+    /// Stabilization still had an appendage after reaching a fixpoint.
+    Appendage {
+        /// A node not on the cycle.
+        node: u64,
+    },
+    /// A stabilized node's predecessor is not its cyclic predecessor.
+    WrongPredecessor {
+        /// The node with the bad pointer.
+        node: u64,
+        /// What it believes.
+        got: Option<u64>,
+        /// The true cyclic predecessor.
+        want: u64,
+    },
+    /// A key is claimed by zero or several owners after stabilization.
+    OwnerMismatch {
+        /// The key.
+        key: u64,
+        /// Every node claiming `key ∈ (predecessor, self]`.
+        claimed: Vec<u64>,
+        /// The ideal owner (successor of the key).
+        ideal: u64,
+    },
+    /// Lookup from some start disagrees with the ideal owner.
+    LookupMismatch {
+        /// The key.
+        key: u64,
+        /// Where the lookup started.
+        start: u64,
+        /// What the traversal returned.
+        got: Option<u64>,
+        /// The ideal owner.
+        ideal: u64,
+    },
+    /// Stabilization failed to reach a fixpoint within the round cap.
+    Unconverged {
+        /// Rounds executed before giving up.
+        rounds: usize,
+    },
+}
+
+/// Per-node protocol state: what this node *believes* about the ring.
+#[derive(Debug, Clone, PartialEq)]
+struct NodeState {
+    /// Successor list, best candidate first.
+    successors: Vec<u64>,
+    /// Predecessor pointer (`None` until notified).
+    predecessor: Option<u64>,
+}
+
+/// `x ∈ (a, b)` clockwise on the identifier ring, both ends excluded.
+/// `a == b` denotes the full circle minus the endpoint.
+fn between(a: u64, x: u64, b: u64) -> bool {
+    match a.cmp(&b) {
+        std::cmp::Ordering::Equal => x != a,
+        std::cmp::Ordering::Less => a < x && x < b,
+        std::cmp::Ordering::Greater => x > a || x < b,
+    }
+}
+
+/// The executable ring-maintenance model.
+#[derive(Debug, Clone)]
+pub struct ChordModel {
+    nodes: BTreeMap<u64, NodeState>,
+    r: usize,
+}
+
+impl ChordModel {
+    /// An empty model with successor lists of length `r` (≥ 1).
+    pub fn new(r: usize) -> ChordModel {
+        ChordModel {
+            nodes: BTreeMap::new(),
+            r: r.max(1),
+        }
+    }
+
+    /// Number of live members.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the model has no members.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Live member identifiers, ascending.
+    pub fn members(&self) -> Vec<u64> {
+        self.nodes.keys().copied().collect()
+    }
+
+    /// The ideal owner of `key`: the first member at-or-after it,
+    /// wrapping — Chord's `successor(key)`.
+    pub fn ideal_owner(&self, key: u64) -> Option<u64> {
+        self.nodes
+            .range(key..)
+            .next()
+            .or_else(|| self.nodes.iter().next())
+            .map(|(&n, _)| n)
+    }
+
+    /// A node joins. The first node bootstraps a one-node ring; later
+    /// joiners set their successor by a lookup through the existing
+    /// members and start as appendages (no predecessor, list of one).
+    /// Returns `false` (no-op) if the identifier is already a member.
+    pub fn join(&mut self, id: u64) -> bool {
+        if self.nodes.contains_key(&id) {
+            return false;
+        }
+        if self.nodes.is_empty() {
+            self.nodes.insert(
+                id,
+                NodeState {
+                    successors: vec![id],
+                    predecessor: Some(id),
+                },
+            );
+            return true;
+        }
+        let succ = match self.ideal_owner(id) {
+            Some(s) => s,
+            None => return false,
+        };
+        self.nodes.insert(
+            id,
+            NodeState {
+                successors: vec![succ],
+                predecessor: None,
+            },
+        );
+        true
+    }
+
+    /// Whether removing `id` would strand a survivor (leave some node's
+    /// successor list without a single live entry) — the situation
+    /// Zave's "< r failures between stabilizations" assumption rules
+    /// out.
+    fn removal_strands(&self, id: u64) -> bool {
+        self.nodes.iter().any(|(&n, st)| {
+            n != id
+                && !st
+                    .successors
+                    .iter()
+                    .any(|s| *s != id && self.nodes.contains_key(s))
+        })
+    }
+
+    /// Graceful departure: the member announces it, so every survivor
+    /// purges it from lists and predecessor pointers immediately.
+    /// Refused (`false`) for non-members, the last member, and
+    /// departures that would strand a survivor.
+    pub fn leave(&mut self, id: u64) -> bool {
+        if !self.nodes.contains_key(&id) || self.nodes.len() == 1 || self.removal_strands(id) {
+            return false;
+        }
+        self.nodes.remove(&id);
+        for st in self.nodes.values_mut() {
+            st.successors.retain(|&s| s != id);
+            if st.predecessor == Some(id) {
+                st.predecessor = None;
+            }
+        }
+        true
+    }
+
+    /// Silent failure (`kill -9`): the member vanishes, survivors keep
+    /// stale pointers until stabilization flushes them. Refused under
+    /// the same conditions as [`ChordModel::leave`] — a crash that
+    /// strands a survivor violates the protocol's stated assumption,
+    /// not an invariant.
+    pub fn crash(&mut self, id: u64) -> bool {
+        if !self.nodes.contains_key(&id) || self.nodes.len() == 1 || self.removal_strands(id) {
+            return false;
+        }
+        self.nodes.remove(&id);
+        true
+    }
+
+    /// One stabilize/rectify pass for `n`. Returns whether any state
+    /// changed.
+    fn stabilize_node(&mut self, n: u64) -> bool {
+        let Some(state) = self.nodes.get(&n).cloned() else {
+            return false;
+        };
+        let mut changed = false;
+        // Flush: the best *live* successor. An empty flushed list can
+        // only mean n is alone (op guards refuse stranding removals).
+        let mut s = state
+            .successors
+            .iter()
+            .copied()
+            .find(|e| self.nodes.contains_key(e))
+            .unwrap_or(n);
+        // Rectify toward s's predecessor when it sits between us.
+        if let Some(p) = self.nodes.get(&s).and_then(|st| st.predecessor) {
+            if p != n && self.nodes.contains_key(&p) && between(n, p, s) {
+                s = p;
+            }
+        }
+        // Reconcile: our list becomes s followed by s's list (flushed,
+        // deduplicated, never ourselves), truncated to r.
+        let mut list = vec![s];
+        if let Some(sstate) = self.nodes.get(&s) {
+            for &e in &sstate.successors {
+                if list.len() >= self.r {
+                    break;
+                }
+                if e != n && self.nodes.contains_key(&e) && !list.contains(&e) {
+                    list.push(e);
+                }
+            }
+        }
+        if list != state.successors {
+            if let Some(st) = self.nodes.get_mut(&n) {
+                st.successors = list;
+            }
+            changed = true;
+        }
+        // Notify: s adopts us as predecessor if its pointer is unset,
+        // dead, or further away.
+        let adopt = match self.nodes.get(&s).and_then(|st| st.predecessor) {
+            None => true,
+            Some(p) if !self.nodes.contains_key(&p) => true,
+            Some(p) => p != n && between(p, n, s),
+        };
+        if adopt && self.nodes.get(&s).and_then(|st| st.predecessor) != Some(n) {
+            if let Some(st) = self.nodes.get_mut(&s) {
+                st.predecessor = Some(n);
+            }
+            changed = true;
+        }
+        changed
+    }
+
+    /// Runs stabilization rounds (every node, ascending) to a fixpoint.
+    /// Returns the rounds used, or [`Violation::Unconverged`] when the
+    /// cap (`2·members + 4`) is exhausted — convergence within linear
+    /// rounds is itself part of the protocol's contract.
+    pub fn stabilize_all(&mut self) -> Result<usize, Violation> {
+        let cap = 2 * self.nodes.len() + 4;
+        for round in 1..=cap {
+            let mut changed = false;
+            let ids: Vec<u64> = self.nodes.keys().copied().collect();
+            for n in ids {
+                changed |= self.stabilize_node(n);
+            }
+            if !changed {
+                return Ok(round);
+            }
+        }
+        Err(Violation::Unconverged { rounds: cap })
+    }
+
+    /// First live entry of `n`'s successor list.
+    fn live_successor(&self, n: u64) -> Option<u64> {
+        self.nodes
+            .get(&n)?
+            .successors
+            .iter()
+            .copied()
+            .find(|s| self.nodes.contains_key(s))
+    }
+
+    /// Chord lookup: walk successors from `start` until `key` falls in
+    /// `(current, successor]`. Bounded by twice the member count;
+    /// `None` when the walk exhausts (possible mid-churn, never after
+    /// stabilization).
+    pub fn lookup(&self, start: u64, key: u64) -> Option<u64> {
+        let mut cur = start;
+        for _ in 0..(2 * self.nodes.len() + 2) {
+            let s = self.live_successor(cur)?;
+            if s == cur {
+                return Some(cur);
+            }
+            if between(cur, key, s) || key == s {
+                return Some(s);
+            }
+            cur = s;
+        }
+        None
+    }
+
+    /// The cycles of the first-live-successor graph, each as a node
+    /// sequence in walk order. Errors with [`Violation::Disconnected`]
+    /// when some node has no live successor.
+    fn cycles(&self) -> Result<Vec<Vec<u64>>, Violation> {
+        let mut succ: BTreeMap<u64, u64> = BTreeMap::new();
+        for &n in self.nodes.keys() {
+            match self.live_successor(n) {
+                Some(s) => {
+                    succ.insert(n, s);
+                }
+                None => return Err(Violation::Disconnected { node: n }),
+            }
+        }
+        let mut visited: HashSet<u64> = HashSet::new();
+        let mut cycles = Vec::new();
+        for &start in succ.keys() {
+            if visited.contains(&start) {
+                continue;
+            }
+            let mut path = Vec::new();
+            let mut pos: HashMap<u64, usize> = HashMap::new();
+            let mut cur = start;
+            loop {
+                if let Some(&i) = pos.get(&cur) {
+                    cycles.push(path[i..].to_vec());
+                    break;
+                }
+                if visited.contains(&cur) {
+                    break; // merged into an already-explored walk
+                }
+                pos.insert(cur, path.len());
+                path.push(cur);
+                cur = succ[&cur];
+            }
+            visited.extend(path);
+        }
+        Ok(cycles)
+    }
+
+    /// The always-invariants, valid mid-churn: every node has a live
+    /// successor, the successor graph has exactly one cycle, and that
+    /// cycle is ordered. (Appendages are legal here — a joiner is one
+    /// until stabilization splices it in.)
+    pub fn check_ring(&self) -> Result<(), Violation> {
+        if self.nodes.is_empty() {
+            return Ok(());
+        }
+        let cycles = self.cycles()?;
+        if cycles.len() != 1 {
+            return Err(Violation::MultipleRings {
+                count: cycles.len(),
+            });
+        }
+        let cycle = &cycles[0];
+        if cycle.len() > 1 {
+            let min_pos = cycle
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &v)| v)
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            let mut rotated = cycle[min_pos..].to_vec();
+            rotated.extend_from_slice(&cycle[..min_pos]);
+            if !rotated.windows(2).all(|w| w[0] < w[1]) {
+                return Err(Violation::UnorderedRing { cycle: rotated });
+            }
+        }
+        Ok(())
+    }
+
+    /// The full post-stabilization contract: the cycle contains every
+    /// member (no appendages), predecessors are the cyclic
+    /// predecessors, and for each key in `keys` exactly one node claims
+    /// it — the ideal owner — with lookup from every start agreeing.
+    pub fn check_stable(&self, keys: &[u64]) -> Result<(), Violation> {
+        if self.nodes.is_empty() {
+            return Ok(());
+        }
+        self.check_ring()?;
+        let cycle: HashSet<u64> = self.cycles()?.remove(0).into_iter().collect();
+        if let Some(&node) = self.nodes.keys().find(|n| !cycle.contains(n)) {
+            return Err(Violation::Appendage { node });
+        }
+        let members = self.members();
+        for (i, &n) in members.iter().enumerate() {
+            let want = members[(i + members.len() - 1) % members.len()];
+            let got = self.nodes[&n].predecessor;
+            if got != Some(want) && members.len() > 1 {
+                return Err(Violation::WrongPredecessor { node: n, got, want });
+            }
+        }
+        for &key in keys {
+            let Some(ideal) = self.ideal_owner(key) else {
+                continue;
+            };
+            let claimed: Vec<u64> = members
+                .iter()
+                .copied()
+                .filter(|&m| {
+                    let pred = self.nodes[&m].predecessor.unwrap_or(m);
+                    key == m || between(pred, key, m)
+                })
+                .collect();
+            if claimed != vec![ideal] {
+                return Err(Violation::OwnerMismatch {
+                    key,
+                    claimed,
+                    ideal,
+                });
+            }
+            for &start in &members {
+                let got = self.lookup(start, key);
+                if got != Some(ideal) {
+                    return Err(Violation::LookupMismatch {
+                        key,
+                        start,
+                        got,
+                        ideal,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A replay failure: which step of the history broke which invariant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistoryFailure {
+    /// Index into the history (`ops.len()` for the final convergence
+    /// check appended by [`run_history`]).
+    pub step: usize,
+    /// The operation at that step.
+    pub op: ChordOp,
+    /// The invariant that broke.
+    pub violation: Violation,
+}
+
+/// Replays a history through a fresh model: the always-invariants are
+/// checked after **every** op, the full ownership contract after every
+/// `Stabilize` and once more at the end. Keys recorded by `Lookup` ops
+/// (plus every member identifier) feed the ownership checks.
+pub fn run_history(r: usize, ops: &[ChordOp]) -> Result<(), HistoryFailure> {
+    let mut model = ChordModel::new(r);
+    let mut keys: Vec<u64> = vec![0, u64::MAX / 2, u64::MAX];
+    let check_full = |model: &mut ChordModel, step: usize, op: ChordOp, keys: &[u64]| {
+        let mut sample = keys.to_vec();
+        sample.extend(model.members());
+        model
+            .stabilize_all()
+            .and_then(|_| model.check_stable(&sample))
+            .map_err(|violation| HistoryFailure {
+                step,
+                op,
+                violation,
+            })
+    };
+    for (step, &op) in ops.iter().enumerate() {
+        match op {
+            ChordOp::Join(id) => {
+                model.join(id);
+            }
+            ChordOp::Leave(id) => {
+                model.leave(id);
+            }
+            ChordOp::Crash(id) => {
+                model.crash(id);
+            }
+            ChordOp::Lookup(key) => keys.push(key),
+            ChordOp::Stabilize => check_full(&mut model, step, op, &keys)?,
+        }
+        model.check_ring().map_err(|violation| HistoryFailure {
+            step,
+            op,
+            violation,
+        })?;
+    }
+    check_full(&mut model, ops.len(), ChordOp::Stabilize, &keys)
+}
+
+/// Greedy delta-debugging shrink: repeatedly drops single ops while the
+/// predicate still fails, to a fixpoint. The vendored proptest shim has
+/// no shrinking, so violating histories are minimized here before being
+/// reported. The predicate returns `true` when a history *fails*.
+pub fn shrink_history(ops: &[ChordOp], fails: impl Fn(&[ChordOp]) -> bool) -> Vec<ChordOp> {
+    let mut best = ops.to_vec();
+    if !fails(&best) {
+        return best;
+    }
+    loop {
+        let mut improved = false;
+        let mut i = 0;
+        while i < best.len() {
+            let mut candidate = best.clone();
+            candidate.remove(i);
+            if fails(&candidate) {
+                best = candidate;
+                improved = true;
+            } else {
+                i += 1;
+            }
+        }
+        if !improved {
+            return best;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring_of(ids: &[u64]) -> ChordModel {
+        let mut m = ChordModel::new(SUCCESSOR_LIST_LEN);
+        for &id in ids {
+            assert!(m.join(id));
+        }
+        m.stabilize_all().unwrap();
+        m
+    }
+
+    #[test]
+    fn bootstrap_and_joins_converge() {
+        let m = ring_of(&[50, 10, 30, 90, 70]);
+        let keys: Vec<u64> = (0..100).map(|i| i * 997).collect();
+        m.check_stable(&keys).unwrap();
+        assert_eq!(m.ideal_owner(15), Some(30));
+        assert_eq!(m.ideal_owner(95), Some(10), "wraps past the top");
+    }
+
+    #[test]
+    fn appendage_is_legal_until_stabilized_then_spliced() {
+        let mut m = ring_of(&[10, 20, 30]);
+        m.join(25);
+        // Mid-churn: one ring, the joiner hangs off it.
+        m.check_ring().unwrap();
+        assert!(matches!(
+            m.check_stable(&[]),
+            Err(Violation::Appendage { node: 25 } | Violation::WrongPredecessor { .. })
+        ));
+        m.stabilize_all().unwrap();
+        m.check_stable(&[5, 15, 22, 27, 95]).unwrap();
+    }
+
+    #[test]
+    fn crashes_heal_within_the_successor_budget() {
+        let mut m = ring_of(&[10, 20, 30, 40, 50, 60]);
+        // r = 3 tolerates two silent failures between stabilizations.
+        assert!(m.crash(20));
+        assert!(m.crash(30));
+        m.check_ring().unwrap();
+        m.stabilize_all().unwrap();
+        m.check_stable(&[15, 25, 35, 45]).unwrap();
+        assert_eq!(m.ideal_owner(25), Some(40));
+    }
+
+    #[test]
+    fn stranding_crashes_are_refused() {
+        let mut m = ring_of(&[10, 20, 30]);
+        assert!(m.crash(20));
+        // 30 is now 10's only live successor (and vice versa): killing
+        // it would strand the other — the model refuses, mirroring the
+        // protocol's < r-failures assumption.
+        assert!(!m.crash(30) || !m.crash(10));
+        assert!(m.len() >= 2 || m.check_ring().is_ok());
+    }
+
+    #[test]
+    fn graceful_leave_purges_immediately() {
+        let mut m = ring_of(&[10, 20, 30, 40]);
+        assert!(m.leave(30));
+        m.check_ring().unwrap();
+        m.stabilize_all().unwrap();
+        m.check_stable(&[25, 35]).unwrap();
+        assert_eq!(m.ideal_owner(25), Some(40));
+    }
+
+    #[test]
+    fn shrinker_minimizes_against_a_predicate() {
+        // Synthetic predicate: a history "fails" iff it contains a
+        // crash after a join. The minimal such history is two ops.
+        let ops = vec![
+            ChordOp::Join(1),
+            ChordOp::Stabilize,
+            ChordOp::Join(2),
+            ChordOp::Lookup(7),
+            ChordOp::Crash(2),
+            ChordOp::Stabilize,
+        ];
+        let fails = |h: &[ChordOp]| {
+            let join = h.iter().position(|o| matches!(o, ChordOp::Join(_)));
+            let crash = h.iter().rposition(|o| matches!(o, ChordOp::Crash(_)));
+            matches!((join, crash), (Some(j), Some(c)) if j < c)
+        };
+        let minimal = shrink_history(&ops, fails);
+        assert_eq!(minimal.len(), 2, "{minimal:?}");
+        assert!(fails(&minimal));
+    }
+
+    #[test]
+    fn run_history_accepts_a_churny_schedule() {
+        let ops = vec![
+            ChordOp::Join(100),
+            ChordOp::Join(40),
+            ChordOp::Stabilize,
+            ChordOp::Join(70),
+            ChordOp::Join(10),
+            ChordOp::Lookup(55),
+            ChordOp::Stabilize,
+            ChordOp::Crash(40),
+            ChordOp::Join(85),
+            ChordOp::Stabilize,
+            ChordOp::Leave(10),
+            ChordOp::Lookup(3),
+            ChordOp::Stabilize,
+        ];
+        run_history(SUCCESSOR_LIST_LEN, &ops).unwrap();
+    }
+}

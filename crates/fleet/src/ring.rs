@@ -1,0 +1,175 @@
+//! The placement ring: which node owns which session.
+//!
+//! Placement follows Chord's `successor(k)` rule: node indices and
+//! session ids are hashed onto one 64-bit ring
+//! ([`sap_core::placement::ring_point`]), and a session is owned by the
+//! first node clockwise at-or-after its point. Every node computes the
+//! same owner from the same membership view, so ownership needs no
+//! coordination beyond membership itself.
+//!
+//! The fleet runtime holds a full membership view per node (all nodes
+//! share one process and one liveness plane), so [`HashRing`] is the
+//! *ideal* ring over the alive set. The decentralized repair protocol
+//! that makes such a view converge under churn is modeled and
+//! property-tested separately in [`crate::chord`]; its stabilized
+//! ownership coincides with this ring's (`tests/fleet_ring.rs` pins
+//! that agreement).
+
+use sap_core::placement::{ring_point, session_point};
+use sap_net::SessionId;
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+/// Salt mixed into node indices before hashing, so a node's ring point
+/// never collides with the point of a session id equal to its index
+/// (both spaces are dense small integers).
+const NODE_SALT: u64 = 0x4E0D_E5A1_0000_0000;
+
+/// A fleet node's point on the placement ring.
+pub fn node_point(node: usize) -> u64 {
+    ring_point(node as u64 ^ NODE_SALT)
+}
+
+/// A consistent-hashing ring over fleet node indices.
+///
+/// Rebuilt from the membership view on demand — the ring is a pure
+/// function of the alive set, never incrementally mutated state that
+/// could drift from it.
+#[derive(Debug, Clone, Default)]
+pub struct HashRing {
+    points: BTreeMap<u64, usize>,
+}
+
+impl HashRing {
+    /// Builds the ring of the given members.
+    pub fn from_members(members: impl IntoIterator<Item = usize>) -> HashRing {
+        HashRing {
+            points: members.into_iter().map(|n| (node_point(n), n)).collect(),
+        }
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the ring has no members.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Whether `node` is a member.
+    pub fn contains(&self, node: usize) -> bool {
+        self.points.get(&node_point(node)) == Some(&node)
+    }
+
+    /// The owner of a ring point: the first member at-or-after it,
+    /// wrapping (Chord's `successor(k)`). `None` on an empty ring.
+    pub fn owner_of_point(&self, point: u64) -> Option<usize> {
+        self.points
+            .range(point..)
+            .next()
+            .or_else(|| self.points.iter().next())
+            .map(|(_, &n)| n)
+    }
+
+    /// The owner of a session.
+    pub fn owner_of(&self, id: SessionId) -> Option<usize> {
+        self.owner_of_point(session_point(id))
+    }
+
+    /// The ring successor of a member (wrapping; the member itself on a
+    /// one-node ring). `None` when `node` is not a member.
+    pub fn successor(&self, node: usize) -> Option<usize> {
+        if !self.contains(node) {
+            return None;
+        }
+        let p = node_point(node);
+        self.points
+            .range((Bound::Excluded(p), Bound::Unbounded))
+            .next()
+            .or_else(|| self.points.iter().next())
+            .map(|(_, &n)| n)
+    }
+
+    /// Next hop when routing a frame from `from` toward `dest`:
+    /// successor hops walk the whole ring, so they reach every member
+    /// regardless of where the frame enters. A sender that is not (or
+    /// no longer) a member short-circuits straight to `dest`. `None`
+    /// when `dest` is not a member (the frame has nowhere to go).
+    pub fn next_hop(&self, from: usize, dest: usize) -> Option<usize> {
+        if !self.contains(dest) {
+            return None;
+        }
+        if from == dest || !self.contains(from) {
+            return Some(dest);
+        }
+        self.successor(from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ownership_is_total_and_stable() {
+        let ring = HashRing::from_members(0..4);
+        assert_eq!(ring.len(), 4);
+        for raw in 1..200u64 {
+            let owner = ring.owner_of(SessionId(raw)).unwrap();
+            assert!(owner < 4);
+            // Same id, same owner, every time.
+            assert_eq!(ring.owner_of(SessionId(raw)), Some(owner));
+        }
+    }
+
+    #[test]
+    fn removal_only_moves_the_removed_nodes_keys() {
+        let full = HashRing::from_members(0..4);
+        let smaller = HashRing::from_members((0..4).filter(|&n| n != 2));
+        for raw in 1..500u64 {
+            let before = full.owner_of(SessionId(raw)).unwrap();
+            let after = smaller.owner_of(SessionId(raw)).unwrap();
+            if before != 2 {
+                assert_eq!(before, after, "id {raw} moved without cause");
+            } else {
+                assert_ne!(after, 2);
+            }
+        }
+    }
+
+    #[test]
+    fn successor_hops_visit_every_member() {
+        let ring = HashRing::from_members(0..5);
+        let mut seen = vec![0usize];
+        let mut cur = 0;
+        for _ in 0..5 {
+            cur = ring.successor(cur).unwrap();
+            seen.push(cur);
+        }
+        assert_eq!(cur, 0, "five hops must wrap a five-node ring");
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn next_hop_reaches_dest() {
+        let ring = HashRing::from_members(0..6);
+        for from in 0..6 {
+            for dest in 0..6 {
+                let mut cur = from;
+                let mut hops = 0;
+                while cur != dest {
+                    cur = ring.next_hop(cur, dest).unwrap();
+                    hops += 1;
+                    assert!(hops <= 6, "routing loop {from}->{dest}");
+                }
+            }
+        }
+        // Non-members short-circuit; unknown destinations fail.
+        assert_eq!(ring.next_hop(99, 3), Some(3));
+        assert_eq!(ring.next_hop(0, 99), None);
+    }
+}

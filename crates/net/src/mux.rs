@@ -78,6 +78,11 @@ pub struct MuxMetrics {
     /// Inbound frames dropped because their session id was unknown
     /// (including frames too short to carry a v3 envelope).
     pub unknown_session_dropped: u64,
+    /// Inbound frames with no local route that a forwarding hook
+    /// ([`SessionMux::set_forwarder`]) relayed — still sealed, never
+    /// decoded — to another physical peer (a fleet's inter-node
+    /// forwarding path).
+    pub frames_forwarded: u64,
     /// Inbound frames shed because the owning session's queue stayed full
     /// past the stall budget.
     pub shed_frames: u64,
@@ -106,6 +111,7 @@ struct MetricCells {
     frames_sent: AtomicU64,
     bytes_sent: AtomicU64,
     unknown_session_dropped: AtomicU64,
+    frames_forwarded: AtomicU64,
     shed_frames: AtomicU64,
     sessions_opened: AtomicU64,
     peers_down: AtomicU64,
@@ -122,6 +128,7 @@ impl MetricCells {
             frames_sent: self.frames_sent.load(Ordering::Relaxed),
             bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
             unknown_session_dropped: self.unknown_session_dropped.load(Ordering::Relaxed),
+            frames_forwarded: self.frames_forwarded.load(Ordering::Relaxed),
             shed_frames: self.shed_frames.load(Ordering::Relaxed),
             sessions_opened: self.sessions_opened.load(Ordering::Relaxed),
             peers_down: self.peers_down.load(Ordering::Relaxed),
@@ -169,10 +176,16 @@ impl Liveness {
     }
 }
 
+/// The routing decision a forwarding hook returns for a frame with no
+/// local route: the physical peer to relay the (still sealed) bytes to,
+/// or `None` to drop it as unknown.
+pub type Forwarder = dyn Fn(PartyId, SessionId, &Bytes) -> Option<PartyId> + Send + Sync;
+
 struct MuxShared<T: Transport> {
     inner: T,
     routes: Mutex<HashMap<SessionId, Route>>,
     liveness: Mutex<Option<Liveness>>,
+    forwarder: Mutex<Option<Arc<Forwarder>>>,
     metrics: MetricCells,
     queue_depth: usize,
     next_generation: AtomicU64,
@@ -378,6 +391,7 @@ impl<T: Transport + 'static> SessionMux<T> {
             inner,
             routes: Mutex::new(HashMap::new()),
             liveness: Mutex::new(None),
+            forwarder: Mutex::new(None),
             metrics: MetricCells::default(),
             queue_depth,
             next_generation: AtomicU64::new(1),
@@ -448,6 +462,32 @@ impl<T: Transport + 'static> SessionMux<T> {
     /// A snapshot of the mux's traffic counters.
     pub fn metrics(&self) -> MuxMetrics {
         self.shared.metrics.snapshot()
+    }
+
+    /// Installs the forwarding hook consulted for inbound frames whose
+    /// session has no local route (replacing any previous hook).
+    ///
+    /// The hook sees `(from, session, sealed bytes)` and returns the
+    /// physical peer to relay the frame to — still sealed, never decoded
+    /// — or `None` to drop it as unknown. Returning the mux's own party
+    /// id also drops the frame (a self-hop would loop). The hook runs on
+    /// the pump thread: keep it cheap (a ring lookup), never block in
+    /// it, and never call back into this mux from it.
+    ///
+    /// This is the fleet's inter-node forwarding path: a node that is
+    /// not a session's owner relays the session's frames one hop toward
+    /// the owner, Chord-style, and only the owner ever opens them.
+    pub fn set_forwarder(
+        &self,
+        hook: impl Fn(PartyId, SessionId, &Bytes) -> Option<PartyId> + Send + Sync + 'static,
+    ) {
+        *self.shared.forwarder.lock() = Some(Arc::new(hook));
+    }
+
+    /// Removes the forwarding hook; unrouted frames are dropped (and
+    /// counted unknown) again.
+    pub fn clear_forwarder(&self) {
+        *self.shared.forwarder.lock() = None;
     }
 
     /// Asks the pump thread to exit. A loopback wake frame (a heartbeat to
@@ -655,10 +695,40 @@ fn pump_loop<T: Transport>(shared: &MuxShared<T>) {
             routes.get(&session).map(|r| (r.generation, r.tx.clone()))
         };
         let Some((generation, tx)) = route else {
-            shared
-                .metrics
-                .unknown_session_dropped
-                .fetch_add(1, Ordering::Relaxed);
+            // No local route: offer the frame to the forwarding hook
+            // before counting it unknown. The hook only picks the next
+            // physical hop — the sealed bytes are relayed as-is, never
+            // decoded here (the fleet's zero-decode inter-node relay,
+            // same idiom as `sap-core`'s anonymizing block relay).
+            let forward = shared.forwarder.lock().clone();
+            let next_hop = forward.and_then(|f| f(from, session, &payload));
+            match next_hop {
+                Some(hop) if hop != shared.inner.local_id() => {
+                    match shared.inner.send(hop, payload) {
+                        Ok(()) => {
+                            shared
+                                .metrics
+                                .frames_forwarded
+                                .fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(_) => {
+                            // The hop is unreachable (dead or gone): the
+                            // frame is lost exactly like an unknown one;
+                            // the sender's liveness plane owns recovery.
+                            shared
+                                .metrics
+                                .unknown_session_dropped
+                                .fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                _ => {
+                    shared
+                        .metrics
+                        .unknown_session_dropped
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+            }
             continue;
         };
         shared.deliver(session, generation, &tx, MuxItem::Frame(from, payload));
@@ -829,6 +899,70 @@ mod tests {
         let (_, got): (PartyId, u32) = b1.recv_msg_timeout(WAIT).unwrap();
         assert_eq!(got, 2);
         assert_eq!(m2.metrics().unknown_session_dropped, 1);
+    }
+
+    #[test]
+    fn forwarder_relays_unrouted_frames_without_decoding() {
+        use crate::crypto::ChannelKey;
+        use crate::frame::{open_frame, seal_frame, Frame, FrameKind};
+
+        let hub = InMemoryHub::new();
+        let a = hub.endpoint(PartyId(1));
+        let relay = SessionMux::new(hub.endpoint(PartyId(2)));
+        let owner = SessionMux::new(hub.endpoint(PartyId(3)));
+        let session = SessionId(77);
+
+        // The relay mux never opens session 77; its hook routes the
+        // frame one hop onward. Frames of other sessions stay unknown.
+        relay.set_forwarder(move |_, s, _| (s == session).then_some(PartyId(3)));
+        let owner_ep = owner.open_session(session).unwrap();
+
+        let key = ChannelKey::derive(9, 77, 77);
+        let sealed = seal_frame(
+            key,
+            1,
+            session,
+            &Frame {
+                kind: FrameKind::Control,
+                msg_id: 1,
+                seq: 0,
+                last: true,
+                payload: Bytes::from_static(b"fleet"),
+            },
+        );
+        a.send(PartyId(2), sealed.clone()).unwrap();
+
+        let (from, bytes) = owner_ep.recv_timeout(WAIT).unwrap();
+        // The physical sender is the relaying hop; the sealed bytes are
+        // untouched, so the owner opens them under the original key.
+        assert_eq!(from, PartyId(2));
+        assert_eq!(bytes, sealed);
+        let (s, frame) = open_frame(key, &bytes).unwrap();
+        assert_eq!(s, session);
+        assert_eq!(&frame.payload[..], b"fleet");
+        assert_eq!(relay.metrics().frames_forwarded, 1);
+        assert_eq!(relay.metrics().unknown_session_dropped, 0);
+
+        // A frame of a session the hook disowns is dropped as unknown.
+        let stray = seal_frame(
+            key,
+            2,
+            SessionId(78),
+            &Frame {
+                kind: FrameKind::Control,
+                msg_id: 2,
+                seq: 0,
+                last: true,
+                payload: Bytes::from_static(b"stray"),
+            },
+        );
+        a.send(PartyId(2), stray).unwrap();
+        let deadline = Instant::now() + WAIT;
+        while relay.metrics().unknown_session_dropped == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(relay.metrics().unknown_session_dropped, 1);
+        assert_eq!(relay.metrics().frames_forwarded, 1);
     }
 
     #[test]

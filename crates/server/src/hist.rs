@@ -205,6 +205,43 @@ mod tests {
     }
 
     #[test]
+    fn saturating_bucket_and_sum_never_wrap() {
+        let mut h = LatencyHistogram::new();
+        // Durations beyond the last bucket's range all land in bucket 63
+        // and the running sum saturates instead of wrapping.
+        h.record(Duration::MAX);
+        h.record(Duration::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), Duration::from_micros(u64::MAX));
+        // A wrapped sum would read as a tiny mean; saturation keeps it
+        // at the scale of the samples.
+        assert!(h.mean() >= Duration::from_micros(u64::MAX / 4));
+        // Both samples share the saturated top bucket, so every
+        // percentile reads the same clamped value.
+        assert_eq!(h.p50(), h.p999());
+        assert!(h.p999() <= h.max());
+    }
+
+    #[test]
+    fn p999_on_tiny_counts_reads_the_maximum() {
+        // With fewer than 1000 samples the 99.9th-percentile rank is the
+        // last sample: p999 must clamp to the observed maximum, never
+        // overshoot it or fall into a lower bucket.
+        for n in 1..=10u64 {
+            let mut h = LatencyHistogram::new();
+            for i in 0..n {
+                h.record(Duration::from_millis(1 + i));
+            }
+            assert_eq!(h.p999(), h.max(), "tiny count n={n}");
+            assert_eq!(h.percentile(1.0), h.max(), "tiny count n={n}");
+        }
+        // Rank 0 still reads a real sample (rank clamps to 1).
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::from_millis(5));
+        assert!(h.percentile(0.0) > Duration::ZERO);
+    }
+
+    #[test]
     fn class_selector_routes_to_the_right_histogram() {
         let mut l = SessionLatency::default();
         l.class_mut(QosClass::Interactive)

@@ -72,6 +72,7 @@ mod hist;
 
 pub use hist::{ClassLatency, LatencyHistogram, SessionLatency};
 
+use sap_core::placement::IdMinter;
 use sap_core::runtime::{
     ActorPool, QosClass, SchedulerConfig, SessionHandle, SessionStatus, SessionTimings,
 };
@@ -114,6 +115,10 @@ pub enum ServerError {
     Mesh(std::io::Error),
     /// A lane refused the session (duplicate id — a server bug).
     Transport(TransportError),
+    /// [`SapServer::submit_placed`] was given an id that is already
+    /// registered (or reserved): the fleet's placement minted a
+    /// duplicate, or two nodes disagree about ownership.
+    DuplicateSession(SessionId),
 }
 
 impl fmt::Display for ServerError {
@@ -129,6 +134,9 @@ impl fmt::Display for ServerError {
             ServerError::Session(e) => write!(f, "session failed: {e}"),
             ServerError::Mesh(e) => write!(f, "mesh setup failed: {e}"),
             ServerError::Transport(e) => write!(f, "lane error: {e}"),
+            ServerError::DuplicateSession(id) => {
+                write!(f, "{id} is already registered (or reserved)")
+            }
         }
     }
 }
@@ -201,6 +209,14 @@ pub struct ServerConfig {
     /// [`sap_core::runtime::SchedPolicy::Fifo`] restores the pre-QoS
     /// arrival-order admission (the `load_qos` bench baseline).
     pub scheduler: SchedulerConfig,
+    /// First session id this server mints
+    /// ([`sap_core::placement::IdMinter`] base). Fleet node `j` uses
+    /// `j + 1` so every node mints from a disjoint residue class.
+    pub session_id_base: u64,
+    /// Id increment between mints ([`sap_core::placement::IdMinter`]
+    /// stride) — the fleet's node count; `1` for a standalone server
+    /// (the pre-fleet sequence 1, 2, 3, …).
+    pub session_id_stride: u64,
 }
 
 impl Default for ServerConfig {
@@ -217,6 +233,8 @@ impl Default for ServerConfig {
             liveness_misses: sap_net::mux::DEFAULT_LIVENESS_MISSES,
             retry_policy: RetryPolicy::default(),
             scheduler: SchedulerConfig::default(),
+            session_id_base: 1,
+            session_id_stride: 1,
         }
     }
 }
@@ -312,6 +330,19 @@ struct RetryState {
     remaining: u32,
 }
 
+/// One session's stored registration, exported by
+/// [`SapServer::export_registrations`]: everything another node needs to
+/// re-run the session under its original client-facing id.
+#[derive(Debug)]
+pub struct Registration {
+    /// The client-facing session id (stable across the handoff).
+    pub id: SessionId,
+    /// The providers' datasets as submitted.
+    pub locals: Vec<Dataset>,
+    /// The session's protocol configuration.
+    pub config: SapConfig,
+}
+
 struct SessionEntry {
     handle: SessionHandle,
     /// Scheduling class the session was submitted under — keyed here so
@@ -365,7 +396,7 @@ pub struct SapServer<T: Transport + 'static> {
     lanes: Vec<SessionMux<T>>,
     miner_lane: SessionMux<T>,
     registry: Mutex<HashMap<SessionId, SessionEntry>>,
-    next_id: AtomicU64,
+    ids: IdMinter,
     counters: Counters,
     /// Per-class latency histograms (lock order: registry → latency).
     latency: Mutex<SessionLatency>,
@@ -443,7 +474,7 @@ impl<T: Transport + 'static> SapServer<T> {
             lanes,
             miner_lane,
             registry: Mutex::new(HashMap::new()),
-            next_id: AtomicU64::new(1),
+            ids: IdMinter::new(config.session_id_base, config.session_id_stride),
             counters: Counters::default(),
             latency: Mutex::new(SessionLatency::default()),
             config,
@@ -483,6 +514,54 @@ impl<T: Transport + 'static> SapServer<T> {
         locals: Vec<Dataset>,
         session_config: &SapConfig,
     ) -> Result<SessionId, ServerError> {
+        self.admit(None, locals, session_config)
+    }
+
+    /// [`SapServer::submit`] under a **caller-chosen** session id — the
+    /// fleet's placement path, where the id was minted (and hashed onto
+    /// the placement ring) before the owning node was even known. The
+    /// id must come from a fleet-unique minter
+    /// ([`sap_core::placement::IdMinter`]); reserved ids and ids already
+    /// registered here are refused.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`SapServer::submit`] returns, plus
+    /// [`ServerError::DuplicateSession`] when `id` is reserved
+    /// ([`SessionId::SOLO`], [`SessionId::LIVENESS`], the control range)
+    /// or already registered.
+    pub fn submit_placed(
+        &self,
+        id: SessionId,
+        locals: Vec<Dataset>,
+        session_config: &SapConfig,
+    ) -> Result<SessionId, ServerError> {
+        if id == SessionId::SOLO
+            || id == SessionId::LIVENESS
+            || id.0 >= sap_core::placement::CONTROL_BASE
+        {
+            return Err(ServerError::DuplicateSession(id));
+        }
+        self.admit(Some(id), locals, session_config)
+    }
+
+    /// Mints the next session id from this server's minter **without**
+    /// registering anything. The fleet's gateway path uses this: ids
+    /// minted here and ids this server mints internally (submissions,
+    /// retry wire ids) share one sequence, so a gateway-minted id can
+    /// never collide with the node's own.
+    pub fn mint_session_id(&self) -> SessionId {
+        self.ids.mint()
+    }
+
+    /// Shared admission body of [`SapServer::submit`] (id minted here)
+    /// and [`SapServer::submit_placed`] (id chosen by the fleet).
+    fn admit(
+        &self,
+        placed: Option<SessionId>,
+        locals: Vec<Dataset>,
+        session_config: &SapConfig,
+    ) -> Result<SessionId, ServerError> {
         let k = locals.len();
         if k > self.lanes.len() {
             return Err(ServerError::TooManyParties {
@@ -494,6 +573,11 @@ impl<T: Transport + 'static> SapServer<T> {
         // insert: concurrent submits must not both observe the same free
         // slot (check-then-act race).
         let mut registry = self.registry.lock().expect("registry lock");
+        if let Some(id) = placed {
+            if registry.contains_key(&id) {
+                return Err(ServerError::DuplicateSession(id));
+            }
+        }
         let live = registry
             .values()
             .filter(|e| matches!(e.handle.poll(), SessionStatus::Running { .. }))
@@ -504,7 +588,7 @@ impl<T: Transport + 'static> SapServer<T> {
             return Err(ServerError::Overloaded { live, limit });
         }
 
-        let id = SessionId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        let id = placed.unwrap_or_else(|| self.ids.mint());
         let retry = (self.config.retry_policy.max_retries > 0).then(|| RetryState {
             locals: locals.clone(),
             config: session_config.clone(),
@@ -643,7 +727,7 @@ impl<T: Transport + 'static> SapServer<T> {
             retry.remaining -= 1;
             (retry.locals.clone(), retry.config.clone())
         };
-        let wire_id = SessionId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        let wire_id = self.ids.mint();
         match self.wire_session(wire_id, locals, &cfg) {
             Ok(handle) => {
                 let installed = {
@@ -671,6 +755,46 @@ impl<T: Transport + 'static> SapServer<T> {
             }
             Err(_) => false,
         }
+    }
+
+    /// Drains every unfinished session whose inputs the retry policy
+    /// retained, returning their registrations for re-placement on
+    /// another node — the export half of an ownership handoff when this
+    /// server's node leaves a fleet.
+    ///
+    /// Each exported session is aborted here (its roles unwind with
+    /// typed errors and its mux routes close); the importing node
+    /// re-runs it from the stored inputs under the **same** client-facing
+    /// id via [`SapServer::submit_placed`] — the same replay contract as
+    /// a peer-failure retry. Finished sessions keep their outcomes here;
+    /// unfinished sessions without stored inputs
+    /// ([`RetryPolicy::max_retries`] = 0) cannot be handed off and are
+    /// left running.
+    pub fn export_registrations(&self) -> Vec<Registration> {
+        let mut registry = self.registry.lock().expect("registry lock");
+        let ids: Vec<SessionId> = registry
+            .iter()
+            .filter(|(_, e)| {
+                e.retry.is_some() && matches!(e.handle.poll(), SessionStatus::Running { .. })
+            })
+            .map(|(&id, _)| id)
+            .collect();
+        let mut exported = Vec::with_capacity(ids.len());
+        for id in ids {
+            let Some(entry) = registry.remove(&id) else {
+                continue;
+            };
+            entry.handle.abort();
+            let Some(retry) = entry.retry else {
+                continue;
+            };
+            exported.push(Registration {
+                id,
+                locals: retry.locals,
+                config: retry.config,
+            });
+        }
+        exported
     }
 
     fn close_routes(&self, id: SessionId, k: usize) {

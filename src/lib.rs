@@ -23,6 +23,8 @@
 //!   runtime.
 //! * [`server`] — the concurrent SAP service: session registry, admission
 //!   control, metrics.
+//! * [`fleet`] — the sharded multi-node service: hash-ring placement,
+//!   node membership on the liveness plane, cross-node forwarding.
 //!
 //! ## One-minute tour
 //!
@@ -44,6 +46,7 @@
 pub use sap_classify as classify;
 pub use sap_core as core;
 pub use sap_datasets as datasets;
+pub use sap_fleet as fleet;
 pub use sap_ica as ica;
 pub use sap_linalg as linalg;
 pub use sap_net as net;

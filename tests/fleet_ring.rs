@@ -1,0 +1,185 @@
+//! Property tests for fleet ring membership: randomized
+//! join/leave/crash/lookup interleavings against the executable Chord
+//! model, checked for Zave's *How to Make Chord Correct* invariants —
+//! at most one ring, ordered ring, connected appendages, and exactly
+//! one owner per key after stabilization.
+//!
+//! The vendored proptest shim does no shrinking, so a violating history
+//! is minimized by the crate's greedy delta-debugging shrinker
+//! ([`shrink_history`]) before being reported.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use sap_repro::core::placement::session_point;
+use sap_repro::fleet::chord::{
+    run_history, shrink_history, ChordModel, ChordOp, SUCCESSOR_LIST_LEN,
+};
+use sap_repro::fleet::ring::{node_point, HashRing};
+use sap_repro::net::SessionId;
+
+/// A bounded random membership history. Crash bursts between
+/// stabilizations stay below the successor-list length — Zave's "< r
+/// failures between stabilizations" assumption, under which the
+/// invariants are required to hold (the model refuses stranding
+/// removals outright, so breaching the budget wastes ops rather than
+/// faking violations).
+fn random_schedule(seed: u64) -> Vec<ChordOp> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ops = Vec::new();
+    let mut members: Vec<u64> = Vec::new();
+    let fresh_id = |rng: &mut StdRng, members: &[u64]| loop {
+        let id = rng.random_range(1..u64::MAX);
+        if !members.contains(&id) {
+            return id;
+        }
+    };
+
+    // Bootstrap a small stabilized core.
+    for _ in 0..rng.random_range(2..5usize) {
+        let id = fresh_id(&mut rng, &members);
+        members.push(id);
+        ops.push(ChordOp::Join(id));
+    }
+    ops.push(ChordOp::Stabilize);
+
+    let mut crashes_since_stabilize = 0usize;
+    for _ in 0..rng.random_range(8..40usize) {
+        match rng.random_range(0..100u32) {
+            0..=29 => {
+                let id = fresh_id(&mut rng, &members);
+                members.push(id);
+                ops.push(ChordOp::Join(id));
+            }
+            30..=44 if members.len() > 2 => {
+                let idx = rng.random_range(0..members.len());
+                ops.push(ChordOp::Leave(members.swap_remove(idx)));
+            }
+            45..=59 if members.len() > 2 => {
+                if crashes_since_stabilize + 1 >= SUCCESSOR_LIST_LEN {
+                    ops.push(ChordOp::Stabilize);
+                    crashes_since_stabilize = 0;
+                }
+                let idx = rng.random_range(0..members.len());
+                ops.push(ChordOp::Crash(members.swap_remove(idx)));
+                crashes_since_stabilize += 1;
+            }
+            60..=79 => {
+                ops.push(ChordOp::Lookup(rng.random_range(0..u64::MAX)));
+            }
+            _ => {
+                ops.push(ChordOp::Stabilize);
+                crashes_since_stabilize = 0;
+            }
+        }
+    }
+    ops
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The tentpole property: any bounded history of joins, graceful
+    /// leaves, silent crashes, and lookups preserves every invariant at
+    /// every step, and full ownership after every stabilization.
+    #[test]
+    fn random_histories_preserve_zave_invariants(seed in any::<u64>()) {
+        let ops = random_schedule(seed);
+        if let Err(failure) = run_history(SUCCESSOR_LIST_LEN, &ops) {
+            let minimal = shrink_history(&ops, |h| {
+                run_history(SUCCESSOR_LIST_LEN, h).is_err()
+            });
+            let witness = run_history(SUCCESSOR_LIST_LEN, &minimal);
+            panic!(
+                "seed {seed}: {failure:?}\nminimal violating history \
+                 ({} of {} ops): {minimal:?}\nminimal failure: {witness:?}",
+                minimal.len(),
+                ops.len(),
+            );
+        }
+    }
+
+    /// The model's stabilized ownership coincides with the fleet's
+    /// [`HashRing`] placement function: for any membership and any
+    /// session id, `successor(hash(id))` names the same node both ways.
+    #[test]
+    fn stabilized_model_agrees_with_the_hash_ring(
+        seed in any::<u64>(),
+        n in 1usize..8,
+    ) {
+        let mut model = ChordModel::new(SUCCESSOR_LIST_LEN);
+        for j in 0..n {
+            prop_assert!(model.join(node_point(j)), "duplicate node point");
+        }
+        model.stabilize_all().map_err(|v| format!("stabilization failed: {v:?}"))?;
+        let ring = HashRing::from_members(0..n);
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..64 {
+            let id = SessionId(rng.random_range(1..u64::MAX));
+            let by_ring = ring.owner_of(id).map(node_point);
+            let by_model = model.ideal_owner(session_point(id));
+            prop_assert_eq!(by_ring, by_model);
+            // And the routed lookup from every start agrees too.
+            for j in 0..n {
+                let looked = model.lookup(node_point(j), session_point(id));
+                prop_assert_eq!(looked, by_model);
+            }
+        }
+    }
+
+    /// Crashing a node only re-homes the keys it owned (consistent
+    /// hashing's minimal-disruption contract), and the survivors'
+    /// stabilized ownership matches the shrunken hash ring.
+    #[test]
+    fn crash_only_moves_the_dead_nodes_keys(seed in any::<u64>(), n in 3usize..8) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut model = ChordModel::new(SUCCESSOR_LIST_LEN);
+        for j in 0..n {
+            model.join(node_point(j));
+        }
+        model.stabilize_all().map_err(|v| format!("bootstrap failed: {v:?}"))?;
+
+        let victim = rng.random_range(0..n);
+        let before = HashRing::from_members(0..n);
+        prop_assert!(model.crash(node_point(victim)), "crash refused");
+        model.stabilize_all().map_err(|v| format!("repair failed: {v:?}"))?;
+        let after = HashRing::from_members((0..n).filter(|&j| j != victim));
+
+        for _ in 0..64 {
+            let id = SessionId(rng.random_range(1..u64::MAX));
+            let owner_before = before.owner_of(id);
+            let owner_after = after.owner_of(id);
+            if owner_before != Some(victim) {
+                prop_assert_eq!(owner_before, owner_after);
+            } else {
+                prop_assert!(owner_after.is_some() && owner_after != Some(victim));
+            }
+            // The healed model agrees with the shrunken ring.
+            prop_assert_eq!(
+                model.ideal_owner(session_point(id)),
+                owner_after.map(node_point)
+            );
+        }
+    }
+}
+
+/// The shrinker really minimizes: a history failing only because of one
+/// specific op pair shrinks to (at most) that pair.
+#[test]
+fn shrinker_produces_minimal_witnesses() {
+    let a = node_point(1);
+    let b = node_point(2);
+    let noise: Vec<ChordOp> = (10..30).map(|j| ChordOp::Lookup(node_point(j))).collect();
+    let mut ops = vec![ChordOp::Join(a)];
+    ops.extend(noise);
+    ops.push(ChordOp::Join(b));
+    ops.push(ChordOp::Stabilize);
+
+    // Predicate: "history still joins both a and b" — stands in for a
+    // failure only those two ops can produce.
+    let minimal = shrink_history(&ops, |h| {
+        h.contains(&ChordOp::Join(a)) && h.contains(&ChordOp::Join(b))
+    });
+    assert_eq!(minimal, vec![ChordOp::Join(a), ChordOp::Join(b)]);
+}
