@@ -1,0 +1,426 @@
+//! Per-kernel microbench suite: packed register-blocked matmul,
+//! bounded-heap top-`k` selection, and the fused perturbation pass —
+//! each against its pinned bit-identical reference, captured into
+//! `BENCH_kernels.json`.
+//!
+//! Three arms, three references (all property-tested equal in
+//! `tests/kernel_equivalence.rs`, so every speedup here is pure
+//! schedule/locality, no semantics):
+//!
+//! * **matmul** — [`sap_linalg::kernel::pack_b`] +
+//!   [`sap_linalg::kernel::matmul_packed_rows`] (the `MR × NR`
+//!   register-blocked microkernel, packing cost included) vs
+//!   [`sap_linalg::kernel::matmul_rows`] (the cache-blocked i-k-j
+//!   reference), at shapes spanning the session rotation (`d×d · d×N`,
+//!   small `d`, wide right factor — the reference's long contiguous
+//!   inner loops are at FP peak and keep it), the optimizer
+//!   candidate-suite, and the record-block regime (`N×d · d×d'`, tall
+//!   and narrow — where the packed kernel wins and `Matrix::matmul`
+//!   routes to it). Reported in GFLOP/s (`2·m·k·n / t`); the gate
+//!   applies to the last shape, in the packed-routing regime.
+//! * **topk** — [`sap_classify::topk::select_k_smallest`] (bounded
+//!   max-heap, `O(n·log k)`) vs
+//!   [`sap_classify::topk::select_k_smallest_reference`] (stable full
+//!   sort + truncate, `O(n·log n)`). Reported in Melem/s.
+//! * **perturb** — `GeometricPerturbation::perturb_records_into` (fused
+//!   rotate+shift+noise, one pass) vs `perturb_records_staged_into`
+//!   (affine pass then noise pass). Reported in Melem/s of output.
+//!
+//! Timing is criterion-style best-of-rounds: each arm runs `rounds`
+//! rounds of `reps` back-to-back iterations and keeps the **minimum**
+//! per-iteration time — the least-noise estimate of the kernel's true
+//! cost on this machine.
+//!
+//! The binary exits non-zero when any kernel misses its gate floor —
+//! the CI-able regression gate (`--scale quick` in ci.yml).
+//!
+//! ```text
+//! cargo run -p sap-bench --release --bin kernel_bench -- [--scale quick|full] [out.json]
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sap_bench::stats;
+use sap_classify::topk::{select_k_smallest, select_k_smallest_reference};
+use sap_linalg::{kernel, randn_matrix};
+use sap_perturb::GeometricPerturbation;
+use std::hint::black_box;
+
+struct Scale {
+    name: &'static str,
+    rounds: usize,
+    /// Matmul shapes `(m, k, n)`; the **last** is the headline/gated one.
+    matmul_shapes: &'static [(usize, usize, usize)],
+    matmul_reps: usize,
+    topk_n: usize,
+    topk_k: usize,
+    topk_reps: usize,
+    perturb_dim: usize,
+    perturb_records: usize,
+    perturb_reps: usize,
+    /// Gate floors (fast/reference time ratio), per ISSUE 9.
+    matmul_floor: f64,
+    topk_floor: f64,
+    perturb_floor: f64,
+}
+
+const QUICK: Scale = Scale {
+    name: "quick",
+    rounds: 7,
+    matmul_shapes: &[(8, 8, 2048), (64, 32, 4096), (1024, 32, 8), (4096, 16, 8)],
+    matmul_reps: 8,
+    topk_n: 10_000,
+    topk_k: 8,
+    topk_reps: 16,
+    perturb_dim: 8,
+    perturb_records: 25_000,
+    perturb_reps: 8,
+    matmul_floor: 1.2,
+    topk_floor: 1.5,
+    perturb_floor: 1.1,
+};
+
+const FULL: Scale = Scale {
+    name: "full",
+    rounds: 9,
+    matmul_shapes: &[
+        (8, 8, 16_384),
+        (64, 32, 16_384),
+        (4096, 32, 16),
+        (16_384, 16, 8),
+    ],
+    matmul_reps: 6,
+    topk_n: 200_000,
+    topk_k: 8,
+    topk_reps: 8,
+    perturb_dim: 8,
+    perturb_records: 250_000,
+    perturb_reps: 4,
+    matmul_floor: 1.2,
+    topk_floor: 1.5,
+    perturb_floor: 1.1,
+};
+
+/// Best-of-rounds: minimum per-iteration seconds over `rounds` rounds of
+/// `reps` back-to-back calls.
+fn best_of(rounds: usize, reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..rounds {
+        let ((), secs) = stats::time(|| {
+            for _ in 0..reps {
+                f();
+            }
+        });
+        best = best.min(secs / reps as f64);
+    }
+    best
+}
+
+struct MatmulRow {
+    m: usize,
+    k: usize,
+    n: usize,
+    ref_gflops: f64,
+    packed_gflops: f64,
+    speedup: f64,
+    /// Which path `Matrix::matmul` routes this shape to
+    /// ([`kernel::packing_pays`]): the dispatcher always runs the faster
+    /// of the two bit-identical kernels.
+    routed_packed: bool,
+}
+
+fn bench_matmul(scale: &Scale, rng: &mut StdRng) -> Vec<MatmulRow> {
+    let mut rows = Vec::new();
+    for &(m, k, n) in scale.matmul_shapes {
+        let a = randn_matrix(m, k, rng);
+        let b = randn_matrix(k, n, rng);
+
+        // One-time semantics check: the two paths must agree bit-for-bit.
+        let mut want = vec![0.0; m * n];
+        kernel::matmul_rows(&a, &b, 0, &mut want);
+        let packed = kernel::pack_b(&b);
+        let mut got = vec![0.0; m * n];
+        kernel::matmul_packed_rows(&a, &packed, 0, &mut got);
+        assert!(
+            want.iter()
+                .zip(&got)
+                .all(|(w, g)| w.to_bits() == g.to_bits()),
+            "packed matmul diverged from matmul_rows at {m}x{k}x{n}"
+        );
+
+        let t_ref = best_of(scale.rounds, scale.matmul_reps, || {
+            let mut out = vec![0.0; m * n];
+            kernel::matmul_rows(black_box(&a), black_box(&b), 0, &mut out);
+            black_box(&out);
+        });
+        let t_packed = best_of(scale.rounds, scale.matmul_reps, || {
+            let packed = kernel::pack_b(black_box(&b));
+            let mut out = vec![0.0; m * n];
+            kernel::matmul_packed_rows(black_box(&a), &packed, 0, &mut out);
+            black_box(&out);
+        });
+
+        let flops = (2 * m * k * n) as f64;
+        rows.push(MatmulRow {
+            m,
+            k,
+            n,
+            ref_gflops: flops / t_ref / 1e9,
+            packed_gflops: flops / t_packed / 1e9,
+            speedup: t_ref / t_packed,
+            routed_packed: kernel::packing_pays(m, k, n),
+        });
+    }
+    rows
+}
+
+struct ElemRow {
+    ref_melems: f64,
+    fast_melems: f64,
+    speedup: f64,
+}
+
+fn bench_topk(scale: &Scale, rng: &mut StdRng) -> ElemRow {
+    let values: Vec<f64> = randn_matrix(1, scale.topk_n, rng).as_slice().to_vec();
+    let k = scale.topk_k;
+
+    assert_eq!(
+        select_k_smallest(values.iter().copied(), k),
+        select_k_smallest_reference(values.iter().copied(), k),
+        "top-k selection diverged from the stable-sort reference"
+    );
+
+    let t_ref = best_of(scale.rounds, scale.topk_reps, || {
+        black_box(select_k_smallest_reference(
+            black_box(&values).iter().copied(),
+            k,
+        ));
+    });
+    let t_fast = best_of(scale.rounds, scale.topk_reps, || {
+        black_box(select_k_smallest(black_box(&values).iter().copied(), k));
+    });
+
+    let n = scale.topk_n as f64;
+    ElemRow {
+        ref_melems: n / t_ref / 1e6,
+        fast_melems: n / t_fast / 1e6,
+        speedup: t_ref / t_fast,
+    }
+}
+
+fn bench_perturb(scale: &Scale, rng: &mut StdRng) -> ElemRow {
+    let d = scale.perturb_dim;
+    let n = scale.perturb_records;
+    let g = GeometricPerturbation::random(d, 0.1, rng);
+    let x = randn_matrix(d, n, rng);
+    let delta = randn_matrix(d, n, rng).scale(0.1);
+
+    let mut fused = Vec::new();
+    let mut staged = Vec::new();
+    g.perturb_records_into(&x, &delta, 0..n, &mut fused);
+    g.perturb_records_staged_into(&x, &delta, 0..n, &mut staged);
+    assert!(
+        fused
+            .iter()
+            .zip(&staged)
+            .all(|(f, s)| f.to_bits() == s.to_bits()),
+        "fused perturbation diverged from the staged reference"
+    );
+
+    let mut out = Vec::new();
+    let t_ref = best_of(scale.rounds, scale.perturb_reps, || {
+        g.perturb_records_staged_into(black_box(&x), black_box(&delta), 0..n, &mut out);
+        black_box(&out);
+    });
+    let t_fast = best_of(scale.rounds, scale.perturb_reps, || {
+        g.perturb_records_into(black_box(&x), black_box(&delta), 0..n, &mut out);
+        black_box(&out);
+    });
+
+    let elems = (d * n) as f64;
+    ElemRow {
+        ref_melems: elems / t_ref / 1e6,
+        fast_melems: elems / t_fast / 1e6,
+        speedup: t_ref / t_fast,
+    }
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_kernels.json");
+    let mut scale = &QUICK;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = args.next().unwrap_or_default();
+                scale = match v.as_str() {
+                    "quick" => &QUICK,
+                    "full" => &FULL,
+                    other => {
+                        eprintln!("unknown scale '{other}' (quick|full)");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag '{flag}' (--scale | <out.json>)");
+                std::process::exit(2);
+            }
+            path => out_path = path.to_string(),
+        }
+    }
+
+    println!(
+        "kernel_bench [{}]: {} rounds, best-of-rounds per-iteration minimum",
+        scale.name, scale.rounds
+    );
+    let mut rng = StdRng::seed_from_u64(0x6B65_726E);
+
+    let matmul = bench_matmul(scale, &mut rng);
+    for r in &matmul {
+        println!(
+            "  matmul {:>5}x{:>2}x{:<5} reference {:>7.3} GFLOP/s   packed {:>7.3} GFLOP/s   {:.2}x  (routed: {})",
+            r.m,
+            r.k,
+            r.n,
+            r.ref_gflops,
+            r.packed_gflops,
+            r.speedup,
+            if r.routed_packed { "packed" } else { "reference" }
+        );
+    }
+    let headline = matmul.last().expect("at least one matmul shape");
+    assert!(
+        headline.routed_packed,
+        "the gated headline shape must route to the packed kernel"
+    );
+
+    let topk = bench_topk(scale, &mut rng);
+    println!(
+        "  topk   n={} k={}   full-sort {:>8.2} Melem/s   heap {:>8.2} Melem/s   {:.2}x",
+        scale.topk_n, scale.topk_k, topk.ref_melems, topk.fast_melems, topk.speedup
+    );
+
+    let perturb = bench_perturb(scale, &mut rng);
+    println!(
+        "  perturb d={} n={}   staged {:>8.2} Melem/s   fused {:>8.2} Melem/s   {:.2}x",
+        scale.perturb_dim,
+        scale.perturb_records,
+        perturb.ref_melems,
+        perturb.fast_melems,
+        perturb.speedup
+    );
+
+    let shapes_json: String = matmul
+        .iter()
+        .map(|r| {
+            format!(
+                concat!(
+                    "    {{ \"m\": {}, \"k\": {}, \"n\": {}, ",
+                    "\"reference_gflops\": {:.3}, \"packed_gflops\": {:.3}, ",
+                    "\"speedup\": {:.3}, \"matmul_routes_to\": \"{}\" }}"
+                ),
+                r.m,
+                r.k,
+                r.n,
+                r.ref_gflops,
+                r.packed_gflops,
+                r.speedup,
+                if r.routed_packed {
+                    "packed"
+                } else {
+                    "reference"
+                }
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"kernels\",\n",
+            "  \"scale\": \"{}\",\n",
+            "  \"timing\": \"best-of-{} rounds, per-iteration minimum\",\n",
+            "  \"matmul\": {{\n",
+            "    \"reference\": \"kernel::matmul_rows (cache-blocked i-k-j)\",\n",
+            "    \"fast\": \"kernel::pack_b + matmul_packed_rows (4x4 register-blocked, packing cost included)\",\n",
+            "    \"shapes\": [\n{}\n    ],\n",
+            "    \"headline_speedup\": {:.3}\n",
+            "  }},\n",
+            "  \"topk\": {{\n",
+            "    \"reference\": \"stable full sort + truncate (O(n log n))\",\n",
+            "    \"fast\": \"bounded max-heap (O(n log k))\",\n",
+            "    \"n\": {},\n",
+            "    \"k\": {},\n",
+            "    \"reference_melems_per_s\": {:.2},\n",
+            "    \"fast_melems_per_s\": {:.2},\n",
+            "    \"speedup\": {:.3}\n",
+            "  }},\n",
+            "  \"perturb\": {{\n",
+            "    \"reference\": \"staged two-pass (affine then noise)\",\n",
+            "    \"fast\": \"fused rotate+shift+noise, one pass\",\n",
+            "    \"dim\": {},\n",
+            "    \"records\": {},\n",
+            "    \"reference_melems_per_s\": {:.2},\n",
+            "    \"fast_melems_per_s\": {:.2},\n",
+            "    \"speedup\": {:.3}\n",
+            "  }},\n",
+            "  \"gates\": {{\n",
+            "    \"matmul_floor\": {:.2}, \"matmul_pass\": {},\n",
+            "    \"topk_floor\": {:.2}, \"topk_pass\": {},\n",
+            "    \"perturb_floor\": {:.2}, \"perturb_pass\": {}\n",
+            "  }},\n",
+            "  \"note\": \"every fast path is property-tested bit-identical to its reference (tests/kernel_equivalence.rs); Matrix::matmul routes each shape to whichever kernel is faster (packing_pays), and the gate applies to the last shape — the record-block regime the packed kernel is for\"\n",
+            "}}\n"
+        ),
+        scale.name,
+        scale.rounds,
+        shapes_json,
+        headline.speedup,
+        scale.topk_n,
+        scale.topk_k,
+        topk.ref_melems,
+        topk.fast_melems,
+        topk.speedup,
+        scale.perturb_dim,
+        scale.perturb_records,
+        perturb.ref_melems,
+        perturb.fast_melems,
+        perturb.speedup,
+        scale.matmul_floor,
+        headline.speedup >= scale.matmul_floor,
+        scale.topk_floor,
+        topk.speedup >= scale.topk_floor,
+        scale.perturb_floor,
+        perturb.speedup >= scale.perturb_floor,
+    );
+    std::fs::write(&out_path, json).expect("write BENCH_kernels.json");
+    println!("  wrote {out_path}");
+
+    let mut failed = false;
+    if headline.speedup < scale.matmul_floor {
+        eprintln!(
+            "FAIL: packed matmul only {:.2}x matmul_rows at {}x{}x{} (need {:.2}x)",
+            headline.speedup, headline.m, headline.k, headline.n, scale.matmul_floor
+        );
+        failed = true;
+    }
+    if topk.speedup < scale.topk_floor {
+        eprintln!(
+            "FAIL: heap top-k only {:.2}x the full sort at n={} k={} (need {:.2}x)",
+            topk.speedup, scale.topk_n, scale.topk_k, scale.topk_floor
+        );
+        failed = true;
+    }
+    if perturb.speedup < scale.perturb_floor {
+        eprintln!(
+            "FAIL: fused perturbation only {:.2}x the staged path (need {:.2}x)",
+            perturb.speedup, scale.perturb_floor
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

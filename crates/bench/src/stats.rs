@@ -48,7 +48,7 @@ pub fn summarize(samples: &[f64]) -> Summary {
         return Summary::default();
     }
     let mut sorted = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    sorted.sort_by(f64::total_cmp);
     Summary {
         count: sorted.len(),
         mean: sorted.iter().sum::<f64>() / sorted.len() as f64,

@@ -37,17 +37,23 @@ impl KnnClassifier {
     }
 
     /// Indices of the `k` nearest training records to `record`, nearest
-    /// first.
+    /// first (distance ties resolve to the smaller index).
+    ///
+    /// One streaming pass over the training set through the bounded
+    /// max-heap kernel [`crate::topk::select_k_smallest`]: O(n·log k)
+    /// comparisons and O(k) memory instead of the full O(n·log n) sort,
+    /// with identical output order.
     pub fn neighbors(&self, record: &[f64]) -> Vec<usize> {
-        let mut dist: Vec<(f64, usize)> = self
-            .train
-            .records()
-            .iter()
-            .enumerate()
-            .map(|(i, r)| (vecops::dist2_sq(record, r), i))
-            .collect();
-        dist.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
-        dist.into_iter().take(self.k).map(|(_, i)| i).collect()
+        crate::topk::select_k_smallest(
+            self.train
+                .records()
+                .iter()
+                .map(|r| vecops::dist2_sq(record, r)),
+            self.k,
+        )
+        .into_iter()
+        .map(|(_, i)| i)
+        .collect()
     }
 }
 
@@ -58,7 +64,7 @@ impl Model for KnnClassifier {
         for &i in &neigh {
             votes[self.train.label(i)] += 1;
         }
-        let best = votes.iter().max().copied().expect("non-empty votes");
+        let best = votes.iter().max().copied().unwrap_or(0);
         // Tie-break toward the class of the nearest tied neighbour.
         for &i in &neigh {
             if votes[self.train.label(i)] == best {

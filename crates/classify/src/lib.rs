@@ -14,7 +14,8 @@
 //! All three implement the common [`Model`] trait so the protocol and
 //! benchmark code can treat them interchangeably. Evaluation helpers
 //! (accuracy, confusion matrices, cross-validation) live in [`metrics`] and
-//! [`crossval`].
+//! [`crossval`]; the O(n·log k) bounded-heap selection kernel behind KNN's
+//! neighbour scan lives in [`topk`].
 //!
 //! # Why these classifiers?
 //!
@@ -33,6 +34,7 @@ pub mod metrics;
 pub mod naive_bayes;
 pub mod perceptron;
 pub mod svm;
+pub mod topk;
 
 pub use knn::KnnClassifier;
 pub use naive_bayes::GaussianNaiveBayes;

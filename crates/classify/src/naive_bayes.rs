@@ -95,7 +95,7 @@ impl GaussianNaiveBayes {
 
 impl Model for GaussianNaiveBayes {
     fn predict(&self, record: &[f64]) -> usize {
-        sap_linalg::vecops::argmax(&self.log_posteriors(record)).expect("at least one class")
+        sap_linalg::vecops::argmax(&self.log_posteriors(record)).unwrap_or(0)
     }
 }
 

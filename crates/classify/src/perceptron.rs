@@ -55,7 +55,7 @@ impl Perceptron {
                 let x = data.record(i);
                 let y = data.label(i);
                 let scores: Vec<f64> = w.iter().map(|wc| score(wc, x)).collect();
-                let pred = vecops::argmax(&scores).expect("non-empty");
+                let pred = vecops::argmax(&scores).unwrap_or(0);
                 if pred != y {
                     for (j, &v) in x.iter().enumerate() {
                         w[y][j] += v;
@@ -87,7 +87,7 @@ fn score(w: &[f64], x: &[f64]) -> f64 {
 
 impl Model for Perceptron {
     fn predict(&self, record: &[f64]) -> usize {
-        vecops::argmax(&self.scores(record)).expect("at least one class")
+        vecops::argmax(&self.scores(record)).unwrap_or(0)
     }
 }
 

@@ -139,8 +139,8 @@ impl SvmClassifier {
     pub fn fit(data: &Dataset, config: &SvmConfig) -> Self {
         assert!(config.c > 0.0, "C must be positive");
         let counts = data.class_counts();
-        let fallback = vecops::argmax(&counts.iter().map(|&c| c as f64).collect::<Vec<_>>())
-            .expect("non-empty dataset");
+        let fallback =
+            vecops::argmax(&counts.iter().map(|&c| c as f64).collect::<Vec<_>>()).unwrap_or(0);
         let mut machines = Vec::new();
         for a in 0..data.num_classes() {
             for b in a + 1..data.num_classes() {
@@ -186,7 +186,7 @@ impl Model for SvmClassifier {
             votes[m.vote(record)] += 1;
         }
         vecops::argmax(&votes.iter().map(|&v| v as f64).collect::<Vec<_>>())
-            .expect("non-empty votes")
+            .unwrap_or(self.fallback)
     }
 }
 

@@ -393,16 +393,39 @@ where
     T: Transport + 'static,
     C: Codec,
 {
+    let codecs = SessionCodecs::uniform(codec, locals.len());
+    run_session_over_with_codecs(locals, config, provider_transports, miner_transport, codecs)
+}
+
+/// [`run_session_over`] with a **per-party** codec assignment — the entry
+/// point for heterogeneous meshes (e.g. one JSON debug client beside
+/// binary wire clients). See [`SessionCodecs`] for the pairing rules.
+///
+/// # Errors
+///
+/// As [`run_session`], plus [`SapError::InconsistentInputs`] when the
+/// codec count disagrees with the provider count.
+pub fn run_session_over_with_codecs<T, C>(
+    locals: Vec<Dataset>,
+    config: &SapConfig,
+    provider_transports: Vec<T>,
+    miner_transport: T,
+    codecs: SessionCodecs<C>,
+) -> Result<SapOutcome, SapError>
+where
+    T: Transport + 'static,
+    C: Codec,
+{
     validate_locals(&locals)?;
     let pool = ActorPool::new(locals.len() + 1);
-    let handle = spawn_session(
+    let handle = spawn_session_with_codecs(
         &pool,
         SessionId::SOLO,
         locals,
         config,
         provider_transports,
         miner_transport,
-        codec,
+        codecs,
     )?;
     handle.harvest(None)
 }
@@ -436,12 +459,77 @@ where
     T: Transport + 'static,
     C: Codec,
 {
+    let codecs = SessionCodecs::uniform(codec, locals.len());
+    spawn_session_with_codecs(
+        pool,
+        session,
+        locals,
+        config,
+        provider_transports,
+        miner_transport,
+        codecs,
+    )
+}
+
+/// Per-role codec assignment for a heterogeneous session: `providers[i]`
+/// serializes provider `i`'s traffic (the last provider doubles as
+/// coordinator), `miner` the miner's.
+///
+/// Every pair of roles that exchanges messages must be able to decode
+/// each other's encoding. Either give every role the same codec
+/// ([`SessionCodecs::uniform`], what [`spawn_session`] does), or use
+/// format-detecting codecs like
+/// [`sap_net::codec::AutoCodec`] so a JSON-emitting client can sit beside
+/// wire-emitting clients on one mesh.
+pub struct SessionCodecs<C> {
+    /// Codec of each provider's node, in provider position order.
+    pub providers: Vec<C>,
+    /// Codec of the miner's node.
+    pub miner: C,
+}
+
+impl<C: Codec> SessionCodecs<C> {
+    /// The homogeneous assignment: every role speaks `codec`.
+    pub fn uniform(codec: C, k: usize) -> Self {
+        SessionCodecs {
+            providers: vec![codec.clone(); k],
+            miner: codec,
+        }
+    }
+}
+
+/// [`spawn_session`] with a **per-party** codec assignment — the
+/// heterogeneous-mesh variant behind [`run_session_over_with_codecs`].
+///
+/// # Errors
+///
+/// As [`spawn_session`], plus [`SapError::InconsistentInputs`] when
+/// `codecs.providers` disagrees with the provider count.
+pub fn spawn_session_with_codecs<T, C>(
+    pool: &ActorPool,
+    session: SessionId,
+    locals: Vec<Dataset>,
+    config: &SapConfig,
+    provider_transports: Vec<T>,
+    miner_transport: T,
+    codecs: SessionCodecs<C>,
+) -> Result<SessionHandle, SapError>
+where
+    T: Transport + 'static,
+    C: Codec,
+{
     let (_dim, num_classes) = validate_locals(&locals)?;
     let k = locals.len();
     if provider_transports.len() != k {
         return Err(SapError::InconsistentInputs(format!(
             "{} transports for {k} providers",
             provider_transports.len()
+        )));
+    }
+    if codecs.providers.len() != k {
+        return Err(SapError::InconsistentInputs(format!(
+            "{} codecs for {k} providers",
+            codecs.providers.len()
         )));
     }
     let providers: Vec<PartyId> = provider_transports
@@ -494,7 +582,12 @@ where
         let transport = transports[pos]
             .take()
             .ok_or_else(|| SapError::Protocol("endpoint consumed twice".into()))?;
-        let node = Node::for_session(transport, codec.clone(), config.session_secret, session);
+        let node = Node::for_session(
+            transport,
+            codecs.providers[pos].clone(),
+            config.session_secret,
+            session,
+        );
         let data = Arc::clone(&locals[pos]);
         let cfg = config.clone();
         let audit = audit.clone();
@@ -528,7 +621,12 @@ where
         let transport = transports[k - 1]
             .take()
             .ok_or_else(|| SapError::Protocol("coordinator endpoint consumed".into()))?;
-        let node = Node::for_session(transport, codec.clone(), config.session_secret, session);
+        let node = Node::for_session(
+            transport,
+            codecs.providers[k - 1].clone(),
+            config.session_secret,
+            session,
+        );
         let data = Arc::clone(&locals[k - 1]);
         let cfg = config.clone();
         let audit = audit.clone();
@@ -560,7 +658,7 @@ where
     {
         let node = Node::for_session(
             miner_transport,
-            codec.clone(),
+            codecs.miner.clone(),
             config.session_secret,
             session,
         );

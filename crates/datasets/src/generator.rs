@@ -86,7 +86,7 @@ pub fn allocate_counts(n: usize, weights: &[f64], min_per_class: usize) -> Vec<u
     order.sort_by(|&a, &b| {
         let fa = ideal[a] - ideal[a].floor();
         let fb = ideal[b] - ideal[b].floor();
-        fb.partial_cmp(&fa).expect("finite weights")
+        fb.total_cmp(&fa)
     });
     let mut assigned: usize = counts.iter().sum();
     let mut i = 0;

@@ -107,7 +107,7 @@ impl FastIca {
                         / n
                 })
                 .collect();
-            let ezg = g.matmul(&z.transpose())?.scale(1.0 / n);
+            let ezg = g.mul_transpose(&z)?.scale(1.0 / n);
             let mut w_new = ezg;
             for r in 0..k {
                 for c in 0..k {
@@ -119,7 +119,7 @@ impl FastIca {
 
             // Convergence: every updated row stays (anti-)parallel to the
             // previous one.
-            let overlap = w.matmul(&w_old.transpose())?;
+            let overlap = w.mul_transpose(&w_old)?;
             let worst = (0..k)
                 .map(|i| (overlap[(i, i)].abs() - 1.0).abs())
                 .fold(0.0_f64, f64::max);
@@ -186,7 +186,7 @@ impl FastIca {
 /// Symmetric decorrelation: `W ← (W·Wᵀ)^{-1/2}·W`, which re-orthogonalizes
 /// all rows simultaneously (no deflation order bias).
 fn symmetric_decorrelate(w: &Matrix) -> Result<Matrix> {
-    let wwt = w.matmul(&w.transpose())?;
+    let wwt = w.mul_transpose(w)?;
     let eig = SymmetricEigen::new(&wwt)?;
     let k = w.rows();
     let mut inv_sqrt = Matrix::zeros(k, k);

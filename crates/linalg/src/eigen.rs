@@ -121,11 +121,7 @@ impl SymmetricEigen {
 
         // Sort eigenpairs by descending eigenvalue.
         let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by(|&i, &j| {
-            m[(j, j)]
-                .partial_cmp(&m[(i, i)])
-                .expect("finite eigenvalues")
-        });
+        order.sort_by(|&i, &j| m[(j, j)].total_cmp(&m[(i, i)]));
         let eigenvalues: Vec<f64> = order.iter().map(|&i| m[(i, i)]).collect();
         let mut eigenvectors = Matrix::zeros(n, n);
         for (new_c, &old_c) in order.iter().enumerate() {

@@ -19,6 +19,8 @@
 //! * [`orthogonal`] — uniform (Haar) random orthogonal and rotation matrices.
 //! * [`randn`] — Box–Muller standard-normal sampling (the `rand` crate alone
 //!   does not provide Gaussians).
+//! * [`kernel`] — packed, register-blocked matmul / Gram / covariance
+//!   microkernels, each pinned bit-identical to a reference loop.
 //! * [`parallel`] — the fixed thread-splitter behind the row-parallel
 //!   kernels (blocked matmul, block perturbation, distance sweeps).
 //! * [`view`] — borrowed [`MatrixView`] windows, the zero-copy currency of
@@ -49,6 +51,7 @@
 pub mod cholesky;
 pub mod eigen;
 pub mod error;
+pub mod kernel;
 pub mod lu;
 pub mod matrix;
 pub mod norms;

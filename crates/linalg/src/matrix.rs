@@ -247,19 +247,38 @@ impl Matrix {
 
     /// Matrix product `self * rhs`.
     ///
-    /// Large products run cache-blocked over the output columns and
-    /// row-parallel on the [`crate::parallel`] splitter. Every output
-    /// element is still accumulated over `k` in ascending order (zero
-    /// left-factors skipped), so the result is **bit-identical** to the
-    /// straightforward serial triple loop at any block size or thread
-    /// count — the invariant the streaming/buffered data-plane
-    /// equivalence rests on.
+    /// Large products pack the right factor into register-friendly panels
+    /// and run the 4×4 register-blocked microkernel
+    /// ([`crate::kernel::matmul_packed_rows`]), row-parallel on the
+    /// [`crate::parallel`] splitter. Every output element is still
+    /// accumulated over `k` in ascending order (zero left-factors
+    /// skipped), so the result is **bit-identical** to the pinned
+    /// reference loop [`crate::kernel::matmul_rows`] — and to the
+    /// straightforward serial triple loop — at any tile size or thread
+    /// count. That invariant is what the streaming/buffered data-plane
+    /// equivalence rests on, and `tests/kernel_equivalence.rs`
+    /// property-tests it over shapes × worker counts.
     ///
     /// # Errors
     ///
     /// Returns [`LinalgError::ShapeMismatch`] when the inner dimensions
     /// disagree.
     pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
+        self.matmul_with_workers(rhs, crate::parallel::threads())
+    }
+
+    /// [`Matrix::matmul`] with an explicit worker count instead of the
+    /// process-global [`crate::parallel::threads`] setting.
+    ///
+    /// Results are bit-identical for every worker count; this exists so
+    /// equivalence tests can sweep worker counts within one process
+    /// (`SAP_LINALG_THREADS` latches once).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] when the inner dimensions
+    /// disagree.
+    pub fn matmul_with_workers(&self, rhs: &Matrix, workers: usize) -> Result<Matrix> {
         if self.cols != rhs.rows {
             return Err(LinalgError::ShapeMismatch {
                 op: "matmul",
@@ -268,18 +287,75 @@ impl Matrix {
             });
         }
         let mut out = Matrix::zeros(self.rows, rhs.cols);
+        if self.rows == 0 || rhs.cols == 0 {
+            return Ok(out);
+        }
         let flops = self.rows.saturating_mul(self.cols).saturating_mul(rhs.cols);
-        if crate::parallel::worth_splitting(flops) && self.rows > 1 && rhs.cols > 0 {
-            let rows_per = self.rows.div_ceil(crate::parallel::threads());
-            crate::parallel::for_each_chunk_mut(
+        let packed = if crate::kernel::packing_pays(self.rows, self.cols, rhs.cols) {
+            Some(crate::kernel::pack_b(rhs))
+        } else {
+            None
+        };
+        let run = |row0: usize, out_chunk: &mut [f64]| match &packed {
+            Some(p) => crate::kernel::matmul_packed_rows(self, p, row0, out_chunk),
+            None => crate::kernel::matmul_rows(self, rhs, row0, out_chunk),
+        };
+        if crate::parallel::worth_splitting_with(workers, flops) && self.rows > 1 {
+            let rows_per = self.rows.div_ceil(workers.max(1));
+            crate::parallel::for_each_chunk_mut_with(
+                workers,
                 &mut out.data,
                 rows_per * rhs.cols,
+                |chunk_idx, out_chunk| run(chunk_idx * rows_per, out_chunk),
+            );
+        } else {
+            run(0, &mut out.data);
+        }
+        Ok(out)
+    }
+
+    /// Matrix product with the transposed right factor, `self * rhsᵀ`,
+    /// without materializing the transpose.
+    ///
+    /// Output element `(i, j)` is the dot product of `self` row `i` and
+    /// `rhs` row `j` — both contiguous in row-major storage, which is why
+    /// Gram-style products (ICA decorrelation/convergence overlaps, the
+    /// SVD polar step) route here. Runs the 4×4 register-blocked kernel
+    /// ([`crate::kernel::mul_transpose_rows`]), row-parallel when large;
+    /// the `k` walk per output element is ascending with the zero skip on
+    /// the left factor, so the result is **bit-identical** to
+    /// `self.matmul(&rhs.transpose())`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] when the column counts
+    /// disagree.
+    pub fn mul_transpose(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.cols != rhs.cols {
+            return Err(LinalgError::ShapeMismatch {
+                op: "mul_transpose",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        if self.rows == 0 || rhs.rows == 0 {
+            return Ok(out);
+        }
+        let flops = self.rows.saturating_mul(self.cols).saturating_mul(rhs.rows);
+        let workers = crate::parallel::threads();
+        if crate::parallel::worth_splitting_with(workers, flops) && self.rows > 1 {
+            let rows_per = self.rows.div_ceil(workers);
+            crate::parallel::for_each_chunk_mut_with(
+                workers,
+                &mut out.data,
+                rows_per * rhs.rows,
                 |chunk_idx, out_chunk| {
-                    matmul_rows(self, rhs, chunk_idx * rows_per, out_chunk);
+                    crate::kernel::mul_transpose_rows(self, rhs, chunk_idx * rows_per, out_chunk);
                 },
             );
         } else {
-            matmul_rows(self, rhs, 0, &mut out.data);
+            crate::kernel::mul_transpose_rows(self, rhs, 0, &mut out.data);
         }
         Ok(out)
     }
@@ -408,7 +484,7 @@ impl Matrix {
         if !self.is_square() {
             return false;
         }
-        let prod = self.matmul(&self.transpose()).expect("square matmul");
+        let prod = self.mul_transpose(self).expect("square matmul");
         prod.approx_eq(&Matrix::identity(self.rows), tol)
     }
 
@@ -460,65 +536,16 @@ impl Matrix {
     /// Covariance of the columns of a `d × N` matrix: the `d × d` matrix
     /// `(1/(N-1)) Σ (xⱼ - μ)(xⱼ - μ)ᵀ`.
     ///
+    /// Runs the tiled register-blocked kernel
+    /// ([`crate::kernel::column_covariance_packed`]), which is
+    /// **bit-identical** to the record-outer reference loop
+    /// ([`crate::kernel::column_covariance_reference`]).
+    ///
     /// # Panics
     ///
     /// Panics if the matrix has fewer than two columns.
     pub fn column_covariance(&self) -> Matrix {
-        assert!(self.cols >= 2, "covariance needs at least two columns");
-        let mu = self.row_means();
-        let mut cov = Matrix::zeros(self.rows, self.rows);
-        for j in 0..self.cols {
-            for a in 0..self.rows {
-                let da = self[(a, j)] - mu[a];
-                for b in a..self.rows {
-                    let db = self[(b, j)] - mu[b];
-                    cov[(a, b)] += da * db;
-                }
-            }
-        }
-        let denom = (self.cols - 1) as f64;
-        for a in 0..self.rows {
-            for b in a..self.rows {
-                cov[(a, b)] /= denom;
-                cov[(b, a)] = cov[(a, b)];
-            }
-        }
-        cov
-    }
-}
-
-/// Column-block width of the cache-blocked multiply: a `cols × 512` panel
-/// of the right factor (≤ 64 KiB for the dimensionalities this workspace
-/// uses) stays resident across the row sweep instead of being re-streamed
-/// once per output row.
-const MATMUL_COL_BLOCK: usize = 512;
-
-/// Computes output rows `row0..row0 + out.len() / rhs.cols()` of
-/// `lhs * rhs` into the contiguous row-major slice `out`.
-///
-/// The i-k-j order keeps the inner loop sequential over both the output
-/// row and the rhs row; the j-blocking only re-orders *which columns* are
-/// touched when, never the per-element `k` accumulation order, so the
-/// result is bit-identical to the unblocked loop.
-fn matmul_rows(lhs: &Matrix, rhs: &Matrix, row0: usize, out: &mut [f64]) {
-    let n = rhs.cols;
-    let rows = out.len() / n.max(1);
-    for jb in (0..n).step_by(MATMUL_COL_BLOCK) {
-        let je = (jb + MATMUL_COL_BLOCK).min(n);
-        for i in 0..rows {
-            let a_row = &lhs.data[(row0 + i) * lhs.cols..(row0 + i + 1) * lhs.cols];
-            let (out_start, out_end) = (i * n + jb, i * n + je);
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let rhs_row = &rhs.data[k * n + jb..k * n + je];
-                let out_row = &mut out[out_start..out_end];
-                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
-                    *o += a * b;
-                }
-            }
-        }
+        crate::kernel::column_covariance_packed(self)
     }
 }
 

@@ -53,7 +53,15 @@ pub fn threads() -> usize {
 /// large enough to amortize spawning scoped workers. Below the threshold
 /// callers should run serially on their own thread.
 pub fn worth_splitting(flops: usize) -> bool {
-    threads() > 1 && flops >= 1 << 17
+    worth_splitting_with(threads(), flops)
+}
+
+/// [`worth_splitting`] for an explicit worker count instead of the
+/// process-global [`threads`] setting — the guard used by kernels that
+/// accept a per-call worker override (e.g.
+/// [`crate::Matrix::matmul_with_workers`]).
+pub fn worth_splitting_with(workers: usize, flops: usize) -> bool {
+    workers > 1 && flops >= 1 << 17
 }
 
 /// Splits `data` into contiguous chunks of `chunk_len` elements and runs

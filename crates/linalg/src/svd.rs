@@ -111,7 +111,7 @@ impl Svd {
                 (norm, c)
             })
             .collect();
-        sv.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite singular values"));
+        sv.sort_by(|a, b| b.0.total_cmp(&a.0));
 
         let mut u_sorted = Matrix::zeros(m, n);
         let mut v_sorted = Matrix::zeros(n, n);
@@ -186,9 +186,9 @@ pub fn procrustes_rotation(a: &Matrix, b: &Matrix) -> Result<Matrix> {
             rhs: b.shape(),
         });
     }
-    let m = b.matmul(&a.transpose())?;
+    let m = b.mul_transpose(a)?;
     let svd = Svd::new(&m)?;
-    svd.u().matmul(&svd.v().transpose())
+    svd.u().mul_transpose(svd.v())
 }
 
 #[cfg(test)]

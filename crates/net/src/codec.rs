@@ -167,6 +167,71 @@ impl Codec for JsonCodec {
     }
 }
 
+/// A codec that **encodes** in one configured flavor (wire or JSON) and
+/// **decodes** either flavor by sniffing the payload — the glue for
+/// heterogeneous meshes where a JSON debug client sits beside binary
+/// wire clients in the same session.
+///
+/// Detection: every JSON payload this stack produces starts with `{`
+/// (0x7B, struct/enum-map opener), while a wire payload starts with a
+/// varint (for the protocol's messages, an enum variant tag `< 0x7B`).
+/// Sniffing is only a fast path, not a trust decision — a payload whose
+/// first byte is `{` is *tried* as JSON and falls back to the wire
+/// decoder if JSON parsing fails, so a wire payload that happens to lead
+/// with 0x7B still decodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AutoCodec {
+    emit_json: bool,
+}
+
+impl AutoCodec {
+    /// An auto-detecting codec that emits the binary wire format.
+    pub fn wire() -> Self {
+        AutoCodec { emit_json: false }
+    }
+
+    /// An auto-detecting codec that emits JSON.
+    pub fn json() -> Self {
+        AutoCodec { emit_json: true }
+    }
+}
+
+impl Codec for AutoCodec {
+    fn name(&self) -> &'static str {
+        if self.emit_json {
+            "auto-json"
+        } else {
+            "auto-wire"
+        }
+    }
+
+    fn encode<M: Serialize>(&self, msg: &M) -> Result<Vec<u8>, CodecError> {
+        if self.emit_json {
+            JsonCodec.encode(msg)
+        } else {
+            WireCodec.encode(msg)
+        }
+    }
+
+    fn decode<M: DeserializeOwned>(&self, bytes: &[u8]) -> Result<M, CodecError> {
+        if bytes.first() == Some(&b'{') {
+            match JsonCodec.decode(bytes) {
+                Ok(msg) => return Ok(msg),
+                Err(_) => return WireCodec.decode(bytes),
+            }
+        }
+        WireCodec.decode(bytes)
+    }
+
+    fn encode_into<M: Serialize>(&self, msg: &M, out: &mut Vec<u8>) -> Result<(), CodecError> {
+        if self.emit_json {
+            JsonCodec.encode_into(msg, out)
+        } else {
+            WireCodec.encode_into(msg, out)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -237,6 +302,34 @@ mod tests {
         let text = String::from_utf8(bytes).unwrap();
         assert!(text.contains("\"Load\""), "{text}");
         assert!(text.contains("\"xs\""), "{text}");
+    }
+
+    #[test]
+    fn auto_codec_decodes_both_flavors() {
+        for p in probes() {
+            let wire_bytes = AutoCodec::wire().encode(&p).unwrap();
+            assert_eq!(wire_bytes, WireCodec.encode(&p).unwrap());
+            let json_bytes = AutoCodec::json().encode(&p).unwrap();
+            assert_eq!(json_bytes, JsonCodec.encode(&p).unwrap());
+            // Either emitter's output decodes through either AutoCodec.
+            for codec in [AutoCodec::wire(), AutoCodec::json()] {
+                let from_wire: Probe = codec.decode(&wire_bytes).unwrap();
+                let from_json: Probe = codec.decode(&json_bytes).unwrap();
+                assert_eq!(from_wire, p);
+                assert_eq!(from_json, p);
+            }
+        }
+    }
+
+    #[test]
+    fn auto_codec_falls_back_to_wire_on_json_lookalike() {
+        // A wire payload whose leading byte happens to be `{` (0x7B): a
+        // u8 value 123 encodes as the single byte 0x7B, which is not
+        // valid JSON, so the sniffing decoder must fall back to wire.
+        let bytes = WireCodec.encode(&123u8).unwrap();
+        assert_eq!(bytes.first(), Some(&b'{'));
+        let back: u8 = AutoCodec::wire().decode(&bytes).unwrap();
+        assert_eq!(back, 123);
     }
 
     #[test]

@@ -64,7 +64,7 @@ pub mod tcp;
 pub mod transport;
 pub mod wire;
 
-pub use codec::{Codec, CodecError, JsonCodec, WireCodec};
+pub use codec::{AutoCodec, Codec, CodecError, JsonCodec, WireCodec};
 pub use mux::{MuxEndpoint, MuxMetrics, SessionMux};
 pub use node::{Node, NodeEvent, NodeFlow, StreamHandle};
 pub use reactor::{ReactorStats, ReactorTransport};

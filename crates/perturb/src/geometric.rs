@@ -87,10 +87,62 @@ impl GeometricPerturbation {
     /// exactly (`(R·x + Ψ) + Δ`), so the streamed bytes are bit-identical
     /// to perturbing the whole matrix up front.
     ///
+    /// Rotate, shift and noise are **fused into one pass** per record:
+    /// each output element is produced by one ascending-`k` rotation
+    /// accumulation (zero factors skipped) followed immediately by
+    /// `+ t[i] + Δ[i][j]` — one read of the inputs, one write of the
+    /// output, no intermediate buffer and none of the staged path's
+    /// per-element `pos/d`, `pos%d` noise-index arithmetic. `f64`
+    /// addition is left-associative, so `acc + t + δ` is the exact
+    /// `(acc + t) + δ` the staged reference
+    /// ([`GeometricPerturbation::perturb_records_staged_into`]) computes;
+    /// `tests/kernel_equivalence.rs` property-tests the two bit-equal.
+    ///
     /// # Panics
     ///
     /// Panics on any shape mismatch or an out-of-bounds column range.
     pub fn perturb_records_into(
+        &self,
+        x: &Matrix,
+        delta: &Matrix,
+        cols: std::ops::Range<usize>,
+        out: &mut Vec<f64>,
+    ) {
+        assert_eq!(delta.shape(), x.shape(), "noise shape mismatch");
+        let d = self.dim();
+        assert_eq!(x.rows(), d, "dataset dimensionality mismatch");
+        assert!(cols.end <= x.cols(), "column range out of bounds");
+        let n = x.cols();
+        let data = x.as_slice();
+        let noise = delta.as_slice();
+        let rotation = self.base.rotation();
+        let t = self.base.translation();
+        out.clear();
+        out.reserve(cols.len() * d);
+        for j in cols {
+            for i in 0..d {
+                let mut acc = 0.0;
+                for (k, &a) in rotation.row(i).iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    acc += a * data[k * n + j];
+                }
+                out.push(acc + t[i] + noise[i * n + j]);
+            }
+        }
+    }
+
+    /// The staged reference for [`GeometricPerturbation::perturb_records_into`]:
+    /// affine pass into `out`
+    /// ([`Perturbation::apply_clean_records_into`](crate::params::Perturbation::apply_clean_records_into)),
+    /// then a second pass adding the noise. Kept as the pinned spec the
+    /// fused kernel is property-tested and benchmarked against.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any shape mismatch or an out-of-bounds column range.
+    pub fn perturb_records_staged_into(
         &self,
         x: &Matrix,
         delta: &Matrix,
@@ -225,6 +277,31 @@ mod tests {
                         );
                     }
                 }
+                j0 = j1;
+            }
+        }
+    }
+
+    /// The fused rotate+shift+noise kernel must produce the exact bytes
+    /// of the two-pass staged reference it replaced.
+    #[test]
+    fn fused_records_bit_identical_to_staged() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let d = 5;
+        let n = 61;
+        let g = GeometricPerturbation::random(d, 0.2, &mut rng);
+        let x = randn_matrix(d, n, &mut rng);
+        let delta = NoiseSpec::new(0.2).sample(d, n, &mut rng);
+        let (mut fused, mut staged) = (Vec::new(), Vec::new());
+        for block in [1usize, 7, n] {
+            let mut j0 = 0;
+            while j0 < n {
+                let j1 = (j0 + block).min(n);
+                g.perturb_records_into(&x, &delta, j0..j1, &mut fused);
+                g.perturb_records_staged_into(&x, &delta, j0..j1, &mut staged);
+                let fused_bits: Vec<u64> = fused.iter().map(|v| v.to_bits()).collect();
+                let staged_bits: Vec<u64> = staged.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(fused_bits, staged_bits, "block={block} j0={j0}");
                 j0 = j1;
             }
         }

@@ -106,8 +106,7 @@ fn match_components(sources: &Matrix, knowledge: &AttackerKnowledge, n_cols: usi
         knowledge.attr_stats[b]
             .kurtosis
             .abs()
-            .partial_cmp(&knowledge.attr_stats[a].kurtosis.abs())
-            .expect("finite kurtosis")
+            .total_cmp(&knowledge.attr_stats[a].kurtosis.abs())
     });
 
     let mut used = vec![false; k];
@@ -118,7 +117,7 @@ fn match_components(sources: &Matrix, knowledge: &AttackerKnowledge, n_cols: usi
         let pick = (0..k).filter(|&c| !used[c]).min_by(|&a, &b| {
             let da = (comp_kurt[a] - prior.kurtosis).abs();
             let db = (comp_kurt[b] - prior.kurtosis).abs();
-            da.partial_cmp(&db).expect("finite")
+            da.total_cmp(&db)
         });
         let Some(c) = pick else {
             // Fewer components than attributes (rank-deficient data):

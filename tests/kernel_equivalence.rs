@@ -1,0 +1,229 @@
+//! Property tests pinning every packed/fused compute kernel to its
+//! reference implementation — **bit-for-bit**, not approximately.
+//!
+//! Three kernels, three invariants:
+//!
+//! * packed register-blocked matmul ≡ [`kernel::matmul_rows`], for any
+//!   shape (including 1×1 and ragged edges), any zero density, and any
+//!   worker count — tiling and packing may only change *which* elements
+//!   are in flight, never an element's ascending-`k` accumulation order;
+//! * bounded-heap top-`k` selection ≡ stable full sort + truncate, with
+//!   duplicate distances (the index tie rule), `k ≥ n`, and `k == 0`
+//!   rejected;
+//! * fused rotate+shift+noise perturbation ≡ the staged two-pass path.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sap_repro::classify::topk::{select_k_smallest, select_k_smallest_reference};
+use sap_repro::linalg::{kernel, Matrix};
+use sap_repro::perturb::GeometricPerturbation;
+
+/// Deterministic pseudo-random matrix with exact `0.0` entries every
+/// `zero_every`-th element (`0` disables zeros). The zero density matters
+/// because the kernels' `A[i][k] == 0.0` skip is part of the pinned
+/// accumulation order.
+fn lcg_matrix(rows: usize, cols: usize, seed: u64, zero_every: usize) -> Matrix {
+    let mut state = seed | 1;
+    Matrix::from_fn(rows, cols, |r, c| {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        if zero_every > 0 && (r * cols + c).is_multiple_of(zero_every) {
+            0.0
+        } else {
+            (state % 2000) as f64 / 997.0 - 1.0
+        }
+    })
+}
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The packed microkernel itself, for shapes the `packing_pays`
+    /// heuristic would never route there: edge handling (ragged rows and
+    /// panels, 1×1) must still be exact.
+    #[test]
+    fn packed_kernel_matches_reference_on_any_shape(
+        m in 1usize..24,
+        k in 1usize..24,
+        n in 1usize..24,
+        seed in 0u64..(1 << 16),
+        zero_every in 0usize..5,
+    ) {
+        let a = lcg_matrix(m, k, seed, zero_every);
+        let b = lcg_matrix(k, n, seed ^ 0xabcd, zero_every);
+
+        let mut reference = vec![0.0; m * n];
+        kernel::matmul_rows(&a, &b, 0, &mut reference);
+
+        let packed = kernel::pack_b(&b);
+        let mut fast = vec![0.0; m * n];
+        kernel::matmul_packed_rows(&a, &packed, 0, &mut fast);
+
+        prop_assert_eq!(bits(&reference), bits(&fast));
+    }
+
+    /// The public entry point: whatever path `matmul_with_workers` picks
+    /// (reference, packed, split across 1/2/4 workers), the bits match
+    /// the pinned reference. Shapes up to 40³ cross both the
+    /// `packing_pays` and the `worth_splitting` thresholds.
+    #[test]
+    fn matmul_is_bit_identical_across_paths_and_workers(
+        m in 1usize..40,
+        k in 1usize..40,
+        n in 1usize..40,
+        seed in 0u64..(1 << 16),
+        zero_every in 0usize..4,
+    ) {
+        let a = lcg_matrix(m, k, seed, zero_every);
+        let b = lcg_matrix(k, n, seed ^ 0x5a5a, zero_every);
+
+        let mut reference = vec![0.0; m * n];
+        kernel::matmul_rows(&a, &b, 0, &mut reference);
+
+        for workers in [1usize, 2, 4] {
+            let got = a.matmul_with_workers(&b, workers).expect("conforming shapes");
+            // workers ∈ {1, 2, 4} — worker count may change only the split, not the bits
+            let _ = workers;
+            prop_assert_eq!(bits(&reference), bits(got.as_slice()));
+        }
+    }
+
+    /// Shapes inside the packed-routing region (`m ≥ 128`, narrow `n`,
+    /// small `k` — `packing_pays` true): the dispatcher takes the packed
+    /// kernel and the bits still match the reference.
+    #[test]
+    fn packed_dispatch_region_is_bit_identical(
+        m in 128usize..200,
+        k in 8usize..33,
+        n in 8usize..17,
+        seed in 0u64..(1 << 16),
+        zero_every in 0usize..4,
+    ) {
+        // Every shape in these ranges routes packed: m ≥ 128, n ∈ 8..=16,
+        // k ≤ 32, and m·k·n ≥ 128·8·8 clears the flop floor.
+        prop_assert!(kernel::packing_pays(m, k, n));
+        let a = lcg_matrix(m, k, seed, zero_every);
+        let b = lcg_matrix(k, n, seed ^ 0x1111, zero_every);
+
+        let mut reference = vec![0.0; m * n];
+        kernel::matmul_rows(&a, &b, 0, &mut reference);
+
+        for workers in [1usize, 2, 4] {
+            let got = a.matmul_with_workers(&b, workers).expect("conforming shapes");
+            prop_assert_eq!(bits(&reference), bits(got.as_slice()));
+        }
+    }
+
+    /// Gram-style products: `A·Bᵀ` through the 4×4 transpose kernel
+    /// equals the reference product against an explicitly transposed
+    /// right factor.
+    #[test]
+    fn mul_transpose_matches_explicit_transpose(
+        m in 1usize..20,
+        k in 1usize..20,
+        n in 1usize..20,
+        seed in 0u64..(1 << 16),
+        zero_every in 0usize..4,
+    ) {
+        let a = lcg_matrix(m, k, seed, zero_every);
+        let b = lcg_matrix(n, k, seed ^ 0x77, zero_every);
+
+        let bt = b.transpose();
+        let mut reference = vec![0.0; m * n];
+        kernel::matmul_rows(&a, &bt, 0, &mut reference);
+
+        let got = a.mul_transpose(&b).expect("conforming shapes");
+        prop_assert_eq!(bits(&reference), bits(got.as_slice()));
+    }
+
+    /// Bounded-heap top-k ≡ stable sort + truncate, including duplicate
+    /// distances (`dup_mod` collapses values onto a small grid so ties
+    /// are common) and `k ≥ n` (the `k` range exceeds the `n` range).
+    #[test]
+    fn top_k_matches_stable_sort_reference(
+        n in 1usize..200,
+        k in 1usize..220,
+        seed in 0u64..(1 << 16),
+        dup_mod in 1u64..8,
+    ) {
+        let mut state = seed | 1;
+        let values: Vec<f64> = (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state % dup_mod) as f64 / dup_mod as f64
+            })
+            .collect();
+
+        let fast = select_k_smallest(values.iter().copied(), k);
+        let reference = select_k_smallest_reference(values.iter().copied(), k);
+
+        prop_assert_eq!(fast.len(), reference.len());
+        for (f, r) in fast.iter().zip(&reference) {
+            prop_assert_eq!(f.0.to_bits(), r.0.to_bits());
+            prop_assert_eq!(f.1, r.1);
+        }
+    }
+
+    /// Fused rotate+shift+noise ≡ staged two-pass, for every block
+    /// partition of the column range.
+    #[test]
+    fn fused_perturbation_matches_staged(
+        d in 1usize..10,
+        n in 1usize..48,
+        block in 1usize..48,
+        seed in 0u64..(1 << 16),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = GeometricPerturbation::random(d, 0.1, &mut rng);
+        let x = lcg_matrix(d, n, seed ^ 3, 3);
+        let delta = lcg_matrix(d, n, seed ^ 9, 0);
+
+        let mut fused = Vec::new();
+        let mut staged = Vec::new();
+        let mut start = 0;
+        while start < n {
+            let end = (start + block).min(n);
+            g.perturb_records_into(&x, &delta, start..end, &mut fused);
+            g.perturb_records_staged_into(&x, &delta, start..end, &mut staged);
+            prop_assert_eq!(bits(&fused), bits(&staged));
+            start = end;
+        }
+    }
+}
+
+/// The degenerate 1×1×1 product goes through every dispatch layer
+/// without touching the packed or split paths.
+#[test]
+fn one_by_one_matmul_is_exact() {
+    let a = Matrix::from_fn(1, 1, |_, _| 3.25);
+    let b = Matrix::from_fn(1, 1, |_, _| -2.5);
+    for workers in [1usize, 2, 4] {
+        let got = a.matmul_with_workers(&b, workers).expect("1x1 product");
+        assert_eq!(got.as_slice(), &[3.25 * -2.5]);
+    }
+}
+
+/// `k == 0` is a contract violation, not a silent empty result.
+#[test]
+#[should_panic(expected = "top-k selection needs k >= 1")]
+fn top_k_rejects_k_zero() {
+    let _ = select_k_smallest([1.0, 2.0], 0);
+}
+
+/// NaN distances order last (total order), they no longer panic.
+#[test]
+fn top_k_orders_nan_last_instead_of_panicking() {
+    let got = select_k_smallest([f64::NAN, 1.0, 0.5], 3);
+    assert_eq!(got[0], (0.5, 2));
+    assert_eq!(got[1], (1.0, 1));
+    assert!(got[2].0.is_nan());
+    assert_eq!(got[2].1, 0);
+}

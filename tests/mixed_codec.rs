@@ -1,0 +1,118 @@
+//! Heterogeneous-codec sessions: a JSON-emitting client beside binary
+//! wire clients on the same mesh (ROADMAP scenario item b).
+//!
+//! The `Codec` trait always allowed per-node codecs; these tests exercise
+//! it end to end through `run_session_over_with_codecs` +
+//! `AutoCodec` (encode in one flavor, decode either by sniffing). The
+//! bar is strict: because the JSON float format is exact
+//! shortest-roundtrip (`{v:?}`), a mixed-codec session must produce
+//! **byte-identical** outcomes to the all-wire run — not merely close
+//! ones.
+
+use sap_repro::core::session::{
+    run_session_over, run_session_over_with_codecs, SapConfig, SessionCodecs, MINER_ID,
+};
+use sap_repro::core::SapError;
+use sap_repro::datasets::normalize::min_max_normalize;
+use sap_repro::datasets::partition::{partition, PartitionScheme};
+use sap_repro::datasets::registry::UciDataset;
+use sap_repro::datasets::Dataset;
+use sap_repro::net::codec::{AutoCodec, WireCodec};
+use sap_repro::net::transport::InMemoryHub;
+use sap_repro::net::PartyId;
+
+fn quick() -> SapConfig {
+    SapConfig {
+        timeout: std::time::Duration::from_secs(20),
+        ..SapConfig::quick_test()
+    }
+}
+
+fn hub_parties(
+    k: usize,
+) -> (
+    Vec<sap_repro::net::transport::Endpoint>,
+    sap_repro::net::transport::Endpoint,
+) {
+    let hub = InMemoryHub::new();
+    let providers = (0..k as u64).map(|p| hub.endpoint(PartyId(p))).collect();
+    (providers, hub.endpoint(MINER_ID))
+}
+
+fn locals(seed: u64, k: usize) -> (Dataset, Vec<Dataset>) {
+    let (data, _) = min_max_normalize(&UciDataset::Iris.generate(seed));
+    let parts = partition(&data, k, PartitionScheme::Uniform, seed + 1);
+    (data, parts)
+}
+
+/// One JSON client among wire clients must change nothing about the
+/// outcome — byte-for-byte.
+#[test]
+fn json_client_beside_wire_clients_is_byte_identical_to_all_wire() {
+    let (data, parts) = locals(31, 4);
+    let config = quick();
+
+    let (providers, miner) = hub_parties(4);
+    let all_wire = run_session_over(parts.clone(), &config, providers, miner, WireCodec)
+        .expect("all-wire session");
+
+    // Provider 0 speaks JSON; everyone else (coordinator and miner
+    // included) emits wire but sniffs, so they can read its frames.
+    let mut codecs = SessionCodecs::uniform(AutoCodec::wire(), 4);
+    codecs.providers[0] = AutoCodec::json();
+    let (providers, miner) = hub_parties(4);
+    let mixed = run_session_over_with_codecs(parts, &config, providers, miner, codecs)
+        .expect("mixed-codec session");
+
+    assert_eq!(mixed.unified, all_wire.unified, "unified datasets differ");
+    assert_eq!(mixed.unified.len(), data.len());
+    assert_eq!(mixed.forwarder_of_slot, all_wire.forwarder_of_slot);
+    assert_eq!(
+        mixed.identifiability.to_bits(),
+        all_wire.identifiability.to_bits()
+    );
+    assert_eq!(mixed.reports.len(), all_wire.reports.len());
+    for (m, w) in mixed.reports.iter().zip(&all_wire.reports) {
+        assert_eq!(m.rho_local.to_bits(), w.rho_local.to_bits());
+        assert_eq!(m.rho_unified.to_bits(), w.rho_unified.to_bits());
+        assert_eq!(m.satisfaction.to_bits(), w.satisfaction.to_bits());
+    }
+}
+
+/// The coordinator itself can be the JSON speaker: its setup frames,
+/// adaptor tables, and relay traffic cross codec flavors in both
+/// directions and the outcomes must still match the all-wire run.
+#[test]
+fn json_coordinator_and_json_miner_agree_with_all_wire() {
+    let (_, parts) = locals(33, 3);
+    let config = quick();
+
+    let (providers, miner) = hub_parties(3);
+    let all_wire = run_session_over(parts.clone(), &config, providers, miner, WireCodec)
+        .expect("all-wire session");
+
+    let mut codecs = SessionCodecs::uniform(AutoCodec::wire(), 3);
+    codecs.providers[2] = AutoCodec::json(); // last provider = coordinator
+    codecs.miner = AutoCodec::json();
+    let (providers, miner) = hub_parties(3);
+    let mixed = run_session_over_with_codecs(parts, &config, providers, miner, codecs)
+        .expect("mixed-codec session");
+
+    assert_eq!(mixed.unified, all_wire.unified);
+    assert_eq!(mixed.forwarder_of_slot, all_wire.forwarder_of_slot);
+}
+
+/// A codec-count mismatch is a typed configuration error, not a panic.
+#[test]
+fn codec_count_mismatch_rejected() {
+    let (_, parts) = locals(35, 3);
+    let (providers, miner) = hub_parties(3);
+    let codecs = SessionCodecs {
+        providers: vec![AutoCodec::wire(); 2],
+        miner: AutoCodec::wire(),
+    };
+    assert!(matches!(
+        run_session_over_with_codecs(parts, &quick(), providers, miner, codecs),
+        Err(SapError::InconsistentInputs(_))
+    ));
+}

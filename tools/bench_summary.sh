@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Print every BENCH_*.json headline metric in one table.
+#
+# Each bench binary writes one JSON artifact (see README "Benchmarks and
+# their artifacts"); this script is the one place that knows where each
+# file's headline number lives, so CI logs and humans get a single
+# at-a-glance summary instead of seven schemas.
+#
+#   tools/bench_summary.sh [dir]     # default: repo root (script's parent)
+set -euo pipefail
+
+dir="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+
+have_any=0
+printf '%-22s %-14s %s\n' "artifact" "scale" "headline"
+printf '%-22s %-14s %s\n' "--------" "-----" "--------"
+
+headline() { # file scale-expr headline-expr
+    local f="$dir/$1"
+    [ -f "$f" ] || return 0
+    have_any=1
+    printf '%-22s %-14s %s\n' "$1" "$(jq -r "$2" "$f")" "$(jq -r "$3" "$f")"
+}
+
+headline BENCH_net.json '.scale // "-"' \
+    '"chunked hub \(.hub_chunked_mibps) MiB/s (\(.speedup_vs_v1_baseline // .hub_chunked_mibps / .v1_chunked_baseline_mibps * 100 | floor / 100)x v1), reactor \(.reactor_tcp_mibps) vs threaded \(.threaded_tcp_mibps) MiB/s"'
+headline BENCH_server.json '.scale // "-"' \
+    '"\(.sessions) concurrent sessions \(.aggregate_speedup)x serial aggregate throughput"'
+headline BENCH_stream.json '.scale // "-"' \
+    '"streaming \(.end_to_end_session_speedup)x lower session latency than buffered (overlap \(.streaming.mean_overlap_ratio))"'
+headline BENCH_optimize.json '.scale // "-"' \
+    '"staged ICA optimizer \(.optimizer_speedup_ica_staged_vs_serial)x serial; no-ICA parallel \(.parallel_no_ica.speedup_vs_serial)x (bit-identical selection)"'
+headline BENCH_load.json '.scale // "-"' \
+    '"interactive p99: qos \(.arms.qos_poisson.interactive.e2e_p99_s)s vs fifo \(.arms.fifo_poisson.interactive.e2e_p99_s)s (poisson)"'
+headline BENCH_fleet.json '.scale // "-"' \
+    '"aggregate sessions/s speedup: 2 nodes \(.speedup_2_nodes)x, 4 nodes \(.speedup_4_nodes)x"'
+headline BENCH_kernels.json '.scale // "-"' \
+    '"packed matmul \(.matmul.headline_speedup)x ref, top-k \(.topk.speedup)x full sort, fused perturb \(.perturb.speedup)x staged"'
+
+if [ "$have_any" = 0 ]; then
+    echo "no BENCH_*.json artifacts found in $dir" >&2
+    exit 1
+fi
